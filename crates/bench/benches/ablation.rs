@@ -1,0 +1,79 @@
+//! Design-choice ablations called out in DESIGN.md: theory-mode vs
+//! practical sampler parameterization, and the adaptive multi-round
+//! extension vs one-shot sampling at equal row budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlra_core::adaptive::{run_adaptive, AdaptiveConfig};
+use dlra_core::prelude::*;
+use dlra_data::{noisy_low_rank, split_with_noise_shares};
+use dlra_linalg::Matrix;
+use dlra_sampler::ZSamplerParams;
+use dlra_util::Rng;
+use std::hint::black_box;
+
+fn parts(n: usize, d: usize, seed: u64) -> Vec<Matrix> {
+    let mut rng = Rng::new(seed);
+    let a = noisy_low_rank(n, d, 4, 0.2, &mut rng);
+    split_with_noise_shares(&a, 4, 0.3, &mut rng)
+}
+
+fn bench_theory_vs_practical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("params_theory_vs_practical");
+    group.sample_size(10);
+    let (n, d) = (300usize, 16usize);
+    let p = parts(n, d, 61);
+    // Theory-mode params are capped further for benchability: the honest
+    // uncapped constants would not fit in memory (see DESIGN.md §3).
+    let mut theory = ZSamplerParams::theory((n * d) as u64, 0.5, 0.25);
+    theory.groups = theory.groups.min(8);
+    theory.hh_width = theory.hh_width.min(256);
+    let configs: Vec<(&str, ZSamplerParams)> = vec![
+        ("practical_2k", ZSamplerParams::practical((n * d) as u64, 2_000)),
+        ("practical_16k", ZSamplerParams::practical((n * d) as u64, 16_000)),
+        ("theory_capped", theory),
+    ];
+    for (name, params) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, params| {
+            let cfg = Algorithm1Config {
+                k: 4,
+                r: 40,
+                sampler: SamplerKind::Z(params.clone()),
+                seed: 67,
+                ..Algorithm1Config::default()
+            };
+            b.iter(|| {
+                let mut m =
+                    PartitionModel::new(p.clone(), EntryFunction::Identity).unwrap();
+                black_box(run_algorithm1(&mut m, &cfg).unwrap().captured)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_rounds_equal_budget");
+    group.sample_size(10);
+    let (n, d) = (300usize, 16usize);
+    let p = parts(n, d, 71);
+    for &rounds in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
+            let cfg = AdaptiveConfig {
+                k: 4,
+                rounds,
+                r_per_round: 48 / rounds,
+                params: ZSamplerParams::practical((n * d) as u64, 3_000),
+                seed: 73,
+            };
+            b.iter(|| {
+                let mut m =
+                    PartitionModel::new(p.clone(), EntryFunction::Identity).unwrap();
+                black_box(run_adaptive(&mut m, &cfg).unwrap().comm.total_words())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theory_vs_practical, bench_adaptive_rounds);
+criterion_main!(benches);

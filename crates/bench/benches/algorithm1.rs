@@ -1,0 +1,104 @@
+//! End-to-end Algorithm 1 benchmarks and the sampler ablation (exact
+//! oracle vs uniform vs generalized Z-sampler) on a shared workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlra_core::prelude::*;
+use dlra_data::{noisy_low_rank, split_with_noise_shares};
+use dlra_linalg::Matrix;
+use dlra_sampler::ZSamplerParams;
+use dlra_util::Rng;
+use std::hint::black_box;
+
+fn model(s: usize, n: usize, d: usize, seed: u64) -> Vec<Matrix> {
+    let mut rng = Rng::new(seed);
+    let a = noisy_low_rank(n, d, 5, 0.1, &mut rng);
+    split_with_noise_shares(&a, s, 0.3, &mut rng)
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_end_to_end");
+    group.sample_size(10);
+    for &(n, d) in &[(500usize, 32usize), (1500, 48)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{d}")),
+            &(n, d),
+            |b, &(n, d)| {
+                let parts = model(6, n, d, 31);
+                let cfg = Algorithm1Config {
+                    k: 5,
+                    r: 100,
+                    sampler: SamplerKind::Z(ZSamplerParams::practical(
+                        (n * d) as u64,
+                        4000,
+                    )),
+                    seed: 37,
+                    ..Algorithm1Config::default()
+                };
+                b.iter(|| {
+                    let mut m =
+                        PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+                    black_box(run_algorithm1(&mut m, &cfg).unwrap().captured)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: which sampler, same data and r.
+fn bench_sampler_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_sampler_ablation");
+    group.sample_size(10);
+    let parts = model(6, 800, 48, 41);
+    for (name, sampler) in [
+        ("exact_oracle", SamplerKind::ExactOracle),
+        ("uniform", SamplerKind::Uniform),
+        (
+            "z_sampler",
+            SamplerKind::Z(ZSamplerParams::practical((800 * 48) as u64, 4000)),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sampler, |b, s| {
+            let cfg = Algorithm1Config {
+                k: 5,
+                r: 100,
+                sampler: s.clone(),
+                seed: 43,
+                ..Algorithm1Config::default()
+            };
+            b.iter(|| {
+                let mut m =
+                    PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+                black_box(run_algorithm1(&mut m, &cfg).unwrap().captured)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Boosting ablation: repetitions vs captured energy cost.
+fn bench_boosting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_boosting");
+    group.sample_size(10);
+    let parts = model(4, 500, 32, 51);
+    for &boost in &[1usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(boost), &boost, |b, &boost| {
+            let cfg = Algorithm1Config {
+                k: 4,
+                r: 60,
+                boost,
+                sampler: SamplerKind::ExactOracle,
+                seed: 53,
+            };
+            b.iter(|| {
+                let mut m =
+                    PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+                black_box(run_algorithm1(&mut m, &cfg).unwrap().captured)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_sampler_ablation, bench_boosting);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks of the generalized Z-sampler: preparation cost (the two
+//! estimator passes — sketching + recovery), draw throughput, and the
+//! theory-vs-practical parameterization ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlra_comm::Cluster;
+use dlra_sampler::{DenseServerVec, Square, ZSampler, ZSamplerParams};
+use dlra_util::Rng;
+use std::hint::black_box;
+
+fn make_cluster(l: usize, s: usize, seed: u64) -> Cluster<DenseServerVec> {
+    let mut rng = Rng::new(seed);
+    let parts: Vec<DenseServerVec> = (0..s)
+        .map(|_| DenseServerVec::new((0..l).map(|_| rng.gaussian()).collect()))
+        .collect();
+    Cluster::new(parts)
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zsampler_prepare");
+    group.sample_size(10);
+    for &l in &[1usize << 12, 1 << 14, 1 << 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            let params = ZSamplerParams::practical(l as u64, 4000);
+            b.iter(|| {
+                let mut cluster = make_cluster(l, 4, 9);
+                let sampler = ZSampler::new(params.clone(), 17);
+                let prep = sampler.prepare(&mut cluster, &Square);
+                black_box(prep.z_hat())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_draws(c: &mut Criterion) {
+    c.bench_function("zsampler_draw_1k", |b| {
+        let mut cluster = make_cluster(1 << 14, 4, 11);
+        let sampler = ZSampler::new(ZSamplerParams::default(), 13);
+        let prep = sampler.prepare(&mut cluster, &Square);
+        let mut rng = Rng::new(15);
+        b.iter(|| black_box(prep.draw_many(1000, &mut rng).len()));
+    });
+}
+
+/// Ablation: budget (sketch size) vs preparation cost.
+fn bench_budget_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zsampler_budget_ablation");
+    group.sample_size(10);
+    let l = 1usize << 14;
+    for &budget in &[1_000u64, 8_000, 64_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &w| {
+            let params = ZSamplerParams::practical(l as u64, w);
+            b.iter(|| {
+                let mut cluster = make_cluster(l, 4, 21);
+                let sampler = ZSampler::new(params.clone(), 23);
+                black_box(sampler.prepare(&mut cluster, &Square).z_hat())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepare, bench_draws, bench_budget_ablation);
+criterion_main!(benches);

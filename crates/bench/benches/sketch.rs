@@ -1,0 +1,101 @@
+//! Microbenchmarks for the sketching substrate: CountSketch / AMS update
+//! throughput, merge (the per-server aggregation cost), point queries, and
+//! heavy-hitter recovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlra_sketch::{AmsF2, CountSketch, HeavyHittersSketch};
+use dlra_util::Rng;
+use std::hint::black_box;
+
+fn bench_countsketch_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("countsketch_update");
+    for &width in &[64usize, 512, 4096] {
+        let n = 10_000u64;
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            let mut cs = CountSketch::new(5, w, 42);
+            let mut rng = Rng::new(7);
+            let vals: Vec<(u64, f64)> = (0..n).map(|j| (j, rng.gaussian())).collect();
+            b.iter(|| {
+                for &(j, v) in &vals {
+                    cs.update(j, v);
+                }
+                black_box(&cs);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_countsketch_estimate(c: &mut Criterion) {
+    c.bench_function("countsketch_estimate_1k", |b| {
+        let mut cs = CountSketch::new(7, 1024, 1);
+        let mut rng = Rng::new(2);
+        for j in 0..50_000u64 {
+            cs.update(j, rng.gaussian());
+        }
+        b.iter(|| {
+            let mut acc = 0.0;
+            for j in 0..1000u64 {
+                acc += cs.estimate(j);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_sketch_merge(c: &mut Criterion) {
+    c.bench_function("countsketch_merge_5x1024", |b| {
+        let mut a = CountSketch::new(5, 1024, 3);
+        let mut other = CountSketch::new(5, 1024, 3);
+        let mut rng = Rng::new(4);
+        for j in 0..10_000u64 {
+            a.update(j, rng.gaussian());
+            other.update(j, rng.gaussian());
+        }
+        b.iter(|| {
+            a.merge(black_box(&other));
+        });
+    });
+}
+
+fn bench_ams_estimate(c: &mut Criterion) {
+    c.bench_function("ams_f2_estimate", |b| {
+        let mut s = AmsF2::new(9, 64, 5);
+        let mut rng = Rng::new(6);
+        for j in 0..5_000u64 {
+            s.update(j, rng.gaussian());
+        }
+        b.iter(|| black_box(s.estimate()));
+    });
+}
+
+fn bench_heavy_hitter_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heavy_hitter_recover");
+    group.sample_size(20);
+    for &l in &[10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(l));
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            let mut sk = HeavyHittersSketch::new(32.0, 0.01, 9);
+            let mut rng = Rng::new(10);
+            for j in 0..l {
+                sk.update(j, rng.gaussian() * 0.1);
+            }
+            for h in 0..16 {
+                sk.update(h * (l / 16), 25.0);
+            }
+            b.iter(|| black_box(sk.recover_range(l).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_countsketch_update,
+    bench_countsketch_estimate,
+    bench_sketch_merge,
+    bench_ams_estimate,
+    bench_heavy_hitter_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Linear-algebra kernel benchmarks: the one-sided Jacobi SVD at the sizes
+//! Algorithm 1 actually uses (`B ∈ ℝʳˣᵈ` with `r = Θ(k²/ε²)`), the
+//! symmetric eigensolver, QR, and the dense matmul backbone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlra_linalg::{best_rank_k, householder_qr, svd, Matrix};
+use dlra_util::Rng;
+use std::hint::black_box;
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    group.sample_size(10);
+    for &(r, d) in &[(64usize, 32usize), (128, 64), (256, 128)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{r}x{d}")),
+            &(r, d),
+            |b, &(r, d)| {
+                let mut rng = Rng::new(1);
+                let a = Matrix::gaussian(r, d, &mut rng);
+                b.iter(|| black_box(svd(&a).unwrap().s[0]));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rank_k(c: &mut Criterion) {
+    c.bench_function("best_rank_k_200x64_k10", |b| {
+        let mut rng = Rng::new(2);
+        let a = Matrix::gaussian(200, 64, &mut rng);
+        b.iter(|| black_box(best_rank_k(&a, 10).unwrap().error_sq));
+    });
+}
+
+fn bench_qr(c: &mut Criterion) {
+    c.bench_function("householder_qr_256x64", |b| {
+        let mut rng = Rng::new(3);
+        let a = Matrix::gaussian(256, 64, &mut rng);
+        b.iter(|| black_box(householder_qr(&a).unwrap().1.frobenius_norm()));
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = Rng::new(4);
+            let a = Matrix::gaussian(n, n, &mut rng);
+            let m = Matrix::gaussian(n, n, &mut rng);
+            b.iter(|| black_box(a.matmul(&m).unwrap().frobenius_norm()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram(c: &mut Criterion) {
+    c.bench_function("gram_1000x128", |b| {
+        let mut rng = Rng::new(5);
+        let a = Matrix::gaussian(1000, 128, &mut rng);
+        b.iter(|| black_box(a.gram().frobenius_norm()));
+    });
+}
+
+criterion_group!(benches, bench_svd, bench_rank_k, bench_qr, bench_matmul, bench_gram);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Tiny argument parsing shared by the figure-reproduction binaries.
+
+use crate::repro::{self, PanelResult, PanelSpec, PoolingSource, RffSource};
+
+/// Parses `--panel <name>`, `--quick`, `--scale N`, `--p a,b,c`,
+/// `--ratios a,b,c` from `std::env::args`.
+pub fn parse_args() -> (String, PanelSpec, Vec<f64>) {
+    let mut panel = "all".to_string();
+    let mut spec = PanelSpec::default();
+    let mut ps = vec![1.0, 2.0, 5.0, 20.0];
+    let mut args = std::env::args().skip(1);
+    // Per-panel ratio defaults apply unless overridden.
+    spec.ratios = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--panel" => panel = args.next().expect("--panel needs a value"),
+            "--quick" => {
+                let q = PanelSpec::quick();
+                spec.ks = q.ks;
+                spec.ratios = q.ratios;
+                ps = vec![2.0];
+            }
+            "--scale" => {
+                spec.scale = args
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("integer scale")
+            }
+            "--seed" => {
+                spec.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("integer seed")
+            }
+            "--p" => {
+                ps = args
+                    .next()
+                    .expect("--p needs a value")
+                    .split(',')
+                    .map(|x| x.parse().expect("float P"))
+                    .collect()
+            }
+            "--ratios" => {
+                spec.ratios = args
+                    .next()
+                    .expect("--ratios needs a value")
+                    .split(',')
+                    .map(|x| x.parse().expect("float ratio"))
+                    .collect()
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    (panel, spec, ps)
+}
+
+/// Runs the selected panels.
+pub fn panels(which: &str, spec: &PanelSpec, ps: &[f64]) -> Vec<PanelResult> {
+    let mut default_ratio_spec = spec.clone();
+    if default_ratio_spec.ratios.is_empty() {
+        default_ratio_spec.ratios = vec![0.5, 0.25, 0.1];
+    }
+    let mut out = Vec::new();
+    let run_rff = |src| {
+        let mut s = spec.clone();
+        if s.ratios.is_empty() {
+            s.ratios = match src {
+                RffSource::ForestCover => vec![0.5, 0.25, 0.1],
+                RffSource::Kddcup => vec![0.1, 0.05, 0.01],
+            };
+        }
+        repro::rff_panel(src, &s)
+    };
+    match which {
+        "forest_cover" => out.push(run_rff(RffSource::ForestCover)),
+        "kddcup" => out.push(run_rff(RffSource::Kddcup)),
+        "caltech101" => {
+            for &p in ps {
+                out.push(repro::pooling_panel(
+                    PoolingSource::Caltech101,
+                    p,
+                    &default_ratio_spec,
+                ));
+            }
+        }
+        "scenes" => {
+            for &p in ps {
+                out.push(repro::pooling_panel(
+                    PoolingSource::Scenes,
+                    p,
+                    &default_ratio_spec,
+                ));
+            }
+        }
+        "isolet" => out.push(repro::isolet_panel(&default_ratio_spec)),
+        "all" => {
+            out.push(run_rff(RffSource::ForestCover));
+            out.push(run_rff(RffSource::Kddcup));
+            for &p in ps {
+                out.push(repro::pooling_panel(
+                    PoolingSource::Caltech101,
+                    p,
+                    &default_ratio_spec,
+                ));
+            }
+            for &p in ps {
+                out.push(repro::pooling_panel(
+                    PoolingSource::Scenes,
+                    p,
+                    &default_ratio_spec,
+                ));
+            }
+            out.push(repro::isolet_panel(&default_ratio_spec));
+        }
+        other => panic!("unknown panel {other}; try forest_cover|kddcup|caltech101|scenes|isolet|all"),
+    }
+    out
+}

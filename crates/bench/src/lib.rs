@@ -1,0 +1,10 @@
+//! Shared figure-reproduction machinery for the `fig1` / `fig2` binaries
+//! and the Criterion benches.
+
+pub mod cli;
+pub mod repro;
+
+pub use repro::{
+    isolet_panel, pooling_panel, rff_panel, PanelResult, PanelRow, PanelSpec, PoolingSource,
+    RffSource,
+};

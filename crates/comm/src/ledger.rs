@@ -1,0 +1,329 @@
+//! The communication ledger: every message that crosses a server boundary is
+//! charged here, and tests assert on the totals (e.g. Theorem 1's
+//! `O(s·k²·d/ε² + C)` bound and the experiments' communication-ratio knobs).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Message direction relative to the coordinator (server 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Server `t` → coordinator.
+    Upstream,
+    /// Coordinator → server `t` (a broadcast is `s − 1` such messages).
+    Downstream,
+}
+
+/// One accounted message.
+#[derive(Debug, Clone)]
+pub struct CommEvent {
+    /// Which non-coordinator server was involved (1-based; coordinator is 0).
+    pub server: usize,
+    /// Direction of travel.
+    pub direction: Direction,
+    /// Payload size in words (excluding the frame word).
+    pub payload_words: u64,
+    /// Human-readable label of the protocol step (e.g. `"Alg1.gather_rows"`).
+    pub label: &'static str,
+    /// Round index at the time of the message.
+    pub round: u64,
+}
+
+/// Fixed per-message framing overhead in words (tag + length).
+pub const FRAME_WORDS: u64 = 1;
+
+/// A simple network cost model turning ledger totals into estimated wall
+/// time: `rounds·latency + words·8/bandwidth`, the standard α–β model. The
+/// simulation itself is instantaneous; this lets experiments report what a
+/// protocol *would* cost on a concrete network.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// One-way latency charged per communication round, in seconds.
+    pub latency_per_round: f64,
+    /// Link bandwidth in bytes per second (aggregate at the coordinator).
+    pub bytes_per_sec: f64,
+}
+
+impl CostModel {
+    /// A 10 GbE datacenter profile (100 µs per round, 1.25 GB/s).
+    pub fn datacenter() -> Self {
+        CostModel {
+            latency_per_round: 100e-6,
+            bytes_per_sec: 1.25e9,
+        }
+    }
+
+    /// A wide-area profile (50 ms per round, 12.5 MB/s).
+    pub fn wide_area() -> Self {
+        CostModel {
+            latency_per_round: 50e-3,
+            bytes_per_sec: 12.5e6,
+        }
+    }
+
+    /// Estimated wall-clock seconds for a snapshot's traffic.
+    pub fn estimate_seconds(&self, snap: &LedgerSnapshot) -> f64 {
+        snap.rounds as f64 * self.latency_per_round
+            + (snap.total_words() * 8) as f64 / self.bytes_per_sec
+    }
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    events: Vec<CommEvent>,
+    upstream_words: u64,
+    downstream_words: u64,
+    messages: u64,
+    rounds: u64,
+    record_events: bool,
+}
+
+/// A thread-safe communication ledger shared by all collectives of a
+/// [`crate::Cluster`]. Cloning shares the underlying counters.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    inner: Arc<Mutex<LedgerInner>>,
+}
+
+/// A point-in-time copy of the ledger totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LedgerSnapshot {
+    /// Total words sent servers → coordinator (incl. frames).
+    pub upstream_words: u64,
+    /// Total words sent coordinator → servers (incl. frames).
+    pub downstream_words: u64,
+    /// Number of messages.
+    pub messages: u64,
+    /// Number of communication rounds.
+    pub rounds: u64,
+}
+
+impl LedgerSnapshot {
+    /// Total words in both directions.
+    pub fn total_words(&self) -> u64 {
+        self.upstream_words + self.downstream_words
+    }
+
+    /// Difference of two snapshots (for measuring one protocol phase).
+    pub fn since(&self, earlier: &LedgerSnapshot) -> LedgerSnapshot {
+        LedgerSnapshot {
+            upstream_words: self.upstream_words - earlier.upstream_words,
+            downstream_words: self.downstream_words - earlier.downstream_words,
+            messages: self.messages - earlier.messages,
+            rounds: self.rounds - earlier.rounds,
+        }
+    }
+}
+
+impl Ledger {
+    /// A fresh ledger. Event recording (the full transcript) is off by
+    /// default; totals are always maintained.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Enables or disables per-event transcript recording.
+    pub fn set_record_events(&self, on: bool) {
+        self.inner.lock().record_events = on;
+    }
+
+    /// Charges one message and returns its total cost in words.
+    pub fn charge(
+        &self,
+        server: usize,
+        direction: Direction,
+        payload_words: u64,
+        label: &'static str,
+    ) -> u64 {
+        let cost = payload_words + FRAME_WORDS;
+        let mut g = self.inner.lock();
+        match direction {
+            Direction::Upstream => g.upstream_words += cost,
+            Direction::Downstream => g.downstream_words += cost,
+        }
+        g.messages += 1;
+        if g.record_events {
+            let round = g.rounds;
+            g.events.push(CommEvent {
+                server,
+                direction,
+                payload_words,
+                label,
+                round,
+            });
+        }
+        cost
+    }
+
+    /// Marks the start of a new communication round (a collective step in
+    /// which every server may exchange one batch with the coordinator).
+    pub fn next_round(&self) {
+        self.inner.lock().rounds += 1;
+    }
+
+    /// Totals so far.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        let g = self.inner.lock();
+        LedgerSnapshot {
+            upstream_words: g.upstream_words,
+            downstream_words: g.downstream_words,
+            messages: g.messages,
+            rounds: g.rounds,
+        }
+    }
+
+    /// Copy of the recorded transcript (empty unless recording was enabled).
+    pub fn events(&self) -> Vec<CommEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Aggregates the recorded transcript by step label: returns
+    /// `(label, total words incl. frames, message count)` sorted by cost
+    /// descending. Empty unless recording was enabled. Used by the
+    /// experiment harness to report per-phase communication breakdowns.
+    pub fn by_label(&self) -> Vec<(&'static str, u64, u64)> {
+        let g = self.inner.lock();
+        let mut agg: std::collections::BTreeMap<&'static str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for e in &g.events {
+            let entry = agg.entry(e.label).or_default();
+            entry.0 += e.payload_words + FRAME_WORDS;
+            entry.1 += 1;
+        }
+        let mut out: Vec<(&'static str, u64, u64)> = agg
+            .into_iter()
+            .map(|(label, (w, m))| (label, w, m))
+            .collect();
+        out.sort_by_key(|&(_, w, _)| std::cmp::Reverse(w));
+        out
+    }
+
+    /// Resets all counters and the transcript.
+    pub fn reset(&self) {
+        let mut g = self.inner.lock();
+        let record = g.record_events;
+        *g = LedgerInner::default();
+        g.record_events = record;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_with_frames() {
+        let l = Ledger::new();
+        l.charge(1, Direction::Upstream, 10, "a");
+        l.charge(2, Direction::Downstream, 5, "b");
+        l.charge(1, Direction::Upstream, 0, "c");
+        let s = l.snapshot();
+        assert_eq!(s.upstream_words, 10 + FRAME_WORDS + FRAME_WORDS);
+        assert_eq!(s.downstream_words, 5 + FRAME_WORDS);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.total_words(), 15 + 3 * FRAME_WORDS);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let l = Ledger::new();
+        l.charge(1, Direction::Upstream, 10, "x");
+        let before = l.snapshot();
+        l.charge(1, Direction::Upstream, 20, "y");
+        l.next_round();
+        let after = l.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.upstream_words, 20 + FRAME_WORDS);
+        assert_eq!(delta.messages, 1);
+        assert_eq!(delta.rounds, 1);
+    }
+
+    #[test]
+    fn transcript_recording_toggles() {
+        let l = Ledger::new();
+        l.charge(1, Direction::Upstream, 1, "off");
+        assert!(l.events().is_empty());
+        l.set_record_events(true);
+        l.charge(2, Direction::Downstream, 2, "on");
+        let ev = l.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].server, 2);
+        assert_eq!(ev[0].label, "on");
+    }
+
+    #[test]
+    fn transcript_sum_matches_totals() {
+        let l = Ledger::new();
+        l.set_record_events(true);
+        for t in 1..=5 {
+            l.charge(t, Direction::Upstream, t as u64 * 3, "gather");
+        }
+        let total: u64 = l
+            .events()
+            .iter()
+            .map(|e| e.payload_words + FRAME_WORDS)
+            .sum();
+        assert_eq!(total, l.snapshot().upstream_words);
+    }
+
+    #[test]
+    fn by_label_aggregates_and_sorts() {
+        let l = Ledger::new();
+        l.set_record_events(true);
+        l.charge(1, Direction::Upstream, 10, "big");
+        l.charge(2, Direction::Upstream, 10, "big");
+        l.charge(1, Direction::Downstream, 1, "small");
+        let agg = l.by_label();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0], ("big", 2 * (10 + FRAME_WORDS), 2));
+        assert_eq!(agg[1], ("small", 1 + FRAME_WORDS, 1));
+    }
+
+    #[test]
+    fn by_label_empty_without_recording() {
+        let l = Ledger::new();
+        l.charge(1, Direction::Upstream, 5, "x");
+        assert!(l.by_label().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_recording_flag() {
+        let l = Ledger::new();
+        l.set_record_events(true);
+        l.charge(1, Direction::Upstream, 4, "z");
+        l.reset();
+        assert_eq!(l.snapshot(), LedgerSnapshot::default());
+        l.charge(1, Direction::Upstream, 4, "z2");
+        assert_eq!(l.events().len(), 1);
+    }
+
+    #[test]
+    fn cost_model_alpha_beta() {
+        let snap = LedgerSnapshot {
+            upstream_words: 1000,
+            downstream_words: 250,
+            messages: 10,
+            rounds: 4,
+        };
+        let m = CostModel {
+            latency_per_round: 0.01,
+            bytes_per_sec: 1e6,
+        };
+        // 4 rounds × 10ms + 1250 words × 8 B / 1 MB/s = 0.04 + 0.01 s.
+        let est = m.estimate_seconds(&snap);
+        assert!((est - 0.05).abs() < 1e-12, "est {est}");
+        // WAN dominated by latency, datacenter by neither at this size.
+        assert!(
+            CostModel::wide_area().estimate_seconds(&snap)
+                > CostModel::datacenter().estimate_seconds(&snap)
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let l = Ledger::new();
+        let l2 = l.clone();
+        l2.charge(1, Direction::Upstream, 7, "shared");
+        assert_eq!(l.snapshot().upstream_words, 7 + FRAME_WORDS);
+    }
+}

@@ -1,0 +1,26 @@
+//! Simulated distributed substrate with exact communication accounting.
+//!
+//! The paper's model (§I) is a star: `s` servers, each holding a local
+//! `n × d` matrix, all communicating with server 1 (the Central Processor).
+//! The paper's own evaluation simulates servers with processes and measures
+//! *words* of communication, so this crate provides exactly that: a
+//! [`Cluster`] owning per-server local state, collective operations
+//! (broadcast / gather / aggregate / point query) that are the only way for
+//! data to cross server boundaries, and a [`Ledger`] that charges every
+//! message its payload size in 8-byte words plus a one-word frame.
+//!
+//! * [`payload`] — the [`Payload`] trait giving the word size of anything
+//!   that crosses the wire (scalars, vectors, sketches, row fragments);
+//! * [`ledger`] — the cost ledger and per-event transcript;
+//! * [`cluster`] — the star-topology cluster and its collectives, with both
+//!   a sequential executor and a crossbeam-threaded `par_gather`.
+
+pub mod cluster;
+pub mod ledger;
+pub mod payload;
+pub mod two_party;
+
+pub use cluster::Cluster;
+pub use ledger::{CommEvent, CostModel, Direction, Ledger, LedgerSnapshot};
+pub use payload::Payload;
+pub use two_party::{Party, TwoPartyChannel};

@@ -1,0 +1,100 @@
+//! A two-party (Alice/Bob) accounted channel for communication-complexity
+//! experiments (§VII's reductions are all two-party).
+//!
+//! Unlike [`crate::Cluster`], which models the star topology of the upper
+//! bounds, this models the classic Yao setting: two parties exchanging
+//! messages over one bidirectional link, with bit- rather than word-level
+//! accounting (the lower bounds are stated in bits).
+
+/// Which party sent a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Party {
+    /// The first party (holds `x`).
+    Alice,
+    /// The second party (holds `y`).
+    Bob,
+}
+
+/// An accounted two-party transcript.
+#[derive(Debug, Default, Clone)]
+pub struct TwoPartyChannel {
+    bits_alice_to_bob: u64,
+    bits_bob_to_alice: u64,
+    messages: u64,
+}
+
+impl TwoPartyChannel {
+    /// A fresh channel.
+    pub fn new() -> Self {
+        TwoPartyChannel::default()
+    }
+
+    /// Charges a message of `bits` bits from `from`.
+    pub fn send(&mut self, from: Party, bits: u64) {
+        match from {
+            Party::Alice => self.bits_alice_to_bob += bits,
+            Party::Bob => self.bits_bob_to_alice += bits,
+        }
+        self.messages += 1;
+    }
+
+    /// Sends one 64-bit word.
+    pub fn send_word(&mut self, from: Party) {
+        self.send(from, 64);
+    }
+
+    /// Sends an index into a universe of size `n` (`⌈log₂ n⌉` bits).
+    pub fn send_index(&mut self, from: Party, n: u64) {
+        let bits = 64 - n.max(2).saturating_sub(1).leading_zeros() as u64;
+        self.send(from, bits);
+    }
+
+    /// Total bits exchanged.
+    pub fn total_bits(&self) -> u64 {
+        self.bits_alice_to_bob + self.bits_bob_to_alice
+    }
+
+    /// Number of messages.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Bits sent by one party.
+    pub fn bits_from(&self, p: Party) -> u64 {
+        match p {
+            Party::Alice => self.bits_alice_to_bob,
+            Party::Bob => self.bits_bob_to_alice,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_by_direction() {
+        let mut ch = TwoPartyChannel::new();
+        ch.send(Party::Alice, 10);
+        ch.send(Party::Bob, 3);
+        ch.send_word(Party::Alice);
+        assert_eq!(ch.bits_from(Party::Alice), 74);
+        assert_eq!(ch.bits_from(Party::Bob), 3);
+        assert_eq!(ch.total_bits(), 77);
+        assert_eq!(ch.messages(), 3);
+    }
+
+    #[test]
+    fn index_cost_is_logarithmic() {
+        let mut ch = TwoPartyChannel::new();
+        ch.send_index(Party::Alice, 1024);
+        assert_eq!(ch.total_bits(), 10);
+        let mut ch2 = TwoPartyChannel::new();
+        ch2.send_index(Party::Bob, 1 << 20);
+        assert_eq!(ch2.total_bits(), 20);
+        // Tiny universes still cost at least one bit.
+        let mut ch3 = TwoPartyChannel::new();
+        ch3.send_index(Party::Alice, 2);
+        assert_eq!(ch3.total_bits(), 1);
+    }
+}

@@ -1,0 +1,472 @@
+//! Algorithm 1 — the distributed PCA framework (§IV).
+//!
+//! ```text
+//! 1: Input: {Aᵗ ∈ ℝⁿˣᵈ}, k, ε
+//! 3: r = Θ(k²/ε²)
+//! 4-6: sample rows i₁..iᵣ of A, sampler reports Q̂ ∈ (1±γ)Q
+//! 7:   every server sends its part of each sampled row to server 1,
+//!      which assembles B with Bᵢ′ = Aᵢ / √(r·Q̂ᵢ)
+//! 8:   P = VVᵀ from B's top-k right singular vectors
+//! ```
+//!
+//! Success boosting (§IV): repeat the protocol `O(log 1/δ)` times and keep
+//! the `P` with maximum `‖BP‖²_F`.
+
+use crate::fkv::{build_b_matrix, fkv_projection, SampledRow};
+use crate::model::PartitionModel;
+use crate::{CoreError, Result};
+use dlra_comm::LedgerSnapshot;
+use dlra_linalg::Matrix;
+use dlra_sampler::{UniformSampler, ZSampler, ZSamplerParams};
+use dlra_util::Rng;
+
+/// Which distributed sampler drives row selection.
+#[derive(Debug, Clone)]
+pub enum SamplerKind {
+    /// The generalized Z-sampler (Algorithms 2–4) with `z = f²` — the
+    /// paper's main construction.
+    Z(ZSamplerParams),
+    /// Uniform row sampling — correct when row norms are near-uniform
+    /// (Gaussian random Fourier features, §VI-A).
+    Uniform,
+    /// Idealized exact-probability sampler (the FKV assumption the paper
+    /// relaxes). Sampling itself is an unaccounted oracle; row fetches are
+    /// still charged. Baseline for the ablation benches.
+    ExactOracle,
+}
+
+/// Configuration for one Algorithm 1 run.
+#[derive(Debug, Clone)]
+pub struct Algorithm1Config {
+    /// Target rank `k ≥ 1`.
+    pub k: usize,
+    /// Number of sampled rows `r = Θ(k²/ε²)`.
+    pub r: usize,
+    /// Boosting repetitions (keep the best `‖BP‖²_F`); `1` = no boosting.
+    pub boost: usize,
+    /// The row sampler.
+    pub sampler: SamplerKind,
+    /// Root seed for all protocol randomness.
+    pub seed: u64,
+}
+
+impl Default for Algorithm1Config {
+    fn default() -> Self {
+        Algorithm1Config {
+            k: 5,
+            r: 50,
+            boost: 1,
+            sampler: SamplerKind::Z(ZSamplerParams::default()),
+            seed: 0xD15A_57E5,
+        }
+    }
+}
+
+impl Algorithm1Config {
+    /// The paper's sample count `r = ⌈k²/ε²⌉` for accuracy `eps`.
+    pub fn r_for(k: usize, eps: f64) -> usize {
+        ((k * k) as f64 / (eps * eps)).ceil() as usize
+    }
+}
+
+/// Result of an Algorithm 1 run.
+#[derive(Debug, Clone)]
+pub struct Algorithm1Output {
+    /// The rank-≤k projection `P` (`d × d`).
+    pub projection: Matrix,
+    /// Words/messages/rounds consumed by this run (sampling + row fetches).
+    pub comm: LedgerSnapshot,
+    /// Row indices actually sampled (with multiplicity), per boost rep kept.
+    pub rows: Vec<usize>,
+    /// `‖BP‖²_F` of the winning repetition (the boosting score).
+    pub captured: f64,
+}
+
+/// Runs Algorithm 1 end to end on a partition model.
+pub fn run_algorithm1(
+    model: &mut PartitionModel,
+    cfg: &Algorithm1Config,
+) -> Result<Algorithm1Output> {
+    let (_, d) = model.shape();
+    if cfg.k == 0 {
+        return Err(CoreError::InvalidConfig("k must be >= 1".into()));
+    }
+    if cfg.k > d {
+        return Err(CoreError::InvalidConfig(format!(
+            "k = {} exceeds column count d = {d}",
+            cfg.k
+        )));
+    }
+    if cfg.r == 0 {
+        return Err(CoreError::InvalidConfig("r must be >= 1".into()));
+    }
+    if cfg.boost == 0 {
+        return Err(CoreError::InvalidConfig("boost must be >= 1".into()));
+    }
+
+    let before = model.cluster().comm();
+    let mut best: Option<(Matrix, f64, Vec<usize>)> = None;
+    for rep in 0..cfg.boost {
+        let rep_seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rep as u64));
+        let sampled = sample_rows(model, cfg, rep_seed)?;
+        let indices: Vec<usize> = sampled.iter().map(|s| s.index).collect();
+        let b = build_b_matrix(&sampled)?;
+        let (p, captured) = fkv_projection(&b, cfg.k)?;
+        if best.as_ref().is_none_or(|(_, c, _)| captured > *c) {
+            best = Some((p, captured, indices));
+        }
+    }
+    let (projection, captured, rows) = best.expect("boost >= 1");
+    Ok(Algorithm1Output {
+        projection,
+        comm: model.cluster().comm().since(&before),
+        rows,
+        captured,
+    })
+}
+
+/// Lines 4–7: draw `r` rows and fetch them from the servers.
+fn sample_rows(
+    model: &mut PartitionModel,
+    cfg: &Algorithm1Config,
+    seed: u64,
+) -> Result<Vec<SampledRow>> {
+    let (n, d) = model.shape();
+    let mut rng = Rng::new(seed ^ 0xA5A5_A5A5_5A5A_5A5A);
+    match &cfg.sampler {
+        SamplerKind::Uniform => {
+            let sampler = UniformSampler { n: n as u64 };
+            let draws = sampler.draw_many(cfg.r, &mut rng);
+            let pairs: Vec<(usize, f64)> =
+                draws.into_iter().map(|(i, q)| (i as usize, q)).collect();
+            Ok(fetch_rows(model, &pairs)?
+                .into_iter()
+                .map(FetchedRow::into_sampled)
+                .collect())
+        }
+        SamplerKind::ExactOracle => {
+            // Oracle: exact row weights from the (evaluation-only) global
+            // matrix; fetches still paid.
+            let a = model.global_matrix();
+            let weights = a.row_norms_sq();
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                return Err(CoreError::SamplerExhausted);
+            }
+            let pairs: Vec<(usize, f64)> = (0..cfg.r)
+                .map(|_| {
+                    let i = rng.weighted_index(&weights);
+                    (i, weights[i] / total)
+                })
+                .collect();
+            Ok(fetch_rows(model, &pairs)?
+                .into_iter()
+                .map(FetchedRow::into_sampled)
+                .collect())
+        }
+        SamplerKind::Z(params) => {
+            let zfn = model.entry_function().z_fn().ok_or_else(|| {
+                CoreError::InvalidConfig(format!(
+                    "no property-P z for f = {}; use GmRoot to approximate max",
+                    model.entry_function().name()
+                ))
+            })?;
+            let zsampler = ZSampler::new(params.clone(), seed);
+            let prepared = zsampler.prepare(model.cluster_mut(), zfn.as_ref());
+            if prepared.is_empty() {
+                return Err(CoreError::SamplerExhausted);
+            }
+            let draws = prepared.draw_many(cfg.r, &mut rng);
+            if draws.is_empty() {
+                return Err(CoreError::SamplerExhausted);
+            }
+            // Entry → row: an entry draw selects its row (§V: "If an entry
+            // is sampled, then we choose the entire row as the sample").
+            let row_of = |coord: u64| (coord as usize) / d;
+            let pairs: Vec<(usize, f64)> =
+                draws.iter().map(|dr| (row_of(dr.coord), f64::NAN)).collect();
+            // Fetch raw rows first; the row's reported probability is its
+            // z-mass over Ẑ, computable exactly from the fetched raw row.
+            let mut rows = fetch_rows(model, &pairs)?;
+            let z_hat = prepared.z_hat();
+            for row in rows.iter_mut() {
+                let zmass: f64 = row.raw.iter().map(|&x| zfn.z(x)).sum();
+                row.q_hat = (zmass / z_hat).min(1.0);
+                // NaN-safe: reject zero, negative, and NaN probabilities.
+                if row.q_hat <= 0.0 || row.q_hat.is_nan() {
+                    return Err(CoreError::SamplerExhausted);
+                }
+            }
+            Ok(rows.into_iter().map(FetchedRow::into_sampled).collect())
+        }
+    }
+}
+
+/// Internal extension of [`SampledRow`] carrying the raw (pre-`f`)
+/// aggregated row for probability computation.
+struct FetchedRow {
+    index: usize,
+    raw: Vec<f64>,
+    values: Vec<f64>,
+    q_hat: f64,
+}
+
+impl FetchedRow {
+    fn into_sampled(self) -> SampledRow {
+        SampledRow {
+            index: self.index,
+            values: self.values,
+            q_hat: self.q_hat,
+        }
+    }
+}
+
+/// Algorithm 1 line 7: the coordinator requests each distinct sampled row;
+/// every server ships its local part (d words per row), and the coordinator
+/// assembles the aggregated raw rows and applies `f`.
+fn fetch_rows(
+    model: &mut PartitionModel,
+    pairs: &[(usize, f64)],
+) -> Result<Vec<FetchedRow>> {
+    let d = model.shape().1;
+    let mut distinct: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let request: Vec<u64> = distinct.iter().map(|&i| i as u64).collect();
+    let replies = model.cluster_mut().query_all(
+        &request,
+        "alg1.fetch_rows",
+        |_t, local, req: &Vec<u64>| {
+            let mut out = Vec::with_capacity(req.len() * d);
+            for &i in req {
+                out.extend_from_slice(local.row(i as usize));
+            }
+            out
+        },
+    );
+    // Sum per-server row fragments.
+    let mut raw_rows = vec![vec![0.0f64; d]; distinct.len()];
+    for reply in replies {
+        for (ri, chunk) in reply.chunks_exact(d).enumerate() {
+            for (acc, &v) in raw_rows[ri].iter_mut().zip(chunk) {
+                *acc += v;
+            }
+        }
+    }
+    let pos_of = |i: usize| distinct.binary_search(&i).expect("sampled row present");
+    Ok(pairs
+        .iter()
+        .map(|&(i, q)| {
+            let raw = raw_rows[pos_of(i)].clone();
+            let values = model.apply_f_to_raw_row(&raw);
+            FetchedRow {
+                index: i,
+                raw,
+                values,
+                q_hat: q,
+            }
+        })
+        .collect())
+}
+
+/// A fetched global row: the aggregated raw entries `Σₜ Aᵗᵢ` and the
+/// post-`f` values. Public for experiment harnesses that drive the FKV step
+/// themselves (e.g. amortizing one sampler preparation across many `k`).
+#[derive(Debug, Clone)]
+pub struct GlobalRow {
+    /// Row index in the global matrix.
+    pub index: usize,
+    /// Aggregated raw entries (pre-`f`).
+    pub raw: Vec<f64>,
+    /// The global row `f(raw)`.
+    pub values: Vec<f64>,
+}
+
+impl GlobalRow {
+    /// Attaches a reported probability, producing the FKV input row.
+    pub fn into_sampled(self, q_hat: f64) -> SampledRow {
+        SampledRow {
+            index: self.index,
+            values: self.values,
+            q_hat,
+        }
+    }
+}
+
+/// Public accounted row fetch (Algorithm 1 line 7): `indices` may repeat;
+/// each distinct row is shipped once (d words per server) and reused.
+pub fn fetch_global_rows(
+    model: &mut PartitionModel,
+    indices: &[usize],
+) -> Result<Vec<GlobalRow>> {
+    let pairs: Vec<(usize, f64)> = indices.iter().map(|&i| (i, f64::NAN)).collect();
+    Ok(fetch_rows(model, &pairs)?
+        .into_iter()
+        .map(|f| GlobalRow {
+            index: f.index,
+            raw: f.raw,
+            values: f.values,
+        })
+        .collect())
+}
+
+/// Baseline: the communication (in words) of simply shipping every local
+/// matrix to the coordinator.
+pub fn ship_everything_words(model: &PartitionModel) -> u64 {
+    let (n, d) = model.shape();
+    ((model.num_servers() - 1) * n * d) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::EntryFunction;
+    use crate::metrics::evaluate_projection;
+    use dlra_linalg::lowrank::is_projection_of_rank_at_most;
+
+    fn low_rank_model(
+        s: usize,
+        n: usize,
+        d: usize,
+        k: usize,
+        noise: f64,
+        seed: u64,
+    ) -> PartitionModel {
+        let mut rng = Rng::new(seed);
+        let u = Matrix::gaussian(n, k, &mut rng);
+        let v = Matrix::gaussian(k, d, &mut rng);
+        let mut a = u.matmul(&v).unwrap();
+        a.add_assign(&Matrix::gaussian(n, d, &mut rng).scaled(noise))
+            .unwrap();
+        // Additive shares: random parts summing to A.
+        let mut parts: Vec<Matrix> = (0..s - 1)
+            .map(|_| Matrix::gaussian(n, d, &mut rng))
+            .collect();
+        let mut last = a;
+        for p in &parts {
+            last = last.sub(p).unwrap();
+        }
+        parts.push(last);
+        PartitionModel::new(parts, EntryFunction::Identity).unwrap()
+    }
+
+    #[test]
+    fn validates_config() {
+        let mut m = low_rank_model(2, 20, 8, 2, 0.0, 1);
+        let bad_k = Algorithm1Config {
+            k: 0,
+            ..Default::default()
+        };
+        assert!(run_algorithm1(&mut m, &bad_k).is_err());
+        let big_k = Algorithm1Config {
+            k: 9,
+            ..Default::default()
+        };
+        assert!(run_algorithm1(&mut m, &big_k).is_err());
+        let bad_r = Algorithm1Config {
+            k: 2,
+            r: 0,
+            ..Default::default()
+        };
+        assert!(run_algorithm1(&mut m, &bad_r).is_err());
+    }
+
+    #[test]
+    fn exact_oracle_end_to_end() {
+        let mut m = low_rank_model(3, 150, 12, 3, 0.05, 2);
+        let cfg = Algorithm1Config {
+            k: 3,
+            r: 80,
+            sampler: SamplerKind::ExactOracle,
+            ..Default::default()
+        };
+        let out = run_algorithm1(&mut m, &cfg).unwrap();
+        assert!(is_projection_of_rank_at_most(&out.projection, 3, 1e-7));
+        let rep = evaluate_projection(&m.global_matrix(), &out.projection, 3).unwrap();
+        assert!(rep.additive_error < 0.15, "additive {}", rep.additive_error);
+        assert!(out.comm.total_words() > 0);
+        assert_eq!(out.rows.len(), 80);
+    }
+
+    #[test]
+    fn z_sampler_end_to_end_identity_f() {
+        let mut m = low_rank_model(3, 128, 10, 2, 0.05, 3);
+        let cfg = Algorithm1Config {
+            k: 2,
+            r: 60,
+            sampler: SamplerKind::Z(ZSamplerParams::default()),
+            ..Default::default()
+        };
+        let out = run_algorithm1(&mut m, &cfg).unwrap();
+        let rep = evaluate_projection(&m.global_matrix(), &out.projection, 2).unwrap();
+        assert!(rep.additive_error < 0.35, "additive {}", rep.additive_error);
+    }
+
+    #[test]
+    fn boosting_never_hurts_captured_energy() {
+        let mut m1 = low_rank_model(2, 100, 8, 2, 0.2, 4);
+        let mut m3 = low_rank_model(2, 100, 8, 2, 0.2, 4);
+        let base = Algorithm1Config {
+            k: 2,
+            r: 30,
+            sampler: SamplerKind::ExactOracle,
+            seed: 9,
+            ..Default::default()
+        };
+        let boosted = Algorithm1Config {
+            boost: 4,
+            ..base.clone()
+        };
+        let o1 = run_algorithm1(&mut m1, &base).unwrap();
+        let o3 = run_algorithm1(&mut m3, &boosted).unwrap();
+        assert!(o3.captured >= o1.captured - 1e-9);
+    }
+
+    #[test]
+    fn communication_scales_with_r_and_d() {
+        // Theorem 1: row-collection cost is O(s·r·d) words.
+        let mut m = low_rank_model(4, 200, 16, 2, 0.1, 5);
+        let s = m.num_servers() as u64;
+        let cfg = Algorithm1Config {
+            k: 2,
+            r: 40,
+            sampler: SamplerKind::Uniform,
+            ..Default::default()
+        };
+        let out = run_algorithm1(&mut m, &cfg).unwrap();
+        let distinct = {
+            let mut v = out.rows.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len() as u64
+        };
+        // Upstream ≈ (s−1)·distinct·d words (+ frames).
+        let expect = (s - 1) * distinct * 16;
+        assert!(
+            out.comm.upstream_words >= expect && out.comm.upstream_words <= expect + 4 * s * 40,
+            "upstream {} vs expected ≈ {expect}",
+            out.comm.upstream_words
+        );
+    }
+
+    #[test]
+    fn zero_matrix_reports_exhausted() {
+        let parts = vec![Matrix::zeros(10, 4); 2];
+        let mut m = PartitionModel::new(parts, EntryFunction::Identity).unwrap();
+        let cfg = Algorithm1Config {
+            k: 1,
+            r: 5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_algorithm1(&mut m, &cfg),
+            Err(CoreError::SamplerExhausted)
+        ));
+    }
+
+    #[test]
+    fn ship_everything_baseline() {
+        let m = low_rank_model(4, 50, 8, 2, 0.0, 6);
+        assert_eq!(ship_everything_words(&m), 3 * 50 * 8);
+    }
+}

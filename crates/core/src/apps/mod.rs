@@ -1,0 +1,10 @@
+//! The paper's applications (§VI): Gaussian random Fourier features,
+//! softmax / generalized-mean pooling, and M-estimator robust PCA.
+
+pub mod pooling;
+pub mod rff;
+pub mod robust;
+
+pub use pooling::run_gm_pooling_pca;
+pub use rff::{run_rff_pca, RffMap};
+pub use robust::run_robust_pca;

@@ -1,0 +1,122 @@
+//! Softmax / generalized-mean (P-norm) pooling PCA (§VI-B).
+//!
+//! Each server holds raw per-image patch-code counts `Mᵗ ∈ ℝⁿˣᵈ` (its share
+//! of the pooling); the global matrix is `A[i,j] = GM(|M¹[i,j]|,…,|Mˢ[i,j]|)`
+//! with parameter `p` — average pooling at `p = 1`, square-root pooling at
+//! `p = 2`, and an approximation of max pooling as `p` grows (the paper uses
+//! `P ∈ {1, 2, 5, 20}`). Server `t` locally stores `|Mᵗ|ᵖ/s`, `f(x) =
+//! x^{1/p}`, and sampling uses `z(x) = x^{2/p}` (ℓ_{2/p} sampling), whose
+//! communication is independent of `p` — so `p = Θ(log nd)` softmax can
+//! stand in for the provably-expensive exact max (§VII).
+
+use crate::algorithm1::{run_algorithm1, Algorithm1Config, Algorithm1Output, SamplerKind};
+use crate::model::PartitionModel;
+use crate::Result;
+use dlra_linalg::Matrix;
+use dlra_sampler::ZSamplerParams;
+
+/// Runs distributed GM-pooling PCA end to end.
+///
+/// * `raw` — per-server raw pooled counts `Mᵗ` (same `n × d` shape each);
+/// * `p` — the GM exponent (`1` = average pooling, large ≈ max pooling);
+/// * `k`, `r` — target rank and sample count;
+/// * `params` — Z-sampler tuning (communication budget knob);
+/// * `seed` — protocol randomness.
+///
+/// Returns the Algorithm 1 output together with the constructed model (for
+/// evaluation against `model.global_matrix()`).
+pub fn run_gm_pooling_pca(
+    raw: Vec<Matrix>,
+    p: f64,
+    k: usize,
+    r: usize,
+    params: ZSamplerParams,
+    seed: u64,
+) -> Result<(Algorithm1Output, PartitionModel)> {
+    let mut model = PartitionModel::gm_pooling(raw, p)?;
+    let cfg = Algorithm1Config {
+        k,
+        r,
+        boost: 1,
+        sampler: SamplerKind::Z(params),
+        seed,
+    };
+    let out = run_algorithm1(&mut model, &cfg)?;
+    Ok((out, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate_projection;
+    use dlra_util::Rng;
+
+    /// Synthetic pooled 1-of-K codes: Zipf-popular codewords, per-image
+    /// patches distributed across servers.
+    fn pooled_codes(
+        s: usize,
+        n: usize,
+        d: usize,
+        patches_per_image: usize,
+        seed: u64,
+    ) -> Vec<Matrix> {
+        let mut rng = Rng::new(seed);
+        // Zipfian codeword weights with per-image topic tilt.
+        let base: Vec<f64> = (0..d).map(|j| 1.0 / (1.0 + j as f64)).collect();
+        let mut parts = vec![Matrix::zeros(n, d); s];
+        for i in 0..n {
+            let topic = rng.index(4);
+            let mut w = base.clone();
+            for (j, wj) in w.iter_mut().enumerate() {
+                if j % 4 == topic {
+                    *wj *= 6.0;
+                }
+            }
+            for _ in 0..patches_per_image {
+                let j = rng.weighted_index(&w);
+                let t = rng.index(s);
+                parts[t][(i, j)] += 1.0;
+            }
+        }
+        parts
+    }
+
+    #[test]
+    fn average_pooling_end_to_end() {
+        let raw = pooled_codes(3, 120, 24, 40, 1);
+        let (out, model) =
+            run_gm_pooling_pca(raw, 1.0, 3, 80, ZSamplerParams::default(), 2).unwrap();
+        let rep = evaluate_projection(&model.global_matrix(), &out.projection, 3).unwrap();
+        assert!(rep.additive_error < 0.3, "additive {}", rep.additive_error);
+        assert!(out.comm.total_words() > 0);
+    }
+
+    #[test]
+    fn high_p_approximates_max_pooling() {
+        let raw = pooled_codes(3, 60, 16, 30, 3);
+        let (_, model) =
+            run_gm_pooling_pca(raw.clone(), 20.0, 2, 40, ZSamplerParams::default(), 4)
+                .unwrap();
+        let gm = model.global_matrix();
+        // GM with p=20 must be within [c·max, max] entrywise, c' ∈ (0,1).
+        for i in 0..gm.rows() {
+            for j in 0..gm.cols() {
+                let mx = raw.iter().map(|m| m[(i, j)].abs()).fold(0.0, f64::max);
+                let g = gm[(i, j)];
+                assert!(g <= mx + 1e-9, "GM {g} > max {mx}");
+                if mx > 0.0 {
+                    assert!(g >= 0.8 * mx, "GM {g} << max {mx} at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_two_square_root_pooling() {
+        let raw = pooled_codes(2, 80, 16, 25, 5);
+        let (out, model) =
+            run_gm_pooling_pca(raw, 2.0, 2, 60, ZSamplerParams::default(), 6).unwrap();
+        let rep = evaluate_projection(&model.global_matrix(), &out.projection, 2).unwrap();
+        assert!(rep.additive_error < 0.35, "additive {}", rep.additive_error);
+    }
+}

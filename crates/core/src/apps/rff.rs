@@ -1,0 +1,257 @@
+//! Gaussian random Fourier features (§VI-A).
+//!
+//! Raw data `M = Σₜ Mᵗ ∈ ℝⁿˣᵐ` is partitioned arbitrarily; the matrix to
+//! approximate is the RFF expansion `A[i,j] = √2·cos((Mᵢ·Z)ⱼ + bⱼ)` with
+//! `Z ∈ ℝᵐˣᵈ` i.i.d. `N(0,1)` (scaled by the kernel bandwidth) and `b`
+//! uniform on `[0, 2π]`. Because `E[A²ᵢⱼ] = 1`, every row satisfies
+//! `‖Aᵢ‖² ≈ d`, so **uniform** row sampling meets the FKV condition and the
+//! only communication is collecting `Θ(k²/ε²)` raw rows of `M` (the
+//! expansion happens at the coordinator and at evaluation time).
+
+use crate::fkv::{build_b_matrix, fkv_projection, SampledRow};
+use crate::model::PartitionModel;
+use crate::{CoreError, Result};
+use dlra_comm::LedgerSnapshot;
+use dlra_linalg::Matrix;
+use dlra_sampler::UniformSampler;
+use dlra_util::Rng;
+
+/// A sampled random Fourier feature map `x ↦ √2·cos(xᵀZ + b)`.
+#[derive(Debug, Clone)]
+pub struct RffMap {
+    z: Matrix,
+    b: Vec<f64>,
+}
+
+impl RffMap {
+    /// Draws a map from `ℝᵐ` to `ℝᵈ` approximating the Gaussian RBF kernel
+    /// `exp(−‖x−y‖²/(2σ²))`; `sigma` is the bandwidth (`1.0` reproduces the
+    /// paper's `e^{−‖x−y‖²/2}`).
+    pub fn new(m: usize, d: usize, sigma: f64, seed: u64) -> Self {
+        assert!(sigma > 0.0, "bandwidth must be positive");
+        let mut rng = Rng::new(seed);
+        let z = Matrix::from_fn(m, d, |_, _| rng.gaussian() / sigma);
+        let b = (0..d)
+            .map(|_| rng.range_f64(0.0, 2.0 * std::f64::consts::PI))
+            .collect();
+        RffMap { z, b }
+    }
+
+    /// Input dimension `m`.
+    pub fn input_dim(&self) -> usize {
+        self.z.rows()
+    }
+
+    /// Feature dimension `d`.
+    pub fn feature_dim(&self) -> usize {
+        self.z.cols()
+    }
+
+    /// Expands one raw row.
+    pub fn expand_row(&self, x: &[f64]) -> Vec<f64> {
+        let proj = self.z.transpose().matvec(x).expect("input dim matches");
+        proj.iter()
+            .zip(&self.b)
+            .map(|(&p, &b)| std::f64::consts::SQRT_2 * (p + b).cos())
+            .collect()
+    }
+
+    /// Expands a whole matrix row-by-row (evaluation helper).
+    pub fn expand_matrix(&self, m: &Matrix) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..m.rows()).map(|i| self.expand_row(m.row(i))).collect();
+        Matrix::from_rows(&rows).expect("uniform expansion width")
+    }
+
+    /// The approximate kernel value `φ(x)ᵀφ(y)/d` (for tests; converges to
+    /// the Gaussian RBF kernel as `d → ∞`).
+    pub fn kernel_estimate(&self, x: &[f64], y: &[f64]) -> f64 {
+        let fx = self.expand_row(x);
+        let fy = self.expand_row(y);
+        fx.iter().zip(&fy).map(|(a, b)| a * b).sum::<f64>() / self.feature_dim() as f64
+    }
+}
+
+/// Output of the distributed RFF-PCA protocol.
+#[derive(Debug, Clone)]
+pub struct RffPcaOutput {
+    /// Rank-≤k projection in feature space (`d × d`).
+    pub projection: Matrix,
+    /// Communication consumed (raw-row collection).
+    pub comm: LedgerSnapshot,
+    /// Sampled row indices (with multiplicity).
+    pub rows: Vec<usize>,
+}
+
+/// Distributed PCA of the RFF expansion: uniformly sample `r` rows of the
+/// raw data, collect and aggregate them at the coordinator, expand, and run
+/// the FKV step with `Q̂ᵢ = 1/n`.
+///
+/// `raw_model` must be an `Identity` partition model over the raw data `M`.
+pub fn run_rff_pca(
+    raw_model: &mut PartitionModel,
+    map: &RffMap,
+    k: usize,
+    r: usize,
+    seed: u64,
+) -> Result<RffPcaOutput> {
+    let (n, m) = raw_model.shape();
+    if map.input_dim() != m {
+        return Err(CoreError::InvalidConfig(format!(
+            "RFF map expects {} input dims, raw data has {m}",
+            map.input_dim()
+        )));
+    }
+    if k == 0 || k > map.feature_dim() {
+        return Err(CoreError::InvalidConfig(format!(
+            "k = {k} out of range for feature dim {}",
+            map.feature_dim()
+        )));
+    }
+    if r == 0 {
+        return Err(CoreError::InvalidConfig("r must be >= 1".into()));
+    }
+    let before = raw_model.cluster().comm();
+    let mut rng = Rng::new(seed);
+    let sampler = UniformSampler { n: n as u64 };
+    let draws = sampler.draw_many(r, &mut rng);
+    let mut indices: Vec<usize> = draws.iter().map(|&(i, _)| i as usize).collect();
+    let mut distinct = indices.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+
+    // Collect raw rows (m words per server per distinct row).
+    let request: Vec<u64> = distinct.iter().map(|&i| i as u64).collect();
+    let replies = raw_model.cluster_mut().query_all(
+        &request,
+        "rff.fetch_rows",
+        |_t, local, req: &Vec<u64>| {
+            let mut out = Vec::with_capacity(req.len() * m);
+            for &i in req {
+                out.extend_from_slice(local.row(i as usize));
+            }
+            out
+        },
+    );
+    let mut raw_rows = vec![vec![0.0f64; m]; distinct.len()];
+    for reply in replies {
+        for (ri, chunk) in reply.chunks_exact(m).enumerate() {
+            for (acc, &v) in raw_rows[ri].iter_mut().zip(chunk) {
+                *acc += v;
+            }
+        }
+    }
+
+    // Expand at the coordinator and run the FKV step with uniform Q.
+    let q = 1.0 / n as f64;
+    let sampled: Vec<SampledRow> = indices
+        .iter()
+        .map(|&i| {
+            let pos = distinct.binary_search(&i).expect("present");
+            SampledRow {
+                index: i,
+                values: map.expand_row(&raw_rows[pos]),
+                q_hat: q,
+            }
+        })
+        .collect();
+    let b = build_b_matrix(&sampled)?;
+    let (projection, _) = fkv_projection(&b, k)?;
+    indices.shrink_to_fit();
+    Ok(RffPcaOutput {
+        projection,
+        comm: raw_model.cluster().comm().since(&before),
+        rows: indices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::EntryFunction;
+    use crate::metrics::evaluate_projection;
+
+    fn clustered_raw(n: usize, m: usize, seed: u64) -> Matrix {
+        // A few Gaussian clusters so the kernel matrix has structure.
+        let mut rng = Rng::new(seed);
+        let centers: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..m).map(|_| rng.gaussian() * 2.0).collect())
+            .collect();
+        Matrix::from_fn(n, m, |i, j| centers[i % 4][j] + 0.3 * rng.gaussian())
+    }
+
+    fn split_additively(a: &Matrix, s: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = Rng::new(seed);
+        let (n, m) = a.shape();
+        let mut parts: Vec<Matrix> = (0..s - 1)
+            .map(|_| Matrix::gaussian(n, m, &mut rng).scaled(0.5))
+            .collect();
+        let mut last = a.clone();
+        for p in &parts {
+            last = last.sub(p).unwrap();
+        }
+        parts.push(last);
+        parts
+    }
+
+    #[test]
+    fn kernel_estimate_matches_rbf() {
+        let map = RffMap::new(6, 4096, 1.0, 1);
+        let x = vec![0.5, -0.2, 0.1, 0.0, 0.3, -0.4];
+        let y = vec![0.1, 0.1, -0.1, 0.2, 0.0, -0.1];
+        let dist2: f64 = x.iter().zip(&y).map(|(a, b): (&f64, &f64)| (a - b).powi(2)).sum();
+        let want = (-dist2 / 2.0).exp();
+        let got = map.kernel_estimate(&x, &y);
+        assert!((got - want).abs() < 0.05, "got {got} want {want}");
+    }
+
+    #[test]
+    fn feature_rows_have_near_uniform_norms() {
+        let raw = clustered_raw(50, 6, 2);
+        let map = RffMap::new(6, 256, 1.0, 3);
+        let feats = map.expand_matrix(&raw);
+        for i in 0..feats.rows() {
+            let norm = feats.row_norm_sq(i);
+            // E = d = 256; allow ±40%.
+            assert!(
+                (150.0..360.0).contains(&norm),
+                "row {i} norm {norm}"
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_rff_pca() {
+        let n = 300;
+        let raw = clustered_raw(n, 6, 4);
+        let parts = split_additively(&raw, 4, 5);
+        let mut model = PartitionModel::new(parts, EntryFunction::Identity).unwrap();
+        let map = RffMap::new(6, 64, 1.0, 6);
+        let k = 6;
+        let out = run_rff_pca(&mut model, &map, k, 120, 7).unwrap();
+
+        let global_feats = map.expand_matrix(&model.global_matrix());
+        let rep = evaluate_projection(&global_feats, &out.projection, k).unwrap();
+        assert!(rep.additive_error < 0.2, "additive {}", rep.additive_error);
+        // Communication: ≤ (s−1)·(distinct ≤ r)·(m + 1) words + frames.
+        assert!(out.comm.total_words() < 3 * 120 * (6 + 2) * 2);
+    }
+
+    #[test]
+    fn input_validation() {
+        let raw = clustered_raw(20, 6, 8);
+        let mut model =
+            PartitionModel::new(vec![raw], EntryFunction::Identity).unwrap();
+        let map = RffMap::new(5, 16, 1.0, 9); // wrong input dim
+        assert!(run_rff_pca(&mut model, &map, 2, 10, 1).is_err());
+        let map = RffMap::new(6, 16, 1.0, 9);
+        assert!(run_rff_pca(&mut model, &map, 0, 10, 1).is_err());
+        assert!(run_rff_pca(&mut model, &map, 17, 10, 1).is_err());
+        assert!(run_rff_pca(&mut model, &map, 2, 0, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        RffMap::new(3, 4, 0.0, 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! The Frieze–Kannan–Vempala sampling-based low-rank step (§III).
+//!
+//! Given `r` sampled rows of the global matrix with (approximately) reported
+//! probabilities `Q̂`, build `B ∈ ℝʳˣᵈ` with `Bᵢ′ = Aᵢ / √(r·Q̂ᵢ)` and take
+//! the projection onto `B`'s top-k right singular space. Lemmas 1–3 of the
+//! paper bound `‖AᵀA − BᵀB‖_F` and turn that into the additive-error
+//! guarantee; the unit tests here exercise those lemmas numerically.
+
+use crate::{CoreError, Result};
+use dlra_linalg::{svd, Matrix};
+
+/// One sampled global row with its reported probability.
+#[derive(Debug, Clone)]
+pub struct SampledRow {
+    /// Row index in the global matrix.
+    pub index: usize,
+    /// The global row `Aᵢ = f(Σₜ Aᵗᵢ)` (post-`f`).
+    pub values: Vec<f64>,
+    /// Reported probability `Q̂ᵢ ∈ (1±γ)·Qᵢ`.
+    pub q_hat: f64,
+}
+
+/// Builds the rescaled sample matrix `B` (Algorithm 1 line 7).
+pub fn build_b_matrix(rows: &[SampledRow]) -> Result<Matrix> {
+    if rows.is_empty() {
+        return Err(CoreError::SamplerExhausted);
+    }
+    let d = rows[0].values.len();
+    let r = rows.len();
+    let mut b = Matrix::zeros(r, d);
+    for (i, row) in rows.iter().enumerate() {
+        if row.values.len() != d {
+            return Err(CoreError::InvalidModel(format!(
+                "sampled row {i} has {} entries, expected {d}",
+                row.values.len()
+            )));
+        }
+        if row.q_hat <= 0.0 || !row.q_hat.is_finite() || row.q_hat.is_nan() {
+            return Err(CoreError::InvalidModel(format!(
+                "sampled row {i} has invalid probability {}",
+                row.q_hat
+            )));
+        }
+        let scale = 1.0 / (r as f64 * row.q_hat).sqrt();
+        for (j, &v) in row.values.iter().enumerate() {
+            b[(i, j)] = v * scale;
+        }
+    }
+    Ok(b)
+}
+
+/// Top-k right singular projection of `B` (Algorithm 1 line 8):
+/// returns `(P = VVᵀ, ‖BP‖²_F)`; the captured energy drives the boosting
+/// comparison of §IV.
+pub fn fkv_projection(b: &Matrix, k: usize) -> Result<(Matrix, f64)> {
+    if k == 0 {
+        return Err(CoreError::InvalidConfig("k must be positive".into()));
+    }
+    let dec = svd(b)?;
+    let v = dec.top_right_vectors(k);
+    let p = v.matmul(&v.transpose())?;
+    let captured: f64 = dec.s.iter().take(k).map(|x| x * x).sum();
+    Ok((p, captured))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_linalg::{best_rank_k, residual_sq};
+    use dlra_util::Rng;
+
+    fn exact_row_sampler(a: &Matrix, r: usize, rng: &mut Rng) -> Vec<SampledRow> {
+        let weights = a.row_norms_sq();
+        let total: f64 = weights.iter().sum();
+        (0..r)
+            .map(|_| {
+                let i = rng.weighted_index(&weights);
+                SampledRow {
+                    index: i,
+                    values: a.row(i).to_vec(),
+                    q_hat: weights[i] / total,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn b_matrix_scaling() {
+        let rows = vec![
+            SampledRow {
+                index: 0,
+                values: vec![2.0, 0.0],
+                q_hat: 0.5,
+            },
+            SampledRow {
+                index: 1,
+                values: vec![0.0, 3.0],
+                q_hat: 0.5,
+            },
+        ];
+        let b = build_b_matrix(&rows).unwrap();
+        // scale = 1/sqrt(2 * 0.5) = 1.
+        assert_eq!(b[(0, 0)], 2.0);
+        assert_eq!(b[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn b_matrix_rejects_bad_input() {
+        assert!(matches!(
+            build_b_matrix(&[]),
+            Err(CoreError::SamplerExhausted)
+        ));
+        let bad_q = vec![SampledRow {
+            index: 0,
+            values: vec![1.0],
+            q_hat: 0.0,
+        }];
+        assert!(build_b_matrix(&bad_q).is_err());
+        let ragged = vec![
+            SampledRow {
+                index: 0,
+                values: vec![1.0, 2.0],
+                q_hat: 0.5,
+            },
+            SampledRow {
+                index: 1,
+                values: vec![1.0],
+                q_hat: 0.5,
+            },
+        ];
+        assert!(build_b_matrix(&ragged).is_err());
+    }
+
+    #[test]
+    fn btb_is_unbiased_estimate_of_ata() {
+        // E[BᵀB] = AᵀA when probabilities are exact (Lemma 3's core fact).
+        let mut rng = Rng::new(5);
+        let a = Matrix::gaussian(60, 6, &mut rng);
+        let ata = a.gram();
+        let mut acc = Matrix::zeros(6, 6);
+        let trials = 300;
+        for _ in 0..trials {
+            let rows = exact_row_sampler(&a, 20, &mut rng);
+            let b = build_b_matrix(&rows).unwrap();
+            acc.add_assign(&b.gram()).unwrap();
+        }
+        acc.scale(1.0 / trials as f64);
+        let diff = acc.sub(&ata).unwrap().frobenius_norm();
+        assert!(
+            diff < 0.1 * ata.frobenius_norm(),
+            "bias {diff} vs {}",
+            ata.frobenius_norm()
+        );
+    }
+
+    #[test]
+    fn fkv_achieves_additive_error_on_low_rank_plus_noise() {
+        let mut rng = Rng::new(7);
+        let k = 3;
+        // Planted rank-3 + small noise, 200 × 16.
+        let u = Matrix::gaussian(200, k, &mut rng);
+        let v = Matrix::gaussian(k, 16, &mut rng);
+        let mut a = u.matmul(&v).unwrap();
+        a.add_assign(&Matrix::gaussian(200, 16, &mut rng).scaled(0.05))
+            .unwrap();
+
+        let best = best_rank_k(&a, k).unwrap();
+        let r = 80; // ≈ k²/ε² with ε ≈ 1/3
+        let rows = exact_row_sampler(&a, r, &mut rng);
+        let b = build_b_matrix(&rows).unwrap();
+        let (p, _) = fkv_projection(&b, k).unwrap();
+        let res = residual_sq(&a, &p).unwrap();
+        let additive = (res - best.error_sq) / best.total_sq;
+        assert!(
+            additive < 0.15,
+            "additive error {additive} too large (res {res}, best {})",
+            best.error_sq
+        );
+    }
+
+    #[test]
+    fn fkv_tolerates_approximate_probabilities() {
+        // Lemma 3: (1±γ) mis-reported probabilities only cost O(γ).
+        let mut rng = Rng::new(9);
+        let k = 2;
+        let u = Matrix::gaussian(150, k, &mut rng);
+        let v = Matrix::gaussian(k, 12, &mut rng);
+        let a = u.matmul(&v).unwrap();
+        let best = best_rank_k(&a, k).unwrap();
+
+        let mut rows = exact_row_sampler(&a, 60, &mut rng);
+        for row in rows.iter_mut() {
+            let gamma = rng.range_f64(-0.15, 0.15);
+            row.q_hat *= 1.0 + gamma;
+        }
+        let b = build_b_matrix(&rows).unwrap();
+        let (p, _) = fkv_projection(&b, k).unwrap();
+        let res = residual_sq(&a, &p).unwrap();
+        let additive = (res - best.error_sq) / best.total_sq;
+        assert!(additive < 0.2, "additive error {additive}");
+    }
+
+    #[test]
+    fn captured_energy_increases_with_k() {
+        let mut rng = Rng::new(11);
+        let b = Matrix::gaussian(30, 8, &mut rng);
+        let mut prev = 0.0;
+        for k in 1..=8 {
+            let (_, cap) = fkv_projection(&b, k).unwrap();
+            assert!(cap >= prev - 1e-9);
+            prev = cap;
+        }
+        assert!((prev - b.frobenius_norm_sq()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fkv_rejects_k_zero() {
+        let b = Matrix::identity(3);
+        assert!(fkv_projection(&b, 0).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! # dlra-core — Distributed low-rank approximation of implicit functions of a matrix
+//!
+//! Reproduction of Woodruff & Zhong, *Distributed Low Rank Approximation of
+//! Implicit Functions of a Matrix*, ICDE 2016 (arXiv:1601.07721).
+//!
+//! `s` servers each hold a local matrix `Aᵗ ∈ ℝⁿˣᵈ`; the global matrix is
+//! implicit: `A[i,j] = f(Σₜ Aᵗ[i,j])` for an entrywise `f` known to all
+//! servers (the **generalized partition model**, [`model`]). This crate
+//! implements the paper's Algorithm 1 ([`algorithm1`]): sample
+//! `r = Θ(k²/ε²)` rows with probability approximately proportional to their
+//! squared norms (via the generalized distributed sampler of `dlra-sampler`,
+//! a uniform sampler, or an idealized exact oracle), rescale them into a
+//! small matrix `B`, and output the projection `P = VVᵀ` onto `B`'s top-k
+//! right singular space — guaranteeing the additive-error bound
+//! `‖A − AP‖²_F ≤ ‖A − [A]ₖ‖²_F + O(ε)·‖A‖²_F` (Theorem 1).
+//!
+//! The applications of §VI are in [`apps`]:
+//! Gaussian random Fourier features (uniform sampling), softmax /
+//! generalized-mean pooling (ℓ_{2/p} sampling of locally powered entries),
+//! and robust PCA via M-estimator ψ-functions.
+//!
+//! ```
+//! use dlra_core::prelude::*;
+//! use dlra_linalg::Matrix;
+//! use dlra_util::Rng;
+//!
+//! // Four servers, additive shares of a low-rank-ish 200×32 matrix.
+//! let mut rng = Rng::new(7);
+//! let parts: Vec<Matrix> = (0..4).map(|_| Matrix::gaussian(200, 32, &mut rng)).collect();
+//! let mut model = PartitionModel::new(parts, EntryFunction::Identity).unwrap();
+//!
+//! let cfg = Algorithm1Config { k: 5, r: 60, ..Algorithm1Config::default() };
+//! let out = run_algorithm1(&mut model, &cfg).unwrap();
+//! let report = evaluate_projection(&model.global_matrix(), &out.projection, 5).unwrap();
+//! assert!(report.additive_error < 0.5);
+//! ```
+
+pub mod adaptive;
+pub mod algorithm1;
+pub mod apps;
+pub mod baselines;
+pub mod fkv;
+pub mod functions;
+pub mod metrics;
+pub mod model;
+pub mod theory;
+
+pub use algorithm1::{
+    fetch_global_rows, run_algorithm1, Algorithm1Config, Algorithm1Output, GlobalRow,
+    SamplerKind,
+};
+pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveOutput};
+pub use baselines::{row_partition_pca, RowPartitionOutput};
+pub use fkv::{build_b_matrix, fkv_projection, SampledRow};
+pub use functions::EntryFunction;
+pub use metrics::{evaluate_projection, EvalReport};
+pub use model::{MatrixServer, PartitionModel};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::algorithm1::{
+        run_algorithm1, Algorithm1Config, Algorithm1Output, SamplerKind,
+    };
+    pub use crate::functions::EntryFunction;
+    pub use crate::metrics::{evaluate_projection, EvalReport};
+    pub use crate::model::{MatrixServer, PartitionModel};
+}
+
+/// Errors surfaced by the protocol layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Underlying linear-algebra failure.
+    Linalg(dlra_linalg::LinalgError),
+    /// The model is malformed (mismatched shapes, no servers, …).
+    InvalidModel(String),
+    /// Bad protocol configuration (k = 0, r = 0, …).
+    InvalidConfig(String),
+    /// The sampler could not produce any rows (e.g. all-zero data).
+    SamplerExhausted,
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            CoreError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+            CoreError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            CoreError::SamplerExhausted => write!(f, "sampler produced no rows"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<dlra_linalg::LinalgError> for CoreError {
+    fn from(e: dlra_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+/// Workspace-wide `Result` alias for the protocol layer.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,122 @@
+//! The error quantities the paper's evaluation reports (§VIII):
+//!
+//! * actual additive error `|‖A−AP‖²_F − ‖A−[A]ₖ‖²_F| / ‖A‖²_F`
+//! * actual relative error `‖A−AP‖²_F / ‖A−[A]ₖ‖²_F`
+//! * theoretical additive-error prediction `k²/r`
+
+use crate::Result;
+use dlra_linalg::{best_rank_k_error_sq, residual_sq, Matrix};
+
+/// Error report for one projection against the true global matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalReport {
+    /// `‖A − AP‖²_F`.
+    pub residual_sq: f64,
+    /// `‖A − [A]ₖ‖²_F` (Eckart–Young optimum).
+    pub best_error_sq: f64,
+    /// `‖A‖²_F`.
+    pub total_sq: f64,
+    /// `(‖A−AP‖²_F − ‖A−[A]ₖ‖²_F) / ‖A‖²_F` — Figure 1's y-axis.
+    pub additive_error: f64,
+    /// `‖A−AP‖²_F / ‖A−[A]ₖ‖²_F` — Figure 2's y-axis
+    /// (`f64::INFINITY` when the best error is zero and the residual isn't).
+    pub relative_error: f64,
+}
+
+/// Evaluates a projection `P` against the global matrix `A` for rank `k`.
+///
+/// This requires a full SVD of `A` and is evaluation-only: the paper's
+/// protocols never see `A` in one place.
+pub fn evaluate_projection(a: &Matrix, p: &Matrix, k: usize) -> Result<EvalReport> {
+    let residual_sq = residual_sq(a, p)?;
+    let best_error_sq = best_rank_k_error_sq(a, k)?;
+    let total_sq = a.frobenius_norm_sq();
+    let additive_error = if total_sq > 0.0 {
+        (residual_sq - best_error_sq).abs() / total_sq
+    } else {
+        0.0
+    };
+    let relative_error = if best_error_sq > 1e-12 * total_sq.max(1e-300) {
+        residual_sq / best_error_sq
+    } else if residual_sq <= 1e-12 * total_sq.max(1e-300) {
+        1.0
+    } else {
+        f64::INFINITY
+    };
+    Ok(EvalReport {
+        residual_sq,
+        best_error_sq,
+        total_sq,
+        additive_error,
+        relative_error,
+    })
+}
+
+/// The paper's theoretical additive-error prediction when sampling `r` rows
+/// for rank `k`: "If we sample r rows, we predict the additive error will be
+/// k²/r" (§VIII).
+pub fn predicted_additive_error(k: usize, r: usize) -> f64 {
+    (k * k) as f64 / r as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_linalg::best_rank_k;
+    use dlra_util::Rng;
+
+    #[test]
+    fn optimal_projection_scores_zero_additive() {
+        let mut rng = Rng::new(1);
+        let a = Matrix::gaussian(30, 8, &mut rng);
+        let approx = best_rank_k(&a, 3).unwrap();
+        let rep = evaluate_projection(&a, &approx.projection, 3).unwrap();
+        assert!(rep.additive_error < 1e-9, "{}", rep.additive_error);
+        assert!((rep.relative_error - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bad_projection_scores_poorly() {
+        let mut rng = Rng::new(2);
+        // Strongly anisotropic matrix; projecting onto the wrong axis hurts.
+        let a = Matrix::from_fn(40, 4, |i, j| {
+            if j == 0 {
+                (i + 1) as f64
+            } else {
+                0.01 * rng.gaussian()
+            }
+        });
+        // Projection onto e₂ (misses the dominant direction).
+        let mut p = Matrix::zeros(4, 4);
+        p[(1, 1)] = 1.0;
+        let rep = evaluate_projection(&a, &p, 1).unwrap();
+        assert!(rep.additive_error > 0.5, "{}", rep.additive_error);
+        assert!(rep.relative_error > 100.0, "{}", rep.relative_error);
+    }
+
+    #[test]
+    fn exact_low_rank_relative_error_defined_as_one() {
+        let mut rng = Rng::new(3);
+        let u = Matrix::gaussian(20, 2, &mut rng);
+        let v = Matrix::gaussian(2, 6, &mut rng);
+        let a = u.matmul(&v).unwrap();
+        let approx = best_rank_k(&a, 2).unwrap();
+        let rep = evaluate_projection(&a, &approx.projection, 2).unwrap();
+        // ‖A−[A]₂‖ = 0 and the residual is also ~0 → defined as 1.
+        assert_eq!(rep.relative_error, 1.0);
+    }
+
+    #[test]
+    fn zero_matrix_is_trivially_approximated() {
+        let a = Matrix::zeros(5, 3);
+        let p = Matrix::zeros(3, 3);
+        let rep = evaluate_projection(&a, &p, 1).unwrap();
+        assert_eq!(rep.additive_error, 0.0);
+    }
+
+    #[test]
+    fn prediction_formula() {
+        assert_eq!(predicted_additive_error(3, 90), 0.1);
+        assert_eq!(predicted_additive_error(10, 100), 1.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! The generalized partition model (§I): per-server local matrices whose
+//! entrywise-aggregated image `A[i,j] = f(Σₜ Aᵗ[i,j])` is the matrix being
+//! approximated.
+
+use crate::functions::EntryFunction;
+use crate::{CoreError, Result};
+use dlra_comm::Cluster;
+use dlra_linalg::Matrix;
+use dlra_sampler::SampleVector;
+
+/// One server's state: its local matrix viewed as a flattened
+/// coordinate vector (row-major, coordinate `j ↦ entry (j/d, j%d)`), plus
+/// the injected-coordinate tail used by the Z-sampler.
+#[derive(Debug, Clone)]
+pub struct MatrixServer {
+    local: Matrix,
+    injected: Vec<f64>,
+    injected_len: u64,
+    /// When set, the *sampling view* is this residual matrix
+    /// `Aᵗ(I − VVᵀ)` instead of `local` (adaptive extension; see
+    /// [`crate::adaptive`]). Row fetches always serve the original rows.
+    residual: Option<Matrix>,
+}
+
+impl MatrixServer {
+    /// Wraps a local matrix (already locally transformed if the model's `f`
+    /// requires it).
+    pub fn new(local: Matrix) -> Self {
+        MatrixServer {
+            local,
+            injected: Vec::new(),
+            injected_len: 0,
+            residual: None,
+        }
+    }
+
+    /// The local matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.local
+    }
+
+    /// This server's slice of row `i` (what it ships when the coordinator
+    /// requests a sampled row — Algorithm 1 line 7). Always the *original*
+    /// local row, regardless of any residual sampling view.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.local.row(i)
+    }
+
+    /// Installs a residual sampling view `Aᵗ(I − VVᵀ)` from an orthonormal
+    /// basis `v` (`d × c`) and its transpose (purely local computation
+    /// after the basis broadcast).
+    pub fn set_residual_basis(&mut self, v: &Matrix, vt: &Matrix) {
+        let coeff = self.local.matmul(v).expect("basis shape");
+        let correction = coeff.matmul(vt).expect("basis shape");
+        self.residual = Some(self.local.sub(&correction).expect("same shape"));
+    }
+
+    /// Removes the residual view (sampling reverts to the local matrix).
+    pub fn clear_residual(&mut self) {
+        self.residual = None;
+    }
+
+    /// The matrix the sampler currently sees.
+    fn sample_matrix(&self) -> &Matrix {
+        self.residual.as_ref().unwrap_or(&self.local)
+    }
+}
+
+impl SampleVector for MatrixServer {
+    fn base_dim(&self) -> u64 {
+        (self.local.rows() * self.local.cols()) as u64
+    }
+
+    fn dim(&self) -> u64 {
+        self.base_dim() + self.injected_len
+    }
+
+    fn value(&self, j: u64) -> f64 {
+        let base = self.base_dim();
+        if j < base {
+            let m = self.sample_matrix();
+            let d = m.cols();
+            m[(j as usize / d, j as usize % d)]
+        } else if !self.injected.is_empty() {
+            self.injected[(j - base) as usize]
+        } else {
+            0.0
+        }
+    }
+
+    fn for_each_nonzero(&self, f: &mut dyn FnMut(u64, f64)) {
+        for (j, &x) in self.sample_matrix().as_slice().iter().enumerate() {
+            if x != 0.0 {
+                f(j as u64, x);
+            }
+        }
+        let base = self.base_dim();
+        for (j, &x) in self.injected.iter().enumerate() {
+            if x != 0.0 {
+                f(base + j as u64, x);
+            }
+        }
+    }
+
+    fn append_injected(&mut self, values: &[f64], is_coordinator: bool) {
+        if is_coordinator {
+            self.injected.extend_from_slice(values);
+        }
+        self.injected_len += values.len() as u64;
+    }
+
+    fn clear_injected(&mut self) {
+        self.injected.clear();
+        self.injected_len = 0;
+    }
+}
+
+/// The generalized partition model: a [`Cluster`] of [`MatrixServer`]s plus
+/// the entrywise function `f`.
+pub struct PartitionModel {
+    cluster: Cluster<MatrixServer>,
+    f: EntryFunction,
+    n: usize,
+    d: usize,
+    /// Raw (pre-transform) locals kept for `Max` evaluation; empty otherwise.
+    raw_locals: Vec<Matrix>,
+}
+
+impl PartitionModel {
+    /// Builds a model whose servers hold `locals` directly (entries are
+    /// summed, then `f` is applied). For `GmRoot` use
+    /// [`PartitionModel::gm_pooling`], which performs the local powering.
+    pub fn new(locals: Vec<Matrix>, f: EntryFunction) -> Result<Self> {
+        if locals.is_empty() {
+            return Err(CoreError::InvalidModel("no servers".into()));
+        }
+        let (n, d) = locals[0].shape();
+        if n == 0 || d == 0 {
+            return Err(CoreError::InvalidModel(format!("empty matrices {n}x{d}")));
+        }
+        for (t, m) in locals.iter().enumerate() {
+            if m.shape() != (n, d) {
+                return Err(CoreError::InvalidModel(format!(
+                    "server {t} has shape {:?}, expected ({n}, {d})",
+                    m.shape()
+                )));
+            }
+        }
+        let raw_locals = if f == EntryFunction::Max {
+            locals.clone()
+        } else {
+            Vec::new()
+        };
+        let cluster = Cluster::new(locals.into_iter().map(MatrixServer::new).collect());
+        Ok(PartitionModel {
+            cluster,
+            f,
+            n,
+            d,
+            raw_locals,
+        })
+    }
+
+    /// Builds the softmax / generalized-mean model of §VI-B from *raw* local
+    /// matrices `Mᵗ`: each server locally stores `|Mᵗ[i,j]|ᵖ/s`, and
+    /// `f(x) = x^{1/p}`, so the global matrix is `GM(|M¹|,…,|Mˢ|)` with
+    /// parameter `p`.
+    pub fn gm_pooling(raw: Vec<Matrix>, p: f64) -> Result<Self> {
+        let s = raw.len();
+        let f = EntryFunction::GmRoot { p };
+        let transformed: Vec<Matrix> = raw
+            .into_iter()
+            .map(|m| m.map(|x| f.local_transform(x, s)))
+            .collect();
+        PartitionModel::new(transformed, f)
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.cluster.num_servers()
+    }
+
+    /// Global data shape `(n, d)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n, self.d)
+    }
+
+    /// The entrywise function.
+    pub fn entry_function(&self) -> EntryFunction {
+        self.f
+    }
+
+    /// The underlying cluster (protocols run through this).
+    pub fn cluster_mut(&mut self) -> &mut Cluster<MatrixServer> {
+        &mut self.cluster
+    }
+
+    /// The underlying cluster, read-only.
+    pub fn cluster(&self) -> &Cluster<MatrixServer> {
+        &self.cluster
+    }
+
+    /// Sum of local data sizes in words (`s·n·d`), the denominator of the
+    /// experiments' communication ratio.
+    pub fn total_local_words(&self) -> u64 {
+        (self.num_servers() * self.n * self.d) as u64
+    }
+
+    /// Materializes the global matrix `A[i,j] = f(Σₜ Aᵗ[i,j])`
+    /// (**evaluation only** — this is the quantity protocols may not see).
+    pub fn global_matrix(&self) -> Matrix {
+        if self.f == EntryFunction::Max {
+            return Matrix::from_fn(self.n, self.d, |i, j| {
+                self.raw_locals
+                    .iter()
+                    .map(|m| m[(i, j)])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            });
+        }
+        let mut sum = Matrix::zeros(self.n, self.d);
+        for t in 0..self.num_servers() {
+            let m = self.cluster.local(t).matrix();
+            sum.add_assign(m).expect("uniform shapes by construction");
+        }
+        sum.map(|x| self.f.apply(x))
+    }
+
+    /// The aggregated *raw* row `Σₜ Aᵗᵢ` as the coordinator reconstructs it
+    /// after a row fetch, plus the global row `f(·)` of it.
+    pub fn apply_f_to_raw_row(&self, raw: &[f64]) -> Vec<f64> {
+        raw.iter().map(|&x| self.f.apply(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_util::Rng;
+
+    #[test]
+    fn matrix_server_flattening() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 4.0]]).unwrap();
+        let s = MatrixServer::new(m);
+        assert_eq!(s.base_dim(), 4);
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(1), 2.0);
+        assert_eq!(s.value(3), 4.0);
+        let mut seen = vec![];
+        s.for_each_nonzero(&mut |j, x| seen.push((j, x)));
+        assert_eq!(seen, vec![(0, 1.0), (1, 2.0), (3, 4.0)]);
+    }
+
+    #[test]
+    fn matrix_server_injection() {
+        let m = Matrix::zeros(2, 2);
+        let mut s = MatrixServer::new(m);
+        s.append_injected(&[9.0], true);
+        assert_eq!(s.dim(), 5);
+        assert_eq!(s.value(4), 9.0);
+        s.clear_injected();
+        assert_eq!(s.dim(), 4);
+    }
+
+    #[test]
+    fn model_validates_shapes() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(3, 3);
+        assert!(matches!(
+            PartitionModel::new(vec![a.clone(), b], EntryFunction::Identity),
+            Err(CoreError::InvalidModel(_))
+        ));
+        assert!(PartitionModel::new(vec![], EntryFunction::Identity).is_err());
+        let ok = PartitionModel::new(vec![a.clone(), a], EntryFunction::Identity).unwrap();
+        assert_eq!(ok.shape(), (3, 2));
+        assert_eq!(ok.num_servers(), 2);
+        assert_eq!(ok.total_local_words(), 12);
+    }
+
+    #[test]
+    fn global_matrix_identity_sums() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![10.0, 20.0]]).unwrap();
+        let m = PartitionModel::new(vec![a, b], EntryFunction::Identity).unwrap();
+        let g = m.global_matrix();
+        assert_eq!(g.row(0), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn global_matrix_gm_pooling() {
+        let raw1 = Matrix::from_rows(&[vec![1.0, -3.0]]).unwrap();
+        let raw2 = Matrix::from_rows(&[vec![2.0, 1.0]]).unwrap();
+        let m = PartitionModel::gm_pooling(vec![raw1, raw2], 2.0).unwrap();
+        let g = m.global_matrix();
+        // GM(1,2; p=2) = sqrt((1+4)/2), GM(3,1) = sqrt((9+1)/2)
+        assert!((g[(0, 0)] - (2.5f64).sqrt()).abs() < 1e-12);
+        assert!((g[(0, 1)] - (5.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_matrix_huber_caps() {
+        let a = Matrix::from_rows(&[vec![0.5, 100.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![0.5, 100.0]]).unwrap();
+        let m = PartitionModel::new(vec![a, b], EntryFunction::Huber { k: 2.0 }).unwrap();
+        let g = m.global_matrix();
+        assert_eq!(g.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn global_matrix_max() {
+        let a = Matrix::from_rows(&[vec![1.0, 5.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![3.0, 2.0]]).unwrap();
+        let m = PartitionModel::new(vec![a, b], EntryFunction::Max).unwrap();
+        let g = m.global_matrix();
+        assert_eq!(g.row(0), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn gm_pooling_matches_direct_gm() {
+        let mut rng = Rng::new(3);
+        let s = 3;
+        let raws: Vec<Matrix> = (0..s).map(|_| Matrix::gaussian(4, 5, &mut rng)).collect();
+        let p = 5.0;
+        let m = PartitionModel::gm_pooling(raws.clone(), p).unwrap();
+        let g = m.global_matrix();
+        for i in 0..4 {
+            for j in 0..5 {
+                let gm = (raws
+                    .iter()
+                    .map(|r| r[(i, j)].abs().powf(p))
+                    .sum::<f64>()
+                    / s as f64)
+                    .powf(1.0 / p);
+                assert!((g[(i, j)] - gm).abs() < 1e-10);
+            }
+        }
+    }
+}

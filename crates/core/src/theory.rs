@@ -1,0 +1,177 @@
+//! Numerical validators for the paper's analysis (§III–IV, Lemmas 1–3 and
+//! Theorem 2's sampling guarantee).
+//!
+//! These functions measure the quantities the proofs bound, so tests (and
+//! curious users) can check the *inequalities themselves* on concrete
+//! random instances rather than trusting the implementation end to end.
+
+use crate::fkv::SampledRow;
+use dlra_linalg::{orthonormalize_columns, projection_from_basis, Matrix};
+use dlra_util::Rng;
+
+/// The Gram deviation `‖AᵀA − BᵀB‖_F / ‖A‖²_F` — the θ of §III.
+pub fn gram_deviation(a: &Matrix, b: &Matrix) -> f64 {
+    let diff = a.gram().sub(&b.gram()).expect("same column count");
+    diff.frobenius_norm() / a.frobenius_norm_sq()
+}
+
+/// Lemma 1's left side for a given projection: `|‖AP‖²_F − ‖BP‖²_F|`,
+/// together with its claimed bound `k·‖AᵀA − BᵀB‖ · 1` expressed via the
+/// Frobenius norm (`‖·‖ ≤ ‖·‖_F`): returns `(lhs, k·θ·‖A‖²_F)`.
+pub fn lemma1_sides(a: &Matrix, b: &Matrix, p: &Matrix, k: usize) -> (f64, f64) {
+    let lhs = (a.matmul(p).unwrap().frobenius_norm_sq()
+        - b.matmul(p).unwrap().frobenius_norm_sq())
+    .abs();
+    let theta = gram_deviation(a, b);
+    (lhs, k as f64 * theta * a.frobenius_norm_sq())
+}
+
+/// Lemma 2's conclusion for the projection `P` maximizing `‖BP‖²_F`:
+/// returns `(‖A − AP‖²_F, ‖A − [A]ₖ‖²_F + 2·eps·‖A‖²_F)` where `eps` is the
+/// supplied uniform bound on `|‖AP′‖² − ‖BP′‖²|/‖A‖²`.
+pub fn lemma2_sides(a: &Matrix, p: &Matrix, k: usize, eps: f64) -> (f64, f64) {
+    let lhs = dlra_linalg::residual_sq(a, p).unwrap();
+    let best = dlra_linalg::best_rank_k_error_sq(a, k).unwrap();
+    (lhs, best + 2.0 * eps * a.frobenius_norm_sq())
+}
+
+/// Builds `B` by length-squared sampling with probabilities perturbed by a
+/// uniform `(1±gamma)` factor, as Algorithm 1's sampler is allowed to do,
+/// and returns the realized Gram deviation (Lemma 3's subject).
+pub fn perturbed_sampling_deviation(
+    a: &Matrix,
+    r: usize,
+    gamma: f64,
+    rng: &mut Rng,
+) -> f64 {
+    let weights = a.row_norms_sq();
+    let total: f64 = weights.iter().sum();
+    let rows: Vec<SampledRow> = (0..r)
+        .map(|_| {
+            let i = rng.weighted_index(&weights);
+            let q = weights[i] / total;
+            SampledRow {
+                index: i,
+                values: a.row(i).to_vec(),
+                q_hat: q * (1.0 + rng.range_f64(-gamma, gamma)),
+            }
+        })
+        .collect();
+    let b = crate::fkv::build_b_matrix(&rows).expect("valid rows");
+    gram_deviation(a, &b)
+}
+
+/// A uniformly random rank-k projection (for adversarial sweeps in tests).
+pub fn random_projection(d: usize, k: usize, rng: &mut Rng) -> Matrix {
+    let basis = orthonormalize_columns(&Matrix::gaussian(d, k, rng));
+    projection_from_basis(&basis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_linalg::best_rank_k;
+
+    fn test_matrix(rng: &mut Rng) -> Matrix {
+        let u = Matrix::gaussian(150, 3, rng);
+        let v = Matrix::gaussian(3, 12, rng);
+        let mut a = u.matmul(&v).unwrap();
+        a.add_assign(&Matrix::gaussian(150, 12, rng).scaled(0.2))
+            .unwrap();
+        a
+    }
+
+    #[test]
+    fn lemma1_bound_holds_over_random_projections() {
+        // For every rank-k projection: |‖AP‖² − ‖BP‖²| ≤ k·θ·‖A‖²_F.
+        let mut rng = Rng::new(1);
+        let a = test_matrix(&mut rng);
+        let weights = a.row_norms_sq();
+        let total: f64 = weights.iter().sum();
+        let rows: Vec<SampledRow> = (0..60)
+            .map(|_| {
+                let i = rng.weighted_index(&weights);
+                SampledRow {
+                    index: i,
+                    values: a.row(i).to_vec(),
+                    q_hat: weights[i] / total,
+                }
+            })
+            .collect();
+        let b = crate::fkv::build_b_matrix(&rows).unwrap();
+        for k in 1..=4 {
+            for trial in 0..20 {
+                let p = random_projection(12, k, &mut Rng::new(500 + trial));
+                let (lhs, bound) = lemma1_sides(&a, &b, &p, k);
+                assert!(
+                    lhs <= bound + 1e-9,
+                    "k={k} trial={trial}: {lhs} > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_bound_holds_for_b_optimal_projection() {
+        let mut rng = Rng::new(2);
+        let a = test_matrix(&mut rng);
+        let weights = a.row_norms_sq();
+        let total: f64 = weights.iter().sum();
+        let k = 3;
+        let rows: Vec<SampledRow> = (0..80)
+            .map(|_| {
+                let i = rng.weighted_index(&weights);
+                SampledRow {
+                    index: i,
+                    values: a.row(i).to_vec(),
+                    q_hat: weights[i] / total,
+                }
+            })
+            .collect();
+        let b = crate::fkv::build_b_matrix(&rows).unwrap();
+        // ε = k·θ (Lemma 1's uniform bound over rank-k projections).
+        let eps = k as f64 * gram_deviation(&a, &b);
+        let p = best_rank_k(&b, k).unwrap().projection;
+        let (lhs, rhs) = lemma2_sides(&a, &p, k, eps);
+        assert!(lhs <= rhs + 1e-9, "{lhs} > {rhs}");
+    }
+
+    #[test]
+    fn gram_deviation_shrinks_with_r() {
+        // Lemma 3 / §III: E[dev²] = O(1/r); averaged deviation should drop
+        // by roughly √10 when r grows 10×.
+        let mut rng = Rng::new(3);
+        let a = test_matrix(&mut rng);
+        let avg = |r: usize, rng: &mut Rng| -> f64 {
+            (0..10)
+                .map(|_| perturbed_sampling_deviation(&a, r, 0.0, rng))
+                .sum::<f64>()
+                / 10.0
+        };
+        let d_small = avg(20, &mut rng);
+        let d_big = avg(200, &mut rng);
+        assert!(
+            d_big < d_small / 1.8,
+            "dev(200) = {d_big} not ≪ dev(20) = {d_small}"
+        );
+    }
+
+    #[test]
+    fn gamma_perturbation_costs_o_gamma() {
+        // Lemma 3: (1±γ)-perturbed probabilities add O(γ) to the deviation.
+        let mut rng = Rng::new(4);
+        let a = test_matrix(&mut rng);
+        let trials = 12;
+        let avg = |gamma: f64, rng: &mut Rng| -> f64 {
+            (0..trials)
+                .map(|_| perturbed_sampling_deviation(&a, 120, gamma, rng))
+                .sum::<f64>()
+                / trials as f64
+        };
+        let clean = avg(0.0, &mut rng);
+        let gentle = avg(0.1, &mut rng);
+        let rough = avg(0.4, &mut rng);
+        assert!(gentle < clean + 0.15, "γ=0.1: {gentle} vs clean {clean}");
+        assert!(rough < clean + 0.6, "γ=0.4: {rough} vs clean {clean}");
+    }
+}

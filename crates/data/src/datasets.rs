@@ -1,0 +1,224 @@
+//! Named dataset stand-ins matching the paper's evaluation workloads
+//! (§VIII). Shapes are scaled down (see `DESIGN.md` §4) so that the *exact*
+//! `‖A − [A]ₖ‖²_F` needed to measure errors is computable in seconds; a
+//! `scale` multiplier lets benches grow them.
+
+use crate::partition::{split_entrywise, split_with_noise_shares};
+use crate::synth::{clustered_points, noisy_low_rank, zipf_weights};
+use dlra_linalg::Matrix;
+use dlra_util::Rng;
+
+/// A dataset whose raw matrix is partitioned additively across servers
+/// (the RFF and robust-PCA workloads).
+#[derive(Debug, Clone)]
+pub struct RawDataset {
+    /// Dataset label (used in reports).
+    pub name: &'static str,
+    /// Per-server local matrices (summing to the raw global matrix).
+    pub parts: Vec<Matrix>,
+    /// Number of servers (`parts.len()`).
+    pub servers: usize,
+}
+
+impl RawDataset {
+    /// The aggregated raw matrix (evaluation only).
+    pub fn global(&self) -> Matrix {
+        let (n, d) = self.parts[0].shape();
+        let mut sum = Matrix::zeros(n, d);
+        for p in &self.parts {
+            sum.add_assign(p).expect("uniform shapes");
+        }
+        sum
+    }
+}
+
+/// A dataset already expressed as per-server *pooled counts* (the P-norm
+/// pooling workloads, where the partition is part of the data's semantics:
+/// each server pooled the patches it hosts).
+#[derive(Debug, Clone)]
+pub struct PooledDataset {
+    /// Dataset label.
+    pub name: &'static str,
+    /// Per-server pooled count matrices `Mᵗ` (n images × d codewords).
+    pub parts: Vec<Matrix>,
+}
+
+/// Forest-Cover-like: clustered base points whose Gaussian RFF expansion is
+/// the matrix to approximate. Paper shape 522000×54 raw → 5000 Fourier
+/// features on 10 servers; ours: `3000·scale` points, 54 raw dims, 10
+/// servers (feature dimension chosen by the caller's `RffMap`).
+pub fn forest_cover_like(scale: usize, seed: u64) -> RawDataset {
+    let mut rng = Rng::new(seed);
+    let n = 3000 * scale.max(1);
+    let m = 54;
+    let base = clustered_points(n, m, 7, &[3.0, 2.5, 2.0, 1.0, 0.6, 0.4, 0.2], 0.35, &mut rng);
+    let parts = split_with_noise_shares(&base, 10, 0.2, &mut rng);
+    RawDataset {
+        name: "forest_cover_like",
+        parts,
+        servers: 10,
+    }
+}
+
+/// KDDCUP99-like: heavily imbalanced traffic classes (a few dominant attack
+/// types), 50 servers. Paper shape 4898431×41 raw → 50 Fourier features;
+/// ours: `5000·scale` points, 40 raw dims.
+pub fn kddcup_like(scale: usize, seed: u64) -> RawDataset {
+    let mut rng = Rng::new(seed);
+    let n = 5000 * scale.max(1);
+    let m = 40;
+    // Two giant classes (normal + smurf-like) and a long tail.
+    let base = clustered_points(
+        n,
+        m,
+        6,
+        &[55.0, 35.0, 5.0, 3.0, 1.5, 0.5],
+        0.25,
+        &mut rng,
+    );
+    let parts = split_with_noise_shares(&base, 50, 0.15, &mut rng);
+    RawDataset {
+        name: "kddcup_like",
+        parts,
+        servers: 50,
+    }
+}
+
+/// Caltech-101-like pooled SIFT codes: `1500·scale` images, 256-codeword
+/// 1-of-K patch codes pooled per server, 50 servers, Zipfian codeword
+/// popularity with per-image topic tilt (so the pooled matrix has
+/// meaningful principal components).
+pub fn caltech101_like(scale: usize, seed: u64) -> PooledDataset {
+    pooled_codes_dataset("caltech101_like", 1500 * scale.max(1), 256, 60, 50, seed)
+}
+
+/// Scenes-like pooled codes: smaller corpus (`1000·scale` images), fewer
+/// patches per image, 10 servers.
+pub fn scenes_like(scale: usize, seed: u64) -> PooledDataset {
+    pooled_codes_dataset("scenes_like", 1000 * scale.max(1), 256, 30, 10, seed)
+}
+
+fn pooled_codes_dataset(
+    name: &'static str,
+    n: usize,
+    d: usize,
+    patches_per_image: usize,
+    s: usize,
+    seed: u64,
+) -> PooledDataset {
+    let mut rng = Rng::new(seed);
+    let base = zipf_weights(d, 0.9);
+    let topics = 8usize;
+    let mut parts = vec![Matrix::zeros(n, d); s];
+    for i in 0..n {
+        let topic = rng.index(topics);
+        let mut w = base.clone();
+        for (j, wj) in w.iter_mut().enumerate() {
+            if j % topics == topic {
+                *wj *= 8.0;
+            }
+        }
+        for _ in 0..patches_per_image {
+            let j = rng.weighted_index(&w);
+            let t = rng.index(s);
+            parts[t][(i, j)] += 1.0;
+        }
+    }
+    PooledDataset { name, parts }
+}
+
+/// isolet-like: low-rank-ish spoken-letter features with `outliers` entries
+/// corrupted to extreme magnitudes, arbitrarily (entrywise) partitioned
+/// across 10 servers so no server can detect the corruption locally.
+/// Paper shape 1559×617 with 50 corrupted entries; ours `1200·scale`×256
+/// with 50 corrupted entries.
+pub fn isolet_like(scale: usize, outliers: usize, seed: u64) -> RawDataset {
+    let mut rng = Rng::new(seed);
+    let n = 1200 * scale.max(1);
+    let d = 256;
+    let mut a = noisy_low_rank(n, d, 12, 0.15, &mut rng);
+    for _ in 0..outliers {
+        let i = rng.index(n);
+        let j = rng.index(d);
+        a[(i, j)] = 5e4 * (1.0 + rng.f64()) * if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+    }
+    let parts = split_entrywise(&a, 10, &mut rng);
+    RawDataset {
+        name: "isolet_like",
+        parts,
+        servers: 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_cover_shape_and_servers() {
+        let ds = forest_cover_like(1, 1);
+        assert_eq!(ds.parts.len(), 10);
+        assert_eq!(ds.parts[0].shape(), (3000, 54));
+        assert_eq!(ds.global().shape(), (3000, 54));
+    }
+
+    #[test]
+    fn kddcup_is_imbalanced() {
+        let ds = kddcup_like(1, 2);
+        assert_eq!(ds.parts.len(), 50);
+        let g = ds.global();
+        assert_eq!(g.shape(), (5000, 40));
+        // Two dominant clusters ⇒ top-2 subspace holds most energy.
+        let dec = dlra_linalg::svd(&g).unwrap();
+        let top2: f64 = dec.s.iter().take(2).map(|x| x * x).sum();
+        assert!(top2 > 0.5 * g.frobenius_norm_sq());
+    }
+
+    #[test]
+    fn pooled_datasets_are_nonnegative_counts() {
+        let ds = scenes_like(1, 3);
+        assert_eq!(ds.parts.len(), 10);
+        let (n, d) = ds.parts[0].shape();
+        assert_eq!((n, d), (1000, 256));
+        for p in &ds.parts {
+            assert!(p.as_slice().iter().all(|&x| x >= 0.0 && x == x.floor()));
+        }
+        // Total patch count conserved: 30 per image.
+        let total: f64 = ds.parts.iter().map(|p| p.as_slice().iter().sum::<f64>()).sum();
+        assert_eq!(total, (1000 * 30) as f64);
+    }
+
+    #[test]
+    fn caltech_bigger_than_scenes() {
+        let c = caltech101_like(1, 4);
+        assert_eq!(c.parts.len(), 50);
+        assert_eq!(c.parts[0].shape(), (1500, 256));
+    }
+
+    #[test]
+    fn isolet_has_outliers_hidden_from_servers() {
+        let ds = isolet_like(1, 50, 5);
+        let g = ds.global();
+        let huge = g
+            .as_slice()
+            .iter()
+            .filter(|&&x| x.abs() > 1e4)
+            .count();
+        assert!((40..=50).contains(&huge), "got {huge} outliers");
+        // Benign entries are orders of magnitude smaller.
+        let benign_max = g
+            .as_slice()
+            .iter()
+            .map(|x| x.abs())
+            .filter(|&x| x < 1e4)
+            .fold(0.0, f64::max);
+        assert!(benign_max < 100.0, "benign max {benign_max}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = isolet_like(1, 10, 7).global();
+        let b = isolet_like(1, 10, 7).global();
+        assert_eq!(a, b);
+    }
+}

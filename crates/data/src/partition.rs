@@ -1,0 +1,142 @@
+//! Partitioning a global matrix into per-server local matrices.
+//!
+//! The generalized partition model aggregates by entrywise *sum*, so any
+//! set of matrices summing to the target is a valid partition. The paper's
+//! experiments "randomly distributed the original data to different
+//! servers" and, for isolet, "arbitrarily partitioned the matrix" — both
+//! represented here.
+
+use dlra_linalg::Matrix;
+use dlra_util::Rng;
+
+/// Entrywise partition: every entry is assigned in full to one uniformly
+/// random server (the others hold zero there). The paper's "arbitrary
+/// partition" for the robust-PCA experiment — no server can recognize an
+/// outlier locally because it might legitimately belong to another server's
+/// share elsewhere.
+pub fn split_entrywise(a: &Matrix, s: usize, rng: &mut Rng) -> Vec<Matrix> {
+    assert!(s >= 1);
+    let (n, d) = a.shape();
+    let mut parts = vec![Matrix::zeros(n, d); s];
+    for i in 0..n {
+        for j in 0..d {
+            let t = rng.index(s);
+            parts[t][(i, j)] = a[(i, j)];
+        }
+    }
+    parts
+}
+
+/// Additive shares: servers `1..s` hold i.i.d. Gaussian matrices of scale
+/// `share_scale` and server `0`'s share is chosen so the sum equals `a`.
+/// Every server's local matrix looks like pure noise; only the aggregate is
+/// meaningful — the hardest case for local heuristics.
+pub fn split_with_noise_shares(
+    a: &Matrix,
+    s: usize,
+    share_scale: f64,
+    rng: &mut Rng,
+) -> Vec<Matrix> {
+    assert!(s >= 1);
+    let (n, d) = a.shape();
+    let mut parts: Vec<Matrix> = (0..s - 1)
+        .map(|_| Matrix::gaussian(n, d, rng).scaled(share_scale))
+        .collect();
+    let mut first = a.clone();
+    for p in &parts {
+        first = first.sub(p).expect("same shape");
+    }
+    let mut out = vec![first];
+    out.append(&mut parts);
+    out
+}
+
+/// Uniform additive split: every server holds `a / s` plus a random
+/// zero-sum perturbation, keeping local magnitudes comparable to `a/s`.
+pub fn split_additively(a: &Matrix, s: usize, rng: &mut Rng) -> Vec<Matrix> {
+    assert!(s >= 1);
+    let (n, d) = a.shape();
+    let base = a.scaled(1.0 / s as f64);
+    if s == 1 {
+        return vec![base];
+    }
+    // Zero-sum perturbations at the scale of the shared base.
+    let scale = (a.frobenius_norm_sq() / (n * d) as f64).sqrt() / s as f64;
+    let mut perturbs: Vec<Matrix> = (0..s - 1)
+        .map(|_| Matrix::gaussian(n, d, rng).scaled(scale))
+        .collect();
+    let mut last = Matrix::zeros(n, d);
+    for p in &perturbs {
+        last = last.sub(p).expect("same shape");
+    }
+    perturbs.push(last);
+    perturbs
+        .into_iter()
+        .map(|p| base.add(&p).expect("same shape"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums_to(parts: &[Matrix], a: &Matrix) -> bool {
+        let mut sum = Matrix::zeros(a.rows(), a.cols());
+        for p in parts {
+            sum.add_assign(p).unwrap();
+        }
+        sum.sub(a).unwrap().frobenius_norm() < 1e-9 * a.frobenius_norm().max(1.0)
+    }
+
+    #[test]
+    fn entrywise_partition_sums_and_is_disjoint() {
+        let mut rng = Rng::new(1);
+        let a = Matrix::gaussian(10, 6, &mut rng);
+        let parts = split_entrywise(&a, 4, &mut rng);
+        assert_eq!(parts.len(), 4);
+        assert!(sums_to(&parts, &a));
+        // Each entry lives on exactly one server.
+        for i in 0..10 {
+            for j in 0..6 {
+                let nonzero = parts.iter().filter(|p| p[(i, j)] != 0.0).count();
+                assert!(nonzero <= 1, "entry ({i},{j}) on {nonzero} servers");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_shares_sum() {
+        let mut rng = Rng::new(2);
+        let a = Matrix::gaussian(8, 5, &mut rng);
+        let parts = split_with_noise_shares(&a, 5, 1.0, &mut rng);
+        assert_eq!(parts.len(), 5);
+        assert!(sums_to(&parts, &a));
+    }
+
+    #[test]
+    fn additive_split_sums_and_balances() {
+        let mut rng = Rng::new(3);
+        let a = Matrix::gaussian(12, 7, &mut rng).scaled(4.0);
+        let parts = split_additively(&a, 3, &mut rng);
+        assert!(sums_to(&parts, &a));
+        // Local norms comparable (within 3x of each other).
+        let norms: Vec<f64> = parts.iter().map(|p| p.frobenius_norm()).collect();
+        let max = norms.iter().cloned().fold(0.0, f64::max);
+        let min = norms.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 3.0, "imbalanced shares: {norms:?}");
+    }
+
+    #[test]
+    fn single_server_split_is_identity() {
+        let mut rng = Rng::new(4);
+        let a = Matrix::gaussian(5, 5, &mut rng);
+        for parts in [
+            split_entrywise(&a, 1, &mut rng),
+            split_additively(&a, 1, &mut rng),
+            split_with_noise_shares(&a, 1, 1.0, &mut rng),
+        ] {
+            assert_eq!(parts.len(), 1);
+            assert!(sums_to(&parts, &a));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Low-level synthetic matrix generators.
+
+use dlra_linalg::Matrix;
+use dlra_util::Rng;
+
+/// A rank-`k` signal `U·V` plus i.i.d. Gaussian noise of scale `noise`.
+pub fn noisy_low_rank(n: usize, d: usize, k: usize, noise: f64, rng: &mut Rng) -> Matrix {
+    let u = Matrix::gaussian(n, k, rng);
+    let v = Matrix::gaussian(k, d, rng);
+    let mut a = u.matmul(&v).expect("shapes by construction");
+    if noise > 0.0 {
+        a.add_assign(&Matrix::gaussian(n, d, rng).scaled(noise))
+            .expect("same shape");
+    }
+    a
+}
+
+/// `n` points in `ℝᵐ` drawn from a mixture of `centers` Gaussian clusters
+/// with the given mixture weights (unnormalized) and within-cluster spread.
+pub fn clustered_points(
+    n: usize,
+    m: usize,
+    centers: usize,
+    weights: &[f64],
+    spread: f64,
+    rng: &mut Rng,
+) -> Matrix {
+    assert_eq!(weights.len(), centers, "one weight per center");
+    let mus: Vec<Vec<f64>> = (0..centers)
+        .map(|_| (0..m).map(|_| rng.gaussian() * 2.0).collect())
+        .collect();
+    let mut a = Matrix::zeros(n, m);
+    for i in 0..n {
+        let c = rng.weighted_index(weights);
+        for j in 0..m {
+            a[(i, j)] = mus[c][j] + spread * rng.gaussian();
+        }
+    }
+    a
+}
+
+/// Zipfian popularity weights `w_j ∝ 1/(j+1)^exponent` for a codebook of
+/// size `d`.
+pub fn zipf_weights(d: usize, exponent: f64) -> Vec<f64> {
+    (0..d)
+        .map(|j| 1.0 / (1.0 + j as f64).powf(exponent))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_linalg::svd;
+
+    #[test]
+    fn noisy_low_rank_spectrum() {
+        let mut rng = Rng::new(1);
+        let a = noisy_low_rank(60, 20, 3, 0.01, &mut rng);
+        let d = svd(&a).unwrap();
+        // First 3 singular values dominate the rest.
+        assert!(d.s[2] > 20.0 * d.s[3], "σ₃={} σ₄={}", d.s[2], d.s[3]);
+    }
+
+    #[test]
+    fn noise_zero_gives_exact_rank() {
+        let mut rng = Rng::new(2);
+        let a = noisy_low_rank(30, 10, 2, 0.0, &mut rng);
+        let d = svd(&a).unwrap();
+        assert_eq!(d.rank(1e-9), 2);
+    }
+
+    #[test]
+    fn clusters_have_centers() {
+        let mut rng = Rng::new(3);
+        let a = clustered_points(400, 8, 3, &[1.0, 1.0, 1.0], 0.1, &mut rng);
+        assert_eq!(a.shape(), (400, 8));
+        // Tight clusters ⇒ the 400 points take ~3 distinct locations ⇒
+        // effective rank ≤ 3 after centering is not guaranteed, but the
+        // top-3 subspace captures almost all energy.
+        let d = svd(&a).unwrap();
+        let top3: f64 = d.s.iter().take(3).map(|x| x * x).sum();
+        assert!(top3 > 0.95 * a.frobenius_norm_sq());
+    }
+
+    #[test]
+    fn imbalanced_weights_respected() {
+        let mut rng = Rng::new(4);
+        // Center 0 has 99% of the mass: points should hug one location.
+        let a = clustered_points(300, 4, 2, &[99.0, 1.0], 0.01, &mut rng);
+        let d = svd(&a).unwrap();
+        let top1 = d.s[0] * d.s[0];
+        assert!(top1 > 0.8 * a.frobenius_norm_sq());
+    }
+
+    #[test]
+    fn zipf_is_decreasing_normalizable() {
+        let w = zipf_weights(100, 1.0);
+        assert_eq!(w.len(), 100);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        assert!(w[0] == 1.0);
+    }
+}

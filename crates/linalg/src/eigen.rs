@@ -1,0 +1,189 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! Used for eigendecomposition of Gram matrices (`AᵀA`) when only the right
+//! singular structure is needed, and as an independent cross-check of the
+//! one-sided Jacobi SVD in tests.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Eigendecomposition of a symmetric matrix: `a = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as *columns*, matching `values` order.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the eigendecomposition of a symmetric matrix by cyclic Jacobi
+/// rotations. The input must be square and (numerically) symmetric; symmetry
+/// is enforced by averaging `a` with its transpose.
+pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinalgError::InvalidArgument(format!(
+            "sym_eigen requires a square matrix, got {n}x{m}"
+        )));
+    }
+    if n == 0 {
+        return Ok(SymEigen {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    // Symmetrize defensively (caller may have tiny asymmetry from summation).
+    let mut w = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Matrix::identity(n);
+
+    let scale = w.max_abs().max(1.0);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off = off.max(w[(p, q)].abs());
+            }
+        }
+        if off <= tol {
+            return Ok(finish(w, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = w[(p, q)];
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = w[(p, p)];
+                let aqq = w[(q, q)];
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Update W = Jᵀ W J where J rotates coordinates (p, q).
+                for k in 0..n {
+                    let wkp = w[(k, p)];
+                    let wkq = w[(k, q)];
+                    w[(k, p)] = c * wkp - s * wkq;
+                    w[(k, q)] = s * wkp + c * wkq;
+                }
+                for k in 0..n {
+                    let wpk = w[(p, k)];
+                    let wqk = w[(q, k)];
+                    w[(p, k)] = c * wpk - s * wqk;
+                    w[(q, k)] = s * wpk + c * wqk;
+                }
+                // Accumulate eigenvectors: V = V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence("sym_eigen (Jacobi)"))
+}
+
+fn finish(w: Matrix, v: Matrix) -> SymEigen {
+    let n = w.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| w[(j, j)].partial_cmp(&w[(i, i)]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| w[(i, i)]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_util::Rng;
+
+    fn random_symmetric(n: usize, rng: &mut Rng) -> Matrix {
+        let a = Matrix::gaussian(n, n, rng);
+        Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]))
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 7.0],
+        ])
+        .unwrap();
+        let e = sym_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![7.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let mut rng = Rng::new(21);
+        for &n in &[1usize, 2, 5, 16, 33] {
+            let a = random_symmetric(n, &mut rng);
+            let e = sym_eigen(&a).unwrap();
+            // V diag(λ) Vᵀ == A
+            let mut lam = Matrix::zeros(n, n);
+            for i in 0..n {
+                lam[(i, i)] = e.values[i];
+            }
+            let recon = e
+                .vectors
+                .matmul(&lam)
+                .unwrap()
+                .matmul(&e.vectors.transpose())
+                .unwrap();
+            let err = recon.sub(&a).unwrap().frobenius_norm();
+            assert!(err < 1e-9 * (n as f64), "n={n} err={err}");
+            // VᵀV == I
+            let g = e.vectors.gram();
+            for i in 0..n {
+                for j in 0..n {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!((g[(i, j)] - want).abs() < 1e-10);
+                }
+            }
+            // Sorted descending.
+            assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        }
+    }
+
+    #[test]
+    fn gram_matrix_eigenvalues_nonnegative() {
+        let mut rng = Rng::new(22);
+        let a = Matrix::gaussian(10, 6, &mut rng);
+        let e = sym_eigen(&a.gram()).unwrap();
+        assert!(e.values.iter().all(|&l| l > -1e-9));
+        // Trace == ||A||_F^2
+        let trace: f64 = e.values.iter().sum();
+        assert!((trace - a.frobenius_norm_sq()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_nonsquare() {
+        assert!(sym_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn zero_and_empty() {
+        let e = sym_eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+        let e = sym_eigen(&Matrix::zeros(3, 3)).unwrap();
+        assert_eq!(e.values, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Best rank-k approximations, projection matrices, and the Frobenius-error
+//! quantities from the paper's problem definition (§I):
+//!
+//! * additive error:  `‖A − AP‖²_F ≤ ‖A − [A]ₖ‖²_F + ε‖A‖²_F`
+//! * relative error:  `‖A − AP‖²_F ≤ (1+ε)·‖A − [A]ₖ‖²_F`
+//!
+//! where `P` is a `d × d` rank-≤k projection onto a row subspace.
+
+use crate::matrix::Matrix;
+use crate::svd::{svd, Svd};
+use crate::{LinalgError, Result};
+
+/// The best rank-k approximation `[A]ₖ` together with the quantities the
+/// paper's error definitions need.
+#[derive(Debug, Clone)]
+pub struct RankKApprox {
+    /// Target rank `k`.
+    pub k: usize,
+    /// The rank-k projection `P = VₖVₖᵀ` (`d × d`).
+    pub projection: Matrix,
+    /// `‖A − [A]ₖ‖²_F` (tail singular-value energy).
+    pub error_sq: f64,
+    /// `‖A‖²_F`.
+    pub total_sq: f64,
+}
+
+/// Computes `[A]ₖ` data from a precomputed SVD.
+pub fn best_rank_k_from_svd(d: &Svd, total_sq: f64, k: usize) -> RankKApprox {
+    let v = d.top_right_vectors(k);
+    let projection = v.matmul(&v.transpose()).expect("shape by construction");
+    RankKApprox {
+        k,
+        projection,
+        error_sq: d.tail_energy(k),
+        total_sq,
+    }
+}
+
+/// Computes the best rank-k approximation of `a` (via a full SVD).
+pub fn best_rank_k(a: &Matrix, k: usize) -> Result<RankKApprox> {
+    if k == 0 {
+        return Err(LinalgError::InvalidArgument("best_rank_k: k = 0".into()));
+    }
+    let d = svd(a)?;
+    Ok(best_rank_k_from_svd(&d, a.frobenius_norm_sq(), k))
+}
+
+/// `‖A − [A]ₖ‖²_F` alone (Eckart–Young tail energy).
+pub fn best_rank_k_error_sq(a: &Matrix, k: usize) -> Result<f64> {
+    Ok(svd(a)?.tail_energy(k))
+}
+
+/// Builds the projection `P = V·Vᵀ` from a `d × k` matrix whose columns are
+/// an orthonormal basis of the target row subspace.
+pub fn projection_from_basis(v: &Matrix) -> Matrix {
+    v.matmul(&v.transpose()).expect("shape by construction")
+}
+
+/// `‖A − AP‖²_F` for a projection matrix `P` (`d × d`).
+///
+/// Uses the matrix Pythagorean identity `‖A − AP‖²_F = ‖A‖²_F − ‖AP‖²_F`
+/// (§II) which holds for any orthogonal projection `P`; computing `AP` once
+/// and its norm avoids forming the residual.
+pub fn residual_sq(a: &Matrix, p: &Matrix) -> Result<f64> {
+    let ap = a.matmul(p)?;
+    let r = a.frobenius_norm_sq() - ap.frobenius_norm_sq();
+    // Guard tiny negative values from floating point.
+    Ok(r.max(0.0))
+}
+
+/// `‖AP‖²_F` — the captured energy a projection retains. Algorithm 1's
+/// boosting step keeps the repetition maximizing this on `B`.
+pub fn captured_sq(a: &Matrix, p: &Matrix) -> Result<f64> {
+    Ok(a.matmul(p)?.frobenius_norm_sq())
+}
+
+/// Verifies that `p` is (numerically) an orthogonal projection of rank ≤ k:
+/// symmetric, idempotent, with trace ≤ k + tol.
+pub fn is_projection_of_rank_at_most(p: &Matrix, k: usize, tol: f64) -> bool {
+    let (n, m) = p.shape();
+    if n != m {
+        return false;
+    }
+    // Symmetry.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (p[(i, j)] - p[(j, i)]).abs() > tol {
+                return false;
+            }
+        }
+    }
+    // Idempotence: ‖P² − P‖_F small.
+    let pp = p.matmul(p).expect("square");
+    if pp.sub(p).expect("shape").frobenius_norm() > tol * (n as f64) {
+        return false;
+    }
+    // Rank = trace for projections.
+    let trace: f64 = (0..n).map(|i| p[(i, i)]).sum();
+    trace <= k as f64 + tol * (n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_util::Rng;
+
+    /// A random matrix with an exactly rank-r component plus noise of scale σ.
+    fn noisy_low_rank(m: usize, n: usize, r: usize, sigma: f64, rng: &mut Rng) -> Matrix {
+        let u = Matrix::gaussian(m, r, rng);
+        let v = Matrix::gaussian(r, n, rng);
+        let mut a = u.matmul(&v).unwrap();
+        let noise = Matrix::gaussian(m, n, rng);
+        a.add_assign(&noise.scaled(sigma)).unwrap();
+        a
+    }
+
+    #[test]
+    fn projection_properties() {
+        let mut rng = Rng::new(41);
+        let a = Matrix::gaussian(10, 6, &mut rng);
+        for k in 1..=4 {
+            let approx = best_rank_k(&a, k).unwrap();
+            assert!(is_projection_of_rank_at_most(
+                &approx.projection,
+                k,
+                1e-8
+            ));
+        }
+    }
+
+    #[test]
+    fn exact_low_rank_is_recovered() {
+        let mut rng = Rng::new(42);
+        let a = noisy_low_rank(12, 8, 2, 0.0, &mut rng);
+        let approx = best_rank_k(&a, 2).unwrap();
+        assert!(approx.error_sq < 1e-8 * approx.total_sq);
+        let res = residual_sq(&a, &approx.projection).unwrap();
+        assert!(res < 1e-8 * approx.total_sq, "residual {res}");
+    }
+
+    #[test]
+    fn residual_matches_explicit_subtraction() {
+        let mut rng = Rng::new(43);
+        let a = Matrix::gaussian(9, 5, &mut rng);
+        let approx = best_rank_k(&a, 2).unwrap();
+        let ap = a.matmul(&approx.projection).unwrap();
+        let explicit = a.sub(&ap).unwrap().frobenius_norm_sq();
+        let viaid = residual_sq(&a, &approx.projection).unwrap();
+        assert!((explicit - viaid).abs() < 1e-8, "{explicit} vs {viaid}");
+    }
+
+    #[test]
+    fn svd_projection_is_optimal() {
+        // The SVD projection must beat any random rank-k projection.
+        let mut rng = Rng::new(44);
+        let a = noisy_low_rank(15, 8, 3, 0.3, &mut rng);
+        let k = 3;
+        let best = best_rank_k(&a, k).unwrap();
+        let best_res = residual_sq(&a, &best.projection).unwrap();
+        assert!((best_res - best.error_sq).abs() < 1e-7 * best.total_sq);
+        for trial in 0..10 {
+            let mut r2 = Rng::new(1000 + trial);
+            let basis =
+                crate::qr::orthonormalize_columns(&Matrix::gaussian(8, k, &mut r2));
+            let p = projection_from_basis(&basis);
+            let res = residual_sq(&a, &p).unwrap();
+            assert!(
+                res + 1e-9 >= best_res,
+                "random projection beat SVD: {res} < {best_res}"
+            );
+        }
+    }
+
+    #[test]
+    fn pythagorean_identity() {
+        let mut rng = Rng::new(45);
+        let a = Matrix::gaussian(7, 6, &mut rng);
+        let approx = best_rank_k(&a, 2).unwrap();
+        let cap = captured_sq(&a, &approx.projection).unwrap();
+        let res = residual_sq(&a, &approx.projection).unwrap();
+        assert!((cap + res - a.frobenius_norm_sq()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        let a = Matrix::identity(3);
+        assert!(best_rank_k(&a, 0).is_err());
+    }
+
+    #[test]
+    fn k_at_least_rank_gives_zero_error() {
+        let mut rng = Rng::new(46);
+        let a = Matrix::gaussian(4, 6, &mut rng);
+        // rank(A) <= 4, so k = 4 (on a 6-col matrix) is exact.
+        let approx = best_rank_k(&a, 4).unwrap();
+        assert!(approx.error_sq < 1e-8);
+        // k beyond min(m, n) also fine.
+        let approx = best_rank_k(&a, 10).unwrap();
+        assert!(approx.error_sq < 1e-8);
+    }
+
+    #[test]
+    fn error_sq_decreases_in_k() {
+        let mut rng = Rng::new(47);
+        let a = noisy_low_rank(20, 10, 5, 0.5, &mut rng);
+        let mut prev = f64::INFINITY;
+        for k in 1..=8 {
+            let e = best_rank_k_error_sq(&a, k).unwrap();
+            assert!(e <= prev + 1e-12, "k={k}: {e} > {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn is_projection_rejects_non_projections() {
+        let mut rng = Rng::new(48);
+        let a = Matrix::gaussian(4, 4, &mut rng);
+        assert!(!is_projection_of_rank_at_most(&a, 4, 1e-8));
+        assert!(!is_projection_of_rank_at_most(&Matrix::zeros(2, 3), 1, 1e-8));
+        // Identity is a projection of rank n but not of rank 1.
+        assert!(is_projection_of_rank_at_most(&Matrix::identity(3), 3, 1e-8));
+        assert!(!is_projection_of_rank_at_most(&Matrix::identity(3), 1, 1e-8));
+    }
+}

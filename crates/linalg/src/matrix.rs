@@ -1,0 +1,706 @@
+//! Row-major dense matrix and the multiplicative / elementwise kernels.
+
+use crate::{LinalgError, Result};
+use dlra_util::Rng;
+
+/// A dense row-major matrix of `f64`.
+///
+/// Rows are the paper's "data points": `A ∈ ℝⁿˣᵈ` holds `n` points in `d`
+/// dimensions, and `a.row(i)` is the contiguous slice for point `i`.
+///
+/// ```
+/// use dlra_linalg::Matrix;
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(a[(1, 0)], 3.0);
+/// assert_eq!(a.matmul(&Matrix::identity(2)).unwrap(), a);
+/// assert_eq!(a.frobenius_norm_sq(), 30.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a generator invoked as `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != c {
+                return Err(LinalgError::ShapeMismatch(format!(
+                    "from_rows: row {i} has length {} but row 0 has length {c}",
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: r, cols: c, data })
+    }
+
+    /// Wraps an existing row-major buffer. `data.len()` must equal `rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "from_vec: buffer of {} for {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// A matrix with i.i.d. standard normal entries.
+    pub fn gaussian(rows: usize, cols: usize, rng: &mut Rng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| rng.gaussian())
+    }
+
+    /// A matrix with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut Rng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| rng.range_f64(lo, hi))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Contiguous slice of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable slice of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` copied into a fresh vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for (j, &v) in r.iter().enumerate() {
+                t[(j, i)] = v;
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matmul: {}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j order: stream over `other`'s rows for cache friendliness.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (j, &bkj) in b_row.iter().enumerate() {
+                    out_row[j] += aik * bkj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matvec: {}x{} * len {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        Ok((0..self.rows).map(|i| dot(self.row(i), x)).collect())
+    }
+
+    /// Gram matrix `selfᵀ * self` (symmetric `cols × cols`), computed as a sum
+    /// of row outer products — a single pass over the rows, which is how the
+    /// coordinator accumulates `BᵀB` in the protocols.
+    pub fn gram(&self) -> Matrix {
+        let d = self.cols;
+        let mut g = Matrix::zeros(d, d);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for p in 0..d {
+                let rp = r[p];
+                if rp == 0.0 {
+                    continue;
+                }
+                let g_row = &mut g.data[p * d..(p + 1) * d];
+                for q in p..d {
+                    g_row[q] += rp * r[q];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let v = g[(p, q)];
+                g[(q, p)] = v;
+            }
+        }
+        g
+    }
+
+    /// Squared Frobenius norm `‖A‖²_F = Σ A²ᵢⱼ`.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.frobenius_norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm of row `i`.
+    #[inline]
+    pub fn row_norm_sq(&self, i: usize) -> f64 {
+        self.row(i).iter().map(|x| x * x).sum()
+    }
+
+    /// All squared row norms (the FKV sampling weights for `f = identity`).
+    pub fn row_norms_sq(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row_norm_sq(i)).collect()
+    }
+
+    /// Elementwise sum; shapes must match.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference; shapes must match.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Adds `other` into `self` in place.
+    pub fn add_assign(&mut self, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "add_assign: {:?} vs {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Scales every entry by `c` in place.
+    pub fn scale(&mut self, c: f64) {
+        for x in &mut self.data {
+            *x *= c;
+        }
+    }
+
+    /// Returns a scaled copy.
+    pub fn scaled(&self, c: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale(c);
+        m
+    }
+
+    /// Applies `f` entrywise, returning a new matrix. This is the `f(·)` of
+    /// the generalized partition model applied to an aggregated matrix.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Extracts the listed rows (with repetition allowed) into a new matrix.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Extracts the contiguous column block `[j0, j1)` into a new matrix.
+    pub fn select_col_block(&self, j0: usize, j1: usize) -> Matrix {
+        debug_assert!(j0 <= j1 && j1 <= self.cols);
+        let mut out = Matrix::zeros(self.rows, j1 - j0);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[j0..j1]);
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "hstack: {} vs {} rows",
+                self.rows, other.rows
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Vertical concatenation `[self ; other]`.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "vstack: {} vs {} cols",
+                self.cols, other.cols
+            )));
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Max absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Sum of diagonal entries (square matrices).
+    pub fn trace(&self) -> f64 {
+        debug_assert_eq!(self.rows, self.cols, "trace of a non-square matrix");
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).sum()
+    }
+
+    /// A square diagonal matrix from the given entries.
+    pub fn from_diag(diag: &[f64]) -> Matrix {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in diag.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// All squared column norms.
+    pub fn col_norms_sq(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.cols];
+        for i in 0..self.rows {
+            for (j, &x) in self.row(i).iter().enumerate() {
+                out[j] += x * x;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose
+    /// (`(cols × other.cols)` result).
+    pub fn transpose_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "transpose_matmul: {}x{} ᵀ· {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let b_row = other.row(i);
+            for (p, &ap) in a_row.iter().enumerate() {
+                if ap == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(p);
+                for (q, &bq) in b_row.iter().enumerate() {
+                    out_row[q] += ap * bq;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scales each row to unit Euclidean norm (zero rows left untouched).
+    pub fn normalize_rows(&mut self) {
+        for i in 0..self.rows {
+            let n = self.row_norm_sq(i).sqrt();
+            if n > 0.0 {
+                for x in self.row_mut(i) {
+                    *x /= n;
+                }
+            }
+        }
+    }
+
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "{op}: {:?} vs {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean norm of a slice.
+#[inline]
+pub fn norm_sq(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    norm_sq(a).sqrt()
+}
+
+/// `y += c * x` (axpy).
+#[inline]
+pub fn axpy(c: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += c * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.shape(), (2, 2));
+        assert_eq!(a[(0, 1)], 2.0);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let r = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+        assert!(matches!(r, Err(LinalgError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i3 = Matrix::identity(3);
+        assert_eq!(a.matmul(&i3).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = m(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, m(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = m(&[&[1.0, -1.0, 2.0], &[0.5, 0.0, 3.0]]);
+        let x = vec![2.0, 1.0, -1.0];
+        let y = a.matvec(&x).unwrap();
+        assert_eq!(y, vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::new(1);
+        let a = Matrix::gaussian(4, 7, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let mut rng = Rng::new(2);
+        let a = Matrix::gaussian(6, 4, &mut rng);
+        let g = a.gram();
+        let g2 = a.transpose().matmul(&a).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((g[(i, j)] - g2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let mut rng = Rng::new(3);
+        let a = Matrix::gaussian(5, 3, &mut rng);
+        let g = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_values() {
+        let a = m(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(a.frobenius_norm_sq(), 25.0);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        assert_eq!(a.row_norm_sq(1), 16.0);
+        assert_eq!(a.row_norms_sq(), vec![9.0, 16.0]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = m(&[&[1.0, 2.0]]);
+        let b = m(&[&[3.0, 5.0]]);
+        assert_eq!(a.add(&b).unwrap(), m(&[&[4.0, 7.0]]));
+        assert_eq!(b.sub(&a).unwrap(), m(&[&[2.0, 3.0]]));
+        assert_eq!(a.scaled(2.0), m(&[&[2.0, 4.0]]));
+        let mut c = a.clone();
+        c.add_assign(&b).unwrap();
+        assert_eq!(c, m(&[&[4.0, 7.0]]));
+    }
+
+    #[test]
+    fn map_applies_entrywise() {
+        let a = m(&[&[-1.0, 2.0], &[-3.0, 4.0]]);
+        assert_eq!(a.map(f64::abs), m(&[&[1.0, 2.0], &[3.0, 4.0]]));
+    }
+
+    #[test]
+    fn select_rows_with_repeats() {
+        let a = m(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let s = a.select_rows(&[2, 0, 2]);
+        assert_eq!(s, m(&[&[3.0, 3.0], &[1.0, 1.0], &[3.0, 3.0]]));
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = m(&[&[1.0], &[2.0]]);
+        let b = m(&[&[3.0], &[4.0]]);
+        assert_eq!(a.hstack(&b).unwrap(), m(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.vstack(&b).unwrap(),
+            m(&[&[1.0], &[2.0], &[3.0], &[4.0]])
+        );
+        assert!(a.hstack(&m(&[&[1.0]])).is_err());
+        assert!(a.vstack(&m(&[&[1.0, 2.0]])).is_err());
+    }
+
+    #[test]
+    fn select_col_block_extracts() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.select_col_block(1, 3), m(&[&[2.0, 3.0], &[5.0, 6.0]]));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn max_abs_value() {
+        let a = m(&[&[-7.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.max_abs(), 7.0);
+    }
+
+    #[test]
+    fn trace_and_diag() {
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.trace(), 6.0);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn row_iter_yields_all_rows() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let rows: Vec<&[f64]> = a.row_iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn col_norms_match_transpose_row_norms() {
+        let mut rng = Rng::new(5);
+        let a = Matrix::gaussian(6, 4, &mut rng);
+        let cols = a.col_norms_sq();
+        let trans = a.transpose().row_norms_sq();
+        for (c, t) in cols.iter().zip(&trans) {
+            assert!((c - t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit() {
+        let mut rng = Rng::new(6);
+        let a = Matrix::gaussian(7, 3, &mut rng);
+        let b = Matrix::gaussian(7, 5, &mut rng);
+        let fast = a.transpose_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert!(fast.sub(&slow).unwrap().frobenius_norm() < 1e-12);
+        assert!(a.transpose_matmul(&Matrix::zeros(6, 2)).is_err());
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let mut a = m(&[&[3.0, 4.0], &[0.0, 0.0], &[0.0, -2.0]]);
+        a.normalize_rows();
+        assert!((a.row_norm_sq(0) - 1.0).abs() < 1e-12);
+        assert_eq!(a.row(1), &[0.0, 0.0]); // zero row untouched
+        assert_eq!(a.row(2), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn zero_sized_matrices() {
+        let a = Matrix::zeros(0, 5);
+        assert_eq!(a.rows(), 0);
+        assert_eq!(a.frobenius_norm_sq(), 0.0);
+        let g = a.gram();
+        assert_eq!(g.shape(), (5, 5));
+        assert_eq!(g.frobenius_norm_sq(), 0.0);
+    }
+}

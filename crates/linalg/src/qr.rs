@@ -1,0 +1,216 @@
+//! Householder QR factorization and column orthonormalization.
+
+use crate::matrix::{dot, norm, Matrix};
+use crate::{LinalgError, Result};
+
+/// Thin QR factorization `A = Q·R` of an `m × n` matrix with `m ≥ n`:
+/// `Q` is `m × n` with orthonormal columns and `R` is `n × n` upper
+/// triangular.
+pub fn householder_qr(a: &Matrix) -> Result<(Matrix, Matrix)> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "householder_qr requires rows >= cols, got {m}x{n}"
+        )));
+    }
+    // Work on the transpose so columns are contiguous.
+    let mut at = a.transpose(); // n x m: row j is column j of A
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n); // Householder vectors
+    let mut r = Matrix::zeros(n, n);
+
+    for j in 0..n {
+        // Apply previous reflectors were already applied in place; compute the
+        // reflector for the trailing part of column j.
+        let col = at.row(j).to_vec();
+        let tail = &col[j..];
+        let alpha = norm(tail);
+        let mut v = tail.to_vec();
+        if alpha > 0.0 {
+            // Choose sign to avoid cancellation.
+            let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+            v[0] += sign * alpha;
+            let vnorm = norm(&v);
+            if vnorm > 0.0 {
+                for x in &mut v {
+                    *x /= vnorm;
+                }
+            }
+            // Apply the reflector H = I - 2vvᵀ to the trailing columns j..n
+            // (stored as rows of `at`), acting on coordinates j..m.
+            for jj in j..n {
+                let row = at.row_mut(jj);
+                let tail = &mut row[j..];
+                let c = 2.0 * dot(&v, tail);
+                for (t, &vi) in tail.iter_mut().zip(&v) {
+                    *t -= c * vi;
+                }
+            }
+        }
+        // Record R entries: after reflection, column j has zeros below j.
+        for i in 0..=j {
+            r[(i, j)] = at.row(j)[i];
+        }
+        vs.push(v);
+    }
+
+    // Form Q (m x n) by applying the reflectors in reverse to the first n
+    // columns of the identity.
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        // e_j, then H_0 H_1 ... H_{n-1} applied in reverse order.
+        let mut e = vec![0.0; m];
+        e[j] = 1.0;
+        for k in (0..n).rev() {
+            let v = &vs[k];
+            if v.is_empty() {
+                continue;
+            }
+            let tail = &mut e[k..];
+            let c = 2.0 * dot(v, tail);
+            for (t, &vi) in tail.iter_mut().zip(v) {
+                *t -= c * vi;
+            }
+        }
+        for i in 0..m {
+            q[(i, j)] = e[i];
+        }
+    }
+    Ok((q, r))
+}
+
+/// Orthonormalizes the columns of `a` via modified Gram–Schmidt with
+/// re-orthogonalization, dropping (near-)dependent columns. Returns an
+/// `m × r` matrix whose `r ≤ n` columns are an orthonormal basis of the
+/// column space of `a`.
+pub fn orthonormalize_columns(a: &Matrix) -> Matrix {
+    let (m, n) = a.shape();
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let drop_tol = 1e-10 * a.max_abs().max(1.0);
+    for j in 0..n {
+        let mut v = a.col(j);
+        // Two rounds of MGS ("twice is enough").
+        for _ in 0..2 {
+            for b in &basis {
+                let c = dot(b, &v);
+                for (vi, &bi) in v.iter_mut().zip(b) {
+                    *vi -= c * bi;
+                }
+            }
+        }
+        let nv = norm(&v);
+        if nv > drop_tol {
+            for x in &mut v {
+                *x /= nv;
+            }
+            basis.push(v);
+        }
+    }
+    let r = basis.len();
+    let mut q = Matrix::zeros(m, r);
+    for (j, b) in basis.iter().enumerate() {
+        for i in 0..m {
+            q[(i, j)] = b[i];
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_util::Rng;
+
+    fn assert_orthonormal_cols(q: &Matrix, tol: f64) {
+        let g = q.gram();
+        for i in 0..q.cols() {
+            for j in 0..q.cols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g[(i, j)] - want).abs() < tol,
+                    "gram[{i},{j}] = {}",
+                    g[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let mut rng = Rng::new(11);
+        for &(m, n) in &[(5usize, 3usize), (8, 8), (20, 4), (3, 1)] {
+            let a = Matrix::gaussian(m, n, &mut rng);
+            let (q, r) = householder_qr(&a).unwrap();
+            assert_eq!(q.shape(), (m, n));
+            assert_eq!(r.shape(), (n, n));
+            let qr = q.matmul(&r).unwrap();
+            let err = qr.sub(&a).unwrap().frobenius_norm();
+            assert!(err < 1e-10, "reconstruction error {err} for {m}x{n}");
+            assert_orthonormal_cols(&q, 1e-10);
+        }
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let mut rng = Rng::new(12);
+        let a = Matrix::gaussian(6, 4, &mut rng);
+        let (_, r) = householder_qr(&a).unwrap();
+        for i in 1..4 {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < 1e-12, "r[{i},{j}] = {}", r[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide() {
+        let a = Matrix::zeros(2, 3);
+        assert!(householder_qr(&a).is_err());
+    }
+
+    #[test]
+    fn qr_handles_rank_deficient() {
+        // Two identical columns: QR still reconstructs.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ])
+        .unwrap();
+        let (q, r) = householder_qr(&a).unwrap();
+        let err = q.matmul(&r).unwrap().sub(&a).unwrap().frobenius_norm();
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn orthonormalize_full_rank() {
+        let mut rng = Rng::new(13);
+        let a = Matrix::gaussian(10, 4, &mut rng);
+        let q = orthonormalize_columns(&a);
+        assert_eq!(q.cols(), 4);
+        assert_orthonormal_cols(&q, 1e-10);
+    }
+
+    #[test]
+    fn orthonormalize_drops_dependent_columns() {
+        let mut rng = Rng::new(14);
+        let a = Matrix::gaussian(10, 3, &mut rng);
+        // Append a column that is a combination of the first two.
+        let dep: Vec<f64> = (0..10).map(|i| a[(i, 0)] * 2.0 - a[(i, 1)]).collect();
+        let mut wide = Matrix::zeros(10, 4);
+        for i in 0..10 {
+            for j in 0..3 {
+                wide[(i, j)] = a[(i, j)];
+            }
+            wide[(i, 3)] = dep[i];
+        }
+        let q = orthonormalize_columns(&wide);
+        assert_eq!(q.cols(), 3);
+        assert_orthonormal_cols(&q, 1e-10);
+    }
+
+    #[test]
+    fn orthonormalize_zero_matrix_gives_empty_basis() {
+        let q = orthonormalize_columns(&Matrix::zeros(5, 3));
+        assert_eq!(q.cols(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Theorem 6: for `f = max` (or the Huber ψ), relative-error PCA needs
+//! `Ω̃(nd)` bits — reduction from 2-DISJ.
+//!
+//! The construction (§VII-B): flip both bit vectors and arrange them into a
+//! matrix; under `max`, the entry is `0` exactly at a *joint* 1 (both
+//! parties hold the element), and `1` everywhere else. With a `1_d` row and
+//! an `I_{k−2}` gadget, the matrix has rank exactly `k` when a joint element
+//! exists (its row becomes `ē_j`, and `1_d − ē_j = e_j` joins the row
+//! space) and `k−1` otherwise — so a *zero-error* rank-k projection (which
+//! is what `(1+ε)·0` forces) reveals the joint column: `ē_l` is fixed by
+//! `P` exactly for `l` = the joint column. Recursing on that column finds
+//! the element with `O(log_d(nd))` oracle calls.
+
+use crate::problems::TwoDisjInstance;
+use crate::ReductionStats;
+use dlra_linalg::{svd, Matrix};
+
+/// Which entrywise function realizes the construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisjVariant {
+    /// `A = max(A¹, A²)` entrywise.
+    Max,
+    /// `A = ψ(A¹ + A²)` for the Huber ψ with `ψ(0)=0, ψ(1)=ψ(2)=1`
+    /// (threshold `k = 1`).
+    Huber,
+}
+
+/// Decides a 2-DISJ instance using a relative-error rank-k PCA oracle.
+///
+/// The oracle must return a projection achieving
+/// `‖A − AP‖²_F ≤ (1+ε)‖A − [A]ₖ‖²_F`; since `A` has rank ≤ k, that forces
+/// zero error, i.e. `P`'s row space ⊇ rowspace(A). Returns
+/// `(intersects, stats)`.
+pub fn solve_disj_via_pca(
+    inst: &TwoDisjInstance,
+    d: usize,
+    k: usize,
+    variant: DisjVariant,
+    oracle: &mut dyn FnMut(&Matrix, usize) -> Matrix,
+) -> (bool, ReductionStats) {
+    assert!(k >= 2, "gadget needs k >= 2");
+    assert!(d >= 2);
+    let m = inst.x.len();
+    let mut stats = ReductionStats::default();
+    let mut ids: Vec<usize> = (0..m).collect();
+
+    while ids.len() > 1 {
+        stats.rounds += 1;
+        let rows = ids.len().div_ceil(d);
+        let dd = d + k - 2;
+        // Data block: flipped bits through max / Huber(sum); padding
+        // positions (no id) behave like (0,0) ↦ flipped (1,1) ↦ value 1.
+        let mut a = Matrix::zeros(rows + 1 + (k - 2), dd);
+        for pos in 0..rows * d {
+            let (i, j) = (pos / d, pos % d);
+            let val = match ids.get(pos) {
+                Some(&id) => {
+                    let fx = 1.0 - inst.x[id] as f64;
+                    let fy = 1.0 - inst.y[id] as f64;
+                    match variant {
+                        DisjVariant::Max => fx.max(fy),
+                        DisjVariant::Huber => (fx + fy).min(1.0),
+                    }
+                }
+                None => 1.0,
+            };
+            a[(i, j)] = val;
+        }
+        // Gadget: a 1_d row and I_{k−2} in the extra columns.
+        for j in 0..d {
+            a[(rows, j)] = 1.0;
+        }
+        for g in 0..k - 2 {
+            a[(rows + 1 + g, d + g)] = 1.0;
+        }
+
+        stats.oracle_calls += 1;
+        let proj = oracle(&a, k);
+
+        // Find l ∈ [d] with (ē_l, 0)·P == (ē_l, 0).
+        let mut found: Option<usize> = None;
+        for l in 0..d {
+            let mut fixed = true;
+            for jj in 0..dd {
+                let want = if jj < d && jj != l { 1.0 } else { 0.0 };
+                // (ē_l P)_jj = Σ_i ē_l[i]·P[i][jj].
+                let got: f64 = (0..d)
+                    .filter(|&i| i != l)
+                    .map(|i| proj[(i, jj)])
+                    .sum();
+                if (got - want).abs() > 1e-6 {
+                    fixed = false;
+                    break;
+                }
+            }
+            if fixed {
+                found = Some(l);
+                break;
+            }
+        }
+        let Some(c) = found else {
+            // No column qualifies: no joint element anywhere.
+            return (false, stats);
+        };
+        stats.side_words += 1;
+        ids = (0..rows)
+            .filter_map(|i| ids.get(i * d + c).copied())
+            .collect();
+        if ids.is_empty() {
+            return (false, stats);
+        }
+    }
+
+    // Direct check of the lone candidate (2 words).
+    stats.side_words += 2;
+    let id = ids[0];
+    (inst.x[id] == 1 && inst.y[id] == 1, stats)
+}
+
+/// Rank-aware exact oracle: projection onto the row space of `A`, truncated
+/// to the top-k directions by singular value but *excluding* numerically
+/// null directions (so "fixed by P" tests are exact).
+pub fn exact_rowspace_oracle(a: &Matrix, k: usize) -> Matrix {
+    let dec = svd(a).expect("oracle SVD");
+    let rank = dec.rank(1e-9).min(k);
+    let v = dec.top_right_vectors(rank);
+    v.matmul(&v.transpose()).expect("square")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_util::Rng;
+
+    fn run(
+        m: usize,
+        d: usize,
+        variant: DisjVariant,
+        intersecting: bool,
+        seed: u64,
+    ) -> (bool, ReductionStats) {
+        let mut rng = Rng::new(seed);
+        let inst = TwoDisjInstance::generate(m, intersecting, &mut rng);
+        solve_disj_via_pca(&inst, d, 3, variant, &mut exact_rowspace_oracle)
+    }
+
+    #[test]
+    fn max_variant_detects_intersection() {
+        for seed in 0..5 {
+            let (hit, _) = run(256, 8, DisjVariant::Max, true, seed);
+            assert!(hit, "missed intersection (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn max_variant_rejects_disjoint() {
+        for seed in 0..5 {
+            let (hit, _) = run(256, 8, DisjVariant::Max, false, 50 + seed);
+            assert!(!hit, "false intersection (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn huber_variant_matches_max() {
+        for seed in 0..3 {
+            let (hit, _) = run(128, 4, DisjVariant::Huber, true, 90 + seed);
+            assert!(hit);
+            let (miss, _) = run(128, 4, DisjVariant::Huber, false, 95 + seed);
+            assert!(!miss);
+        }
+    }
+
+    #[test]
+    fn oracle_calls_logarithmic_side_words_tiny() {
+        let (hit, stats) = run(4096, 16, DisjVariant::Max, true, 11);
+        assert!(hit);
+        assert!(stats.rounds <= 4, "rounds {}", stats.rounds);
+        assert!(stats.side_words < 12);
+    }
+
+    #[test]
+    fn rank_structure_of_construction() {
+        // Joint element ⇒ rank k; disjoint ⇒ rank k−1.
+        let mut rng = Rng::new(13);
+        let k = 3;
+        for (intersecting, want_rank) in [(true, k), (false, k - 1)] {
+            let inst = TwoDisjInstance::generate(64, intersecting, &mut rng);
+            let d = 8;
+            let rows = 64usize.div_ceil(d);
+            let dd = d + k - 2;
+            let mut a = Matrix::zeros(rows + 1 + (k - 2), dd);
+            for pos in 0..64 {
+                let (i, j) = (pos / d, pos % d);
+                let fx = 1.0 - inst.x[pos] as f64;
+                let fy = 1.0 - inst.y[pos] as f64;
+                a[(i, j)] = fx.max(fy);
+            }
+            for j in 0..d {
+                a[(rows, j)] = 1.0;
+            }
+            a[(rows + 1, d)] = 1.0;
+            let dec = svd(&a).unwrap();
+            assert_eq!(dec.rank(1e-9), want_rank, "intersecting={intersecting}");
+        }
+    }
+}

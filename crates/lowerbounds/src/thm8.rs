@@ -1,0 +1,150 @@
+//! Theorem 8: for `f(x) = xᵖ`, a `(1+ε)` relative-error protocol needs
+//! `Ω(1/ε²)` bits — reduction from Gap-Hamming-Distance.
+//!
+//! The gadget (§VII-B): embed the sign vectors in the first column of a
+//! `(1/ε² + k) × (k+1)` matrix scaled by `ε`, and add diagonal rows `√2`
+//! and `√(2(1+ε))/ε`. Then `AᵀA = diag(‖x+y‖²ε², 2, 2(1+ε)/ε², …)`, and
+//! whether the first column's mass `‖x+y‖²ε² = 2 + 2ε²⟨x,y⟩` exceeds `2`
+//! — i.e. the sign of `⟨x,y⟩` — is readable off *any* valid rank-k
+//! projection from the first coordinate of the left-out direction.
+
+use crate::problems::GapHammingInstance;
+use crate::ReductionStats;
+use dlra_linalg::{best_rank_k, matrix::norm_sq, Matrix};
+
+/// Builds the two parties' gadget matrices `(A¹, A²)` for rank parameter
+/// `k`; `A = A¹ + A²` is what the PCA protocol runs on.
+pub fn build_gadgets(inst: &GapHammingInstance, k: usize) -> (Matrix, Matrix) {
+    assert!(k >= 1);
+    let m = inst.x.len();
+    let eps = 1.0 / (m as f64).sqrt();
+    let rows = m + k;
+    let cols = k + 1;
+    let mut a1 = Matrix::zeros(rows, cols);
+    let mut a2 = Matrix::zeros(rows, cols);
+    for i in 0..m {
+        a1[(i, 0)] = inst.x[i] * eps;
+        a2[(i, 0)] = inst.y[i] * eps;
+    }
+    a1[(m, 1)] = 2.0f64.sqrt();
+    for g in 0..k - 1 {
+        a1[(m + 1 + g, 2 + g)] = (2.0 * (1.0 + eps)).sqrt() / eps;
+    }
+    (a1, a2)
+}
+
+/// Decides a Gap-Hamming instance via a relative-error rank-k PCA oracle.
+/// Returns `(is_positive, stats)` where positive means `⟨x,y⟩ > +2√m`.
+pub fn solve_ghd_via_pca(
+    inst: &GapHammingInstance,
+    k: usize,
+    oracle: &mut dyn FnMut(&Matrix, usize) -> Matrix,
+) -> (bool, ReductionStats) {
+    let m = inst.x.len();
+    let eps = 1.0 / (m as f64).sqrt();
+    let (a1, a2) = build_gadgets(inst, k);
+    let a = a1.add(&a2).expect("same shape");
+
+    let mut stats = ReductionStats {
+        oracle_calls: 1,
+        ..Default::default()
+    };
+    let proj = oracle(&a, k);
+
+    // u := first row of (I_{k+1} − P); v := u/‖u‖; decide by v₁².
+    let cols = k + 1;
+    let mut u = vec![0.0f64; cols];
+    for j in 0..cols {
+        let id = if j == 0 { 1.0 } else { 0.0 };
+        u[j] = id - proj[(0, j)];
+    }
+    let nu = norm_sq(&u);
+    stats.side_words += 1; // the one-bit answer
+    if nu < 1e-12 {
+        // P retains e₀ entirely ⇒ the first column was among the top-k ⇒
+        // its mass exceeded 2 ⇒ ⟨x,y⟩ > 0.
+        return (true, stats);
+    }
+    let v1_sq = u[0] * u[0] / nu;
+    (v1_sq < 0.5 * (1.0 + eps), stats)
+}
+
+/// Exact-SVD oracle (satisfies any `(1+ε)` relative-error guarantee).
+pub fn exact_oracle(a: &Matrix, k: usize) -> Matrix {
+    best_rank_k(a, k).expect("oracle SVD").projection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_util::Rng;
+
+    #[test]
+    fn gadget_gram_is_diagonal_with_claimed_entries() {
+        let mut rng = Rng::new(1);
+        let inst = GapHammingInstance::generate(64, true, 1.0, &mut rng);
+        let k = 3;
+        let (a1, a2) = build_gadgets(&inst, k);
+        let a = a1.add(&a2).unwrap();
+        let g = a.gram();
+        let eps = 1.0 / 8.0;
+        // Off-diagonals vanish.
+        for i in 0..k + 1 {
+            for j in 0..k + 1 {
+                if i != j {
+                    assert!(g[(i, j)].abs() < 1e-9, "g[{i}][{j}] = {}", g[(i, j)]);
+                }
+            }
+        }
+        // Diagonal: ‖x+y‖²ε², 2, 2(1+ε)/ε².
+        let xy: f64 = inst.inner();
+        let col0 = (2.0 * 64.0 + 2.0 * xy) * eps * eps;
+        assert!((g[(0, 0)] - col0).abs() < 1e-9);
+        assert!((g[(1, 1)] - 2.0).abs() < 1e-9);
+        for gg in 2..k + 1 {
+            assert!((g[(gg, gg)] - 2.0 * (1.0 + eps) / (eps * eps)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn decides_positive_instances() {
+        for seed in 0..6 {
+            let mut rng = Rng::new(seed);
+            let inst = GapHammingInstance::generate(144, true, 1.0, &mut rng);
+            let (pos, stats) = solve_ghd_via_pca(&inst, 2, &mut exact_oracle);
+            assert!(pos, "seed {seed}");
+            assert_eq!(stats.oracle_calls, 1);
+        }
+    }
+
+    #[test]
+    fn decides_negative_instances() {
+        for seed in 0..6 {
+            let mut rng = Rng::new(100 + seed);
+            let inst = GapHammingInstance::generate(144, false, 1.0, &mut rng);
+            let (pos, _) = solve_ghd_via_pca(&inst, 2, &mut exact_oracle);
+            assert!(!pos, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn works_across_k() {
+        let mut rng = Rng::new(42);
+        for k in [1usize, 2, 4, 6] {
+            let pos_inst = GapHammingInstance::generate(100, true, 1.0, &mut rng);
+            let neg_inst = GapHammingInstance::generate(100, false, 1.0, &mut rng);
+            assert!(solve_ghd_via_pca(&pos_inst, k, &mut exact_oracle).0, "k={k}");
+            assert!(!solve_ghd_via_pca(&neg_inst, k, &mut exact_oracle).0, "k={k}");
+        }
+    }
+
+    #[test]
+    fn dimension_scaling() {
+        // Larger m (smaller ε): still decided with one oracle call.
+        let mut rng = Rng::new(77);
+        let inst = GapHammingInstance::generate(1024, true, 1.0, &mut rng);
+        let (pos, stats) = solve_ghd_via_pca(&inst, 3, &mut exact_oracle);
+        assert!(pos);
+        assert_eq!(stats.oracle_calls, 1);
+    }
+}

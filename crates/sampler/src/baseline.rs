@@ -1,0 +1,174 @@
+//! Baseline samplers: the exact-probability oracle (the sampler assumed by
+//! Frieze–Kannan–Vempala [11], which the paper points out is *not*
+//! implementable cheaply in a distributed setting) and the uniform sampler
+//! (sufficient for Gaussian random Fourier features, §VI-A).
+
+use crate::vector::SampleVector;
+use crate::zfn::ZFn;
+use crate::zsampler::Draw;
+use dlra_comm::Cluster;
+use dlra_util::Rng;
+
+/// Materializes the exact per-coordinate weights `z(aⱼ)` of the aggregate
+/// vector by direct access to all local states.
+///
+/// This is an **evaluation oracle**: it reads `cluster.locals()` without
+/// touching the ledger. Centralizing the data for real would cost
+/// `Σₜ dim` words — the "ship everything" baseline the benchmark harness
+/// accounts analytically.
+pub fn exact_weights<L: SampleVector>(cluster: &Cluster<L>, zfn: &dyn ZFn) -> Vec<f64> {
+    let dim = cluster.local(0).dim() as usize;
+    let mut agg = vec![0.0f64; dim];
+    for local in cluster.locals() {
+        local.for_each_nonzero(&mut |j, x| agg[j as usize] += x);
+    }
+    agg.iter().map(|&v| zfn.z(v)).collect()
+}
+
+/// Exact-probability sampler over precomputed weights (the FKV idealized
+/// sampler: reports `Q` with zero error).
+#[derive(Debug, Clone)]
+pub struct ExactSampler {
+    weights: Vec<f64>,
+    values: Vec<f64>,
+    total: f64,
+}
+
+impl ExactSampler {
+    /// Builds from the aggregate vector's exact values and a `z` function.
+    pub fn from_cluster<L: SampleVector>(cluster: &Cluster<L>, zfn: &dyn ZFn) -> Self {
+        let dim = cluster.local(0).dim() as usize;
+        let mut values = vec![0.0f64; dim];
+        for local in cluster.locals() {
+            local.for_each_nonzero(&mut |j, x| values[j as usize] += x);
+        }
+        let weights: Vec<f64> = values.iter().map(|&v| zfn.z(v)).collect();
+        let total = weights.iter().sum();
+        ExactSampler {
+            weights,
+            values,
+            total,
+        }
+    }
+
+    /// Total mass `Z(a)`.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Exact probability of coordinate `j`.
+    pub fn probability(&self, j: u64) -> f64 {
+        if self.total > 0.0 {
+            self.weights[j as usize] / self.total
+        } else {
+            0.0
+        }
+    }
+
+    /// One exact draw; `None` when all weights are zero.
+    pub fn draw(&self, rng: &mut Rng) -> Option<Draw> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        let j = rng.weighted_index(&self.weights);
+        Some(Draw {
+            coord: j as u64,
+            value: self.values[j],
+            q_hat: self.probability(j as u64),
+        })
+    }
+
+    /// `r` exact draws.
+    pub fn draw_many(&self, r: usize, rng: &mut Rng) -> Vec<Draw> {
+        (0..r).filter_map(|_| self.draw(rng)).collect()
+    }
+}
+
+/// Uniform sampler over `[0, n)`: the right tool when all rows have (nearly)
+/// equal norm, as with random Fourier features where `E‖Aᵢ‖² = d` for every
+/// row (§VI-A). Costs no communication to *sample*; only the subsequent row
+/// fetches are charged.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformSampler {
+    /// Number of items sampled over.
+    pub n: u64,
+}
+
+impl UniformSampler {
+    /// One uniform index with its exact probability `1/n`.
+    pub fn draw(&self, rng: &mut Rng) -> (u64, f64) {
+        (rng.below(self.n), 1.0 / self.n as f64)
+    }
+
+    /// `r` uniform indices (with replacement).
+    pub fn draw_many(&self, r: usize, rng: &mut Rng) -> Vec<(u64, f64)> {
+        (0..r).map(|_| self.draw(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::DenseServerVec;
+    use crate::zfn::{PowerAbs, Square};
+
+    fn make_cluster(parts: Vec<Vec<f64>>) -> Cluster<DenseServerVec> {
+        Cluster::new(parts.into_iter().map(DenseServerVec::new).collect())
+    }
+
+    #[test]
+    fn exact_weights_aggregate_servers() {
+        let c = make_cluster(vec![vec![1.0, 0.0, 2.0], vec![1.0, 3.0, -2.0]]);
+        let w = exact_weights(&c, &Square);
+        assert_eq!(w, vec![4.0, 9.0, 0.0]);
+    }
+
+    #[test]
+    fn exact_weights_respect_zfn() {
+        let c = make_cluster(vec![vec![4.0, 16.0]]);
+        let w = exact_weights(&c, &PowerAbs::from_gm_p(2.0)); // z = |x|
+        assert_eq!(w, vec![4.0, 16.0]);
+    }
+
+    #[test]
+    fn exact_sampler_distribution() {
+        let c = make_cluster(vec![vec![1.0, 2.0, 0.0, 3.0]]);
+        let s = ExactSampler::from_cluster(&c, &Square);
+        assert_eq!(s.total(), 14.0);
+        assert_eq!(s.probability(1), 4.0 / 14.0);
+        let mut rng = Rng::new(1);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for d in s.draw_many(n, &mut rng) {
+            counts[d.coord as usize] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let f3 = counts[3] as f64 / n as f64;
+        assert!((f3 - 9.0 / 14.0).abs() < 0.02, "f3 {f3}");
+        // Reported q_hat is exact.
+        let d = s.draw(&mut rng).unwrap();
+        assert_eq!(d.q_hat, s.probability(d.coord));
+    }
+
+    #[test]
+    fn exact_sampler_zero_vector() {
+        let c = make_cluster(vec![vec![0.0; 5]]);
+        let s = ExactSampler::from_cluster(&c, &Square);
+        let mut rng = Rng::new(2);
+        assert!(s.draw(&mut rng).is_none());
+    }
+
+    #[test]
+    fn uniform_sampler_covers_range() {
+        let u = UniformSampler { n: 10 };
+        let mut rng = Rng::new(3);
+        let draws = u.draw_many(5000, &mut rng);
+        let mut seen = [false; 10];
+        for (j, q) in draws {
+            assert!(j < 10);
+            assert_eq!(q, 0.1);
+            seen[j as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

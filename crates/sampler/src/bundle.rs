@@ -1,0 +1,335 @@
+//! The per-server sketch bundle: Algorithm 2's `Z-HeavyHitters` replicated
+//! across Algorithm 3's subsampling levels.
+//!
+//! Level `0` sketches the full vector; level `j ≥ 1` sketches the
+//! restriction to `Sⱼ = {i : g(i) < 2⁻ʲ}` for a shared high-independence
+//! hash `g` (so the `Sⱼ` are nested, as in the paper). Within a level, each
+//! of `reps` repetitions routes coordinates through a pairwise-independent
+//! group hash into `groups` buckets and maintains one
+//! [`HeavyHittersSketch`] per bucket — Algorithm 2's `hashₜ : [m] → [⌈4B²⌉]`
+//! followed by `HeavyHitters(v(Hₜ,ₑ), B, ·)`. Two coordinates that are both
+//! `z`-heavy land in different groups with constant probability per rep;
+//! within its group, a `z`-heavy coordinate is `F₂`-heavy by property P, so
+//! plain heavy-hitter recovery finds it.
+//!
+//! The whole bundle is linear, so per-server bundles built from one
+//! broadcast seed merge by addition into the bundle of the aggregate vector.
+
+use crate::params::ZSamplerParams;
+use crate::vector::SampleVector;
+use dlra_comm::Payload;
+use dlra_sketch::{HeavyHittersSketch, KWiseHash};
+
+/// One repetition at one level: group hash + per-group heavy hitters.
+#[derive(Debug, Clone)]
+struct GroupedHh {
+    group_hash: KWiseHash,
+    groups: Vec<HeavyHittersSketch>,
+}
+
+/// The full multi-level sketch bundle one server ships to the coordinator.
+#[derive(Debug, Clone)]
+pub struct SketchBundle {
+    seed: u64,
+    levels: Vec<Vec<GroupedHh>>,
+    sub_hash: KWiseHash,
+    num_levels: usize,
+    max_candidates_per_level: usize,
+}
+
+impl SketchBundle {
+    /// Builds an empty bundle. Identical `(params, seed, dim)` ⇒ identical
+    /// hash functions ⇒ mergeable.
+    pub fn new(params: &ZSamplerParams, seed: u64, dim: u64) -> Self {
+        let num_levels = params.effective_levels(dim);
+        let sub_hash = KWiseHash::from_seed(params.g_independence.max(2), seed ^ 0x5EED_5EED);
+        let levels = (0..=num_levels)
+            .map(|level| {
+                (0..params.reps)
+                    .map(|rep| {
+                        let tag = (level as u64) << 32 | rep as u64;
+                        let group_hash =
+                            KWiseHash::from_seed(2, seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let groups = (0..params.groups)
+                            .map(|g| {
+                                HeavyHittersSketch::with_dims(
+                                    params.b_threshold,
+                                    params.hh_depth,
+                                    params.hh_width,
+                                    seed ^ (tag << 8 | g as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+                                )
+                            })
+                            .collect();
+                        GroupedHh { group_hash, groups }
+                    })
+                    .collect()
+            })
+            .collect();
+        SketchBundle {
+            seed,
+            levels,
+            sub_hash,
+            num_levels,
+            max_candidates_per_level: params.max_candidates_per_level,
+        }
+    }
+
+    /// Number of subsampling levels beyond the base.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// The deepest level coordinate `j` survives to: `j ∈ Sₗ` for all
+    /// `l ≤ level_of(j)` (nested subsampling via the shared hash `g`).
+    #[inline]
+    pub fn level_of(&self, j: u64) -> usize {
+        let u = self.sub_hash.unit(j);
+        if u <= 0.0 {
+            return self.num_levels;
+        }
+        let lvl = (-u.log2()).floor();
+        (lvl.max(0.0) as usize).min(self.num_levels)
+    }
+
+    /// Adds `value` at coordinate `j` into every level it survives to.
+    pub fn update(&mut self, j: u64, value: f64) {
+        if value == 0.0 {
+            return;
+        }
+        let deepest = self.level_of(j);
+        for level in 0..=deepest {
+            for rep in self.levels[level].iter_mut() {
+                let g = rep.group_hash.bucket(j, rep.groups.len());
+                rep.groups[g].update(j, value);
+            }
+        }
+    }
+
+    /// Sketches a server's whole local vector.
+    pub fn absorb<V: SampleVector + ?Sized>(&mut self, v: &V) {
+        v.for_each_nonzero(&mut |j, x| self.update(j, x));
+    }
+
+    /// Merges a bundle built with the same `(params, seed, dim)`.
+    pub fn merge(&mut self, other: &SketchBundle) {
+        assert_eq!(self.seed, other.seed, "bundle seed mismatch");
+        assert_eq!(self.num_levels, other.num_levels, "bundle level mismatch");
+        for (la, lb) in self.levels.iter_mut().zip(&other.levels) {
+            for (ra, rb) in la.iter_mut().zip(lb) {
+                for (ga, gb) in ra.groups.iter_mut().zip(&rb.groups) {
+                    ga.merge(gb);
+                }
+            }
+        }
+    }
+
+    /// Total sketch size in words (the upstream cost per server).
+    pub fn size_words(&self) -> u64 {
+        self.levels
+            .iter()
+            .flatten()
+            .flat_map(|r| r.groups.iter())
+            .map(HeavyHittersSketch::size_words)
+            .sum()
+    }
+
+    /// Recovers, for each level, the coordinates reported heavy by any
+    /// repetition's group sketch, scanning candidates `0..dim`.
+    ///
+    /// Returns `recovered[level] = sorted candidate list`. Runs at the
+    /// coordinator on the *merged* bundle; it is pure local computation
+    /// (the model allows polynomial local work) and costs no communication.
+    pub fn recover(&self, dim: u64) -> Vec<Vec<u64>> {
+        // Precompute per-group acceptance thresholds: est² ≥ F̂₂ / (2B).
+        let thresholds: Vec<Vec<Vec<f64>>> = self
+            .levels
+            .iter()
+            .map(|reps| {
+                reps.iter()
+                    .map(|r| {
+                        r.groups
+                            .iter()
+                            .map(|g| 0.5 * g.f2_estimate() / g.b())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut scored: Vec<Vec<(f64, u64)>> = vec![Vec::new(); self.num_levels + 1];
+        for j in 0..dim {
+            let deepest = self.level_of(j);
+            for level in 0..=deepest {
+                let mut best = 0.0f64;
+                let mut hit = false;
+                for (rep, thr) in self.levels[level].iter().zip(&thresholds[level]) {
+                    let g = rep.group_hash.bucket(j, rep.groups.len());
+                    let t = thr[g];
+                    if t <= 0.0 {
+                        continue;
+                    }
+                    let est = rep.groups[g].estimate(j);
+                    if est * est >= t {
+                        hit = true;
+                        best = best.max(est.abs());
+                    }
+                }
+                if hit {
+                    scored[level].push((best, j));
+                }
+            }
+        }
+        // Cap each level to the largest-estimate candidates, bounding the
+        // exact-lookup round's communication.
+        scored
+            .into_iter()
+            .map(|mut lvl| {
+                if lvl.len() > self.max_candidates_per_level {
+                    lvl.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                    lvl.truncate(self.max_candidates_per_level);
+                }
+                let mut coords: Vec<u64> = lvl.into_iter().map(|(_, j)| j).collect();
+                coords.sort_unstable();
+                coords
+            })
+            .collect()
+    }
+}
+
+impl Payload for SketchBundle {
+    fn words(&self) -> u64 {
+        self.size_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::DenseServerVec;
+    use dlra_util::Rng;
+
+    fn small_params() -> ZSamplerParams {
+        ZSamplerParams {
+            hh_width: 64,
+            groups: 4,
+            reps: 2,
+            b_threshold: 16.0,
+            max_levels: 8,
+            ..ZSamplerParams::default()
+        }
+    }
+
+    #[test]
+    fn level_of_is_geometric() {
+        let p = small_params();
+        let b = SketchBundle::new(&p, 42, 1 << 16);
+        let n = 100_000u64;
+        let mut counts = vec![0usize; b.num_levels() + 1];
+        for j in 0..n {
+            counts[b.level_of(j)] += 1;
+        }
+        // P(level ≥ 1) = 1/2, P(level ≥ 2) = 1/4, ...
+        let at_least_1: usize = counts[1..].iter().sum();
+        let frac = at_least_1 as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+        let at_least_3: usize = counts[3..].iter().sum();
+        let frac3 = at_least_3 as f64 / n as f64;
+        assert!((frac3 - 0.125).abs() < 0.01, "frac3 {frac3}");
+    }
+
+    #[test]
+    fn update_zero_is_noop() {
+        let p = small_params();
+        let mut b = SketchBundle::new(&p, 1, 100);
+        b.update(5, 0.0);
+        assert!(b.recover(100).iter().all(|l| l.is_empty()));
+    }
+
+    #[test]
+    fn merge_matches_joint() {
+        let p = small_params();
+        let mut rng = Rng::new(7);
+        let dim = 500u64;
+        let v1: Vec<f64> = (0..dim).map(|_| rng.gaussian() * 0.1).collect();
+        let mut v2: Vec<f64> = (0..dim).map(|_| rng.gaussian() * 0.1).collect();
+        v2[123] += 30.0; // heavy only in aggregate
+        let mut b1 = SketchBundle::new(&p, 9, dim);
+        let mut b2 = SketchBundle::new(&p, 9, dim);
+        let mut joint = SketchBundle::new(&p, 9, dim);
+        b1.absorb(&DenseServerVec::new(v1.clone()));
+        b2.absorb(&DenseServerVec::new(v2.clone()));
+        let sum: Vec<f64> = v1.iter().zip(&v2).map(|(a, b)| a + b).collect();
+        joint.absorb(&DenseServerVec::new(sum));
+        b1.merge(&b2);
+        let r_merged = b1.recover(dim);
+        let r_joint = joint.recover(dim);
+        assert_eq!(r_merged, r_joint);
+        assert!(r_merged[0].contains(&123));
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn merge_rejects_different_seeds() {
+        let p = small_params();
+        let mut a = SketchBundle::new(&p, 1, 10);
+        let b = SketchBundle::new(&p, 2, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn recovers_heavy_at_base_level() {
+        let p = small_params();
+        let dim = 2000u64;
+        let mut rng = Rng::new(11);
+        let mut v: Vec<f64> = (0..dim).map(|_| rng.gaussian() * 0.05).collect();
+        v[50] = 20.0;
+        v[1500] = -25.0;
+        let mut b = SketchBundle::new(&p, 21, dim);
+        b.absorb(&DenseServerVec::new(v));
+        let rec = b.recover(dim);
+        assert!(rec[0].contains(&50), "missing 50 at base");
+        assert!(rec[0].contains(&1500), "missing 1500 at base");
+    }
+
+    #[test]
+    fn subsampled_levels_surface_mid_mass_class() {
+        // A large class of equal mid-weight coordinates is invisible at the
+        // base level (none is 1/B-heavy) but visible at deep levels where
+        // few survivors remain.
+        let p = small_params();
+        let dim = 1 << 14;
+        let mut v = vec![0.0f64; dim as usize];
+        // 512 coordinates of weight 1 (class), everything else tiny.
+        let mut rng = Rng::new(13);
+        for x in v.iter_mut() {
+            *x = rng.gaussian() * 0.002;
+        }
+        for c in 0..512u64 {
+            v[(c * 31) as usize % dim as usize] = 1.0;
+        }
+        let mut b = SketchBundle::new(&p, 31, dim);
+        b.absorb(&DenseServerVec::new(v.clone()));
+        let rec = b.recover(dim);
+        // At depth ~7, about 4 of the 512 survive and dominate their groups.
+        let deep_hits: usize = (5..=8)
+            .map(|lvl| {
+                rec[lvl]
+                    .iter()
+                    .filter(|&&j| v[j as usize] == 1.0)
+                    .count()
+            })
+            .sum();
+        assert!(deep_hits > 0, "no class member recovered at deep levels");
+    }
+
+    #[test]
+    fn size_words_matches_structure() {
+        let p = small_params();
+        let b = SketchBundle::new(&p, 0, 1000);
+        let expect = (b.num_levels() as u64 + 1)
+            * p.reps as u64
+            * p.groups as u64
+            * (p.hh_depth * p.hh_width) as u64;
+        assert_eq!(b.size_words(), expect);
+        assert_eq!(Payload::words(&b), expect);
+    }
+}

@@ -1,0 +1,335 @@
+//! The distributed `Z-estimator` (Algorithm 3).
+//!
+//! One run consists of two accounted communication rounds, exactly as in the
+//! paper ("Algorithm 3 can be implemented with two rounds"): the servers
+//! first ship their (seeded) sketch bundles which the coordinator merges and
+//! from which it recovers per-level candidate lists (`D`, `Dⱼ`); the
+//! coordinator then asks every server for its local contribution to each
+//! candidate (`server 1 communicates with other servers to compute a_p`),
+//! sums them to *exact* aggregate values, and builds:
+//!
+//! * level-set size estimates `ŝᵢ` — full counts for classes whose members
+//!   are individually heavy (line 6), and `2ʲ·|Sᵢ(a) ∩ Dⱼ|` for levels
+//!   whose recovered count falls in the acceptance window (line 12);
+//! * `Ẑ = Σᵢ ŝᵢ·repᵢ` (line 14 — we use the mean recovered `z`-value per
+//!   class as `repᵢ` instead of the floor `(1+ε)ⁱ`; the exact values are
+//!   already in hand, so this costs nothing and is strictly more accurate).
+
+use crate::bundle::SketchBundle;
+use crate::params::ZSamplerParams;
+use crate::vector::SampleVector;
+use crate::zfn::ZFn;
+use dlra_comm::Cluster;
+use std::collections::BTreeMap;
+
+/// Per-class output of the estimator.
+#[derive(Debug, Clone)]
+pub struct ClassEstimate {
+    /// Estimated class size `ŝᵢ ≈ |Sᵢ(a)|`.
+    pub s_hat: f64,
+    /// Representative `z`-value (mean of recovered members' exact `z`).
+    pub rep_value: f64,
+    /// Recovered members with their exact aggregate values `a_j`.
+    pub members: Vec<(u64, f64)>,
+}
+
+/// Output of one Z-estimator run.
+#[derive(Debug, Clone)]
+pub struct EstimatorOutput {
+    /// `Ẑ ≈ Z(a) = Σⱼ z(aⱼ)`.
+    pub z_hat: f64,
+    /// Per-class estimates keyed by level-set index `i`
+    /// (`z ∈ [(1+ε)ⁱ, (1+ε)^{i+1})`).
+    pub classes: BTreeMap<i32, ClassEstimate>,
+    /// Dimension of the (possibly injection-extended) vector examined.
+    pub dim: u64,
+}
+
+impl EstimatorOutput {
+    /// The level-set index of a `z`-value under class width `1 + eps`.
+    pub fn class_of(zv: f64, eps: f64) -> Option<i32> {
+        if zv <= 0.0 || !zv.is_finite() {
+            return None;
+        }
+        Some((zv.ln() / (1.0 + eps).ln()).floor() as i32)
+    }
+
+    /// Total number of recovered coordinates across classes.
+    pub fn recovered_count(&self) -> usize {
+        self.classes.values().map(|c| c.members.len()).sum()
+    }
+}
+
+/// Runs Algorithm 3 on the cluster's current local vectors.
+///
+/// All randomness derives from `seed`, which the coordinator broadcasts
+/// (one word) so every server builds an identical sketch structure.
+pub fn run_z_estimator<L: SampleVector>(
+    cluster: &mut Cluster<L>,
+    zfn: &dyn ZFn,
+    params: &ZSamplerParams,
+    seed: u64,
+) -> EstimatorOutput {
+    let dim = cluster.local(0).dim();
+    debug_assert!(
+        cluster.locals().iter().all(|l| l.dim() == dim),
+        "all servers must agree on the vector dimension"
+    );
+    if dim == 0 {
+        return EstimatorOutput {
+            z_hat: 0.0,
+            classes: BTreeMap::new(),
+            dim,
+        };
+    }
+
+    // Round 1a: broadcast the seed (the whole hash structure in one word).
+    cluster.broadcast(&seed, "zest.seed", |_, _, _| {});
+
+    // Round 1b: every server sketches its local vector; coordinator merges.
+    let merged = cluster.aggregate(
+        "zest.sketch",
+        |_t, local| {
+            let mut b = SketchBundle::new(params, seed, dim);
+            b.absorb(local);
+            b
+        },
+        |acc, b| acc.merge(&b),
+    );
+
+    // Local recovery at the coordinator (no communication).
+    let per_level = merged.recover(dim);
+    let mut candidates: Vec<u64> = per_level.iter().flatten().copied().collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    if candidates.is_empty() {
+        return EstimatorOutput {
+            z_hat: 0.0,
+            classes: BTreeMap::new(),
+            dim,
+        };
+    }
+
+    // Round 2: exact lookups of every candidate's aggregate value.
+    let exact = lookup_exact(cluster, &candidates);
+
+    // Classify candidates.
+    let eps = params.eps_class;
+    let class_of_coord: BTreeMap<u64, i32> = candidates
+        .iter()
+        .zip(&exact)
+        .filter_map(|(&j, &v)| EstimatorOutput::class_of(zfn.z(v), eps).map(|c| (j, c)))
+        .collect();
+    let value_of: BTreeMap<u64, f64> = candidates.iter().copied().zip(exact).collect();
+
+    // Per-class members (all levels, deduplicated).
+    let mut classes: BTreeMap<i32, ClassEstimate> = BTreeMap::new();
+    for (&j, &c) in &class_of_coord {
+        classes
+            .entry(c)
+            .or_insert_with(|| ClassEstimate {
+                s_hat: 0.0,
+                rep_value: 0.0,
+                members: Vec::new(),
+            })
+            .members
+            .push((j, value_of[&j]));
+    }
+
+    // Size estimates: start from the recovered member count (a lower bound,
+    // exact when the class is individually heavy — Alg. 3 line 6), then let
+    // windowed subsample counts scale it up (line 12).
+    for (level, recs) in per_level.iter().enumerate().skip(1) {
+        let mut counts: BTreeMap<i32, usize> = BTreeMap::new();
+        for j in recs {
+            if let Some(&c) = class_of_coord.get(j) {
+                *counts.entry(c).or_default() += 1;
+            }
+        }
+        let scale = (1u64 << level) as f64;
+        for (c, n) in counts {
+            if n >= params.window_lo && n < params.window_hi {
+                let e = classes.get_mut(&c).expect("class exists");
+                e.s_hat = e.s_hat.max(scale * n as f64);
+            }
+        }
+    }
+    let mut z_hat = 0.0;
+    for est in classes.values_mut() {
+        est.s_hat = est.s_hat.max(est.members.len() as f64);
+        let zsum: f64 = est.members.iter().map(|&(_, v)| zfn.z(v)).sum();
+        est.rep_value = zsum / est.members.len() as f64;
+        z_hat += est.s_hat * est.rep_value;
+    }
+
+    EstimatorOutput {
+        z_hat,
+        classes,
+        dim,
+    }
+}
+
+/// Coordinator asks every server for its local contribution to each listed
+/// coordinate and sums the replies (Algorithm 3 lines 6 and 11).
+pub fn lookup_exact<L: SampleVector>(cluster: &mut Cluster<L>, coords: &[u64]) -> Vec<f64> {
+    let request: Vec<u64> = coords.to_vec();
+    let replies = cluster.query_all(&request, "zest.lookup", |_t, local, req: &Vec<u64>| {
+        req.iter().map(|&j| local.value(j)).collect::<Vec<f64>>()
+    });
+    let mut out = vec![0.0; coords.len()];
+    for reply in replies {
+        for (acc, v) in out.iter_mut().zip(reply) {
+            *acc += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::DenseServerVec;
+    use crate::zfn::{PowerAbs, Square};
+    use dlra_util::Rng;
+
+    fn make_cluster(parts: Vec<Vec<f64>>) -> Cluster<DenseServerVec> {
+        Cluster::new(parts.into_iter().map(DenseServerVec::new).collect())
+    }
+
+    fn test_params() -> ZSamplerParams {
+        ZSamplerParams {
+            hh_width: 128,
+            groups: 4,
+            reps: 2,
+            b_threshold: 16.0,
+            ..ZSamplerParams::default()
+        }
+    }
+
+    #[test]
+    fn class_of_boundaries() {
+        let eps = 0.5;
+        // z = 1.0 → class 0; z = 1.5 → class 1; z = 2.25 → class 2.
+        assert_eq!(EstimatorOutput::class_of(1.0, eps), Some(0));
+        assert_eq!(EstimatorOutput::class_of(1.6, eps), Some(1));
+        assert_eq!(EstimatorOutput::class_of(0.9, eps), Some(-1));
+        assert_eq!(EstimatorOutput::class_of(0.0, eps), None);
+        assert_eq!(EstimatorOutput::class_of(-3.0, eps), None);
+    }
+
+    #[test]
+    fn zero_vector_gives_zero_estimate() {
+        let mut c = make_cluster(vec![vec![0.0; 100]; 3]);
+        let out = run_z_estimator(&mut c, &Square, &test_params(), 1);
+        assert_eq!(out.z_hat, 0.0);
+        assert!(out.classes.is_empty());
+    }
+
+    #[test]
+    fn lookup_exact_sums_across_servers() {
+        let mut c = make_cluster(vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]);
+        let vals = lookup_exact(&mut c, &[0, 2]);
+        assert_eq!(vals, vec![11.0, 33.0]);
+    }
+
+    #[test]
+    fn few_heavy_coordinates_estimated_exactly() {
+        // A vector with a handful of big coordinates and silence elsewhere:
+        // every coordinate is heavy, recovery is exhaustive, Ẑ is exact.
+        let dim = 4096usize;
+        let mut v1 = vec![0.0f64; dim];
+        let mut v2 = vec![0.0f64; dim];
+        v1[7] = 3.0;
+        v2[7] = 2.0; // aggregate 5 → z = 25
+        v1[100] = -4.0; // z = 16
+        v2[3000] = 6.0; // z = 36
+        let mut c = make_cluster(vec![v1, v2]);
+        let out = run_z_estimator(&mut c, &Square, &test_params(), 3);
+        let truth = 25.0 + 16.0 + 36.0;
+        assert!(
+            (out.z_hat - truth).abs() < 1e-6,
+            "z_hat {} truth {truth}",
+            out.z_hat
+        );
+        assert_eq!(out.recovered_count(), 3);
+        // Exact member values.
+        let all: Vec<(u64, f64)> = out
+            .classes
+            .values()
+            .flat_map(|e| e.members.iter().copied())
+            .collect();
+        assert!(all.contains(&(7, 5.0)));
+        assert!(all.contains(&(100, -4.0)));
+        assert!(all.contains(&(3000, 6.0)));
+    }
+
+    #[test]
+    fn bulk_class_estimated_within_factor() {
+        // 1024 coordinates of weight ~1 in a dim-16384 vector: the class size
+        // must be estimated within a reasonable factor via subsampling.
+        let dim = 1 << 14;
+        let mut rng = Rng::new(5);
+        let mut v = vec![0.0f64; dim];
+        let mut planted = 0usize;
+        while planted < 1024 {
+            let j = rng.index(dim);
+            if v[j] == 0.0 {
+                v[j] = 1.0;
+                planted += 1;
+            }
+        }
+        let mut c = make_cluster(vec![v]);
+        let mut p = test_params();
+        p.hh_width = 256;
+        let out = run_z_estimator(&mut c, &Square, &p, 17);
+        let truth = 1024.0;
+        assert!(
+            out.z_hat > truth / 4.0 && out.z_hat < truth * 4.0,
+            "z_hat {} truth {truth}",
+            out.z_hat
+        );
+    }
+
+    #[test]
+    fn mixed_scales_with_power_z() {
+        // z = |x|^{2/p} with p = 2 (square-root pooling): heavy + bulk.
+        let dim = 8192usize;
+        let mut rng = Rng::new(9);
+        let mut v = vec![0.0f64; dim];
+        for x in v.iter_mut() {
+            if rng.bernoulli(0.05) {
+                *x = rng.range_f64(0.5, 1.5);
+            }
+        }
+        v[11] = 5000.0;
+        let z = PowerAbs::from_gm_p(2.0);
+        let truth: f64 = v.iter().map(|&x| z.z(x)).sum();
+        let mut c = make_cluster(vec![v]);
+        let mut p = test_params();
+        p.hh_width = 256;
+        let out = run_z_estimator(&mut c, &z, &p, 23);
+        assert!(
+            out.z_hat > truth / 4.0 && out.z_hat < truth * 4.0,
+            "z_hat {} truth {truth}",
+            out.z_hat
+        );
+        // The single huge coordinate must be recovered with its exact value.
+        let found = out
+            .classes
+            .values()
+            .flat_map(|e| &e.members)
+            .any(|&(j, val)| j == 11 && (val - 5000.0).abs() < 1e-9);
+        assert!(found, "heavy coordinate not recovered exactly");
+    }
+
+    #[test]
+    fn two_rounds_of_communication() {
+        let mut c = make_cluster(vec![vec![1.0; 256]; 3]);
+        run_z_estimator(&mut c, &Square, &test_params(), 2);
+        // seed broadcast + sketch gather + lookup round = 3 accounted rounds.
+        assert_eq!(c.comm().rounds, 3);
+        assert!(c.comm().upstream_words > 0);
+        assert!(c.comm().downstream_words > 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The per-server view of the implicit aggregate vector `a = Σₜ aᵗ`.
+//!
+//! A [`SampleVector`] exposes a server's local contribution to each
+//! coordinate; the sketches in [`crate::bundle`] only ever read it through
+//! this trait, so matrix-backed adapters (a flattened `n × d` local matrix
+//! with a local entrywise transform) plug in without copying. Coordinate
+//! injection (Algorithm 4 / §V-D) appends virtual coordinates past the
+//! original dimension; injected values live on the coordinator only, other
+//! servers implicitly contribute zero — exactly the paper's "other servers
+//! append a consistent number of 0s".
+
+/// A server's local view of one coordinate-indexed vector.
+pub trait SampleVector {
+    /// Original (pre-injection) dimension `l`.
+    fn base_dim(&self) -> u64;
+
+    /// Current dimension `l'` including injected coordinates.
+    fn dim(&self) -> u64;
+
+    /// This server's contribution to coordinate `j < dim()`.
+    fn value(&self, j: u64) -> f64;
+
+    /// Visits every coordinate with a nonzero local contribution.
+    fn for_each_nonzero(&self, f: &mut dyn FnMut(u64, f64));
+
+    /// Appends `values.len()` injected coordinates. On the coordinator the
+    /// new coordinates take `values`; on other servers they are zero (the
+    /// implementation receives the count via `values.len()` and must extend
+    /// its dimension either way).
+    fn append_injected(&mut self, values: &[f64], is_coordinator: bool);
+
+    /// Removes all injected coordinates (restores `dim == base_dim`).
+    fn clear_injected(&mut self);
+}
+
+/// A dense in-memory local vector plus injected tail. The reference
+/// implementation of [`SampleVector`], used directly in sampler tests and
+/// wrapped by `dlra-core`'s matrix adapters.
+#[derive(Debug, Clone)]
+pub struct DenseServerVec {
+    data: Vec<f64>,
+    injected: Vec<f64>,
+    injected_len: u64,
+}
+
+impl DenseServerVec {
+    /// Wraps a local dense vector.
+    pub fn new(data: Vec<f64>) -> Self {
+        DenseServerVec {
+            data,
+            injected: Vec::new(),
+            injected_len: 0,
+        }
+    }
+}
+
+impl SampleVector for DenseServerVec {
+    fn base_dim(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn dim(&self) -> u64 {
+        self.data.len() as u64 + self.injected_len
+    }
+
+    fn value(&self, j: u64) -> f64 {
+        let l = self.data.len() as u64;
+        if j < l {
+            self.data[j as usize]
+        } else if !self.injected.is_empty() {
+            self.injected[(j - l) as usize]
+        } else {
+            0.0
+        }
+    }
+
+    fn for_each_nonzero(&self, f: &mut dyn FnMut(u64, f64)) {
+        for (j, &x) in self.data.iter().enumerate() {
+            if x != 0.0 {
+                f(j as u64, x);
+            }
+        }
+        let l = self.data.len() as u64;
+        for (j, &x) in self.injected.iter().enumerate() {
+            if x != 0.0 {
+                f(l + j as u64, x);
+            }
+        }
+    }
+
+    fn append_injected(&mut self, values: &[f64], is_coordinator: bool) {
+        if is_coordinator {
+            self.injected.extend_from_slice(values);
+        }
+        self.injected_len += values.len() as u64;
+    }
+
+    fn clear_injected(&mut self) {
+        self.injected.clear();
+        self.injected_len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_access() {
+        let v = DenseServerVec::new(vec![1.0, 0.0, -2.0]);
+        assert_eq!(v.base_dim(), 3);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.value(0), 1.0);
+        assert_eq!(v.value(2), -2.0);
+        let mut seen = vec![];
+        v.for_each_nonzero(&mut |j, x| seen.push((j, x)));
+        assert_eq!(seen, vec![(0, 1.0), (2, -2.0)]);
+    }
+
+    #[test]
+    fn injection_on_coordinator() {
+        let mut v = DenseServerVec::new(vec![1.0]);
+        v.append_injected(&[5.0, 6.0], true);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.value(1), 5.0);
+        assert_eq!(v.value(2), 6.0);
+        let mut seen = vec![];
+        v.for_each_nonzero(&mut |j, x| seen.push((j, x)));
+        assert_eq!(seen, vec![(0, 1.0), (1, 5.0), (2, 6.0)]);
+        v.clear_injected();
+        assert_eq!(v.dim(), 1);
+    }
+
+    #[test]
+    fn injection_on_worker_extends_with_zeros() {
+        let mut v = DenseServerVec::new(vec![1.0]);
+        v.append_injected(&[5.0, 6.0], false);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.value(1), 0.0);
+        assert_eq!(v.value(2), 0.0);
+        let mut count = 0;
+        v.for_each_nonzero(&mut |_, _| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn repeated_injection_accumulates() {
+        let mut v = DenseServerVec::new(vec![]);
+        v.append_injected(&[1.0], true);
+        v.append_injected(&[2.0, 3.0], true);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.value(2), 3.0);
+    }
+}

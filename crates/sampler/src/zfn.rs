@@ -1,0 +1,289 @@
+//! Property-P functions `z(·)` (§V) and the paper's application instances.
+//!
+//! Property P: for all `x₁, x₂` with `|x₁| ≥ |x₂|`,
+//! `x₁²/z(x₁) ≥ x₂²/z(x₂)` and `z(x₁) ≥ z(x₂)`, with `z(0) = 0` — i.e.
+//! `z` is even, nondecreasing in `|x|`, and grows at most quadratically.
+//! Algorithm 1 needs `z` with `z(x)/c ≤ f(x)² ≤ c·z(x)` for the entrywise
+//! `f`; each application below pairs `z = f²` directly.
+
+/// A function satisfying property P, together with the partial inverse the
+/// coordinate-injection step needs.
+pub trait ZFn: Send + Sync {
+    /// Evaluates `z(x) ≥ 0`.
+    fn z(&self, x: f64) -> f64;
+
+    /// The smallest `x ≥ 0` with `z(x) ≥ y`, or `None` if `y > sup z`.
+    ///
+    /// The paper (§V-D): "if `z⁻¹((1+ε)ⁱ)` does not exist, `Sᵢ(a)` must be
+    /// empty, we can ignore this class" — saturating ψ-functions (Huber,
+    /// L1−L2, Fair squared) have bounded `z`, so high classes are skipped.
+    fn z_inv(&self, y: f64) -> Option<f64>;
+
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// `z(x) = x²` — plain ℓ₂ sampling (`f = identity`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Square;
+
+impl ZFn for Square {
+    fn z(&self, x: f64) -> f64 {
+        x * x
+    }
+    fn z_inv(&self, y: f64) -> Option<f64> {
+        (y >= 0.0).then(|| y.sqrt())
+    }
+    fn name(&self) -> &'static str {
+        "square"
+    }
+}
+
+/// `z(x) = |x|^α` with `0 < α ≤ 2` — the ℓ_{2/p} sampling of the softmax /
+/// generalized-mean application (§VI-B): with locally p-th-powered entries
+/// and `f(x) = x^{1/p}`, `f(x)² = x^{2/p}`, i.e. `α = 2/p`.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerAbs {
+    /// Exponent `α ∈ (0, 2]`.
+    pub alpha: f64,
+}
+
+impl PowerAbs {
+    /// From the GM parameter `p ≥ 1`: `α = 2/p`.
+    pub fn from_gm_p(p: f64) -> Self {
+        assert!(p >= 1.0, "GM parameter p must be >= 1, got {p}");
+        PowerAbs { alpha: 2.0 / p }
+    }
+}
+
+impl ZFn for PowerAbs {
+    fn z(&self, x: f64) -> f64 {
+        x.abs().powf(self.alpha)
+    }
+    fn z_inv(&self, y: f64) -> Option<f64> {
+        (y >= 0.0).then(|| y.powf(1.0 / self.alpha))
+    }
+    fn name(&self) -> &'static str {
+        "power-abs"
+    }
+}
+
+/// `z(x) = ψ(x)²` for the Huber ψ-function (Table I):
+/// `ψ(x) = x` for `|x| ≤ k`, else `k·sgn(x)`.
+#[derive(Debug, Clone, Copy)]
+pub struct HuberSq {
+    /// The Huber threshold `k > 0`.
+    pub k: f64,
+}
+
+impl ZFn for HuberSq {
+    fn z(&self, x: f64) -> f64 {
+        let a = x.abs().min(self.k);
+        a * a
+    }
+    fn z_inv(&self, y: f64) -> Option<f64> {
+        if y < 0.0 || y > self.k * self.k {
+            None
+        } else {
+            Some(y.sqrt())
+        }
+    }
+    fn name(&self) -> &'static str {
+        "huber-sq"
+    }
+}
+
+/// `z(x) = ψ(x)²` for the L1−L2 ψ-function (Table I):
+/// `ψ(x) = x / (1 + x²/2)^{1/2}`, which saturates at `√2`, so `z < 2`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L1L2Sq;
+
+impl ZFn for L1L2Sq {
+    fn z(&self, x: f64) -> f64 {
+        let psi = x / (1.0 + x * x / 2.0).sqrt();
+        psi * psi
+    }
+    fn z_inv(&self, y: f64) -> Option<f64> {
+        // z = x² / (1 + x²/2)  ⇒  x² = y / (1 − y/2), valid while y < 2.
+        if !(0.0..2.0).contains(&y) {
+            return None;
+        }
+        let x2 = y / (1.0 - y / 2.0);
+        Some(x2.sqrt())
+    }
+    fn name(&self) -> &'static str {
+        "l1l2-sq"
+    }
+}
+
+/// `z(x) = ψ(x)²` for the "Fair" ψ-function (Table I):
+/// `ψ(x) = x / (1 + |x|/c)`, which saturates at `c`, so `z < c²`.
+#[derive(Debug, Clone, Copy)]
+pub struct FairSq {
+    /// The Fair scale `c > 0`.
+    pub c: f64,
+}
+
+impl ZFn for FairSq {
+    fn z(&self, x: f64) -> f64 {
+        let psi = x / (1.0 + x.abs() / self.c);
+        psi * psi
+    }
+    fn z_inv(&self, y: f64) -> Option<f64> {
+        // ψ(x) = x/(1 + x/c) for x ≥ 0; ψ = √y ⇒ x = ψ / (1 − ψ/c), ψ < c.
+        if y < 0.0 {
+            return None;
+        }
+        let psi = y.sqrt();
+        if psi >= self.c {
+            return None;
+        }
+        Some(psi / (1.0 - psi / self.c))
+    }
+    fn name(&self) -> &'static str {
+        "fair-sq"
+    }
+}
+
+/// Checks property P empirically on a grid of magnitudes (used by tests and
+/// debug assertions when wiring in a new `z`).
+pub fn check_property_p(z: &dyn ZFn, xs: &[f64]) -> bool {
+    if z.z(0.0) != 0.0 {
+        return false;
+    }
+    let mut mags: Vec<f64> = xs.iter().map(|x| x.abs()).filter(|&x| x > 0.0).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut prev_ratio = 0.0f64;
+    let mut prev_z = 0.0f64;
+    for &x in &mags {
+        let zx = z.z(x);
+        if zx < prev_z - 1e-12 {
+            return false; // z must be nondecreasing
+        }
+        if zx > 0.0 {
+            let ratio = x * x / zx;
+            if ratio < prev_ratio - 1e-9 * prev_ratio.max(1.0) {
+                return false; // x²/z(x) must be nondecreasing
+            }
+            prev_ratio = ratio;
+        }
+        prev_z = zx;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<f64> {
+        let mut xs: Vec<f64> = (1..2000).map(|i| i as f64 * 0.01).collect();
+        xs.extend((1..100).map(|i| i as f64 * 3.0));
+        xs.push(0.0);
+        xs
+    }
+
+    #[test]
+    fn all_zfns_satisfy_property_p() {
+        let zs: Vec<Box<dyn ZFn>> = vec![
+            Box::new(Square),
+            Box::new(PowerAbs { alpha: 2.0 }),
+            Box::new(PowerAbs { alpha: 1.0 }),
+            Box::new(PowerAbs::from_gm_p(5.0)),
+            Box::new(PowerAbs::from_gm_p(20.0)),
+            Box::new(HuberSq { k: 1.5 }),
+            Box::new(L1L2Sq),
+            Box::new(FairSq { c: 2.0 }),
+        ];
+        for z in &zs {
+            assert!(check_property_p(z.as_ref(), &grid()), "{} fails P", z.name());
+        }
+    }
+
+    #[test]
+    fn square_values_and_inverse() {
+        assert_eq!(Square.z(-3.0), 9.0);
+        assert_eq!(Square.z_inv(9.0), Some(3.0));
+        assert_eq!(Square.z_inv(-1.0), None);
+    }
+
+    #[test]
+    fn power_abs_matches_gm() {
+        let z = PowerAbs::from_gm_p(4.0);
+        assert!((z.alpha - 0.5).abs() < 1e-15);
+        assert!((z.z(16.0) - 4.0).abs() < 1e-12);
+        assert!((z.z_inv(4.0).unwrap() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be >= 1")]
+    fn gm_p_below_one_rejected() {
+        PowerAbs::from_gm_p(0.5);
+    }
+
+    #[test]
+    fn huber_caps_and_inverse() {
+        let z = HuberSq { k: 2.0 };
+        assert_eq!(z.z(1.0), 1.0);
+        assert_eq!(z.z(-1.0), 1.0);
+        assert_eq!(z.z(100.0), 4.0); // capped at k²
+        assert_eq!(z.z_inv(4.0), Some(2.0));
+        assert_eq!(z.z_inv(4.1), None); // beyond saturation
+    }
+
+    #[test]
+    fn l1l2_saturation() {
+        let z = L1L2Sq;
+        assert!(z.z(1e9) <= 2.0 + 1e-12); // saturates at 2 (up to f64 rounding)
+        assert!(z.z(1e9) > 1.999_999);
+        let x = z.z_inv(1.0).unwrap();
+        assert!((z.z(x) - 1.0).abs() < 1e-12, "round trip at y=1");
+        assert_eq!(z.z_inv(2.0), None);
+    }
+
+    #[test]
+    fn fair_saturation_and_roundtrip() {
+        let z = FairSq { c: 3.0 };
+        assert!(z.z(1e12) < 9.0);
+        for &y in &[0.1, 1.0, 5.0, 8.9] {
+            let x = z.z_inv(y).unwrap();
+            assert!((z.z(x) - y).abs() < 1e-9 * y.max(1.0), "round trip at {y}");
+        }
+        assert_eq!(z.z_inv(9.0), None);
+    }
+
+    #[test]
+    fn property_p_rejects_fast_growth() {
+        // z = x⁴ violates "at most quadratic growth" (x²/z decreasing).
+        struct Quartic;
+        impl ZFn for Quartic {
+            fn z(&self, x: f64) -> f64 {
+                x.powi(4)
+            }
+            fn z_inv(&self, y: f64) -> Option<f64> {
+                (y >= 0.0).then(|| y.powf(0.25))
+            }
+            fn name(&self) -> &'static str {
+                "quartic"
+            }
+        }
+        assert!(!check_property_p(&Quartic, &grid()));
+    }
+
+    #[test]
+    fn property_p_rejects_nonzero_origin() {
+        struct Shifted;
+        impl ZFn for Shifted {
+            fn z(&self, x: f64) -> f64 {
+                x * x + 1.0
+            }
+            fn z_inv(&self, y: f64) -> Option<f64> {
+                (y >= 1.0).then(|| (y - 1.0).sqrt())
+            }
+            fn name(&self) -> &'static str {
+                "shifted"
+            }
+        }
+        assert!(!check_property_p(&Shifted, &grid()));
+    }
+}

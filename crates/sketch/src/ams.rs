@@ -1,0 +1,159 @@
+//! AMS "tug-of-war" second-moment (`F₂ = ‖v‖₂²`) estimator.
+//!
+//! Each cell holds `Σⱼ σ(j)·vⱼ` for a 4-wise independent sign function σ;
+//! squaring a cell gives an unbiased estimate of `F₂` with variance ≤ 2F₂².
+//! We average `width` cells per row and take the median of `depth` rows
+//! (the standard median-of-means construction). Like CountSketch, it is
+//! linear and therefore mergeable across servers.
+
+use crate::countsketch::median_in_place;
+use crate::hashing::KWiseHash;
+
+/// A seeded AMS F₂ sketch.
+#[derive(Debug, Clone)]
+pub struct AmsF2 {
+    depth: usize,
+    width: usize,
+    seed: u64,
+    /// Row-major `depth × width` of signed sums.
+    cells: Vec<f64>,
+    signs: Vec<KWiseHash>,
+}
+
+impl AmsF2 {
+    /// Creates an empty estimator; same `(depth, width, seed)` ⇒ mergeable.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0 && width > 0, "AmsF2 dimensions must be positive");
+        let signs = (0..depth * width)
+            .map(|c| KWiseHash::from_seed(4, seed ^ (0x517C_C1B7 + c as u64).rotate_left(23)))
+            .collect();
+        AmsF2 {
+            depth,
+            width,
+            seed,
+            cells: vec![0.0; depth * width],
+            signs,
+        }
+    }
+
+    /// Sketch size in words.
+    pub fn size_words(&self) -> u64 {
+        (self.depth * self.width) as u64
+    }
+
+    /// Adds `delta` at coordinate `j`.
+    pub fn update(&mut self, j: u64, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        for (cell, sign) in self.cells.iter_mut().zip(&self.signs) {
+            *cell += sign.sign(j) * delta;
+        }
+    }
+
+    /// Sketches a dense vector.
+    pub fn update_dense(&mut self, v: &[f64]) {
+        for (j, &x) in v.iter().enumerate() {
+            self.update(j as u64, x);
+        }
+    }
+
+    /// Median-of-means estimate of `‖v‖₂²`.
+    pub fn estimate(&self) -> f64 {
+        let mut row_means: Vec<f64> = (0..self.depth)
+            .map(|r| {
+                let row = &self.cells[r * self.width..(r + 1) * self.width];
+                row.iter().map(|x| x * x).sum::<f64>() / self.width as f64
+            })
+            .collect();
+        median_in_place(&mut row_means)
+    }
+
+    /// Merges a sketch with identical parameters (linearity).
+    pub fn merge(&mut self, other: &AmsF2) {
+        assert_eq!(
+            (self.depth, self.width, self.seed),
+            (other.depth, other.width, other.seed),
+            "cannot merge AmsF2 with different parameters"
+        );
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_util::Rng;
+
+    #[test]
+    fn single_coordinate_exact() {
+        let mut s = AmsF2::new(5, 8, 1);
+        s.update(42, 3.0);
+        // Every cell is ±3, so every squared cell is exactly 9.
+        assert!((s.estimate() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_random_vector() {
+        let mut rng = Rng::new(2);
+        let v: Vec<f64> = (0..1000).map(|_| rng.gaussian()).collect();
+        let truth: f64 = v.iter().map(|x| x * x).sum();
+        let mut s = AmsF2::new(9, 64, 3);
+        s.update_dense(&v);
+        let est = s.estimate();
+        assert!(
+            (est - truth).abs() < 0.35 * truth,
+            "est {est} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn merge_equals_joint() {
+        let mut rng = Rng::new(4);
+        let v1: Vec<f64> = (0..100).map(|_| rng.gaussian()).collect();
+        let v2: Vec<f64> = (0..100).map(|_| rng.gaussian()).collect();
+        let mut a = AmsF2::new(4, 16, 5);
+        let mut b = AmsF2::new(4, 16, 5);
+        let mut joint = AmsF2::new(4, 16, 5);
+        a.update_dense(&v1);
+        b.update_dense(&v2);
+        for j in 0..100 {
+            joint.update(j as u64, v1[j] + v2[j]);
+        }
+        a.merge(&b);
+        assert!((a.estimate() - joint.estimate()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameters")]
+    fn merge_rejects_mismatch() {
+        let mut a = AmsF2::new(2, 4, 1);
+        a.merge(&AmsF2::new(2, 4, 2));
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        assert_eq!(AmsF2::new(3, 4, 0).estimate(), 0.0);
+    }
+
+    #[test]
+    fn unbiasedness_over_draws() {
+        // Average estimate over independent seeds approaches the truth.
+        let v = [1.0, -2.0, 3.0, 0.5];
+        let truth: f64 = v.iter().map(|x| x * x).sum();
+        let mean: f64 = (0..300)
+            .map(|seed| {
+                let mut s = AmsF2::new(1, 1, seed);
+                s.update_dense(&v);
+                s.estimate()
+            })
+            .sum::<f64>()
+            / 300.0;
+        assert!(
+            (mean - truth).abs() < 0.25 * truth,
+            "mean {mean} truth {truth}"
+        );
+    }
+}

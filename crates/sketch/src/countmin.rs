@@ -1,0 +1,194 @@
+//! CountMin sketch — deterministic *over*-estimates for nonnegative data.
+//!
+//! The GM-pooling workloads (§VI-B) sketch locally powered count matrices,
+//! which are entrywise nonnegative; for such streams CountMin's one-sided
+//! error (`v̂_j ∈ [v_j, v_j + ε‖v‖₁]` w.h.p.) can be preferable to
+//! CountSketch's two-sided error: a heavy coordinate is never *under*-
+//! estimated, so recovery never misses one. Like every sketch here it is
+//! linear over nonnegative updates and mergeable across servers from a
+//! shared seed.
+
+use crate::hashing::KWiseHash;
+
+/// A seeded CountMin sketch over `u64`-indexed nonnegative coordinates.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    depth: usize,
+    width: usize,
+    seed: u64,
+    table: Vec<f64>,
+    hashes: Vec<KWiseHash>,
+}
+
+impl CountMin {
+    /// Creates an empty sketch; identical `(depth, width, seed)` ⇒ mergeable.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0 && width > 0, "CountMin dimensions must be positive");
+        let hashes = (0..depth)
+            .map(|r| KWiseHash::from_seed(2, seed ^ (0x3C6E_F372 + r as u64).rotate_left(13)))
+            .collect();
+        CountMin {
+            depth,
+            width,
+            seed,
+            table: vec![0.0; depth * width],
+            hashes,
+        }
+    }
+
+    /// Sketch size in words.
+    pub fn size_words(&self) -> u64 {
+        (self.depth * self.width) as u64
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds `delta ≥ 0` at coordinate `j`. Panics on negative updates — the
+    /// one-sided guarantee only holds for nonnegative streams.
+    pub fn update(&mut self, j: u64, delta: f64) {
+        assert!(delta >= 0.0, "CountMin requires nonnegative updates");
+        if delta == 0.0 {
+            return;
+        }
+        for r in 0..self.depth {
+            let b = self.hashes[r].bucket(j, self.width);
+            self.table[r * self.width + b] += delta;
+        }
+    }
+
+    /// Sketches a dense nonnegative vector.
+    pub fn update_dense(&mut self, v: &[f64]) {
+        for (j, &x) in v.iter().enumerate() {
+            self.update(j as u64, x);
+        }
+    }
+
+    /// Point query: minimum over rows — never an underestimate.
+    pub fn estimate(&self, j: u64) -> f64 {
+        (0..self.depth)
+            .map(|r| self.table[r * self.width + self.hashes[r].bucket(j, self.width)])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total mass `‖v‖₁` (exact: every row holds the full sum).
+    pub fn l1(&self) -> f64 {
+        self.table[..self.width].iter().sum()
+    }
+
+    /// Merges a sketch with identical parameters.
+    pub fn merge(&mut self, other: &CountMin) {
+        assert_eq!(
+            (self.depth, self.width, self.seed),
+            (other.depth, other.width, other.seed),
+            "cannot merge CountMin with different parameters"
+        );
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
+        }
+    }
+
+    /// All candidates with estimate ≥ `threshold` among `0..l` — never
+    /// misses a true heavy coordinate (one-sided error).
+    pub fn heavy_candidates(&self, l: u64, threshold: f64) -> Vec<u64> {
+        (0..l).filter(|&j| self.estimate(j) >= threshold).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_util::Rng;
+
+    #[test]
+    fn never_underestimates() {
+        let mut rng = Rng::new(1);
+        let l = 2000usize;
+        let v: Vec<f64> = (0..l).map(|_| rng.f64() * 2.0).collect();
+        let mut cm = CountMin::new(4, 128, 7);
+        cm.update_dense(&v);
+        for (j, &vj) in v.iter().enumerate() {
+            assert!(cm.estimate(j as u64) >= vj - 1e-12, "underestimate at {j}");
+        }
+    }
+
+    #[test]
+    fn overestimate_bounded_by_l1_over_width() {
+        let mut rng = Rng::new(2);
+        let l = 4000usize;
+        let v: Vec<f64> = (0..l).map(|_| rng.f64()).collect();
+        let l1: f64 = v.iter().sum();
+        let width = 512;
+        let mut cm = CountMin::new(5, width, 3);
+        cm.update_dense(&v);
+        // Markov: expected per-row excess is l1/width; the min over 5 rows
+        // should rarely exceed a few times that.
+        let bound = 8.0 * l1 / width as f64;
+        let violations = (0..l)
+            .filter(|&j| cm.estimate(j as u64) - v[j] > bound)
+            .count();
+        assert!(
+            violations < l / 100,
+            "{violations} coordinates exceed the excess bound"
+        );
+    }
+
+    #[test]
+    fn l1_is_exact() {
+        let mut cm = CountMin::new(3, 16, 4);
+        cm.update(1, 2.5);
+        cm.update(900, 4.0);
+        assert!((cm.l1() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_joint() {
+        let mut rng = Rng::new(5);
+        let v1: Vec<f64> = (0..300).map(|_| rng.f64()).collect();
+        let v2: Vec<f64> = (0..300).map(|_| rng.f64()).collect();
+        let mut a = CountMin::new(4, 64, 9);
+        let mut b = CountMin::new(4, 64, 9);
+        let mut joint = CountMin::new(4, 64, 9);
+        a.update_dense(&v1);
+        b.update_dense(&v2);
+        for j in 0..300 {
+            joint.update(j as u64, v1[j] + v2[j]);
+        }
+        a.merge(&b);
+        for j in 0..300u64 {
+            assert!((a.estimate(j) - joint.estimate(j)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heavy_candidates_complete() {
+        let mut rng = Rng::new(6);
+        let l = 5000u64;
+        let mut cm = CountMin::new(5, 256, 11);
+        let mut v = vec![0.0f64; l as usize];
+        for x in v.iter_mut() {
+            *x = rng.f64() * 0.1;
+        }
+        v[123] = 50.0;
+        v[4000] = 80.0;
+        cm.update_dense(&v);
+        let cands = cm.heavy_candidates(l, 40.0);
+        assert!(cands.contains(&123));
+        assert!(cands.contains(&4000));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn rejects_negative_updates() {
+        CountMin::new(2, 8, 0).update(3, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameters")]
+    fn merge_rejects_mismatch() {
+        let mut a = CountMin::new(2, 8, 1);
+        a.merge(&CountMin::new(2, 8, 2));
+    }
+}

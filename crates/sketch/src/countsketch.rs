@@ -1,0 +1,265 @@
+//! CountSketch (Charikar–Chen–Farach-Colton [21]) with median point queries.
+//!
+//! A CountSketch is a `depth × width` table; coordinate `j` of the input
+//! vector is added into bucket `hᵣ(j)` of each row `r` with sign `σᵣ(j)`.
+//! The sketch is linear, so summing the tables of per-server sketches built
+//! from the same seed yields the sketch of the summed vector — the basis of
+//! the distributed `HeavyHitters` protocol.
+
+use crate::hashing::KWiseHash;
+
+/// A seeded CountSketch over `u64`-indexed coordinates.
+///
+/// ```
+/// use dlra_sketch::CountSketch;
+/// // Two servers sketch local vectors with the same seed and merge.
+/// let mut a = CountSketch::new(5, 64, 42);
+/// let mut b = CountSketch::new(5, 64, 42);
+/// a.update(7, 2.0);
+/// b.update(7, 3.0);
+/// a.merge(&b);
+/// assert!((a.estimate(7) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    depth: usize,
+    width: usize,
+    seed: u64,
+    /// Row-major `depth × width` table.
+    table: Vec<f64>,
+    bucket_hash: Vec<KWiseHash>,
+    sign_hash: Vec<KWiseHash>,
+}
+
+impl CountSketch {
+    /// Creates an empty sketch. All parties constructing with the same
+    /// `(depth, width, seed)` share hash functions and can merge.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0 && width > 0, "CountSketch dimensions must be positive");
+        let bucket_hash = (0..depth)
+            .map(|r| KWiseHash::from_seed(2, seed ^ (0x9E37_79B9 + r as u64)))
+            .collect();
+        let sign_hash = (0..depth)
+            .map(|r| KWiseHash::from_seed(4, seed ^ (0xC2B2_AE35 + r as u64).rotate_left(17)))
+            .collect();
+        CountSketch {
+            depth,
+            width,
+            seed,
+            table: vec![0.0; depth * width],
+            bucket_hash,
+            sign_hash,
+        }
+    }
+
+    /// Number of rows (independent repetitions).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Buckets per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Size of the sketch in 8-byte words (what a server ships upstream).
+    pub fn size_words(&self) -> u64 {
+        (self.depth * self.width) as u64
+    }
+
+    /// Adds `delta` at coordinate `j`.
+    #[inline]
+    pub fn update(&mut self, j: u64, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        for r in 0..self.depth {
+            let b = self.bucket_hash[r].bucket(j, self.width);
+            let s = self.sign_hash[r].sign(j);
+            self.table[r * self.width + b] += s * delta;
+        }
+    }
+
+    /// Sketches a whole dense vector (coordinate i gets value `v[i]`).
+    pub fn update_dense(&mut self, v: &[f64]) {
+        for (j, &x) in v.iter().enumerate() {
+            self.update(j as u64, x);
+        }
+    }
+
+    /// Point query: median over rows of `σᵣ(j) · table[r][hᵣ(j)]`.
+    pub fn estimate(&self, j: u64) -> f64 {
+        let mut vals: Vec<f64> = (0..self.depth)
+            .map(|r| {
+                let b = self.bucket_hash[r].bucket(j, self.width);
+                self.sign_hash[r].sign(j) * self.table[r * self.width + b]
+            })
+            .collect();
+        median_in_place(&mut vals)
+    }
+
+    /// AMS-style second-moment estimate: median over rows of the row's
+    /// squared bucket sums. Each row is an unbiased `F₂` estimator.
+    pub fn f2_estimate(&self) -> f64 {
+        let mut vals: Vec<f64> = (0..self.depth)
+            .map(|r| {
+                self.table[r * self.width..(r + 1) * self.width]
+                    .iter()
+                    .map(|x| x * x)
+                    .sum()
+            })
+            .collect();
+        median_in_place(&mut vals)
+    }
+
+    /// Merges another sketch built with identical parameters into this one
+    /// (sketch linearity). Panics if parameters differ.
+    pub fn merge(&mut self, other: &CountSketch) {
+        assert_eq!(
+            (self.depth, self.width, self.seed),
+            (other.depth, other.width, other.seed),
+            "cannot merge CountSketches with different parameters"
+        );
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
+        }
+    }
+
+    /// Resets all counters to zero (hash functions retained).
+    pub fn clear(&mut self) {
+        self.table.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+/// Median of a scratch vector (averaging the middle pair for even length).
+pub(crate) fn median_in_place(vals: &mut [f64]) -> f64 {
+    assert!(!vals.is_empty());
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = vals.len();
+    if n % 2 == 1 {
+        vals[n / 2]
+    } else {
+        0.5 * (vals[n / 2 - 1] + vals[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_util::Rng;
+
+    #[test]
+    fn exact_for_single_coordinate() {
+        let mut cs = CountSketch::new(5, 32, 1);
+        cs.update(7, 3.5);
+        assert!((cs.estimate(7) - 3.5).abs() < 1e-12);
+        // Other coordinates either 0 or a collision value; with one item the
+        // estimate of an untouched coordinate in the same bucket is ±3.5 per
+        // row, but the median over 5 rows of mostly-zero entries is 0 with
+        // high probability. Just check coordinate 7 here.
+    }
+
+    #[test]
+    fn linearity_updates_cancel() {
+        let mut cs = CountSketch::new(5, 64, 2);
+        cs.update(3, 10.0);
+        cs.update(3, -10.0);
+        assert_eq!(cs.estimate(3), 0.0);
+        assert_eq!(cs.f2_estimate(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_joint_sketch() {
+        let mut rng = Rng::new(3);
+        let v1: Vec<f64> = (0..200).map(|_| rng.gaussian()).collect();
+        let v2: Vec<f64> = (0..200).map(|_| rng.gaussian()).collect();
+        let mut s1 = CountSketch::new(5, 32, 7);
+        let mut s2 = CountSketch::new(5, 32, 7);
+        let mut joint = CountSketch::new(5, 32, 7);
+        s1.update_dense(&v1);
+        s2.update_dense(&v2);
+        for j in 0..200 {
+            joint.update(j as u64, v1[j] + v2[j]);
+        }
+        s1.merge(&s2);
+        for j in 0..200u64 {
+            assert!(
+                (s1.estimate(j) - joint.estimate(j)).abs() < 1e-9,
+                "coordinate {j}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameters")]
+    fn merge_rejects_mismatched_seed() {
+        let mut a = CountSketch::new(3, 8, 1);
+        let b = CountSketch::new(3, 8, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn heavy_coordinate_estimated_well() {
+        // One big coordinate among small noise: estimate within noise bound.
+        let mut rng = Rng::new(4);
+        let mut cs = CountSketch::new(7, 256, 9);
+        let n = 1000u64;
+        let mut f2 = 0.0;
+        for j in 0..n {
+            let x = if j == 500 { 50.0 } else { rng.gaussian() * 0.5 };
+            f2 += x * x;
+            cs.update(j, x);
+        }
+        let est = cs.estimate(500);
+        // CountSketch error ~ sqrt(F2/width) per row; median tightens it.
+        let bound = 3.0 * (f2 / 256.0).sqrt();
+        assert!((est - 50.0).abs() < bound, "est {est} bound {bound}");
+    }
+
+    #[test]
+    fn f2_estimate_accuracy() {
+        let mut rng = Rng::new(5);
+        let v: Vec<f64> = (0..2000).map(|_| rng.gaussian()).collect();
+        let truth: f64 = v.iter().map(|x| x * x).sum();
+        let mut cs = CountSketch::new(9, 512, 11);
+        cs.update_dense(&v);
+        let est = cs.f2_estimate();
+        assert!(
+            (est - truth).abs() < 0.3 * truth,
+            "est {est} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn zero_updates_are_skipped() {
+        let mut cs = CountSketch::new(3, 8, 6);
+        cs.update(5, 0.0);
+        assert!(cs.table.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cs = CountSketch::new(3, 8, 6);
+        cs.update(5, 2.0);
+        cs.clear();
+        assert_eq!(cs.estimate(5), 0.0);
+    }
+
+    #[test]
+    fn size_words_counts_table() {
+        let cs = CountSketch::new(4, 100, 0);
+        assert_eq!(cs.size_words(), 400);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_in_place(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_in_place(&mut [5.0]), 5.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! k-wise independent hashing by polynomial evaluation over GF(p),
+//! p = 2⁶¹ − 1 (a Mersenne prime, so reduction is two adds and a shift).
+//!
+//! The paper's algorithms need pairwise-independent bucket hashes
+//! (Algorithms 2 and 3) and an `O(C·log(ε⁻¹l))`-wise independent hash `g`
+//! for the min-wise coordinate selection of Algorithm 4. A degree-(k−1)
+//! polynomial with uniformly random coefficients evaluated over a prime
+//! field is the textbook construction for exactly k-wise independence.
+
+use dlra_util::Rng;
+
+/// The Mersenne prime 2⁶¹ − 1.
+pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
+
+/// Reduces a 128-bit value modulo 2⁶¹ − 1.
+#[inline]
+fn reduce128(x: u128) -> u64 {
+    const P: u128 = MERSENNE_P as u128;
+    // Fold high bits twice, then a final conditional subtract.
+    let x = (x & P) + (x >> 61);
+    let x = (x & P) + (x >> 61);
+    let mut r = x as u64;
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// `(a * b) mod (2⁶¹ − 1)`.
+#[inline]
+fn mulmod(a: u64, b: u64) -> u64 {
+    reduce128(a as u128 * b as u128)
+}
+
+/// `(a + b) mod (2⁶¹ − 1)`.
+#[inline]
+fn addmod(a: u64, b: u64) -> u64 {
+    let s = a as u128 + b as u128;
+    reduce128(s)
+}
+
+/// A hash function drawn from a k-wise independent family, mapping
+/// `u64 → [0, 2⁶¹ − 1)`.
+///
+/// Seeded construction is deterministic: two parties that construct a
+/// `KWiseHash` from the same `(independence, seed)` obtain the same function,
+/// which is how a broadcast seed (one word) stands in for shipping the
+/// function itself.
+#[derive(Debug, Clone)]
+pub struct KWiseHash {
+    /// Polynomial coefficients, constant term first; `coeffs.len()` = k.
+    coeffs: Vec<u64>,
+}
+
+impl KWiseHash {
+    /// Draws a function from the k-wise independent family using `rng`.
+    pub fn new(independence: usize, rng: &mut Rng) -> Self {
+        assert!(independence >= 1, "independence must be >= 1");
+        let coeffs = (0..independence)
+            .map(|i| {
+                let mut c = rng.next_u64() % MERSENNE_P;
+                // Leading coefficient nonzero keeps the polynomial degree exact;
+                // not required for k-wise independence but avoids degeneracy.
+                if i + 1 == independence && c == 0 {
+                    c = 1;
+                }
+                c
+            })
+            .collect();
+        KWiseHash { coeffs }
+    }
+
+    /// Deterministic construction from a broadcastable 64-bit seed.
+    pub fn from_seed(independence: usize, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        KWiseHash::new(independence, &mut rng)
+    }
+
+    /// The independence parameter k.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Raw hash value in `[0, 2⁶¹ − 1)` (Horner evaluation).
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_P;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = addmod(mulmod(acc, x), c);
+        }
+        acc
+    }
+
+    /// Hash mapped to a bucket in `[0, m)`.
+    #[inline]
+    pub fn bucket(&self, x: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        (self.hash(x) % m as u64) as usize
+    }
+
+    /// Rademacher sign `±1` derived from the hash's low bit.
+    #[inline]
+    pub fn sign(&self, x: u64) -> f64 {
+        if self.hash(x) & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Hash mapped to a float in `[0, 1)` (used for subsampling levels).
+    #[inline]
+    pub fn unit(&self, x: u64) -> f64 {
+        self.hash(x) as f64 / MERSENNE_P as f64
+    }
+}
+
+/// Convenience constructor for the pairwise-independent (k = 2) family used
+/// by the bucket hashes of Algorithms 2–3.
+#[derive(Debug, Clone)]
+pub struct PairwiseHash(pub KWiseHash);
+
+impl PairwiseHash {
+    /// Draws a pairwise-independent function.
+    pub fn new(rng: &mut Rng) -> Self {
+        PairwiseHash(KWiseHash::new(2, rng))
+    }
+
+    /// Deterministic construction from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        PairwiseHash(KWiseHash::from_seed(2, seed))
+    }
+
+    /// Bucket in `[0, m)`.
+    #[inline]
+    pub fn bucket(&self, x: u64, m: usize) -> usize {
+        self.0.bucket(x, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mersenne_arithmetic() {
+        assert_eq!(reduce128(MERSENNE_P as u128), 0);
+        assert_eq!(reduce128((MERSENNE_P as u128) * 2 + 5), 5);
+        assert_eq!(mulmod(MERSENNE_P - 1, MERSENNE_P - 1), 1);
+        assert_eq!(addmod(MERSENNE_P - 1, 1), 0);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let h1 = KWiseHash::from_seed(4, 99);
+        let h2 = KWiseHash::from_seed(4, 99);
+        let h3 = KWiseHash::from_seed(4, 100);
+        for x in 0..100u64 {
+            assert_eq!(h1.hash(x), h2.hash(x));
+        }
+        assert!((0..100u64).any(|x| h1.hash(x) != h3.hash(x)));
+    }
+
+    #[test]
+    fn buckets_in_range_and_spread() {
+        let h = KWiseHash::from_seed(2, 7);
+        let m = 16;
+        let mut counts = vec![0usize; m];
+        for x in 0..16_000u64 {
+            let b = h.bucket(x, m);
+            assert!(b < m);
+            counts[b] += 1;
+        }
+        // Each bucket should get roughly 1000 (±25%).
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&c),
+                "bucket {b} has {c} of 16000"
+            );
+        }
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let h = KWiseHash::from_seed(2, 8);
+        let n = 10_000;
+        let plus = (0..n).filter(|&x| h.sign(x) > 0.0).count();
+        let frac = plus as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "sign fraction {frac}");
+    }
+
+    #[test]
+    fn pairwise_collision_probability() {
+        // Over many independent draws, Pr[h(a) == h(b)] for fixed a != b
+        // into m buckets should be ~1/m.
+        let m = 8;
+        let trials = 4000;
+        let mut rng = Rng::new(17);
+        let collisions = (0..trials)
+            .filter(|_| {
+                let h = PairwiseHash::new(&mut rng);
+                h.bucket(3, m) == h.bucket(1234, m)
+            })
+            .count();
+        let rate = collisions as f64 / trials as f64;
+        assert!(
+            (rate - 1.0 / m as f64).abs() < 0.03,
+            "collision rate {rate}"
+        );
+    }
+
+    #[test]
+    fn unit_values_are_uniformish() {
+        let h = KWiseHash::from_seed(8, 9);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|x| h.unit(x)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!((0..n).all(|x| (0.0..1.0).contains(&h.unit(x))));
+    }
+
+    #[test]
+    fn higher_independence_distinct_coeffs() {
+        let h = KWiseHash::from_seed(20, 10);
+        assert_eq!(h.independence(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "independence")]
+    fn zero_independence_panics() {
+        let mut rng = Rng::new(1);
+        KWiseHash::new(0, &mut rng);
+    }
+}

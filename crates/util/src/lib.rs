@@ -1,0 +1,17 @@
+//! Small deterministic utilities shared across the `dlra` workspace.
+//!
+//! The distributed protocols in this workspace must be exactly reproducible:
+//! every server derives its randomness from seeds broadcast by the
+//! coordinator, and the experiment harnesses fix a global seed. We therefore
+//! use our own tiny, well-understood PRNG ([`Rng`], xoshiro256++ seeded via
+//! SplitMix64) instead of thread-local OS entropy, plus a Box–Muller Gaussian
+//! sampler and a handful of numeric helpers used by tests and benchmarks.
+
+pub mod rng;
+pub mod stats;
+
+pub use rng::Rng;
+pub use stats::{approx_eq, harmonic_mean, mean, stddev, variance};
+
+/// Machine-epsilon-scale tolerance used throughout numeric tests.
+pub const EPS: f64 = 1e-10;

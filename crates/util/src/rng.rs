@@ -1,0 +1,325 @@
+//! A deterministic xoshiro256++ PRNG seeded via SplitMix64.
+//!
+//! Why not the `rand` crate everywhere? The protocols here *broadcast seeds*
+//! between simulated servers and re-derive hash functions from them; the
+//! bit-for-bit behaviour of the generator is part of the protocol transcript
+//! and thus of our communication accounting tests. Owning the generator keeps
+//! the workspace hermetic. The generator is the public-domain xoshiro256++ of
+//! Blackman & Vigna, which passes BigCrush and is more than adequate for
+//! sampling experiments.
+
+/// SplitMix64 step, used for seeding and as a cheap stateless mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic PRNG (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the last Box–Muller draw.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Two generators built from the
+    /// same seed produce identical streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; `stream` selects the child.
+    ///
+    /// Used to hand each simulated server its own stream from one broadcast
+    /// seed without the streams overlapping.
+    pub fn fork(&self, stream: u64) -> Rng {
+        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's unbiased method. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below(0)");
+        // Lemire rejection: multiply-shift with a retry on the biased strip.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` index in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal via Box–Muller (with caching of the paired output).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(g) = self.gauss_spare.take() {
+            return g;
+        }
+        // Draw u1 in (0,1] to avoid ln(0).
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.gaussian()
+    }
+
+    /// Exponential with rate `lambda`.
+    #[inline]
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        -(1.0 - self.f64()).ln() / lambda
+    }
+
+    /// Samples an index from an (unnormalized, nonnegative) weight vector.
+    /// Panics if all weights are zero or any weight is negative/NaN.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weighted_index requires positive finite total weight, got {total}"
+        );
+        let mut u = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0, "negative weight {w} at {i}");
+            u -= w;
+            if u < 0.0 {
+                return i;
+            }
+        }
+        // Floating-point slack: return the last positive weight.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("at least one positive weight")
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (Floyd's algorithm order is
+    /// not needed; simple partial shuffle keeps it O(n) worst case but we use
+    /// rejection when k is small relative to n).
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct from {n}");
+        if k * 4 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            all.sort_unstable();
+            all
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(k * 2);
+            let mut out = Vec::with_capacity(k);
+            while out.len() < k {
+                let x = self.index(n);
+                if seen.insert(x) {
+                    out.push(x);
+                }
+            }
+            out.sort_unstable();
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_distinct() {
+        let root = Rng::new(7);
+        let mut c1 = root.fork(1);
+        let mut c1b = root.fork(1);
+        let mut c2 = root.fork(2);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::new(4);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x = r.below(7) as usize;
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_one_is_zero() {
+        let mut r = Rng::new(5);
+        for _ in 0..100 {
+            assert_eq!(r.below(1), 0);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng::new(6);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_frequencies() {
+        let mut r = Rng::new(8);
+        let w = [1.0, 2.0, 3.0, 0.0];
+        let mut counts = [0usize; 4];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[r.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[3], 0);
+        let f1 = counts[1] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f1 - 2.0 / 6.0).abs() < 0.02, "f1 {f1}");
+        assert!((f2 - 3.0 / 6.0).abs() < 0.02, "f2 {f2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite total weight")]
+    fn weighted_index_rejects_zero_total() {
+        Rng::new(1).weighted_index(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut r = Rng::new(9);
+        for &(n, k) in &[(10usize, 10usize), (100, 5), (100, 80), (1, 1), (5, 0)] {
+            let s = r.sample_distinct(n, k);
+            assert_eq!(s.len(), k);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            assert!(s.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(10);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rng::new(11);
+        let n = 100_000;
+        let m = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((m - 0.5).abs() < 0.01, "mean {m}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Tiny statistics helpers used by tests, experiment harnesses, and the
+//! sampler-distribution validation code.
+
+/// Arithmetic mean; returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; returns 0 for slices of length < 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Harmonic mean of strictly positive values; 0 for an empty slice.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|x| 1.0 / x).sum();
+    xs.len() as f64 / s
+}
+
+/// Relative-or-absolute closeness test: `|a-b| <= tol * max(1, |a|, |b|)`.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * 1.0_f64.max(a.abs()).max(b.abs())
+}
+
+/// Chi-squared statistic of observed counts against expected probabilities.
+///
+/// Used by the sampler tests to check that empirical sampling frequencies
+/// match the target `z(a_i)/Z(a)` distribution. Categories with expected
+/// count below `min_expected` are pooled into one bucket to keep the
+/// statistic well-behaved. Returns `(statistic, degrees_of_freedom)`.
+pub fn chi_squared(observed: &[u64], probs: &[f64], total: u64, min_expected: f64) -> (f64, usize) {
+    assert_eq!(observed.len(), probs.len());
+    let mut stat = 0.0;
+    let mut pooled_obs = 0.0;
+    let mut pooled_exp = 0.0;
+    let mut cells = 0usize;
+    for (&o, &p) in observed.iter().zip(probs) {
+        let e = p * total as f64;
+        if e < min_expected {
+            pooled_obs += o as f64;
+            pooled_exp += e;
+        } else {
+            stat += (o as f64 - e).powi(2) / e;
+            cells += 1;
+        }
+    }
+    if pooled_exp > 0.0 {
+        stat += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+        cells += 1;
+    }
+    (stat, cells.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((stddev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_basic() {
+        // HM(1, 2, 4) = 3 / (1 + 1/2 + 1/4) = 12/7
+        assert!((harmonic_mean(&[1.0, 2.0, 4.0]) - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_eq_scales() {
+        assert!(approx_eq(1e9, 1e9 + 1.0, 1e-8));
+        assert!(!approx_eq(1.0, 1.1, 1e-8));
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+    }
+
+    #[test]
+    fn chi_squared_uniform_fit() {
+        // Perfectly proportional counts give statistic 0.
+        let obs = [250u64, 250, 250, 250];
+        let probs = [0.25; 4];
+        let (stat, df) = chi_squared(&obs, &probs, 1000, 5.0);
+        assert_eq!(df, 3);
+        assert!(stat < 1e-12);
+    }
+
+    #[test]
+    fn chi_squared_pools_small_cells() {
+        let obs = [990u64, 5, 5];
+        let probs = [0.99, 0.005, 0.005];
+        // expected counts 990, 5, 5 with min_expected 6 pools the two small cells
+        let (_, df) = chi_squared(&obs, &probs, 1000, 6.0);
+        assert_eq!(df, 1);
+    }
+
+    #[test]
+    fn chi_squared_detects_bad_fit() {
+        let obs = [900u64, 100];
+        let probs = [0.5, 0.5];
+        let (stat, _) = chi_squared(&obs, &probs, 1000, 5.0);
+        assert!(stat > 100.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! PCA of Gaussian random Fourier features (paper §VI-A, the Forest Cover /
+//! KDDCUP99 experiments): raw data is partitioned arbitrarily across
+//! servers, and we approximate the top principal components of its RFF
+//! kernel expansion by *uniform* row sampling — the feature rows all have
+//! norm ≈ √d, so no fancy sampler is needed and the only communication is
+//! collecting Θ(k²/ε²) raw rows.
+//!
+//! Run with: `cargo run --release --example kernel_features`
+
+use dlra::core::apps::rff::{run_rff_pca, RffMap};
+use dlra::prelude::*;
+
+fn main() {
+    // Forest-Cover-like clustered base data: 3000×54 on 10 servers.
+    let ds = dlra::data::forest_cover_like(1, 3);
+    let raw_dims = ds.parts[0].cols();
+    let mut model =
+        PartitionModel::new(ds.parts.clone(), EntryFunction::Identity).unwrap();
+
+    // 128-dimensional Gaussian RFF map (bandwidth 2.0).
+    let map = RffMap::new(raw_dims, 128, 2.0, 7);
+    let k = 9;
+
+    println!(
+        "dataset: {} — {} points × {raw_dims} raw dims → {} Fourier features\n",
+        ds.name,
+        ds.parts[0].rows(),
+        map.feature_dim()
+    );
+
+    // Evaluation target: the full feature expansion of the aggregated data.
+    let global_features = map.expand_matrix(&model.global_matrix());
+
+    for &r in &[60usize, 150, 400] {
+        let out = run_rff_pca(&mut model, &map, k, r, 100 + r as u64).expect("rff run");
+        let eval = evaluate_projection(&global_features, &out.projection, k).expect("eval");
+        let ratio = out.comm.total_words() as f64 / model.total_local_words() as f64;
+        println!(
+            "  r = {r:4}: additive error {:9.3e}, relative error {:7.4}, comm ratio {:.4}",
+            eval.additive_error, eval.relative_error, ratio
+        );
+    }
+
+    println!(
+        "\nRelative error stays near 1 — RFF spectra are flat, so even the\n\
+         optimal rank-k residual is large and easy to match (paper Figure 2)."
+    );
+}

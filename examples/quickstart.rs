@@ -1,0 +1,59 @@
+//! Quickstart: distributed low-rank approximation of a matrix that exists
+//! only as additive shares across servers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dlra::prelude::*;
+use dlra::core::metrics::predicted_additive_error;
+use dlra::util::Rng;
+
+fn main() {
+    // --- Data: a 1000×64 matrix with a planted rank-6 signal, split into
+    // additive shares across 8 servers. No single server's share resembles
+    // the global matrix; only the sum is meaningful.
+    let mut rng = Rng::new(2024);
+    let global = dlra::data::noisy_low_rank(1000, 64, 6, 0.1, &mut rng);
+    let parts = dlra::data::split_with_noise_shares(&global, 8, 0.5, &mut rng);
+    let mut model = PartitionModel::new(parts, EntryFunction::Identity)
+        .expect("uniform shapes");
+
+    println!("servers: {}, global shape: {:?}", model.num_servers(), model.shape());
+    println!("sum of local data sizes: {} words\n", model.total_local_words());
+
+    // --- Protocol: Algorithm 1 with the generalized Z-sampler (z = f² = x²).
+    // Sketch sizes are derived from a communication budget: aim the whole
+    // protocol at ~25% of the total local data size.
+    let k = 6;
+    let budget_per_server_pass =
+        model.total_local_words() / (4 * 2 * model.num_servers() as u64);
+    let flat_dim = (model.shape().0 * model.shape().1) as u64;
+    let params = ZSamplerParams::practical(flat_dim, budget_per_server_pass);
+    for &r in &[40usize, 100, 250] {
+        let cfg = Algorithm1Config {
+            k,
+            r,
+            sampler: SamplerKind::Z(params.clone()),
+            seed: 7 + r as u64,
+            ..Algorithm1Config::default()
+        };
+        let out = run_algorithm1(&mut model, &cfg).expect("protocol run");
+
+        // --- Evaluation against the true global matrix (which the protocol
+        // itself never materializes).
+        let truth = model.global_matrix();
+        let report = evaluate_projection(&truth, &out.projection, k).expect("eval");
+
+        let ratio = out.comm.total_words() as f64 / model.total_local_words() as f64;
+        println!(
+            "r = {r:4}: additive error {:10.3e}  (prediction k²/r = {:.3e}), \
+             relative error {:.4}, comm {:>8} words (ratio {:.3})",
+            report.additive_error,
+            predicted_additive_error(k, r),
+            report.relative_error,
+            out.comm.total_words(),
+            ratio,
+        );
+    }
+
+    println!("\nAs in Figure 1 of the paper, the measured additive error sits well\nbelow the k²/r prediction and decreases as more rows are sampled.");
+}

@@ -1,0 +1,49 @@
+//! Softmax (generalized mean) pooling PCA (paper §VI-B, the Caltech-101 /
+//! Scenes experiments): per-image patch codes are pooled on each server;
+//! the global matrix is the GM of the per-server pools, with `p` sweeping
+//! from average pooling (p = 1) toward max pooling (p = 20).
+//!
+//! Run with: `cargo run --release --example softmax_pooling`
+
+use dlra::core::apps::pooling::run_gm_pooling_pca;
+use dlra::prelude::*;
+
+fn main() {
+    // Scenes-like pooled codes: 1000 images × 256 codewords on 10 servers.
+    let ds = dlra::data::scenes_like(1, 5);
+    let k = 9;
+    let r = 220;
+
+    println!(
+        "dataset: {} — {} images × {} codewords on {} servers\n",
+        ds.name,
+        ds.parts[0].rows(),
+        ds.parts[0].cols(),
+        ds.parts.len()
+    );
+    println!("P-norm pooling sweep (paper Figure 1, Scenes panels):");
+
+    for &p in &[1.0, 2.0, 5.0, 20.0] {
+        let (out, model) = run_gm_pooling_pca(
+            ds.parts.clone(),
+            p,
+            k,
+            r,
+            ZSamplerParams::default(),
+            41 + p as u64,
+        )
+        .expect("pooling run");
+        let truth = model.global_matrix();
+        let eval = evaluate_projection(&truth, &out.projection, k).expect("eval");
+        let ratio = out.comm.total_words() as f64 / model.total_local_words() as f64;
+        println!(
+            "  P = {p:4}: additive error {:9.3e}, relative error {:7.4}, comm ratio {:.3}",
+            eval.additive_error, eval.relative_error, ratio
+        );
+    }
+
+    println!(
+        "\nThe sampler's communication is independent of p (§VI-B): the same\n\
+         ℓ_2/p machinery serves average pooling and near-max pooling alike."
+    );
+}

@@ -1,0 +1,248 @@
+//! End-to-end integration tests of Algorithm 1 across sampler kinds and
+//! entrywise functions, spanning `dlra-comm`, `dlra-sampler`, `dlra-core`,
+//! and `dlra-data`.
+
+use dlra::core::algorithm1::ship_everything_words;
+use dlra::core::metrics::predicted_additive_error;
+use dlra::prelude::*;
+use dlra::util::Rng;
+
+fn identity_model(s: usize, n: usize, d: usize, k: usize, seed: u64) -> PartitionModel {
+    let mut rng = Rng::new(seed);
+    let global = dlra::data::noisy_low_rank(n, d, k, 0.08, &mut rng);
+    let parts = dlra::data::split_with_noise_shares(&global, s, 0.3, &mut rng);
+    PartitionModel::new(parts, EntryFunction::Identity).unwrap()
+}
+
+#[test]
+fn all_sampler_kinds_beat_the_paper_prediction() {
+    let k = 3;
+    let r = 90;
+    for (name, sampler) in [
+        ("exact", SamplerKind::ExactOracle),
+        ("uniform", SamplerKind::Uniform),
+        ("z", SamplerKind::Z(ZSamplerParams::default())),
+    ] {
+        let mut model = identity_model(4, 250, 20, k, 11);
+        let cfg = Algorithm1Config {
+            k,
+            r,
+            sampler,
+            seed: 21,
+            ..Algorithm1Config::default()
+        };
+        let out = run_algorithm1(&mut model, &cfg).unwrap();
+        let eval = evaluate_projection(&model.global_matrix(), &out.projection, k).unwrap();
+        let prediction = predicted_additive_error(k, r);
+        assert!(
+            eval.additive_error < prediction,
+            "{name}: additive {} ≥ prediction {prediction}",
+            eval.additive_error
+        );
+    }
+}
+
+#[test]
+fn z_sampler_tracks_exact_oracle() {
+    // The approximate sampler should land within a modest factor of the
+    // idealized FKV sampler on the same data.
+    let k = 3;
+    let r = 100;
+    let mut m1 = identity_model(3, 220, 16, k, 31);
+    let mut m2 = identity_model(3, 220, 16, k, 31);
+    let exact = run_algorithm1(
+        &mut m1,
+        &Algorithm1Config {
+            k,
+            r,
+            sampler: SamplerKind::ExactOracle,
+            seed: 5,
+            ..Algorithm1Config::default()
+        },
+    )
+    .unwrap();
+    let approx = run_algorithm1(
+        &mut m2,
+        &Algorithm1Config {
+            k,
+            r,
+            sampler: SamplerKind::Z(ZSamplerParams::default()),
+            seed: 5,
+            ..Algorithm1Config::default()
+        },
+    )
+    .unwrap();
+    let truth = m1.global_matrix();
+    let e_exact = evaluate_projection(&truth, &exact.projection, k).unwrap();
+    let e_approx = evaluate_projection(&truth, &approx.projection, k).unwrap();
+    assert!(
+        e_approx.additive_error < 12.0 * (e_exact.additive_error + 1e-3),
+        "approx {} vs exact {}",
+        e_approx.additive_error,
+        e_exact.additive_error
+    );
+}
+
+#[test]
+fn theorem1_row_collection_cost() {
+    // O(s·k²/ε²·d) words for row collection: check the exact fetch cost of
+    // the uniform path (frames included) against the closed form.
+    let (s, n, d) = (6usize, 400usize, 24usize);
+    let mut model = identity_model(s, n, d, 2, 41);
+    let cfg = Algorithm1Config {
+        k: 2,
+        r: 50,
+        sampler: SamplerKind::Uniform,
+        seed: 3,
+        ..Algorithm1Config::default()
+    };
+    let out = run_algorithm1(&mut model, &cfg).unwrap();
+    let mut distinct = out.rows.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let dr = distinct.len() as u64;
+    let su = (s - 1) as u64;
+    // Downstream: row-index list (+1 frame) per server; upstream: d words
+    // per row (+1 frame) per server.
+    let expect_down = su * (dr + 1);
+    let expect_up = su * (dr * d as u64 + 1);
+    assert_eq!(out.comm.downstream_words, expect_down);
+    assert_eq!(out.comm.upstream_words, expect_up);
+}
+
+#[test]
+fn protocol_beats_ship_everything_at_scale() {
+    let mut model = identity_model(8, 600, 32, 3, 51);
+    let cfg = Algorithm1Config {
+        k: 3,
+        r: 60,
+        sampler: SamplerKind::Z(ZSamplerParams::practical(
+            (600 * 32) as u64,
+            1200,
+        )),
+        seed: 13,
+        ..Algorithm1Config::default()
+    };
+    let out = run_algorithm1(&mut model, &cfg).unwrap();
+    assert!(
+        out.comm.total_words() < ship_everything_words(&model),
+        "protocol used {} words, naive shipping {}",
+        out.comm.total_words(),
+        ship_everything_words(&model)
+    );
+}
+
+#[test]
+fn huber_model_end_to_end_with_outliers() {
+    let mut rng = Rng::new(61);
+    let mut global = dlra::data::noisy_low_rank(200, 16, 2, 0.05, &mut rng);
+    for _ in 0..8 {
+        let i = rng.index(200);
+        let j = rng.index(16);
+        global[(i, j)] = 5e3;
+    }
+    let parts = dlra::data::split_entrywise(&global, 5, &mut rng);
+    let mut model = PartitionModel::new(parts, EntryFunction::Huber { k: 5.0 }).unwrap();
+    let cfg = Algorithm1Config {
+        k: 2,
+        r: 80,
+        sampler: SamplerKind::Z(ZSamplerParams::default()),
+        seed: 17,
+        ..Algorithm1Config::default()
+    };
+    let out = run_algorithm1(&mut model, &cfg).unwrap();
+    let capped = model.global_matrix();
+    assert!(capped.max_abs() <= 5.0 + 1e-9);
+    let eval = evaluate_projection(&capped, &out.projection, 2).unwrap();
+    assert!(eval.additive_error < 0.3, "additive {}", eval.additive_error);
+}
+
+#[test]
+fn gm_pooling_model_end_to_end() {
+    let ds_parts = {
+        let mut rng = Rng::new(71);
+        // Tiny pooled-codes workload.
+        let (s, n, d) = (4usize, 100usize, 32usize);
+        let mut parts = vec![dlra::linalg::Matrix::zeros(n, d); s];
+        for i in 0..n {
+            for _ in 0..20 {
+                let j = rng.index(d / 2); // concentrated codewords
+                let t = rng.index(s);
+                parts[t][(i, j)] += 1.0;
+            }
+        }
+        parts
+    };
+    let mut model = PartitionModel::gm_pooling(ds_parts, 5.0).unwrap();
+    let cfg = Algorithm1Config {
+        k: 3,
+        r: 70,
+        sampler: SamplerKind::Z(ZSamplerParams::default()),
+        seed: 19,
+        ..Algorithm1Config::default()
+    };
+    let out = run_algorithm1(&mut model, &cfg).unwrap();
+    let eval = evaluate_projection(&model.global_matrix(), &out.projection, 3).unwrap();
+    assert!(eval.additive_error < 0.3, "additive {}", eval.additive_error);
+}
+
+#[test]
+fn repeated_runs_are_deterministic_in_seed() {
+    let cfg = Algorithm1Config {
+        k: 2,
+        r: 40,
+        sampler: SamplerKind::Z(ZSamplerParams::default()),
+        seed: 23,
+        ..Algorithm1Config::default()
+    };
+    let mut m1 = identity_model(3, 150, 12, 2, 81);
+    let mut m2 = identity_model(3, 150, 12, 2, 81);
+    let o1 = run_algorithm1(&mut m1, &cfg).unwrap();
+    let o2 = run_algorithm1(&mut m2, &cfg).unwrap();
+    assert_eq!(o1.rows, o2.rows);
+    assert_eq!(o1.comm, o2.comm);
+    let diff = o1
+        .projection
+        .sub(&o2.projection)
+        .unwrap()
+        .frobenius_norm();
+    assert!(diff < 1e-12);
+}
+
+#[test]
+fn gm_sampler_communication_is_p_independent() {
+    // §VI-B: "the communication costs of our algorithm does not depend
+    // on p". Identical params + shapes + seeds across p must produce
+    // identical sampler communication (the sketches see locally powered
+    // values, but their SIZE is data-independent).
+    let mut comm_at_p = Vec::new();
+    for &p in &[1.0f64, 2.0, 5.0, 20.0] {
+        let mut rng = Rng::new(314);
+        let (s, n, d) = (4usize, 80usize, 16usize);
+        let mut parts = vec![dlra::linalg::Matrix::zeros(n, d); s];
+        for i in 0..n {
+            for _ in 0..12 {
+                let j = rng.index(d);
+                let t = rng.index(s);
+                parts[t][(i, j)] += 1.0;
+            }
+        }
+        let mut model = PartitionModel::gm_pooling(parts, p).unwrap();
+        let cfg = Algorithm1Config {
+            k: 2,
+            r: 30,
+            sampler: SamplerKind::Z(ZSamplerParams::default()),
+            seed: 99,
+            ..Algorithm1Config::default()
+        };
+        let out = run_algorithm1(&mut model, &cfg).unwrap();
+        comm_at_p.push(out.comm.total_words());
+    }
+    let min = *comm_at_p.iter().min().unwrap() as f64;
+    let max = *comm_at_p.iter().max().unwrap() as f64;
+    // Identical up to candidate-recovery noise (< 20% spread).
+    assert!(
+        max / min < 1.2,
+        "communication varies with p: {comm_at_p:?}"
+    );
+}

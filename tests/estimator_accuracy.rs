@@ -1,0 +1,162 @@
+//! Systematic accuracy study of the Z-estimator across input regimes:
+//! spiky, Zipfian, uniform-bulk, and multi-class planted vectors, for the
+//! square and fractional-power z-functions.
+
+use dlra::comm::Cluster;
+use dlra::sampler::{
+    run_z_estimator, DenseServerVec, PowerAbs, Square, ZFn, ZSamplerParams,
+};
+use dlra::util::Rng;
+
+fn single_server(v: Vec<f64>) -> Cluster<DenseServerVec> {
+    Cluster::new(vec![DenseServerVec::new(v)])
+}
+
+fn true_z(v: &[f64], z: &dyn ZFn) -> f64 {
+    v.iter().map(|&x| z.z(x)).sum()
+}
+
+fn params() -> ZSamplerParams {
+    ZSamplerParams {
+        hh_width: 256,
+        ..ZSamplerParams::default()
+    }
+}
+
+#[track_caller]
+fn assert_z_within(v: Vec<f64>, z: &dyn ZFn, factor: f64, seed: u64) {
+    let truth = true_z(&v, z);
+    let mut c = single_server(v);
+    let out = run_z_estimator(&mut c, z, &params(), seed);
+    assert!(
+        out.z_hat >= truth / factor && out.z_hat <= truth * factor,
+        "Ẑ = {} vs Z = {truth} (allowed ×{factor})",
+        out.z_hat
+    );
+}
+
+#[test]
+fn spiky_vectors_are_exact() {
+    // All mass in a handful of coordinates: recovery is exhaustive.
+    for seed in 0..3 {
+        let mut rng = Rng::new(seed);
+        let mut v = vec![0.0f64; 4096];
+        for _ in 0..6 {
+            v[rng.index(4096)] = rng.range_f64(5.0, 50.0);
+        }
+        assert_z_within(v, &Square, 1.01, 10 + seed);
+    }
+}
+
+#[test]
+fn zipf_tail_estimated_within_small_factor() {
+    // Zipfian magnitudes: head exact, tail via subsampled level sets.
+    let mut rng = Rng::new(4);
+    let n = 8192usize;
+    let mut v = vec![0.0f64; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    for (rank, &pos) in order.iter().enumerate().take(2000) {
+        v[pos] = 30.0 / (1.0 + rank as f64).powf(0.8);
+    }
+    assert_z_within(v, &Square, 3.0, 20);
+}
+
+#[test]
+fn uniform_bulk_estimated() {
+    // No heavy hitters at all — the hardest case for a recovery-based
+    // estimator; everything rides on the windowed level-set counts.
+    let mut rng = Rng::new(5);
+    let v: Vec<f64> = (0..16384).map(|_| rng.range_f64(0.9, 1.1)).collect();
+    assert_z_within(v, &Square, 4.0, 30);
+}
+
+#[test]
+fn two_planted_classes_both_seen() {
+    let mut rng = Rng::new(6);
+    let n = 8192usize;
+    let mut v = vec![0.0f64; n];
+    let mut slots: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut slots);
+    for &p in slots.iter().take(16) {
+        v[p] = 40.0; // heavy class
+    }
+    for &p in slots.iter().skip(16).take(1024) {
+        v[p] = 1.0; // bulk class
+    }
+    let truth = true_z(&v, &Square);
+    let mut c = single_server(v);
+    let out = run_z_estimator(&mut c, &Square, &params(), 40);
+    assert!(
+        out.z_hat > truth / 3.0 && out.z_hat < truth * 3.0,
+        "Ẑ {} vs Z {truth}",
+        out.z_hat
+    );
+    // Both classes must appear among the recovered structure.
+    let z_values: Vec<f64> = out
+        .classes
+        .values()
+        .flat_map(|e| e.members.iter().map(|&(_, val)| val * val))
+        .collect();
+    assert!(z_values.iter().any(|&zz| zz > 1000.0), "heavy class missing");
+    assert!(
+        z_values.iter().any(|&zz| (0.5..2.0).contains(&zz)),
+        "bulk class missing"
+    );
+}
+
+#[test]
+fn fractional_power_compresses_dynamic_range() {
+    // With z = |x|^{0.4} (GM p = 5), magnitudes 1 and 1e5 differ in z by
+    // only 100×; the estimator must track z-mass rather than ℓ₂ mass.
+    let mut rng = Rng::new(7);
+    let n = 4096usize;
+    let mut v = vec![0.0f64; n];
+    for _ in 0..64 {
+        v[rng.index(n)] = 1.0;
+    }
+    v[0] = 1e5;
+    let z = PowerAbs::from_gm_p(5.0);
+    assert_z_within(v, &z, 3.0, 50);
+}
+
+#[test]
+fn estimator_is_deterministic_in_seed() {
+    let mut rng = Rng::new(8);
+    let v: Vec<f64> = (0..2048).map(|_| rng.gaussian()).collect();
+    let mut c1 = single_server(v.clone());
+    let mut c2 = single_server(v);
+    let o1 = run_z_estimator(&mut c1, &Square, &params(), 99);
+    let o2 = run_z_estimator(&mut c2, &Square, &params(), 99);
+    assert_eq!(o1.z_hat, o2.z_hat);
+    assert_eq!(o1.recovered_count(), o2.recovered_count());
+}
+
+#[test]
+fn multi_server_matches_single_server_aggregate() {
+    // The estimator on s shares of v must behave like on v itself (sketch
+    // linearity end to end), up to identical seeds.
+    let mut rng = Rng::new(9);
+    let v: Vec<f64> = (0..2048)
+        .map(|_| if rng.bernoulli(0.05) { rng.range_f64(1.0, 20.0) } else { 0.0 })
+        .collect();
+    let mut single = single_server(v.clone());
+    // 3 additive shares.
+    let mut parts = vec![vec![0.0f64; v.len()]; 3];
+    for (j, &x) in v.iter().enumerate() {
+        let a = rng.gaussian();
+        let b = rng.gaussian();
+        parts[0][j] = a;
+        parts[1][j] = b;
+        parts[2][j] = x - a - b;
+    }
+    let mut multi = Cluster::new(parts.into_iter().map(DenseServerVec::new).collect());
+    let o1 = run_z_estimator(&mut single, &Square, &params(), 123);
+    let o3 = run_z_estimator(&mut multi, &Square, &params(), 123);
+    assert!(
+        (o1.z_hat - o3.z_hat).abs() < 1e-6 * o1.z_hat.max(1.0),
+        "single {} vs multi {}",
+        o1.z_hat,
+        o3.z_hat
+    );
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of cross-crate invariants (proptest).
+
+use dlra::linalg::{
+    best_rank_k, lowrank::is_projection_of_rank_at_most, residual_sq, svd, Matrix,
+};
+use dlra::prelude::*;
+use dlra::sampler::{check_property_p, FairSq, HuberSq, L1L2Sq, PowerAbs, Square, ZFn};
+use dlra::util::Rng;
+use proptest::prelude::*;
+
+fn small_matrix(seed: u64, n: usize, d: usize, scale: f64) -> Matrix {
+    let mut rng = Rng::new(seed);
+    Matrix::gaussian(n, d, &mut rng).scaled(scale)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SVD reconstructs and orders singular values for arbitrary shapes.
+    #[test]
+    fn svd_reconstruction(seed in 0u64..5000, n in 1usize..14, d in 1usize..14) {
+        let a = small_matrix(seed, n, d, 2.0);
+        let dec = svd(&a).unwrap();
+        let err = dec.reconstruct().sub(&a).unwrap().frobenius_norm();
+        prop_assert!(err < 1e-8 * (1.0 + a.frobenius_norm()));
+        prop_assert!(dec.s.windows(2).all(|w| w[0] >= w[1] - 1e-10));
+        prop_assert!(dec.s.iter().all(|&x| x >= 0.0));
+    }
+
+    /// Matrix Pythagorean theorem (§II): ‖A−AP‖² = ‖A‖² − ‖AP‖² for any
+    /// rank-k SVD projection.
+    #[test]
+    fn pythagorean_identity(seed in 0u64..5000, k in 1usize..5) {
+        let a = small_matrix(seed, 12, 8, 1.0);
+        let approx = best_rank_k(&a, k).unwrap();
+        let ap = a.matmul(&approx.projection).unwrap();
+        let lhs = a.sub(&ap).unwrap().frobenius_norm_sq();
+        let rhs = a.frobenius_norm_sq() - ap.frobenius_norm_sq();
+        prop_assert!((lhs - rhs).abs() < 1e-7 * (1.0 + a.frobenius_norm_sq()));
+    }
+
+    /// best_rank_k always returns a valid projection whose residual matches
+    /// the SVD tail.
+    #[test]
+    fn rank_k_projection_valid(seed in 0u64..5000, k in 1usize..6) {
+        let a = small_matrix(seed, 10, 7, 1.5);
+        let approx = best_rank_k(&a, k).unwrap();
+        prop_assert!(is_projection_of_rank_at_most(&approx.projection, k, 1e-7));
+        let res = residual_sq(&a, &approx.projection).unwrap();
+        prop_assert!((res - approx.error_sq).abs() < 1e-7 * (1.0 + approx.total_sq));
+    }
+
+    /// Every shipped z-function satisfies property P on random grids.
+    #[test]
+    fn zfns_satisfy_property_p(seed in 0u64..5000) {
+        let mut rng = Rng::new(seed);
+        let xs: Vec<f64> = (0..200).map(|_| rng.gaussian() * 10.0).collect();
+        let zs: Vec<Box<dyn ZFn>> = vec![
+            Box::new(Square),
+            Box::new(PowerAbs { alpha: 0.3 + 1.7 * rng.f64() }),
+            Box::new(HuberSq { k: 0.5 + 3.0 * rng.f64() }),
+            Box::new(L1L2Sq),
+            Box::new(FairSq { c: 0.5 + 3.0 * rng.f64() }),
+        ];
+        for z in &zs {
+            prop_assert!(check_property_p(z.as_ref(), &xs), "{}", z.name());
+        }
+    }
+
+    /// z_inv is a right inverse of z wherever defined.
+    #[test]
+    fn z_inverse_roundtrip(seed in 0u64..5000, y in 0.0f64..20.0) {
+        let mut rng = Rng::new(seed);
+        let zs: Vec<Box<dyn ZFn>> = vec![
+            Box::new(Square),
+            Box::new(PowerAbs { alpha: 0.4 + 1.6 * rng.f64() }),
+            Box::new(HuberSq { k: 1.0 + 3.0 * rng.f64() }),
+            Box::new(L1L2Sq),
+            Box::new(FairSq { c: 1.0 + 3.0 * rng.f64() }),
+        ];
+        for z in &zs {
+            if let Some(x) = z.z_inv(y) {
+                let back = z.z(x);
+                prop_assert!(
+                    (back - y).abs() < 1e-6 * y.max(1.0),
+                    "{}: z(z_inv({y})) = {back}", z.name()
+                );
+            }
+        }
+    }
+
+    /// The partition model's global matrix equals the direct entrywise
+    /// definition f(Σ Aᵗ) for random shares and functions.
+    #[test]
+    fn model_matches_entrywise_definition(seed in 0u64..5000, s in 1usize..5) {
+        let mut rng = Rng::new(seed);
+        let parts: Vec<Matrix> = (0..s).map(|_| {
+            Matrix::gaussian(6, 4, &mut rng)
+        }).collect();
+        for f in [EntryFunction::Identity, EntryFunction::Huber { k: 1.0 },
+                  EntryFunction::L1L2, EntryFunction::Fair { c: 2.0 }] {
+            let model = PartitionModel::new(parts.clone(), f).unwrap();
+            let g = model.global_matrix();
+            for i in 0..6 {
+                for j in 0..4 {
+                    let sum: f64 = parts.iter().map(|p| p[(i, j)]).sum();
+                    prop_assert!((g[(i, j)] - f.apply(sum)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Eckart–Young on small matrices: SVD truncation beats random
+    /// projections of the same rank.
+    #[test]
+    fn eckart_young_optimality(seed in 0u64..2000, k in 1usize..4) {
+        let a = small_matrix(seed, 9, 6, 1.0);
+        let best = best_rank_k(&a, k).unwrap();
+        let best_res = residual_sq(&a, &best.projection).unwrap();
+        let mut rng = Rng::new(seed ^ 0xFFFF);
+        let rand_basis = dlra::linalg::orthonormalize_columns(
+            &Matrix::gaussian(6, k, &mut rng));
+        if rand_basis.cols() == k {
+            let p = rand_basis.matmul(&rand_basis.transpose()).unwrap();
+            let res = residual_sq(&a, &p).unwrap();
+            prop_assert!(res + 1e-8 >= best_res);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the sketching substrate's guarantees.
+
+use dlra::sketch::{AmsF2, CountMin, CountSketch, HeavyHittersSketch, KWiseHash};
+use dlra::util::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// CountSketch is linear: sketch(αu + βv) = α·sketch(u) + β·sketch(v),
+    /// observed through point queries.
+    #[test]
+    fn countsketch_linearity(seed in 0u64..10_000, alpha in -3.0f64..3.0, beta in -3.0f64..3.0) {
+        let mut rng = Rng::new(seed);
+        let l = 200usize;
+        let u: Vec<f64> = (0..l).map(|_| rng.gaussian()).collect();
+        let v: Vec<f64> = (0..l).map(|_| rng.gaussian()).collect();
+        let mk = || CountSketch::new(4, 32, seed ^ 0xABCD);
+        let mut su = mk();
+        let mut sv = mk();
+        let mut sw = mk();
+        for j in 0..l {
+            su.update(j as u64, alpha * u[j]);
+            sv.update(j as u64, beta * v[j]);
+            sw.update(j as u64, alpha * u[j] + beta * v[j]);
+        }
+        su.merge(&sv);
+        for j in (0..l).step_by(17) {
+            prop_assert!((su.estimate(j as u64) - sw.estimate(j as u64)).abs() < 1e-9);
+        }
+    }
+
+    /// CountMin never underestimates on nonnegative input.
+    #[test]
+    fn countmin_one_sided(seed in 0u64..10_000, width in 8usize..128) {
+        let mut rng = Rng::new(seed);
+        let l = 300usize;
+        let v: Vec<f64> = (0..l).map(|_| rng.f64() * 5.0).collect();
+        let mut cm = CountMin::new(3, width, seed);
+        cm.update_dense(&v);
+        for j in (0..l).step_by(13) {
+            prop_assert!(cm.estimate(j as u64) >= v[j] - 1e-12);
+        }
+        prop_assert!((cm.l1() - v.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    /// A sufficiently heavy planted coordinate is always recovered.
+    #[test]
+    fn heavy_hitter_always_recovered(seed in 0u64..10_000, pos in 0u64..2000) {
+        let mut rng = Rng::new(seed);
+        let l = 2000u64;
+        let mut sk = HeavyHittersSketch::new(16.0, 0.001, seed ^ 0x5A5A);
+        for j in 0..l {
+            if j != pos {
+                sk.update(j, rng.gaussian() * 0.05);
+            }
+        }
+        sk.update(pos, 40.0); // overwhelmingly heavy
+        let hh = sk.recover_range(l);
+        prop_assert!(hh.iter().any(|h| h.index == pos),
+            "planted coordinate {pos} missed");
+    }
+
+    /// AMS F₂ merge equals the joint sketch on the summed vector.
+    #[test]
+    fn ams_merge_linearity(seed in 0u64..10_000) {
+        let mut rng = Rng::new(seed);
+        let l = 128usize;
+        let u: Vec<f64> = (0..l).map(|_| rng.gaussian()).collect();
+        let v: Vec<f64> = (0..l).map(|_| rng.gaussian()).collect();
+        let mut a = AmsF2::new(3, 8, seed);
+        let mut b = AmsF2::new(3, 8, seed);
+        let mut joint = AmsF2::new(3, 8, seed);
+        a.update_dense(&u);
+        b.update_dense(&v);
+        for j in 0..l {
+            joint.update(j as u64, u[j] + v[j]);
+        }
+        a.merge(&b);
+        prop_assert!((a.estimate() - joint.estimate()).abs() < 1e-9);
+    }
+
+    /// k-wise hash determinism and range.
+    #[test]
+    fn kwise_hash_properties(seed in 0u64..10_000, k in 2usize..12, x in 0u64..1_000_000) {
+        let h1 = KWiseHash::from_seed(k, seed);
+        let h2 = KWiseHash::from_seed(k, seed);
+        prop_assert_eq!(h1.hash(x), h2.hash(x));
+        prop_assert!(h1.unit(x) >= 0.0 && h1.unit(x) < 1.0);
+        let b = h1.bucket(x, 17);
+        prop_assert!(b < 17);
+        let s = h1.sign(x);
+        prop_assert!(s == 1.0 || s == -1.0);
+    }
+
+    /// CountSketch estimates are exact when the vector has a single nonzero.
+    #[test]
+    fn countsketch_single_coordinate_exact(seed in 0u64..10_000, j in 0u64..10_000, val in -100.0f64..100.0) {
+        let mut cs = CountSketch::new(5, 64, seed);
+        cs.update(j, val);
+        prop_assert!((cs.estimate(j) - val).abs() < 1e-12);
+    }
+}

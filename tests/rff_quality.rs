@@ -1,0 +1,99 @@
+//! Quality study of the random Fourier feature application (§VI-A):
+//! kernel approximation vs feature dimension, row-norm concentration, and
+//! PCA error decay with the sample count.
+
+use dlra::core::apps::rff::{run_rff_pca, RffMap};
+use dlra::prelude::*;
+use dlra::util::Rng;
+
+fn base_data(n: usize, m: usize, seed: u64) -> dlra::linalg::Matrix {
+    let mut rng = Rng::new(seed);
+    dlra::data::clustered_points(n, m, 5, &[2.0, 1.5, 1.0, 0.7, 0.4], 0.3, &mut rng)
+}
+
+#[test]
+fn kernel_error_decays_with_feature_dim() {
+    let mut rng = Rng::new(1);
+    let x: Vec<f64> = (0..8).map(|_| rng.gaussian() * 0.7).collect();
+    let y: Vec<f64> = (0..8).map(|_| rng.gaussian() * 0.7).collect();
+    let dist2: f64 = x
+        .iter()
+        .zip(&y)
+        .map(|(a, b): (&f64, &f64)| (a - b) * (a - b))
+        .sum();
+    let truth = (-dist2 / 2.0).exp();
+    let err_at = |d: usize| -> f64 {
+        // Average over independent maps to smooth the variance.
+        (0..8)
+            .map(|s| {
+                let map = RffMap::new(8, d, 1.0, 100 + s);
+                (map.kernel_estimate(&x, &y) - truth).abs()
+            })
+            .sum::<f64>()
+            / 8.0
+    };
+    let coarse = err_at(32);
+    let fine = err_at(2048);
+    // Monte-Carlo rate: error ∝ 1/√d → 8× fewer features ≈ 8× error at
+    // these dims; require at least a 2.5× improvement.
+    assert!(
+        fine < coarse / 2.5,
+        "err(2048) = {fine} not ≪ err(32) = {coarse}"
+    );
+}
+
+#[test]
+fn row_norm_concentration_justifies_uniform_sampling() {
+    // The §VI-A argument: ‖Aᵢ‖² = Θ(d) for every row. Measure the spread.
+    let raw = base_data(200, 10, 2);
+    let map = RffMap::new(10, 512, 1.0, 3);
+    let feats = map.expand_matrix(&raw);
+    let norms: Vec<f64> = (0..feats.rows()).map(|i| feats.row_norm_sq(i)).collect();
+    let mean = norms.iter().sum::<f64>() / norms.len() as f64;
+    let max = norms.iter().cloned().fold(0.0, f64::max);
+    let min = norms.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!((mean - 512.0).abs() < 40.0, "mean {mean}");
+    assert!(max / min < 1.8, "spread {min}..{max}");
+}
+
+#[test]
+fn pca_error_decreases_with_r() {
+    let raw = base_data(500, 10, 4);
+    let mut rng = Rng::new(5);
+    let parts = dlra::data::split_additively(&raw, 4, &mut rng);
+    let mut model = PartitionModel::new(parts, EntryFunction::Identity).unwrap();
+    let map = RffMap::new(10, 96, 1.0, 6);
+    let truth = map.expand_matrix(&model.global_matrix());
+    let k = 6;
+    let err_at = |r: usize, model: &mut PartitionModel| -> f64 {
+        // Average 3 runs.
+        (0..3)
+            .map(|s| {
+                let out = run_rff_pca(model, &map, k, r, 900 + s + r as u64).unwrap();
+                evaluate_projection(&truth, &out.projection, k)
+                    .unwrap()
+                    .additive_error
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+    let coarse = err_at(25, &mut model);
+    let fine = err_at(400, &mut model);
+    assert!(
+        fine < coarse / 2.0,
+        "err(r=400) = {fine} not ≪ err(r=25) = {coarse}"
+    );
+}
+
+#[test]
+fn bandwidth_controls_kernel_locality() {
+    // Smaller σ → narrower kernel → estimates for distant points ~0.
+    let x = vec![0.0; 6];
+    let far: Vec<f64> = vec![2.0; 6];
+    let narrow = RffMap::new(6, 2048, 0.5, 7);
+    let wide = RffMap::new(6, 2048, 4.0, 8);
+    let kn = narrow.kernel_estimate(&x, &far);
+    let kw = wide.kernel_estimate(&x, &far);
+    assert!(kn.abs() < 0.05, "narrow kernel not local: {kn}");
+    assert!(kw > 0.4, "wide kernel too local: {kw}");
+}
