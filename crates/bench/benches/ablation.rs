@@ -28,8 +28,14 @@ fn bench_theory_vs_practical(c: &mut Criterion) {
     theory.groups = theory.groups.min(8);
     theory.hh_width = theory.hh_width.min(256);
     let configs: Vec<(&str, ZSamplerParams)> = vec![
-        ("practical_2k", ZSamplerParams::practical((n * d) as u64, 2_000)),
-        ("practical_16k", ZSamplerParams::practical((n * d) as u64, 16_000)),
+        (
+            "practical_2k",
+            ZSamplerParams::practical((n * d) as u64, 2_000),
+        ),
+        (
+            "practical_16k",
+            ZSamplerParams::practical((n * d) as u64, 16_000),
+        ),
         ("theory_capped", theory),
     ];
     for (name, params) in configs {
@@ -42,8 +48,7 @@ fn bench_theory_vs_practical(c: &mut Criterion) {
                 ..Algorithm1Config::default()
             };
             b.iter(|| {
-                let mut m =
-                    PartitionModel::new(p.clone(), EntryFunction::Identity).unwrap();
+                let mut m = PartitionModel::new(p.clone(), EntryFunction::Identity).unwrap();
                 black_box(run_algorithm1(&mut m, &cfg).unwrap().captured)
             });
         });
@@ -57,20 +62,23 @@ fn bench_adaptive_rounds(c: &mut Criterion) {
     let (n, d) = (300usize, 16usize);
     let p = parts(n, d, 71);
     for &rounds in &[1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
-            let cfg = AdaptiveConfig {
-                k: 4,
-                rounds,
-                r_per_round: 48 / rounds,
-                params: ZSamplerParams::practical((n * d) as u64, 3_000),
-                seed: 73,
-            };
-            b.iter(|| {
-                let mut m =
-                    PartitionModel::new(p.clone(), EntryFunction::Identity).unwrap();
-                black_box(run_adaptive(&mut m, &cfg).unwrap().comm.total_words())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &rounds,
+            |b, &rounds| {
+                let cfg = AdaptiveConfig {
+                    k: 4,
+                    rounds,
+                    r_per_round: 48 / rounds,
+                    params: ZSamplerParams::practical((n * d) as u64, 3_000),
+                    seed: 73,
+                };
+                b.iter(|| {
+                    let mut m = PartitionModel::new(p.clone(), EntryFunction::Identity).unwrap();
+                    black_box(run_adaptive(&mut m, &cfg).unwrap().comm.total_words())
+                });
+            },
+        );
     }
     group.finish();
 }

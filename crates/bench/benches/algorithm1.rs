@@ -27,10 +27,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 let cfg = Algorithm1Config {
                     k: 5,
                     r: 100,
-                    sampler: SamplerKind::Z(ZSamplerParams::practical(
-                        (n * d) as u64,
-                        4000,
-                    )),
+                    sampler: SamplerKind::Z(ZSamplerParams::practical((n * d) as u64, 4000)),
                     seed: 37,
                     ..Algorithm1Config::default()
                 };
@@ -67,8 +64,7 @@ fn bench_sampler_ablation(c: &mut Criterion) {
                 ..Algorithm1Config::default()
             };
             b.iter(|| {
-                let mut m =
-                    PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+                let mut m = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
                 black_box(run_algorithm1(&mut m, &cfg).unwrap().captured)
             });
         });
@@ -91,8 +87,7 @@ fn bench_boosting(c: &mut Criterion) {
                 seed: 53,
             };
             b.iter(|| {
-                let mut m =
-                    PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+                let mut m = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
                 black_box(run_algorithm1(&mut m, &cfg).unwrap().captured)
             });
         });
@@ -100,5 +95,10 @@ fn bench_boosting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_sampler_ablation, bench_boosting);
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_sampler_ablation,
+    bench_boosting
+);
 criterion_main!(benches);

@@ -21,9 +21,7 @@ fn bench_gather(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
             let mut cluster = make_cluster(s, 65_536);
             b.iter(|| {
-                let sums = cluster.gather("bench", |_t, local| {
-                    local.iter().sum::<f64>()
-                });
+                let sums = cluster.gather("bench", |_t, local| local.iter().sum::<f64>());
                 black_box(sums.len())
             });
         });
@@ -73,5 +71,10 @@ fn bench_aggregate_vectors(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gather, bench_par_gather_vs_gather, bench_aggregate_vectors);
+criterion_group!(
+    benches,
+    bench_gather,
+    bench_par_gather_vs_gather,
+    bench_aggregate_vectors
+);
 criterion_main!(benches);

@@ -61,5 +61,12 @@ fn bench_gram(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_svd, bench_rank_k, bench_qr, bench_matmul, bench_gram);
+criterion_group!(
+    benches,
+    bench_svd,
+    bench_rank_k,
+    bench_qr,
+    bench_matmul,
+    bench_gram
+);
 criterion_main!(benches);

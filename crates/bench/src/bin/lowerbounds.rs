@@ -59,7 +59,10 @@ fn main() {
             let (got, _) = solve_ghd_via_pca(&inst, 2, &mut oracle8);
             ok += (got == pos) as u64;
         }
-        println!("  m = {m:5} (ε = {:.4}): accuracy {ok}/{trials}", 1.0 / (m as f64).sqrt());
+        println!(
+            "  m = {m:5} (ε = {:.4}): accuracy {ok}/{trials}",
+            1.0 / (m as f64).sqrt()
+        );
     }
 
     println!("\nEach reduction decides its promise problem with few oracle calls and");

@@ -16,10 +16,7 @@ fn main() {
     let l1l2 = EntryFunction::L1L2;
     let fair = EntryFunction::Fair { c: 2.0 };
 
-    println!(
-        "{:>12} {:>12} {:>12} {:>12}",
-        "x", "Huber", "L1-L2", "Fair"
-    );
+    println!("{:>12} {:>12} {:>12} {:>12}", "x", "Huber", "L1-L2", "Fair");
     for &x in &[0.0, 0.5, 1.0, 2.0, 5.0, 100.0, 1e6, -3.0, -1e6] {
         println!(
             "{:>12.3e} {:>12.4} {:>12.4} {:>12.4}",

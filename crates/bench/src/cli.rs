@@ -114,7 +114,9 @@ pub fn panels(which: &str, spec: &PanelSpec, ps: &[f64]) -> Vec<PanelResult> {
             }
             out.push(repro::isolet_panel(&default_ratio_spec));
         }
-        other => panic!("unknown panel {other}; try forest_cover|kddcup|caltech101|scenes|isolet|all"),
+        other => {
+            panic!("unknown panel {other}; try forest_cover|kddcup|caltech101|scenes|isolet|all")
+        }
     }
     out
 }

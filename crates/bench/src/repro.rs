@@ -190,8 +190,7 @@ pub fn rff_panel(src: RffSource, spec: &PanelSpec) -> PanelResult {
         // Entire budget goes to raw-row collection:
         // cost ≈ (s−1)·r·(m+2) words.
         let budget = ratio * data_words as f64;
-        let r = ((budget / ((s - 1) as f64 * (raw_dims + 2) as f64)) as usize)
-            .clamp(2 * kmax, n);
+        let r = ((budget / ((s - 1) as f64 * (raw_dims + 2) as f64)) as usize).clamp(2 * kmax, n);
         for (ki, &k) in spec.ks.iter().enumerate() {
             let out = run_rff_pca(
                 &mut model,
@@ -238,8 +237,7 @@ pub fn pooling_panel(src: PoolingSource, p: f64, spec: &PanelSpec) -> PanelResul
 pub fn isolet_panel(spec: &PanelSpec) -> PanelResult {
     let ds = data::isolet_like(spec.scale, 50, spec.seed ^ 4);
     // Threshold well above benign magnitudes, far below the corruption.
-    let mut model =
-        PartitionModel::new(ds.parts, EntryFunction::Huber { k: 25.0 }).expect("model");
+    let mut model = PartitionModel::new(ds.parts, EntryFunction::Huber { k: 25.0 }).expect("model");
     let truth = Truth::new(model.global_matrix());
     z_panel(&mut model, truth, "isolet".to_string(), spec)
 }
@@ -273,11 +271,7 @@ fn z_panel(
         let before_prepare = model.cluster().comm();
         let sampler = ZSampler::new(params, spec.seed ^ (ratio * 1e4) as u64);
         let prepared = sampler.prepare(model.cluster_mut(), zfn.as_ref());
-        let prepare_words = model
-            .cluster()
-            .comm()
-            .since(&before_prepare)
-            .total_words();
+        let prepare_words = model.cluster().comm().since(&before_prepare).total_words();
         assert!(!prepared.is_empty(), "{name}: sampler found no mass");
 
         for (ki, &k) in spec.ks.iter().enumerate() {

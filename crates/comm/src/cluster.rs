@@ -176,7 +176,7 @@ impl<L> Cluster<L> {
 }
 
 impl<L: Send> Cluster<L> {
-    /// Parallel gather using crossbeam scoped threads: semantics and
+    /// Parallel gather using std scoped threads: semantics and
     /// accounting identical to [`Cluster::gather`], but the per-server
     /// compute closures run concurrently. Use for expensive local work
     /// (sketching a large matrix); results are charged deterministically in
@@ -188,20 +188,14 @@ impl<L: Send> Cluster<L> {
     ) -> Vec<T> {
         self.ledger.next_round();
         let mut replies: Vec<Option<T>> = (0..self.locals.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (t, (local, slot)) in self
-                .locals
-                .iter_mut()
-                .zip(replies.iter_mut())
-                .enumerate()
-            {
+        std::thread::scope(|scope| {
+            for (t, (local, slot)) in self.locals.iter_mut().zip(replies.iter_mut()).enumerate() {
                 let compute = &compute;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = Some(compute(t, local));
                 });
             }
-        })
-        .expect("par_gather worker panicked");
+        });
         let out: Vec<T> = replies
             .into_iter()
             .map(|r| r.expect("every server replied"))

@@ -1,0 +1,205 @@
+//! The [`Collectives`] trait: the substrate-independent surface of the
+//! star-topology collectives.
+//!
+//! Protocol code (`dlra-core::algorithm1`, `dlra-core::adaptive`, the
+//! `dlra-sampler` Z-machinery) is written against this trait, so the same
+//! call sites run unchanged on the sequential in-process simulator
+//! ([`Cluster`]) and on the threaded message-passing runtime
+//! (`dlra-runtime::ThreadedCluster`). Implementations must make ledger
+//! totals substrate-independent: per collective, the same set of messages
+//! is charged with the same word counts, and merges happen in server-index
+//! order so floating-point results are bit-identical.
+//!
+//! The closure bounds are the union of what every substrate needs: a
+//! threaded substrate executes per-server closures on persistent worker
+//! threads, so they are `Fn + Send + Sync + 'static` and capture their
+//! context by value (requests travel as cloned typed messages, exactly as
+//! they would on a wire). The sequential [`Cluster`] additionally keeps its
+//! historical inherent methods with looser `FnMut` bounds for local tests.
+
+use crate::cluster::Cluster;
+use crate::ledger::{Ledger, LedgerSnapshot};
+use crate::payload::Payload;
+
+/// Star-topology collective operations over per-server local state `L`.
+///
+/// Server `0` is the coordinator (the paper's "server 1"); traffic between
+/// the coordinator and its own local state is free. All data movement
+/// between servers must go through these methods so the [`Ledger`] stays a
+/// faithful communication transcript.
+pub trait Collectives<L> {
+    /// Number of servers `s` (including the coordinator).
+    fn num_servers(&self) -> usize;
+
+    /// The shared communication ledger.
+    fn ledger(&self) -> &Ledger;
+
+    /// Snapshot of the current communication totals.
+    fn comm(&self) -> LedgerSnapshot {
+        self.ledger().snapshot()
+    }
+
+    /// Runs `f` against one server's local state, read-only. For
+    /// *evaluation and orchestration only* (e.g. materializing the global
+    /// matrix to measure true errors, or reading a dimension the protocol
+    /// already knows); never a data channel between servers.
+    fn with_local<R>(&self, t: usize, f: impl FnOnce(&L) -> R) -> R;
+
+    /// Runs `f` against one server's local state, mutably, for
+    /// *zero-communication local operations* (each server mutating its own
+    /// scratch, e.g. clearing injected coordinates after a sampling pass).
+    /// Must not be used to move data between servers — that would bypass
+    /// the ledger.
+    fn with_local_mut<R>(&mut self, t: usize, f: impl FnOnce(&mut L) -> R) -> R;
+
+    /// Coordinator → all servers: sends `msg` to each of the `s − 1`
+    /// non-coordinator servers, charging each message, then lets every
+    /// server (including the coordinator's own state) observe it. Returns
+    /// after every server has processed the message.
+    fn broadcast<T, F>(&mut self, msg: &T, label: &'static str, on_receive: F)
+    where
+        T: Payload + Clone + Send + 'static,
+        F: Fn(usize, &mut L, &T) + Send + Sync + 'static;
+
+    /// All servers → coordinator: each server computes a reply from its
+    /// local state; replies from servers `1..s` are charged upstream.
+    /// Returns the replies indexed by server.
+    fn gather<T, F>(&mut self, label: &'static str, compute: F) -> Vec<T>
+    where
+        T: Payload + Send + 'static,
+        F: Fn(usize, &mut L) -> T + Send + Sync + 'static;
+
+    /// Gather + fold: each server's reply is merged into an accumulator at
+    /// the coordinator, in server-index order (so results are bit-identical
+    /// across substrates). `merge` runs coordinator-side and may capture
+    /// freely.
+    fn aggregate<T, F, M>(&mut self, label: &'static str, compute: F, mut merge: M) -> T
+    where
+        T: Payload + Send + 'static,
+        F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
+        M: FnMut(&mut T, T),
+    {
+        let replies = self.gather(label, compute);
+        let mut it = replies.into_iter();
+        let mut acc = it.next().expect("at least one server");
+        for r in it {
+            merge(&mut acc, r);
+        }
+        acc
+    }
+
+    /// Coordinator ↔ one server round trip: sends `request` down, gets a
+    /// reply up. Used for Algorithm 3 line 6/11 ("server 1 asks for aⱼ").
+    fn query_server<Q, T, F>(
+        &mut self,
+        t: usize,
+        request: &Q,
+        label: &'static str,
+        compute: F,
+    ) -> T
+    where
+        Q: Payload + Clone + Send + 'static,
+        T: Payload + Send + 'static,
+        F: FnOnce(&mut L, &Q) -> T + Send + 'static;
+
+    /// Coordinator → every server down-query followed by an up-reply in the
+    /// same round (e.g. "send me your part of rows i₁..iᵣ").
+    fn query_all<Q, T, F>(&mut self, request: &Q, label: &'static str, compute: F) -> Vec<T>
+    where
+        Q: Payload + Clone + Send + 'static,
+        T: Payload + Send + 'static,
+        F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static;
+}
+
+/// The sequential simulator is the reference implementation: collectives
+/// delegate to the inherent methods, which execute server closures inline
+/// in server order.
+impl<L> Collectives<L> for Cluster<L> {
+    fn num_servers(&self) -> usize {
+        Cluster::num_servers(self)
+    }
+
+    fn ledger(&self) -> &Ledger {
+        Cluster::ledger(self)
+    }
+
+    fn with_local<R>(&self, t: usize, f: impl FnOnce(&L) -> R) -> R {
+        f(self.local(t))
+    }
+
+    fn with_local_mut<R>(&mut self, t: usize, f: impl FnOnce(&mut L) -> R) -> R {
+        f(self.local_mut_for_cleanup(t))
+    }
+
+    fn broadcast<T, F>(&mut self, msg: &T, label: &'static str, on_receive: F)
+    where
+        T: Payload + Clone + Send + 'static,
+        F: Fn(usize, &mut L, &T) + Send + Sync + 'static,
+    {
+        Cluster::broadcast(self, msg, label, on_receive);
+    }
+
+    fn gather<T, F>(&mut self, label: &'static str, compute: F) -> Vec<T>
+    where
+        T: Payload + Send + 'static,
+        F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
+    {
+        Cluster::gather(self, label, compute)
+    }
+
+    fn query_server<Q, T, F>(&mut self, t: usize, request: &Q, label: &'static str, compute: F) -> T
+    where
+        Q: Payload + Clone + Send + 'static,
+        T: Payload + Send + 'static,
+        F: FnOnce(&mut L, &Q) -> T + Send + 'static,
+    {
+        Cluster::query_server(self, t, request, label, compute)
+    }
+
+    fn query_all<Q, T, F>(&mut self, request: &Q, label: &'static str, compute: F) -> Vec<T>
+    where
+        Q: Payload + Clone + Send + 'static,
+        T: Payload + Send + 'static,
+        F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static,
+    {
+        Cluster::query_all(self, request, label, compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exercises every trait method through a generic function, proving the
+    /// bounds are satisfiable by realistic protocol code.
+    fn drive<C: Collectives<Vec<f64>>>(c: &mut C) -> (Vec<f64>, f64, Vec<f64>, f64) {
+        c.broadcast(&2.0f64, "b", |_t, local, &m| {
+            for x in local.iter_mut() {
+                *x += m;
+            }
+        });
+        let gathered = c.gather("g", |t, local| local[0] + t as f64);
+        let agg = c.aggregate(
+            "a",
+            |_t, local| local.iter().sum::<f64>(),
+            |acc, r| *acc += r,
+        );
+        let queried = c.query_all(&1usize, "qa", |_t, local, &j| local[j]);
+        let point = c.query_server(1, &0usize, "qs", |local, &j| local[j]);
+        (gathered, agg, queried, point)
+    }
+
+    #[test]
+    fn cluster_implements_collectives() {
+        let mut c = Cluster::new(vec![vec![0.0f64, 1.0], vec![10.0, 11.0]]);
+        let (gathered, agg, queried, point) = drive(&mut c);
+        assert_eq!(gathered, vec![2.0, 13.0]);
+        assert_eq!(agg, 2.0 + 3.0 + 12.0 + 13.0);
+        assert_eq!(queried, vec![3.0, 13.0]);
+        assert_eq!(point, 12.0);
+        assert!(Collectives::comm(&c).total_words() > 0);
+        assert_eq!(Collectives::num_servers(&c), 2);
+        Collectives::with_local_mut(&mut c, 0, |l| l[0] = 99.0);
+        assert_eq!(Collectives::with_local(&c, 0, |l| l[0]), 99.0);
+    }
+}

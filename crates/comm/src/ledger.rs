@@ -1,9 +1,18 @@
 //! The communication ledger: every message that crosses a server boundary is
 //! charged here, and tests assert on the totals (e.g. Theorem 1's
 //! `O(s·k²·d/ε² + C)` bound and the experiments' communication-ratio knobs).
+//!
+//! The ledger is shared by every server of a cluster, so on the threaded
+//! substrate (`dlra-runtime`) it is charged concurrently from worker
+//! threads. The hot counters are lock-free atomics; only the optional
+//! per-event transcript takes a mutex, and only when recording is enabled.
+//! Sequential word-accounting semantics are unchanged: a charge adds
+//! `payload + FRAME_WORDS` to exactly one direction and bumps the message
+//! count, and `snapshot` taken at any quiescent point (no collective in
+//! flight) is exact.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Message direction relative to the coordinator (server 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,19 +79,20 @@ impl CostModel {
 
 #[derive(Debug, Default)]
 struct LedgerInner {
-    events: Vec<CommEvent>,
-    upstream_words: u64,
-    downstream_words: u64,
-    messages: u64,
-    rounds: u64,
-    record_events: bool,
+    upstream_words: AtomicU64,
+    downstream_words: AtomicU64,
+    messages: AtomicU64,
+    rounds: AtomicU64,
+    record_events: AtomicBool,
+    events: Mutex<Vec<CommEvent>>,
 }
 
 /// A thread-safe communication ledger shared by all collectives of a
-/// [`crate::Cluster`]. Cloning shares the underlying counters.
+/// [`crate::Cluster`] or a threaded substrate. Cloning shares the
+/// underlying counters; charges from any thread are totalled without locks.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
-    inner: Arc<Mutex<LedgerInner>>,
+    inner: Arc<LedgerInner>,
 }
 
 /// A point-in-time copy of the ledger totals.
@@ -124,7 +134,7 @@ impl Ledger {
 
     /// Enables or disables per-event transcript recording.
     pub fn set_record_events(&self, on: bool) {
-        self.inner.lock().record_events = on;
+        self.inner.record_events.store(on, Ordering::Release);
     }
 
     /// Charges one message and returns its total cost in words.
@@ -136,21 +146,27 @@ impl Ledger {
         label: &'static str,
     ) -> u64 {
         let cost = payload_words + FRAME_WORDS;
-        let mut g = self.inner.lock();
         match direction {
-            Direction::Upstream => g.upstream_words += cost,
-            Direction::Downstream => g.downstream_words += cost,
-        }
-        g.messages += 1;
-        if g.record_events {
-            let round = g.rounds;
-            g.events.push(CommEvent {
-                server,
-                direction,
-                payload_words,
-                label,
-                round,
-            });
+            Direction::Upstream => self.inner.upstream_words.fetch_add(cost, Ordering::Relaxed),
+            Direction::Downstream => self
+                .inner
+                .downstream_words
+                .fetch_add(cost, Ordering::Relaxed),
+        };
+        self.inner.messages.fetch_add(1, Ordering::Relaxed);
+        if self.inner.record_events.load(Ordering::Acquire) {
+            let round = self.inner.rounds.load(Ordering::Relaxed);
+            self.inner
+                .events
+                .lock()
+                .expect("ledger transcript poisoned")
+                .push(CommEvent {
+                    server,
+                    direction,
+                    payload_words,
+                    label,
+                    round,
+                });
         }
         cost
     }
@@ -158,23 +174,27 @@ impl Ledger {
     /// Marks the start of a new communication round (a collective step in
     /// which every server may exchange one batch with the coordinator).
     pub fn next_round(&self) {
-        self.inner.lock().rounds += 1;
+        self.inner.rounds.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Totals so far.
+    /// Totals so far. Exact whenever no collective is mid-flight (each
+    /// counter is individually exact at all times).
     pub fn snapshot(&self) -> LedgerSnapshot {
-        let g = self.inner.lock();
         LedgerSnapshot {
-            upstream_words: g.upstream_words,
-            downstream_words: g.downstream_words,
-            messages: g.messages,
-            rounds: g.rounds,
+            upstream_words: self.inner.upstream_words.load(Ordering::Relaxed),
+            downstream_words: self.inner.downstream_words.load(Ordering::Relaxed),
+            messages: self.inner.messages.load(Ordering::Relaxed),
+            rounds: self.inner.rounds.load(Ordering::Relaxed),
         }
     }
 
     /// Copy of the recorded transcript (empty unless recording was enabled).
     pub fn events(&self) -> Vec<CommEvent> {
-        self.inner.lock().events.clone()
+        self.inner
+            .events
+            .lock()
+            .expect("ledger transcript poisoned")
+            .clone()
     }
 
     /// Aggregates the recorded transcript by step label: returns
@@ -182,10 +202,14 @@ impl Ledger {
     /// descending. Empty unless recording was enabled. Used by the
     /// experiment harness to report per-phase communication breakdowns.
     pub fn by_label(&self) -> Vec<(&'static str, u64, u64)> {
-        let g = self.inner.lock();
+        let events = self
+            .inner
+            .events
+            .lock()
+            .expect("ledger transcript poisoned");
         let mut agg: std::collections::BTreeMap<&'static str, (u64, u64)> =
             std::collections::BTreeMap::new();
-        for e in &g.events {
+        for e in events.iter() {
             let entry = agg.entry(e.label).or_default();
             entry.0 += e.payload_words + FRAME_WORDS;
             entry.1 += 1;
@@ -198,12 +222,17 @@ impl Ledger {
         out
     }
 
-    /// Resets all counters and the transcript.
+    /// Resets all counters and the transcript (recording flag preserved).
     pub fn reset(&self) {
-        let mut g = self.inner.lock();
-        let record = g.record_events;
-        *g = LedgerInner::default();
-        g.record_events = record;
+        self.inner.upstream_words.store(0, Ordering::Relaxed);
+        self.inner.downstream_words.store(0, Ordering::Relaxed);
+        self.inner.messages.store(0, Ordering::Relaxed);
+        self.inner.rounds.store(0, Ordering::Relaxed);
+        self.inner
+            .events
+            .lock()
+            .expect("ledger transcript poisoned")
+            .clear();
     }
 }
 
@@ -325,5 +354,27 @@ mod tests {
         let l2 = l.clone();
         l2.charge(1, Direction::Upstream, 7, "shared");
         assert_eq!(l.snapshot().upstream_words, 7 + FRAME_WORDS);
+    }
+
+    #[test]
+    fn concurrent_charges_lose_nothing() {
+        let l = Ledger::new();
+        l.set_record_events(true);
+        let threads = 8u64;
+        let per_thread = 500u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let l = l.clone();
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        l.charge(t as usize + 1, Direction::Upstream, 3, "par");
+                    }
+                });
+            }
+        });
+        let s = l.snapshot();
+        assert_eq!(s.messages, threads * per_thread);
+        assert_eq!(s.upstream_words, threads * per_thread * (3 + FRAME_WORDS));
+        assert_eq!(l.events().len(), (threads * per_thread) as usize);
     }
 }

@@ -11,16 +11,21 @@
 //!
 //! * [`payload`] — the [`Payload`] trait giving the word size of anything
 //!   that crosses the wire (scalars, vectors, sketches, row fragments);
-//! * [`ledger`] — the cost ledger and per-event transcript;
+//! * [`ledger`] — the thread-safe cost ledger and per-event transcript;
 //! * [`cluster`] — the star-topology cluster and its collectives, with both
-//!   a sequential executor and a crossbeam-threaded `par_gather`.
+//!   a sequential executor and a scoped-thread `par_gather`;
+//! * [`collectives`] — the [`Collectives`] trait that makes protocol code
+//!   generic over the execution substrate (this crate's sequential
+//!   [`Cluster`] or `dlra-runtime`'s threaded message-passing cluster).
 
 pub mod cluster;
+pub mod collectives;
 pub mod ledger;
 pub mod payload;
 pub mod two_party;
 
 pub use cluster::Cluster;
+pub use collectives::Collectives;
 pub use ledger::{CommEvent, CostModel, Direction, Ledger, LedgerSnapshot};
 pub use payload::Payload;
 pub use two_party::{Party, TwoPartyChannel};

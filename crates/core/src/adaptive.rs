@@ -20,9 +20,9 @@
 
 use crate::fkv::{build_b_matrix, SampledRow};
 use crate::functions::EntryFunction;
-use crate::model::PartitionModel;
+use crate::model::{MatrixServer, PartitionModel};
 use crate::{CoreError, Result};
-use dlra_comm::{LedgerSnapshot, Payload};
+use dlra_comm::{Collectives, LedgerSnapshot, Payload};
 use dlra_linalg::{orthonormalize_columns, svd, Matrix};
 use dlra_sampler::{Square, ZSampler, ZSamplerParams};
 use dlra_util::Rng;
@@ -63,9 +63,13 @@ impl Payload for BasisMsg {
     }
 }
 
-/// Runs adaptive distributed sampling. Requires `f = Identity`
-/// (see the module docs for why nonlinear `f` cannot be supported).
-pub fn run_adaptive(model: &mut PartitionModel, cfg: &AdaptiveConfig) -> Result<AdaptiveOutput> {
+/// Runs adaptive distributed sampling on any substrate. Requires
+/// `f = Identity` (see the module docs for why nonlinear `f` cannot be
+/// supported).
+pub fn run_adaptive<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    cfg: &AdaptiveConfig,
+) -> Result<AdaptiveOutput> {
     if model.entry_function() != EntryFunction::Identity {
         return Err(CoreError::InvalidConfig(
             "adaptive sampling requires f = identity (residuals of nonlinear \
@@ -100,18 +104,17 @@ pub fn run_adaptive(model: &mut PartitionModel, cfg: &AdaptiveConfig) -> Result<
         if let Some(v) = &basis {
             let msg = BasisMsg(v.clone());
             let vt = v.transpose();
+            // `vt` moves into the closure: on the threaded substrate the
+            // receive handler runs on worker threads.
             model
                 .cluster_mut()
-                .broadcast(&msg, "adaptive.basis", |_t, server, m| {
+                .broadcast(&msg, "adaptive.basis", move |_t, server, m| {
                     server.set_residual_basis(&m.0, &vt);
                 });
         }
 
         // 2. Z-sample entries of the residual (z = x², the identity-f case).
-        let zsampler = ZSampler::new(
-            cfg.params.clone(),
-            cfg.seed ^ ((round as u64 + 1) << 24),
-        );
+        let zsampler = ZSampler::new(cfg.params.clone(), cfg.seed ^ ((round as u64 + 1) << 24));
         let prepared = zsampler.prepare(model.cluster_mut(), &Square);
         if prepared.is_empty() {
             // Residual is (numerically) zero: we are done early.
@@ -158,8 +161,10 @@ pub fn run_adaptive(model: &mut PartitionModel, cfg: &AdaptiveConfig) -> Result<
     }
 
     // Clear residual bases (local cleanup).
-    for t in 0..model.cluster().num_servers() {
-        model.cluster_mut().local_mut_for_cleanup(t).clear_residual();
+    for t in 0..model.num_servers() {
+        model
+            .cluster_mut()
+            .with_local_mut(t, MatrixServer::clear_residual);
     }
 
     // Final projection: top-k right singular space of the accumulated B.

@@ -13,9 +13,9 @@
 //! the `P` with maximum `‖BP‖²_F`.
 
 use crate::fkv::{build_b_matrix, fkv_projection, SampledRow};
-use crate::model::PartitionModel;
+use crate::model::{MatrixServer, PartitionModel};
 use crate::{CoreError, Result};
-use dlra_comm::LedgerSnapshot;
+use dlra_comm::{Collectives, LedgerSnapshot};
 use dlra_linalg::Matrix;
 use dlra_sampler::{UniformSampler, ZSampler, ZSamplerParams};
 use dlra_util::Rng;
@@ -82,9 +82,11 @@ pub struct Algorithm1Output {
     pub captured: f64,
 }
 
-/// Runs Algorithm 1 end to end on a partition model.
-pub fn run_algorithm1(
-    model: &mut PartitionModel,
+/// Runs Algorithm 1 end to end on a partition model, on any substrate
+/// implementing [`Collectives`] (the sequential simulator or the threaded
+/// runtime) — the protocol body is identical either way.
+pub fn run_algorithm1<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
     cfg: &Algorithm1Config,
 ) -> Result<Algorithm1Output> {
     let (_, d) = model.shape();
@@ -107,7 +109,9 @@ pub fn run_algorithm1(
     let before = model.cluster().comm();
     let mut best: Option<(Matrix, f64, Vec<usize>)> = None;
     for rep in 0..cfg.boost {
-        let rep_seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rep as u64));
+        let rep_seed = cfg
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rep as u64));
         let sampled = sample_rows(model, cfg, rep_seed)?;
         let indices: Vec<usize> = sampled.iter().map(|s| s.index).collect();
         let b = build_b_matrix(&sampled)?;
@@ -126,8 +130,8 @@ pub fn run_algorithm1(
 }
 
 /// Lines 4–7: draw `r` rows and fetch them from the servers.
-fn sample_rows(
-    model: &mut PartitionModel,
+fn sample_rows<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
     cfg: &Algorithm1Config,
     seed: u64,
 ) -> Result<Vec<SampledRow>> {
@@ -183,8 +187,10 @@ fn sample_rows(
             // Entry → row: an entry draw selects its row (§V: "If an entry
             // is sampled, then we choose the entire row as the sample").
             let row_of = |coord: u64| (coord as usize) / d;
-            let pairs: Vec<(usize, f64)> =
-                draws.iter().map(|dr| (row_of(dr.coord), f64::NAN)).collect();
+            let pairs: Vec<(usize, f64)> = draws
+                .iter()
+                .map(|dr| (row_of(dr.coord), f64::NAN))
+                .collect();
             // Fetch raw rows first; the row's reported probability is its
             // z-mass over Ẑ, computable exactly from the fetched raw row.
             let mut rows = fetch_rows(model, &pairs)?;
@@ -224,8 +230,8 @@ impl FetchedRow {
 /// Algorithm 1 line 7: the coordinator requests each distinct sampled row;
 /// every server ships its local part (d words per row), and the coordinator
 /// assembles the aggregated raw rows and applies `f`.
-fn fetch_rows(
-    model: &mut PartitionModel,
+fn fetch_rows<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
     pairs: &[(usize, f64)],
 ) -> Result<Vec<FetchedRow>> {
     let d = model.shape().1;
@@ -236,7 +242,7 @@ fn fetch_rows(
     let replies = model.cluster_mut().query_all(
         &request,
         "alg1.fetch_rows",
-        |_t, local, req: &Vec<u64>| {
+        move |_t, local, req: &Vec<u64>| {
             let mut out = Vec::with_capacity(req.len() * d);
             for &i in req {
                 out.extend_from_slice(local.row(i as usize));
@@ -295,8 +301,8 @@ impl GlobalRow {
 
 /// Public accounted row fetch (Algorithm 1 line 7): `indices` may repeat;
 /// each distinct row is shipped once (d words per server) and reused.
-pub fn fetch_global_rows(
-    model: &mut PartitionModel,
+pub fn fetch_global_rows<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
     indices: &[usize],
 ) -> Result<Vec<GlobalRow>> {
     let pairs: Vec<(usize, f64)> = indices.iter().map(|&i| (i, f64::NAN)).collect();
@@ -312,7 +318,7 @@ pub fn fetch_global_rows(
 
 /// Baseline: the communication (in words) of simply shipping every local
 /// matrix to the coordinator.
-pub fn ship_everything_words(model: &PartitionModel) -> u64 {
+pub fn ship_everything_words<C: Collectives<MatrixServer>>(model: &PartitionModel<C>) -> u64 {
     let (n, d) = model.shape();
     ((model.num_servers() - 1) * n * d) as u64
 }

@@ -95,8 +95,7 @@ mod tests {
     fn high_p_approximates_max_pooling() {
         let raw = pooled_codes(3, 60, 16, 30, 3);
         let (_, model) =
-            run_gm_pooling_pca(raw.clone(), 20.0, 2, 40, ZSamplerParams::default(), 4)
-                .unwrap();
+            run_gm_pooling_pca(raw.clone(), 20.0, 2, 40, ZSamplerParams::default(), 4).unwrap();
         let gm = model.global_matrix();
         // GM with p=20 must be within [c·max, max] entrywise, c' ∈ (0,1).
         for i in 0..gm.rows() {

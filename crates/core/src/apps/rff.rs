@@ -9,9 +9,9 @@
 //! expansion happens at the coordinator and at evaluation time).
 
 use crate::fkv::{build_b_matrix, fkv_projection, SampledRow};
-use crate::model::PartitionModel;
+use crate::model::{MatrixServer, PartitionModel};
 use crate::{CoreError, Result};
-use dlra_comm::LedgerSnapshot;
+use dlra_comm::{Collectives, LedgerSnapshot};
 use dlra_linalg::Matrix;
 use dlra_sampler::UniformSampler;
 use dlra_util::Rng;
@@ -87,8 +87,8 @@ pub struct RffPcaOutput {
 /// the FKV step with `Q̂ᵢ = 1/n`.
 ///
 /// `raw_model` must be an `Identity` partition model over the raw data `M`.
-pub fn run_rff_pca(
-    raw_model: &mut PartitionModel,
+pub fn run_rff_pca<C: Collectives<MatrixServer>>(
+    raw_model: &mut PartitionModel<C>,
     map: &RffMap,
     k: usize,
     r: usize,
@@ -124,7 +124,7 @@ pub fn run_rff_pca(
     let replies = raw_model.cluster_mut().query_all(
         &request,
         "rff.fetch_rows",
-        |_t, local, req: &Vec<u64>| {
+        move |_t, local, req: &Vec<u64>| {
             let mut out = Vec::with_capacity(req.len() * m);
             for &i in req {
                 out.extend_from_slice(local.row(i as usize));
@@ -198,7 +198,11 @@ mod tests {
         let map = RffMap::new(6, 4096, 1.0, 1);
         let x = vec![0.5, -0.2, 0.1, 0.0, 0.3, -0.4];
         let y = vec![0.1, 0.1, -0.1, 0.2, 0.0, -0.1];
-        let dist2: f64 = x.iter().zip(&y).map(|(a, b): (&f64, &f64)| (a - b).powi(2)).sum();
+        let dist2: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b): (&f64, &f64)| (a - b).powi(2))
+            .sum();
         let want = (-dist2 / 2.0).exp();
         let got = map.kernel_estimate(&x, &y);
         assert!((got - want).abs() < 0.05, "got {got} want {want}");
@@ -212,10 +216,7 @@ mod tests {
         for i in 0..feats.rows() {
             let norm = feats.row_norm_sq(i);
             // E = d = 256; allow ±40%.
-            assert!(
-                (150.0..360.0).contains(&norm),
-                "row {i} norm {norm}"
-            );
+            assert!((150.0..360.0).contains(&norm), "row {i} norm {norm}");
         }
     }
 
@@ -239,8 +240,7 @@ mod tests {
     #[test]
     fn input_validation() {
         let raw = clustered_raw(20, 6, 8);
-        let mut model =
-            PartitionModel::new(vec![raw], EntryFunction::Identity).unwrap();
+        let mut model = PartitionModel::new(vec![raw], EntryFunction::Identity).unwrap();
         let map = RffMap::new(5, 16, 1.0, 9); // wrong input dim
         assert!(run_rff_pca(&mut model, &map, 2, 10, 1).is_err());
         let map = RffMap::new(6, 16, 1.0, 9);

@@ -103,15 +103,8 @@ mod tests {
         // Identity f: outliers dominate the spectrum, additive error of the
         // clean-signal subspace measured on the capped matrix is awful.
         let psi = EntryFunction::Huber { k: 10.0 };
-        let (out, model) = run_robust_pca(
-            parts.clone(),
-            psi,
-            k,
-            r,
-            ZSamplerParams::default(),
-            2,
-        )
-        .unwrap();
+        let (out, model) =
+            run_robust_pca(parts.clone(), psi, k, r, ZSamplerParams::default(), 2).unwrap();
         let capped = model.global_matrix();
         assert!(capped.max_abs() <= 10.0 + 1e-9, "ψ must cap all entries");
         let rep = evaluate_projection(&capped, &out.projection, k).unwrap();
@@ -143,17 +136,9 @@ mod tests {
     fn fair_and_l1l2_also_run() {
         let (parts, _) = corrupted_low_rank(2, 80, 12, 2, 6, 5);
         for psi in [EntryFunction::Fair { c: 4.0 }, EntryFunction::L1L2] {
-            let (out, model) = run_robust_pca(
-                parts.clone(),
-                psi,
-                2,
-                60,
-                ZSamplerParams::default(),
-                7,
-            )
-            .unwrap();
-            let rep =
-                evaluate_projection(&model.global_matrix(), &out.projection, 2).unwrap();
+            let (out, model) =
+                run_robust_pca(parts.clone(), psi, 2, 60, ZSamplerParams::default(), 7).unwrap();
+            let rep = evaluate_projection(&model.global_matrix(), &out.projection, 2).unwrap();
             assert!(
                 rep.additive_error < 0.4,
                 "{}: additive {}",

@@ -97,7 +97,14 @@ mod tests {
     use crate::metrics::evaluate_projection;
     use dlra_util::Rng;
 
-    fn row_partitioned(n: usize, d: usize, k: usize, s: usize, noise: f64, seed: u64) -> (Vec<Matrix>, Matrix) {
+    fn row_partitioned(
+        n: usize,
+        d: usize,
+        k: usize,
+        s: usize,
+        noise: f64,
+        seed: u64,
+    ) -> (Vec<Matrix>, Matrix) {
         let mut rng = Rng::new(seed);
         let u = Matrix::gaussian(n, k, &mut rng);
         let v = Matrix::gaussian(k, d, &mut rng);

@@ -45,11 +45,10 @@ pub mod metrics;
 pub mod model;
 pub mod theory;
 
-pub use algorithm1::{
-    fetch_global_rows, run_algorithm1, Algorithm1Config, Algorithm1Output, GlobalRow,
-    SamplerKind,
-};
 pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveOutput};
+pub use algorithm1::{
+    fetch_global_rows, run_algorithm1, Algorithm1Config, Algorithm1Output, GlobalRow, SamplerKind,
+};
 pub use baselines::{row_partition_pca, RowPartitionOutput};
 pub use fkv::{build_b_matrix, fkv_projection, SampledRow};
 pub use functions::EntryFunction;
@@ -58,9 +57,7 @@ pub use model::{MatrixServer, PartitionModel};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::algorithm1::{
-        run_algorithm1, Algorithm1Config, Algorithm1Output, SamplerKind,
-    };
+    pub use crate::algorithm1::{run_algorithm1, Algorithm1Config, Algorithm1Output, SamplerKind};
     pub use crate::functions::EntryFunction;
     pub use crate::metrics::{evaluate_projection, EvalReport};
     pub use crate::model::{MatrixServer, PartitionModel};

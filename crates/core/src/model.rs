@@ -4,7 +4,7 @@
 
 use crate::functions::EntryFunction;
 use crate::{CoreError, Result};
-use dlra_comm::Cluster;
+use dlra_comm::{Cluster, Collectives};
 use dlra_linalg::Matrix;
 use dlra_sampler::SampleVector;
 
@@ -115,10 +115,14 @@ impl SampleVector for MatrixServer {
     }
 }
 
-/// The generalized partition model: a [`Cluster`] of [`MatrixServer`]s plus
-/// the entrywise function `f`.
-pub struct PartitionModel {
-    cluster: Cluster<MatrixServer>,
+/// The generalized partition model: a cluster of [`MatrixServer`]s plus
+/// the entrywise function `f`. Generic over the execution substrate `C`
+/// (defaulting to the sequential in-process [`Cluster`]); the threaded
+/// message-passing substrate in `dlra-runtime` plugs in through the same
+/// [`Collectives`] surface, and every protocol in this crate runs on
+/// either unchanged.
+pub struct PartitionModel<C = Cluster<MatrixServer>> {
+    cluster: C,
     f: EntryFunction,
     n: usize,
     d: usize,
@@ -126,11 +130,33 @@ pub struct PartitionModel {
     raw_locals: Vec<Matrix>,
 }
 
-impl PartitionModel {
-    /// Builds a model whose servers hold `locals` directly (entries are
-    /// summed, then `f` is applied). For `GmRoot` use
-    /// [`PartitionModel::gm_pooling`], which performs the local powering.
+impl PartitionModel<Cluster<MatrixServer>> {
+    /// Builds a model on the sequential simulator whose servers hold
+    /// `locals` directly (entries are summed, then `f` is applied). For
+    /// `GmRoot` use [`PartitionModel::gm_pooling`], which performs the
+    /// local powering.
     pub fn new(locals: Vec<Matrix>, f: EntryFunction) -> Result<Self> {
+        Self::with_substrate(locals, f, Cluster::new)
+    }
+
+    /// Builds the softmax / generalized-mean model of §VI-B from *raw* local
+    /// matrices `Mᵗ`: each server locally stores `|Mᵗ[i,j]|ᵖ/s`, and
+    /// `f(x) = x^{1/p}`, so the global matrix is `GM(|M¹|,…,|Mˢ|)` with
+    /// parameter `p`.
+    pub fn gm_pooling(raw: Vec<Matrix>, p: f64) -> Result<Self> {
+        Self::gm_pooling_with(raw, p, Cluster::new)
+    }
+}
+
+impl<C: Collectives<MatrixServer>> PartitionModel<C> {
+    /// Builds a model on an arbitrary substrate: `build` turns the prepared
+    /// per-server states into the substrate (e.g. `Cluster::new` or
+    /// `dlra-runtime`'s `ThreadedCluster::new`).
+    pub fn with_substrate(
+        locals: Vec<Matrix>,
+        f: EntryFunction,
+        build: impl FnOnce(Vec<MatrixServer>) -> C,
+    ) -> Result<Self> {
         if locals.is_empty() {
             return Err(CoreError::InvalidModel("no servers".into()));
         }
@@ -151,7 +177,7 @@ impl PartitionModel {
         } else {
             Vec::new()
         };
-        let cluster = Cluster::new(locals.into_iter().map(MatrixServer::new).collect());
+        let cluster = build(locals.into_iter().map(MatrixServer::new).collect());
         Ok(PartitionModel {
             cluster,
             f,
@@ -161,18 +187,19 @@ impl PartitionModel {
         })
     }
 
-    /// Builds the softmax / generalized-mean model of §VI-B from *raw* local
-    /// matrices `Mᵗ`: each server locally stores `|Mᵗ[i,j]|ᵖ/s`, and
-    /// `f(x) = x^{1/p}`, so the global matrix is `GM(|M¹|,…,|Mˢ|)` with
-    /// parameter `p`.
-    pub fn gm_pooling(raw: Vec<Matrix>, p: f64) -> Result<Self> {
+    /// [`PartitionModel::gm_pooling`] on an arbitrary substrate.
+    pub fn gm_pooling_with(
+        raw: Vec<Matrix>,
+        p: f64,
+        build: impl FnOnce(Vec<MatrixServer>) -> C,
+    ) -> Result<Self> {
         let s = raw.len();
         let f = EntryFunction::GmRoot { p };
         let transformed: Vec<Matrix> = raw
             .into_iter()
             .map(|m| m.map(|x| f.local_transform(x, s)))
             .collect();
-        PartitionModel::new(transformed, f)
+        Self::with_substrate(transformed, f, build)
     }
 
     /// Number of servers.
@@ -190,13 +217,13 @@ impl PartitionModel {
         self.f
     }
 
-    /// The underlying cluster (protocols run through this).
-    pub fn cluster_mut(&mut self) -> &mut Cluster<MatrixServer> {
+    /// The underlying substrate (protocols run through this).
+    pub fn cluster_mut(&mut self) -> &mut C {
         &mut self.cluster
     }
 
-    /// The underlying cluster, read-only.
-    pub fn cluster(&self) -> &Cluster<MatrixServer> {
+    /// The underlying substrate, read-only.
+    pub fn cluster(&self) -> &C {
         &self.cluster
     }
 
@@ -219,8 +246,10 @@ impl PartitionModel {
         }
         let mut sum = Matrix::zeros(self.n, self.d);
         for t in 0..self.num_servers() {
-            let m = self.cluster.local(t).matrix();
-            sum.add_assign(m).expect("uniform shapes by construction");
+            self.cluster.with_local(t, |server| {
+                sum.add_assign(server.matrix())
+                    .expect("uniform shapes by construction");
+            });
         }
         sum.map(|x| self.f.apply(x))
     }
@@ -324,11 +353,7 @@ mod tests {
         let g = m.global_matrix();
         for i in 0..4 {
             for j in 0..5 {
-                let gm = (raws
-                    .iter()
-                    .map(|r| r[(i, j)].abs().powf(p))
-                    .sum::<f64>()
-                    / s as f64)
+                let gm = (raws.iter().map(|r| r[(i, j)].abs().powf(p)).sum::<f64>() / s as f64)
                     .powf(1.0 / p);
                 assert!((g[(i, j)] - gm).abs() < 1e-10);
             }

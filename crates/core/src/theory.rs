@@ -19,9 +19,8 @@ pub fn gram_deviation(a: &Matrix, b: &Matrix) -> f64 {
 /// together with its claimed bound `k·‖AᵀA − BᵀB‖ · 1` expressed via the
 /// Frobenius norm (`‖·‖ ≤ ‖·‖_F`): returns `(lhs, k·θ·‖A‖²_F)`.
 pub fn lemma1_sides(a: &Matrix, b: &Matrix, p: &Matrix, k: usize) -> (f64, f64) {
-    let lhs = (a.matmul(p).unwrap().frobenius_norm_sq()
-        - b.matmul(p).unwrap().frobenius_norm_sq())
-    .abs();
+    let lhs =
+        (a.matmul(p).unwrap().frobenius_norm_sq() - b.matmul(p).unwrap().frobenius_norm_sq()).abs();
     let theta = gram_deviation(a, b);
     (lhs, k as f64 * theta * a.frobenius_norm_sq())
 }
@@ -38,12 +37,7 @@ pub fn lemma2_sides(a: &Matrix, p: &Matrix, k: usize, eps: f64) -> (f64, f64) {
 /// Builds `B` by length-squared sampling with probabilities perturbed by a
 /// uniform `(1±gamma)` factor, as Algorithm 1's sampler is allowed to do,
 /// and returns the realized Gram deviation (Lemma 3's subject).
-pub fn perturbed_sampling_deviation(
-    a: &Matrix,
-    r: usize,
-    gamma: f64,
-    rng: &mut Rng,
-) -> f64 {
+pub fn perturbed_sampling_deviation(a: &Matrix, r: usize, gamma: f64, rng: &mut Rng) -> f64 {
     let weights = a.row_norms_sq();
     let total: f64 = weights.iter().sum();
     let rows: Vec<SampledRow> = (0..r)
@@ -103,10 +97,7 @@ mod tests {
             for trial in 0..20 {
                 let p = random_projection(12, k, &mut Rng::new(500 + trial));
                 let (lhs, bound) = lemma1_sides(&a, &b, &p, k);
-                assert!(
-                    lhs <= bound + 1e-9,
-                    "k={k} trial={trial}: {lhs} > {bound}"
-                );
+                assert!(lhs <= bound + 1e-9, "k={k} trial={trial}: {lhs} > {bound}");
             }
         }
     }

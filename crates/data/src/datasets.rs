@@ -51,7 +51,14 @@ pub fn forest_cover_like(scale: usize, seed: u64) -> RawDataset {
     let mut rng = Rng::new(seed);
     let n = 3000 * scale.max(1);
     let m = 54;
-    let base = clustered_points(n, m, 7, &[3.0, 2.5, 2.0, 1.0, 0.6, 0.4, 0.2], 0.35, &mut rng);
+    let base = clustered_points(
+        n,
+        m,
+        7,
+        &[3.0, 2.5, 2.0, 1.0, 0.6, 0.4, 0.2],
+        0.35,
+        &mut rng,
+    );
     let parts = split_with_noise_shares(&base, 10, 0.2, &mut rng);
     RawDataset {
         name: "forest_cover_like",
@@ -68,14 +75,7 @@ pub fn kddcup_like(scale: usize, seed: u64) -> RawDataset {
     let n = 5000 * scale.max(1);
     let m = 40;
     // Two giant classes (normal + smurf-like) and a long tail.
-    let base = clustered_points(
-        n,
-        m,
-        6,
-        &[55.0, 35.0, 5.0, 3.0, 1.5, 0.5],
-        0.25,
-        &mut rng,
-    );
+    let base = clustered_points(n, m, 6, &[55.0, 35.0, 5.0, 3.0, 1.5, 0.5], 0.25, &mut rng);
     let parts = split_with_noise_shares(&base, 50, 0.15, &mut rng);
     RawDataset {
         name: "kddcup_like",
@@ -184,7 +184,11 @@ mod tests {
             assert!(p.as_slice().iter().all(|&x| x >= 0.0 && x == x.floor()));
         }
         // Total patch count conserved: 30 per image.
-        let total: f64 = ds.parts.iter().map(|p| p.as_slice().iter().sum::<f64>()).sum();
+        let total: f64 = ds
+            .parts
+            .iter()
+            .map(|p| p.as_slice().iter().sum::<f64>())
+            .sum();
         assert_eq!(total, (1000 * 30) as f64);
     }
 
@@ -199,11 +203,7 @@ mod tests {
     fn isolet_has_outliers_hidden_from_servers() {
         let ds = isolet_like(1, 50, 5);
         let g = ds.global();
-        let huge = g
-            .as_slice()
-            .iter()
-            .filter(|&&x| x.abs() > 1e4)
-            .count();
+        let huge = g.as_slice().iter().filter(|&&x| x.abs() > 1e4).count();
         assert!((40..=50).contains(&huge), "got {huge} outliers");
         // Benign entries are orders of magnitude smaller.
         let benign_max = g

@@ -120,11 +120,7 @@ mod tests {
         let a = Matrix::gaussian(10, 6, &mut rng);
         for k in 1..=4 {
             let approx = best_rank_k(&a, k).unwrap();
-            assert!(is_projection_of_rank_at_most(
-                &approx.projection,
-                k,
-                1e-8
-            ));
+            assert!(is_projection_of_rank_at_most(&approx.projection, k, 1e-8));
         }
     }
 
@@ -160,8 +156,7 @@ mod tests {
         assert!((best_res - best.error_sq).abs() < 1e-7 * best.total_sq);
         for trial in 0..10 {
             let mut r2 = Rng::new(1000 + trial);
-            let basis =
-                crate::qr::orthonormalize_columns(&Matrix::gaussian(8, k, &mut r2));
+            let basis = crate::qr::orthonormalize_columns(&Matrix::gaussian(8, k, &mut r2));
             let p = projection_from_basis(&basis);
             let res = residual_sq(&a, &p).unwrap();
             assert!(
@@ -216,9 +211,17 @@ mod tests {
         let mut rng = Rng::new(48);
         let a = Matrix::gaussian(4, 4, &mut rng);
         assert!(!is_projection_of_rank_at_most(&a, 4, 1e-8));
-        assert!(!is_projection_of_rank_at_most(&Matrix::zeros(2, 3), 1, 1e-8));
+        assert!(!is_projection_of_rank_at_most(
+            &Matrix::zeros(2, 3),
+            1,
+            1e-8
+        ));
         // Identity is a projection of rank n but not of rank 1.
         assert!(is_projection_of_rank_at_most(&Matrix::identity(3), 3, 1e-8));
-        assert!(!is_projection_of_rank_at_most(&Matrix::identity(3), 1, 1e-8));
+        assert!(!is_projection_of_rank_at_most(
+            &Matrix::identity(3),
+            1,
+            1e-8
+        ));
     }
 }

@@ -66,7 +66,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Wraps an existing row-major buffer. `data.len()` must equal `rows*cols`.
@@ -417,12 +421,7 @@ impl Matrix {
         }
     }
 
-    fn zip_with(
-        &self,
-        other: &Matrix,
-        op: &str,
-        f: impl Fn(f64, f64) -> f64,
-    ) -> Result<Matrix> {
+    fn zip_with(&self, other: &Matrix, op: &str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
         if self.shape() != other.shape() {
             return Err(LinalgError::ShapeMismatch(format!(
                 "{op}: {:?} vs {:?}",
@@ -618,10 +617,7 @@ mod tests {
         let a = m(&[&[1.0], &[2.0]]);
         let b = m(&[&[3.0], &[4.0]]);
         assert_eq!(a.hstack(&b).unwrap(), m(&[&[1.0, 3.0], &[2.0, 4.0]]));
-        assert_eq!(
-            a.vstack(&b).unwrap(),
-            m(&[&[1.0], &[2.0], &[3.0], &[4.0]])
-        );
+        assert_eq!(a.vstack(&b).unwrap(), m(&[&[1.0], &[2.0], &[3.0], &[4.0]]));
         assert!(a.hstack(&m(&[&[1.0]])).is_err());
         assert!(a.vstack(&m(&[&[1.0, 2.0]])).is_err());
     }

@@ -170,12 +170,7 @@ mod tests {
     #[test]
     fn qr_handles_rank_deficient() {
         // Two identical columns: QR still reconstructs.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
         let (q, r) = householder_qr(&a).unwrap();
         let err = q.matmul(&r).unwrap().sub(&a).unwrap().frobenius_norm();
         assert!(err < 1e-10);

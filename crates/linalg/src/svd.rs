@@ -245,11 +245,7 @@ mod tests {
 
     #[test]
     fn known_diagonal_singular_values() {
-        let a = Matrix::from_rows(&[
-            vec![0.0, 3.0],
-            vec![-2.0, 0.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![0.0, 3.0], vec![-2.0, 0.0]]).unwrap();
         let d = svd(&a).unwrap();
         assert!((d.s[0] - 3.0).abs() < 1e-12);
         assert!((d.s[1] - 2.0).abs() < 1e-12);

@@ -150,11 +150,7 @@ mod tests {
         let mut rng = Rng::new(1);
         let inst = LinftyInstance::generate(200, 10, false, &mut rng);
         assert!(!inst.is_far());
-        assert!(inst
-            .x
-            .iter()
-            .zip(&inst.y)
-            .all(|(a, b)| (a - b).abs() <= 1));
+        assert!(inst.x.iter().zip(&inst.y).all(|(a, b)| (a - b).abs() <= 1));
     }
 
     #[test]
@@ -195,10 +191,7 @@ mod tests {
             .filter(|(a, b)| **a == 1 && **b == 1)
             .count();
         assert_eq!(common, 1);
-        assert_eq!(
-            one.x.iter().position(|&v| v == 1).map(|_| ()),
-            Some(())
-        );
+        assert_eq!(one.x.iter().position(|&v| v == 1).map(|_| ()), Some(()));
     }
 
     #[test]

@@ -84,10 +84,7 @@ pub fn solve_disj_via_pca(
             for jj in 0..dd {
                 let want = if jj < d && jj != l { 1.0 } else { 0.0 };
                 // (ē_l P)_jj = Σ_i ē_l[i]·P[i][jj].
-                let got: f64 = (0..d)
-                    .filter(|&i| i != l)
-                    .map(|i| proj[(i, jj)])
-                    .sum();
+                let got: f64 = (0..d).filter(|&i| i != l).map(|i| proj[(i, jj)]).sum();
                 if (got - want).abs() > 1e-6 {
                     fixed = false;
                     break;

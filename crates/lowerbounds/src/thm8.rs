@@ -133,8 +133,14 @@ mod tests {
         for k in [1usize, 2, 4, 6] {
             let pos_inst = GapHammingInstance::generate(100, true, 1.0, &mut rng);
             let neg_inst = GapHammingInstance::generate(100, false, 1.0, &mut rng);
-            assert!(solve_ghd_via_pca(&pos_inst, k, &mut exact_oracle).0, "k={k}");
-            assert!(!solve_ghd_via_pca(&neg_inst, k, &mut exact_oracle).0, "k={k}");
+            assert!(
+                solve_ghd_via_pca(&pos_inst, k, &mut exact_oracle).0,
+                "k={k}"
+            );
+            assert!(
+                !solve_ghd_via_pca(&neg_inst, k, &mut exact_oracle).0,
+                "k={k}"
+            );
         }
     }
 

@@ -1,0 +1,63 @@
+//! # dlra-runtime — threaded message-passing execution substrate
+//!
+//! The sequential simulator in `dlra-comm` executes every "distributed"
+//! protocol single-threaded on one core. This crate provides the real
+//! concurrent substrate behind the same [`dlra_comm::Collectives`] surface:
+//!
+//! * [`ThreadedCluster`] — each of the `s` servers is a dedicated worker
+//!   thread owning its local state, exchanging typed messages with the
+//!   coordinator over `std::sync::mpsc` channels. Protocol outputs are
+//!   bit-identical to the sequential [`dlra_comm::Cluster`] and the
+//!   word-exact [`dlra_comm::Ledger`] totals match exactly (see
+//!   `tests/runtime_equivalence.rs` at the workspace root).
+//! * [`Runtime`] — a resident dataset plus an executor pool:
+//!   [`Runtime::submit`] lets many Algorithm 1 queries (different `k`,
+//!   `r`, sampler, seed, entrywise `f`) execute concurrently against one
+//!   loaded cluster.
+//! * [`threaded_model`] / [`threaded_gm_pooling`] — one-line constructors
+//!   for a `PartitionModel` on the threaded substrate.
+//!
+//! ```
+//! use dlra_core::prelude::*;
+//! use dlra_linalg::Matrix;
+//! use dlra_util::Rng;
+//!
+//! let mut rng = Rng::new(7);
+//! let parts: Vec<Matrix> = (0..4).map(|_| Matrix::gaussian(120, 16, &mut rng)).collect();
+//!
+//! // Same call site as on the sequential substrate — only the model
+//! // constructor differs.
+//! let mut model = dlra_runtime::threaded_model(parts, EntryFunction::Identity).unwrap();
+//! let cfg = Algorithm1Config { k: 3, r: 40, sampler: SamplerKind::Uniform, ..Default::default() };
+//! let out = run_algorithm1(&mut model, &cfg).unwrap();
+//! assert_eq!(out.projection.shape(), (16, 16));
+//! ```
+
+pub mod runtime;
+pub mod threaded;
+
+use dlra_core::functions::EntryFunction;
+use dlra_core::model::{MatrixServer, PartitionModel};
+use dlra_core::Result;
+use dlra_linalg::Matrix;
+
+pub use runtime::{QueryHandle, QueryRequest, Runtime, RuntimeConfig, Substrate};
+pub use threaded::ThreadedCluster;
+
+/// A partition model on the threaded substrate (the parallel counterpart
+/// of `PartitionModel::new`).
+pub fn threaded_model(
+    locals: Vec<Matrix>,
+    f: EntryFunction,
+) -> Result<PartitionModel<ThreadedCluster<MatrixServer>>> {
+    PartitionModel::with_substrate(locals, f, ThreadedCluster::new)
+}
+
+/// A GM-pooling model on the threaded substrate (the parallel counterpart
+/// of `PartitionModel::gm_pooling`).
+pub fn threaded_gm_pooling(
+    raw: Vec<Matrix>,
+    p: f64,
+) -> Result<PartitionModel<ThreadedCluster<MatrixServer>>> {
+    PartitionModel::gm_pooling_with(raw, p, ThreadedCluster::new)
+}

@@ -1,0 +1,317 @@
+//! [`Runtime`]: a resident cluster serving many Algorithm 1 queries
+//! concurrently.
+//!
+//! The runtime owns one resident dataset (the per-server local matrices)
+//! and a pool of executor threads. [`Runtime::submit`] enqueues a
+//! [`QueryRequest`] — target rank `k`, sample count `r`, boosting,
+//! sampler, seed, and entrywise function `f` may all differ per query —
+//! and returns a [`QueryHandle`] immediately; executors pop queries,
+//! instantiate a partition model over the resident locals on the
+//! configured substrate, run the full protocol, and deliver the result
+//! through the handle. Many queries are in flight at once, which is the
+//! first step toward serving real traffic against one loaded cluster.
+//!
+//! Each query runs against a private copy of the per-server states (the
+//! injected-coordinate scratch and residual views are query-local by
+//! design), so concurrent queries cannot interfere; sharing the matrix
+//! payload copy-on-write across queries is a known follow-on (see
+//! ROADMAP).
+
+use crate::threaded::ThreadedCluster;
+use dlra_core::algorithm1::{run_algorithm1, Algorithm1Config, Algorithm1Output};
+use dlra_core::functions::EntryFunction;
+use dlra_core::model::PartitionModel;
+use dlra_core::{CoreError, Result};
+use dlra_linalg::Matrix;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Which execution substrate the pooled executors build per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Substrate {
+    /// The sequential in-process simulator (`dlra-comm::Cluster`).
+    Sequential,
+    /// The threaded message-passing cluster ([`ThreadedCluster`]).
+    #[default]
+    Threaded,
+}
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of executor threads, i.e. queries in flight concurrently.
+    pub executors: usize,
+    /// Substrate each query runs on.
+    pub substrate: Substrate,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let executors = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .clamp(1, 8);
+        RuntimeConfig {
+            executors,
+            substrate: Substrate::default(),
+        }
+    }
+}
+
+/// One Algorithm 1 query against the resident dataset.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The entrywise function `f` applied to the aggregated entries.
+    /// Interpreted exactly as by `PartitionModel::new` (for `GmRoot`,
+    /// submit locally pre-transformed locals).
+    pub f: EntryFunction,
+    /// Protocol configuration (`k`, `r`, boosting, sampler, seed).
+    pub cfg: Algorithm1Config,
+}
+
+impl QueryRequest {
+    /// A query with `f = Identity`.
+    pub fn identity(cfg: Algorithm1Config) -> Self {
+        QueryRequest {
+            f: EntryFunction::Identity,
+            cfg,
+        }
+    }
+}
+
+struct Task {
+    request: QueryRequest,
+    reply: Sender<Result<Algorithm1Output>>,
+}
+
+/// Pending result of a submitted query.
+pub struct QueryHandle {
+    rx: Receiver<Result<Algorithm1Output>>,
+}
+
+impl QueryHandle {
+    /// Blocks until the query finishes.
+    pub fn wait(self) -> Result<Algorithm1Output> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(CoreError::InvalidConfig(
+                "runtime dropped the query (executor panicked or pool shut down)".into(),
+            )),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the query is still running. A dead
+    /// query (executor panicked, pool shut down) yields `Some(Err(..))`,
+    /// not `None`, so pollers cannot spin forever on it.
+    pub fn try_wait(&self) -> Option<Result<Algorithm1Output>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(CoreError::InvalidConfig(
+                "runtime dropped the query (executor panicked or pool shut down)".into(),
+            ))),
+        }
+    }
+}
+
+/// A resident cluster plus an executor pool answering Algorithm 1 queries.
+///
+/// ```
+/// use dlra_core::prelude::*;
+/// use dlra_runtime::{QueryRequest, Runtime, RuntimeConfig};
+/// use dlra_linalg::Matrix;
+/// use dlra_util::Rng;
+///
+/// let mut rng = Rng::new(3);
+/// let locals: Vec<Matrix> = (0..3).map(|_| Matrix::gaussian(80, 12, &mut rng)).collect();
+/// let runtime = Runtime::new(locals, RuntimeConfig::default()).unwrap();
+///
+/// // Two queries with different ranks, concurrently in flight.
+/// let h1 = runtime.submit(QueryRequest::identity(
+///     Algorithm1Config { k: 2, r: 25, sampler: SamplerKind::Uniform, ..Default::default() }));
+/// let h2 = runtime.submit(QueryRequest::identity(
+///     Algorithm1Config { k: 4, r: 40, sampler: SamplerKind::Uniform, ..Default::default() }));
+/// assert_eq!(h1.wait().unwrap().projection.shape(), (12, 12));
+/// assert_eq!(h2.wait().unwrap().projection.shape(), (12, 12));
+/// ```
+pub struct Runtime {
+    queue: Option<Sender<Task>>,
+    executors: Vec<JoinHandle<()>>,
+    shape: (usize, usize),
+    num_servers: usize,
+}
+
+impl Runtime {
+    /// Loads the resident dataset (one local matrix per server) and starts
+    /// the executor pool.
+    pub fn new(locals: Vec<Matrix>, config: RuntimeConfig) -> Result<Self> {
+        if locals.is_empty() {
+            return Err(CoreError::InvalidModel("no servers".into()));
+        }
+        let (n, d) = locals[0].shape();
+        if n == 0 || d == 0 {
+            return Err(CoreError::InvalidModel(format!("empty matrices {n}x{d}")));
+        }
+        if let Some((t, m)) = locals.iter().enumerate().find(|(_, m)| m.shape() != (n, d)) {
+            return Err(CoreError::InvalidModel(format!(
+                "server {t} has shape {:?}, expected ({n}, {d})",
+                m.shape()
+            )));
+        }
+        let num_servers = locals.len();
+        let resident = Arc::new(locals);
+        let (queue, tasks) = mpsc::channel::<Task>();
+        let tasks = Arc::new(Mutex::new(tasks));
+        let executors = (0..config.executors.max(1))
+            .map(|i| {
+                let tasks = Arc::clone(&tasks);
+                let resident = Arc::clone(&resident);
+                let substrate = config.substrate;
+                std::thread::Builder::new()
+                    .name(format!("dlra-executor-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the pop, not the run.
+                        let popped = tasks.lock().expect("task queue poisoned").recv();
+                        let Ok(task) = popped else { break };
+                        let result = execute(&resident, substrate, &task.request);
+                        // The caller may have dropped its handle; that's
+                        // fine, the result is simply discarded.
+                        let _ = task.reply.send(result);
+                    })
+                    .expect("spawn runtime executor thread")
+            })
+            .collect();
+        Ok(Runtime {
+            queue: Some(queue),
+            executors,
+            shape: (n, d),
+            num_servers,
+        })
+    }
+
+    /// Enqueues a query; returns immediately with its pending handle.
+    pub fn submit(&self, request: QueryRequest) -> QueryHandle {
+        let (reply, rx) = mpsc::channel();
+        self.queue
+            .as_ref()
+            .expect("runtime is live until dropped")
+            .send(Task { request, reply })
+            .expect("executor pool is alive");
+        QueryHandle { rx }
+    }
+
+    /// Global data shape `(n, d)` of the resident dataset.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// Number of servers holding the resident dataset.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Closing the queue lets executors drain outstanding queries and
+        // exit; in-flight handles still receive their results.
+        self.queue.take();
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs one query on its private model instance.
+fn execute(
+    resident: &Arc<Vec<Matrix>>,
+    substrate: Substrate,
+    request: &QueryRequest,
+) -> Result<Algorithm1Output> {
+    let parts: Vec<Matrix> = resident.as_ref().clone();
+    match substrate {
+        Substrate::Sequential => {
+            let mut model = PartitionModel::new(parts, request.f)?;
+            run_algorithm1(&mut model, &request.cfg)
+        }
+        Substrate::Threaded => {
+            let mut model = PartitionModel::with_substrate(parts, request.f, ThreadedCluster::new)?;
+            run_algorithm1(&mut model, &request.cfg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_core::algorithm1::SamplerKind;
+    use dlra_util::Rng;
+
+    fn locals(s: usize, n: usize, d: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = Rng::new(seed);
+        (0..s).map(|_| Matrix::gaussian(n, d, &mut rng)).collect()
+    }
+
+    fn cfg(k: usize, r: usize, seed: u64) -> Algorithm1Config {
+        Algorithm1Config {
+            k,
+            r,
+            sampler: SamplerKind::Uniform,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rejects_bad_residents() {
+        assert!(Runtime::new(vec![], RuntimeConfig::default()).is_err());
+        let mixed = vec![Matrix::zeros(3, 2), Matrix::zeros(2, 2)];
+        assert!(Runtime::new(mixed, RuntimeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn concurrent_queries_match_direct_runs() {
+        let parts = locals(3, 60, 8, 11);
+        let runtime = Runtime::new(
+            parts.clone(),
+            RuntimeConfig {
+                executors: 4,
+                substrate: Substrate::Threaded,
+            },
+        )
+        .unwrap();
+
+        // Many concurrent queries with different (k, r, seed).
+        let requests: Vec<QueryRequest> = (0..6)
+            .map(|i| QueryRequest::identity(cfg(1 + i % 3, 20 + 5 * i, 100 + i as u64)))
+            .collect();
+        let handles: Vec<QueryHandle> =
+            requests.iter().map(|q| runtime.submit(q.clone())).collect();
+
+        for (request, handle) in requests.into_iter().zip(handles) {
+            let got = handle.wait().unwrap();
+            let mut direct = PartitionModel::new(parts.clone(), request.f).unwrap();
+            let want = run_algorithm1(&mut direct, &request.cfg).unwrap();
+            assert_eq!(got.projection.as_slice(), want.projection.as_slice());
+            assert_eq!(got.rows, want.rows);
+            assert_eq!(got.comm, want.comm);
+        }
+    }
+
+    #[test]
+    fn query_errors_are_delivered() {
+        let runtime = Runtime::new(locals(2, 10, 4, 1), RuntimeConfig::default()).unwrap();
+        let handle = runtime.submit(QueryRequest::identity(cfg(0, 10, 1)));
+        assert!(handle.wait().is_err());
+    }
+
+    #[test]
+    fn drop_completes_in_flight_queries() {
+        let parts = locals(2, 40, 6, 5);
+        let runtime = Runtime::new(parts, RuntimeConfig::default()).unwrap();
+        let handle = runtime.submit(QueryRequest::identity(cfg(2, 15, 9)));
+        drop(runtime);
+        assert!(handle.wait().is_ok());
+    }
+}

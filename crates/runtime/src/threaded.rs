@@ -1,0 +1,422 @@
+//! [`ThreadedCluster`]: the threaded message-passing substrate.
+//!
+//! Each of the `s` servers is a dedicated worker thread owning its local
+//! state; the coordinator (the thread driving the protocol) exchanges typed
+//! messages with the workers over `std::sync::mpsc` channels. A collective
+//! is one message fan-out plus one reply fan-in:
+//!
+//! ```text
+//!            ┌── Job ──▶ worker 0 ── (0, reply) ──┐
+//! coordinator├── Job ──▶ worker 1 ── (1, reply) ──┤──▶ ordered replies
+//!            └── Job ──▶ worker s-1 ─ (s-1, …) ───┘
+//! ```
+//!
+//! ## Determinism
+//!
+//! Per-server computations run concurrently, but each is a deterministic
+//! function of that server's state, and the coordinator (a) places replies
+//! by server index before using them and (b) charges the shared [`Ledger`]
+//! in server-index order after the fan-in. Consequently protocol outputs
+//! are **bit-identical** to the sequential [`dlra_comm::Cluster`] and
+//! ledger totals (words / messages / rounds) match exactly; only the
+//! interleaving of the optional per-event transcript may differ within a
+//! round.
+//!
+//! ## Ownership
+//!
+//! A worker owns its state for the lifetime of the cluster; the
+//! coordinator's only access outside collectives is the evaluation-oriented
+//! [`Collectives::with_local`] / [`Collectives::with_local_mut`], which
+//! synchronize on the same per-server lock the worker holds while it
+//! executes a job — there is no unsynchronized sharing anywhere.
+
+use dlra_comm::ledger::Direction;
+use dlra_comm::{Collectives, Ledger, Payload};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One unit of protocol work, shipped to a worker and run against its
+/// local state (receives the server index and exclusive state access).
+type Job<L> = Box<dyn FnOnce(usize, &mut L) + Send>;
+
+/// A typed message from the coordinator to one worker.
+enum WorkerMsg<L> {
+    /// Execute one unit of protocol work against the local state.
+    Job(Job<L>),
+    /// Drain and exit the worker loop.
+    Shutdown,
+}
+
+struct Worker<L> {
+    inbox: Sender<WorkerMsg<L>>,
+    /// The server-local state. The worker thread locks it per job; the
+    /// coordinator locks it only in `with_local{,_mut}`.
+    state: Arc<Mutex<L>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A cluster of `s` persistent worker threads implementing [`Collectives`].
+///
+/// ```
+/// use dlra_comm::Collectives;
+/// use dlra_runtime::ThreadedCluster;
+/// let mut c = ThreadedCluster::new(vec![vec![1.0f64, 2.0], vec![3.0, 4.0]]);
+/// let sums = c.gather("demo", |_t, local: &mut Vec<f64>| local.iter().sum::<f64>());
+/// assert_eq!(sums, vec![3.0, 7.0]);
+/// // One upstream message of one word (+1 frame) was charged, as on the
+/// // sequential simulator.
+/// assert_eq!(c.comm().upstream_words, 2);
+/// ```
+pub struct ThreadedCluster<L> {
+    workers: Vec<Worker<L>>,
+    ledger: Ledger,
+}
+
+impl<L: Send + 'static> ThreadedCluster<L> {
+    /// Spawns one worker thread per local state (server `0` doubles as the
+    /// coordinator's own state, as in the paper's star model).
+    pub fn new(locals: Vec<L>) -> Self {
+        Self::with_ledger(locals, Ledger::new())
+    }
+
+    /// Like [`ThreadedCluster::new`] but charging an existing ledger
+    /// (e.g. one shared with an enclosing experiment harness).
+    pub fn with_ledger(locals: Vec<L>, ledger: Ledger) -> Self {
+        assert!(!locals.is_empty(), "cluster needs at least one server");
+        let workers = locals
+            .into_iter()
+            .enumerate()
+            .map(|(t, local)| {
+                let state = Arc::new(Mutex::new(local));
+                let (inbox, work) = mpsc::channel::<WorkerMsg<L>>();
+                let worker_state = Arc::clone(&state);
+                let handle = std::thread::Builder::new()
+                    .name(format!("dlra-server-{t}"))
+                    .spawn(move || {
+                        while let Ok(msg) = work.recv() {
+                            match msg {
+                                WorkerMsg::Job(job) => {
+                                    let mut guard =
+                                        worker_state.lock().expect("server state poisoned");
+                                    job(t, &mut guard);
+                                }
+                                WorkerMsg::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("spawn server worker thread");
+                Worker {
+                    inbox,
+                    state,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ThreadedCluster { workers, ledger }
+    }
+
+    /// Sends one job to server `t`'s worker.
+    fn dispatch(&self, t: usize, job: Job<L>) {
+        self.workers[t]
+            .inbox
+            .send(WorkerMsg::Job(job))
+            .expect("worker thread exited before the cluster was dropped");
+    }
+
+    /// Fans one job per worker out (built by `make_job`, which may move
+    /// per-worker message clones into it) and fans the replies back in,
+    /// ordered by server index. Blocks until all servers replied.
+    fn fan_out_in<T>(&self, mut make_job: impl FnMut(mpsc::Sender<(usize, T)>) -> Job<L>) -> Vec<T>
+    where
+        T: Send + 'static,
+    {
+        let (reply_tx, reply_rx) = mpsc::channel::<(usize, T)>();
+        for t in 0..self.workers.len() {
+            self.dispatch(t, make_job(reply_tx.clone()));
+        }
+        drop(reply_tx);
+        let mut slots: Vec<Option<T>> = (0..self.workers.len()).map(|_| None).collect();
+        for _ in 0..self.workers.len() {
+            let (t, reply) = reply_rx
+                .recv()
+                .expect("a server worker panicked during a collective");
+            slots[t] = Some(reply);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every server replied"))
+            .collect()
+    }
+
+    /// Fans one shared closure out to every worker; replies ordered by
+    /// server index.
+    fn run_on_all<T, F>(&self, compute: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
+    {
+        let compute = Arc::new(compute);
+        self.fan_out_in(|reply_tx| {
+            let compute = Arc::clone(&compute);
+            Box::new(move |t, local| {
+                let reply = compute(t, local);
+                let _ = reply_tx.send((t, reply));
+            })
+        })
+    }
+}
+
+impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
+    fn num_servers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    fn with_local<R>(&self, t: usize, f: impl FnOnce(&L) -> R) -> R {
+        let guard = self.workers[t].state.lock().expect("server state poisoned");
+        f(&guard)
+    }
+
+    fn with_local_mut<R>(&mut self, t: usize, f: impl FnOnce(&mut L) -> R) -> R {
+        let mut guard = self.workers[t].state.lock().expect("server state poisoned");
+        f(&mut guard)
+    }
+
+    fn broadcast<T, F>(&mut self, msg: &T, label: &'static str, on_receive: F)
+    where
+        T: Payload + Clone + Send + 'static,
+        F: Fn(usize, &mut L, &T) + Send + Sync + 'static,
+    {
+        self.ledger.next_round();
+        let words = msg.words();
+        for t in 1..self.workers.len() {
+            self.ledger.charge(t, Direction::Downstream, words, label);
+        }
+        let on_receive = Arc::new(on_receive);
+        let (ack_tx, ack_rx) = mpsc::channel::<usize>();
+        for t in 0..self.workers.len() {
+            // Each worker receives its own copy of the message, exactly as
+            // it would over a wire.
+            let message = msg.clone();
+            let on_receive = Arc::clone(&on_receive);
+            let ack_tx = ack_tx.clone();
+            self.dispatch(
+                t,
+                Box::new(move |t, local| {
+                    on_receive(t, local, &message);
+                    let _ = ack_tx.send(t);
+                }),
+            );
+        }
+        drop(ack_tx);
+        for _ in 0..self.workers.len() {
+            ack_rx
+                .recv()
+                .expect("a server worker panicked during a broadcast");
+        }
+    }
+
+    fn gather<T, F>(&mut self, label: &'static str, compute: F) -> Vec<T>
+    where
+        T: Payload + Send + 'static,
+        F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
+    {
+        self.ledger.next_round();
+        let out = self.run_on_all(compute);
+        for (t, reply) in out.iter().enumerate() {
+            if t != 0 {
+                self.ledger
+                    .charge(t, Direction::Upstream, reply.words(), label);
+            }
+        }
+        out
+    }
+
+    fn query_server<Q, T, F>(&mut self, t: usize, request: &Q, label: &'static str, compute: F) -> T
+    where
+        Q: Payload + Clone + Send + 'static,
+        T: Payload + Send + 'static,
+        F: FnOnce(&mut L, &Q) -> T + Send + 'static,
+    {
+        if t != 0 {
+            self.ledger
+                .charge(t, Direction::Downstream, request.words(), label);
+        }
+        let request = request.clone();
+        let (reply_tx, reply_rx) = mpsc::channel::<T>();
+        self.dispatch(
+            t,
+            Box::new(move |_t, local| {
+                let _ = reply_tx.send(compute(local, &request));
+            }),
+        );
+        let reply = reply_rx
+            .recv()
+            .expect("a server worker panicked during a query");
+        if t != 0 {
+            self.ledger
+                .charge(t, Direction::Upstream, reply.words(), label);
+        }
+        reply
+    }
+
+    fn query_all<Q, T, F>(&mut self, request: &Q, label: &'static str, compute: F) -> Vec<T>
+    where
+        Q: Payload + Clone + Send + 'static,
+        T: Payload + Send + 'static,
+        F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static,
+    {
+        self.ledger.next_round();
+        let request_words = request.words();
+        for t in 1..self.workers.len() {
+            self.ledger
+                .charge(t, Direction::Downstream, request_words, label);
+        }
+        let compute = Arc::new(compute);
+        let out = self.fan_out_in(|reply_tx| {
+            // Each worker receives its own copy of the request, exactly as
+            // it would over a wire.
+            let request = request.clone();
+            let compute = Arc::clone(&compute);
+            Box::new(move |t, local| {
+                let reply = compute(t, local, &request);
+                let _ = reply_tx.send((t, reply));
+            })
+        });
+        for (t, reply) in out.iter().enumerate() {
+            if t != 0 {
+                self.ledger
+                    .charge(t, Direction::Upstream, reply.words(), label);
+            }
+        }
+        out
+    }
+}
+
+impl<L> Drop for ThreadedCluster<L> {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            // The worker may already be gone (it panicked); shutdown is
+            // best-effort and Drop must not panic.
+            let _ = w.inbox.send(WorkerMsg::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_comm::ledger::FRAME_WORDS;
+    use dlra_comm::Cluster;
+
+    fn locals(s: usize, len: usize) -> Vec<Vec<f64>> {
+        (0..s).map(|t| vec![t as f64; len]).collect()
+    }
+
+    /// A protocol exercising every collective, written once against the
+    /// trait and run on both substrates.
+    fn protocol<C: Collectives<Vec<f64>>>(c: &mut C) -> Vec<f64> {
+        c.broadcast(&1.5f64, "p.bcast", |_t, local, &m| {
+            for x in local.iter_mut() {
+                *x += m;
+            }
+        });
+        let mut out = c.gather("p.gather", |t, local| local[0] * (t + 1) as f64);
+        let total = c.aggregate(
+            "p.agg",
+            |_t, local| local.iter().sum::<f64>(),
+            |acc, r| *acc += r,
+        );
+        out.push(total);
+        let picked = c.query_all(&2usize, "p.qa", |t, local, &j| local[j] + t as f64);
+        out.extend(picked);
+        let target = 1 % c.num_servers();
+        out.push(c.query_server(target, &0usize, "p.qs", |local, &j| local[j]));
+        out
+    }
+
+    #[test]
+    fn matches_sequential_cluster_bit_for_bit() {
+        for s in [1usize, 2, 4, 8] {
+            let mut seq = Cluster::new(locals(s, 4));
+            let mut par = ThreadedCluster::new(locals(s, 4));
+            let a = protocol(&mut seq);
+            let b = protocol(&mut par);
+            assert_eq!(a, b, "results diverge at s = {s}");
+            assert_eq!(
+                Collectives::comm(&seq),
+                Collectives::comm(&par),
+                "ledgers diverge at s = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_orders_and_charges_like_cluster() {
+        let mut c = ThreadedCluster::new(locals(3, 1));
+        let replies = c.gather("g", |t, local: &mut Vec<f64>| local[0] + t as f64);
+        assert_eq!(replies, vec![0.0, 2.0, 4.0]);
+        assert_eq!(c.comm().upstream_words, 2 * (1 + FRAME_WORDS));
+        assert_eq!(c.comm().messages, 2);
+        assert_eq!(c.comm().rounds, 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_worker() {
+        let mut c = ThreadedCluster::new(locals(4, 2));
+        c.broadcast(&7.5f64, "b", |_t, local, &m| local.push(m));
+        for t in 0..4 {
+            assert_eq!(c.with_local(t, |l| l.len()), 3);
+            assert_eq!(c.with_local(t, |l| l[2]), 7.5);
+        }
+        assert_eq!(c.comm().downstream_words, 3 * (1 + FRAME_WORDS));
+        assert_eq!(c.comm().upstream_words, 0);
+    }
+
+    #[test]
+    fn with_local_mut_is_free() {
+        let mut c = ThreadedCluster::new(locals(2, 1));
+        c.with_local_mut(1, |l| l[0] = 42.0);
+        assert_eq!(c.with_local(1, |l| l[0]), 42.0);
+        assert_eq!(c.comm().total_words(), 0);
+    }
+
+    #[test]
+    fn workers_run_concurrently() {
+        // Each worker sleeps 40 ms; if execution were serialized the
+        // collective would take ≥ 320 ms.
+        let mut c = ThreadedCluster::new(locals(8, 1));
+        let start = std::time::Instant::now();
+        let replies = c.gather("sleep", |t, _local| {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            t as f64
+        });
+        let elapsed = start.elapsed();
+        assert_eq!(replies.len(), 8);
+        assert!(
+            elapsed < std::time::Duration::from_millis(300),
+            "collective did not parallelize: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let c = ThreadedCluster::new(locals(4, 1));
+        drop(c); // must not hang or panic
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_cluster_rejected() {
+        let _ = ThreadedCluster::<Vec<f64>>::new(vec![]);
+    }
+}

@@ -6,21 +6,27 @@
 use crate::vector::SampleVector;
 use crate::zfn::ZFn;
 use crate::zsampler::Draw;
-use dlra_comm::Cluster;
+use dlra_comm::Collectives;
 use dlra_util::Rng;
 
 /// Materializes the exact per-coordinate weights `z(aⱼ)` of the aggregate
 /// vector by direct access to all local states.
 ///
-/// This is an **evaluation oracle**: it reads `cluster.locals()` without
-/// touching the ledger. Centralizing the data for real would cost
+/// This is an **evaluation oracle**: it reads every server's local state
+/// without touching the ledger. Centralizing the data for real would cost
 /// `Σₜ dim` words — the "ship everything" baseline the benchmark harness
 /// accounts analytically.
-pub fn exact_weights<L: SampleVector>(cluster: &Cluster<L>, zfn: &dyn ZFn) -> Vec<f64> {
-    let dim = cluster.local(0).dim() as usize;
+pub fn exact_weights<L, C>(cluster: &C, zfn: &dyn ZFn) -> Vec<f64>
+where
+    L: SampleVector,
+    C: Collectives<L>,
+{
+    let dim = cluster.with_local(0, SampleVector::dim) as usize;
     let mut agg = vec![0.0f64; dim];
-    for local in cluster.locals() {
-        local.for_each_nonzero(&mut |j, x| agg[j as usize] += x);
+    for t in 0..cluster.num_servers() {
+        cluster.with_local(t, |local| {
+            local.for_each_nonzero(&mut |j, x| agg[j as usize] += x);
+        });
     }
     agg.iter().map(|&v| zfn.z(v)).collect()
 }
@@ -36,11 +42,17 @@ pub struct ExactSampler {
 
 impl ExactSampler {
     /// Builds from the aggregate vector's exact values and a `z` function.
-    pub fn from_cluster<L: SampleVector>(cluster: &Cluster<L>, zfn: &dyn ZFn) -> Self {
-        let dim = cluster.local(0).dim() as usize;
+    pub fn from_cluster<L, C>(cluster: &C, zfn: &dyn ZFn) -> Self
+    where
+        L: SampleVector,
+        C: Collectives<L>,
+    {
+        let dim = cluster.with_local(0, SampleVector::dim) as usize;
         let mut values = vec![0.0f64; dim];
-        for local in cluster.locals() {
-            local.for_each_nonzero(&mut |j, x| values[j as usize] += x);
+        for t in 0..cluster.num_servers() {
+            cluster.with_local(t, |local| {
+                local.for_each_nonzero(&mut |j, x| values[j as usize] += x);
+            });
         }
         let weights: Vec<f64> = values.iter().map(|&v| zfn.z(v)).collect();
         let total = weights.iter().sum();
@@ -111,6 +123,7 @@ mod tests {
     use super::*;
     use crate::vector::DenseServerVec;
     use crate::zfn::{PowerAbs, Square};
+    use dlra_comm::Cluster;
 
     fn make_cluster(parts: Vec<Vec<f64>>) -> Cluster<DenseServerVec> {
         Cluster::new(parts.into_iter().map(DenseServerVec::new).collect())

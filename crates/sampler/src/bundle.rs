@@ -56,7 +56,8 @@ impl SketchBundle {
                                     params.b_threshold,
                                     params.hh_depth,
                                     params.hh_width,
-                                    seed ^ (tag << 8 | g as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+                                    seed ^ (tag << 8 | g as u64)
+                                        .wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
                                 )
                             })
                             .collect();
@@ -311,12 +312,7 @@ mod tests {
         let rec = b.recover(dim);
         // At depth ~7, about 4 of the 512 survive and dominate their groups.
         let deep_hits: usize = (5..=8)
-            .map(|lvl| {
-                rec[lvl]
-                    .iter()
-                    .filter(|&&j| v[j as usize] == 1.0)
-                    .count()
-            })
+            .map(|lvl| rec[lvl].iter().filter(|&&j| v[j as usize] == 1.0).count())
             .sum();
         assert!(deep_hits > 0, "no class member recovered at deep levels");
     }

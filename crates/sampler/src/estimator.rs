@@ -19,7 +19,7 @@ use crate::bundle::SketchBundle;
 use crate::params::ZSamplerParams;
 use crate::vector::SampleVector;
 use crate::zfn::ZFn;
-use dlra_comm::Cluster;
+use dlra_comm::Collectives;
 use std::collections::BTreeMap;
 
 /// Per-class output of the estimator.
@@ -64,15 +64,19 @@ impl EstimatorOutput {
 ///
 /// All randomness derives from `seed`, which the coordinator broadcasts
 /// (one word) so every server builds an identical sketch structure.
-pub fn run_z_estimator<L: SampleVector>(
-    cluster: &mut Cluster<L>,
+pub fn run_z_estimator<L, C>(
+    cluster: &mut C,
     zfn: &dyn ZFn,
     params: &ZSamplerParams,
     seed: u64,
-) -> EstimatorOutput {
-    let dim = cluster.local(0).dim();
+) -> EstimatorOutput
+where
+    L: SampleVector,
+    C: Collectives<L>,
+{
+    let dim = cluster.with_local(0, SampleVector::dim);
     debug_assert!(
-        cluster.locals().iter().all(|l| l.dim() == dim),
+        (0..cluster.num_servers()).all(|t| cluster.with_local(t, SampleVector::dim) == dim),
         "all servers must agree on the vector dimension"
     );
     if dim == 0 {
@@ -87,10 +91,13 @@ pub fn run_z_estimator<L: SampleVector>(
     cluster.broadcast(&seed, "zest.seed", |_, _, _| {});
 
     // Round 1b: every server sketches its local vector; coordinator merges.
+    // The sketch parameters travel by value into the per-server closure so
+    // it can run on worker threads.
+    let worker_params = params.clone();
     let merged = cluster.aggregate(
         "zest.sketch",
-        |_t, local| {
-            let mut b = SketchBundle::new(params, seed, dim);
+        move |_t, local| {
+            let mut b = SketchBundle::new(&worker_params, seed, dim);
             b.absorb(local);
             b
         },
@@ -172,7 +179,11 @@ pub fn run_z_estimator<L: SampleVector>(
 
 /// Coordinator asks every server for its local contribution to each listed
 /// coordinate and sums the replies (Algorithm 3 lines 6 and 11).
-pub fn lookup_exact<L: SampleVector>(cluster: &mut Cluster<L>, coords: &[u64]) -> Vec<f64> {
+pub fn lookup_exact<L, C>(cluster: &mut C, coords: &[u64]) -> Vec<f64>
+where
+    L: SampleVector,
+    C: Collectives<L>,
+{
     let request: Vec<u64> = coords.to_vec();
     let replies = cluster.query_all(&request, "zest.lookup", |_t, local, req: &Vec<u64>| {
         req.iter().map(|&j| local.value(j)).collect::<Vec<f64>>()
@@ -191,6 +202,7 @@ mod tests {
     use super::*;
     use crate::vector::DenseServerVec;
     use crate::zfn::{PowerAbs, Square};
+    use dlra_comm::Cluster;
     use dlra_util::Rng;
 
     fn make_cluster(parts: Vec<Vec<f64>>) -> Cluster<DenseServerVec> {

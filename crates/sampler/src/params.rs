@@ -180,10 +180,7 @@ mod tests {
             let words = p.sketch_words(l);
             // Within a small factor of the budget (floors/caps may push up
             // tiny budgets).
-            assert!(
-                words <= budget * 3 + 50_000,
-                "budget {budget} gave {words}"
-            );
+            assert!(words <= budget * 3 + 50_000, "budget {budget} gave {words}");
         }
     }
 

@@ -196,7 +196,11 @@ mod tests {
             Box::new(FairSq { c: 2.0 }),
         ];
         for z in &zs {
-            assert!(check_property_p(z.as_ref(), &grid()), "{} fails P", z.name());
+            assert!(
+                check_property_p(z.as_ref(), &grid()),
+                "{} fails P",
+                z.name()
+            );
         }
     }
 

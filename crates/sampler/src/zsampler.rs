@@ -21,7 +21,7 @@ use crate::estimator::{run_z_estimator, EstimatorOutput};
 use crate::params::ZSamplerParams;
 use crate::vector::SampleVector;
 use crate::zfn::ZFn;
-use dlra_comm::{Cluster, Payload};
+use dlra_comm::{Collectives, Payload};
 use dlra_util::Rng;
 
 /// One sampled coordinate.
@@ -88,12 +88,14 @@ impl ZSampler {
 
     /// Runs the two-pass pipeline and returns the draw structure.
     /// Injected coordinates are cleared from the cluster before returning.
-    pub fn prepare<L: SampleVector>(
-        &self,
-        cluster: &mut Cluster<L>,
-        zfn: &dyn ZFn,
-    ) -> PreparedSampler {
-        let base_dim = cluster.local(0).base_dim();
+    /// Generic over the substrate: the same pipeline runs on the sequential
+    /// simulator and the threaded runtime.
+    pub fn prepare<L, C>(&self, cluster: &mut C, zfn: &dyn ZFn) -> PreparedSampler
+    where
+        L: SampleVector,
+        C: Collectives<L>,
+    {
+        let base_dim = cluster.with_local(0, SampleVector::base_dim);
         let pass1 = run_z_estimator(cluster, zfn, &self.params, self.seed);
         if pass1.z_hat <= 0.0 {
             return PreparedSampler::empty(base_dim, self.params.max_draw_tries);
@@ -128,11 +130,11 @@ impl ZSampler {
             self.seed.wrapping_add(0x0BAD_5EED_0BAD_5EED),
         );
 
-        // Restore the cluster for the caller (local op, free).
+        // Restore the cluster for the caller (a purely local,
+        // zero-communication cleanup on every server).
         if injected_total > 0 {
             for t in 0..cluster.num_servers() {
-                // Safety note: this mutates purely local state.
-                cluster_local_mut(cluster, t).clear_injected();
+                cluster.with_local_mut(t, SampleVector::clear_injected);
             }
         }
 
@@ -144,11 +146,8 @@ impl ZSampler {
         let mut total_weight = 0.0;
         for est in pass2.classes.values() {
             let weight = est.s_hat * est.rep_value;
-            let members: Vec<ClassMember> = est
-                .members
-                .iter()
-                .map(|&(j, v)| (j, v, zfn.z(v)))
-                .collect();
+            let members: Vec<ClassMember> =
+                est.members.iter().map(|&(j, v)| (j, v, zfn.z(v))).collect();
             if weight > 0.0 && !members.is_empty() {
                 total_weight += weight;
                 classes.push((weight, members));
@@ -200,14 +199,6 @@ impl ZSampler {
         }
         plan
     }
-}
-
-/// Accesses a cluster-local state mutably (purely local cleanup).
-fn cluster_local_mut<L>(cluster: &mut Cluster<L>, t: usize) -> &mut L {
-    // Cluster deliberately exposes no public &mut access to remote state;
-    // clearing injected coordinates is a local no-communication operation,
-    // modeled as a zero-word broadcast.
-    cluster.local_mut_for_cleanup(t)
 }
 
 /// Wire form of the injection plan: `(value, count)` per growing class.
@@ -317,6 +308,7 @@ mod tests {
     use super::*;
     use crate::vector::DenseServerVec;
     use crate::zfn::{HuberSq, Square};
+    use dlra_comm::Cluster;
     use std::collections::BTreeMap;
 
     fn make_cluster(parts: Vec<Vec<f64>>) -> Cluster<DenseServerVec> {

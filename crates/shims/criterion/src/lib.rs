@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! minimal, API-compatible subset of criterion sufficient for the benches
+//! under `crates/bench/benches/`. Two execution modes:
+//!
+//! * **bench mode** (`cargo bench`, i.e. a `--bench` argument is present):
+//!   each closure is warmed up and then timed over enough iterations to fill
+//!   a small measurement window; median ns/iter is printed.
+//! * **check mode** (any other invocation, e.g. a plain run of the
+//!   harness-false executable): every benchmark body runs exactly once so
+//!   the code stays exercised without the measurement cost.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches may import either
+/// this or `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Measurement settings and output sink — the shim keeps only what the
+/// benches touch.
+pub struct Criterion {
+    bench_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            bench_mode,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, self.sample_size, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Records the per-iteration throughput (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.bench_mode, n, &full, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.bench_mode, n, &full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (separator line in bench mode).
+    pub fn finish(self) {
+        if self.criterion.bench_mode {
+            println!();
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id carrying a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation (display only in real criterion; ignored here).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark body; `iter` runs the measured closure.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Measured samples in nanoseconds per iteration.
+    samples: Vec<f64>,
+}
+
+enum BenchMode {
+    /// Run the body once, unmeasured.
+    Check,
+    /// Collect `samples` timed samples.
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Check => {
+                black_box(routine());
+            }
+            BenchMode::Measure { samples } => {
+                // Warm-up: one call, which also sizes the batch so each
+                // sample lasts ≳1 ms without overshooting the time budget.
+                let t0 = Instant::now();
+                black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(50));
+                let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as u64;
+                let budget = Duration::from_millis(300);
+                let started = Instant::now();
+                for _ in 0..samples {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    let dt = t.elapsed();
+                    self.samples.push(dt.as_nanos() as f64 / batch as f64);
+                    if started.elapsed() > budget {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_one(bench_mode: bool, samples: usize, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mode: if bench_mode {
+            BenchMode::Measure { samples }
+        } else {
+            BenchMode::Check
+        },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if bench_mode {
+        b.samples
+            .sort_by(|a, c| a.partial_cmp(c).expect("finite timings"));
+        let median = b
+            .samples
+            .get(b.samples.len() / 2)
+            .copied()
+            .unwrap_or(f64::NAN);
+        println!(
+            "bench {id:<50} {median:>14.0} ns/iter ({} samples)",
+            b.samples.len()
+        );
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` from group runners, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_mode_runs_body_once() {
+        let mut calls = 0usize;
+        let mut b = Bencher {
+            mode: BenchMode::Check,
+            samples: Vec::new(),
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut b = Bencher {
+            mode: BenchMode::Measure { samples: 5 },
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(64).0, "64");
+        assert_eq!(BenchmarkId::new("svd", "128x64").0, "svd/128x64");
+    }
+}

@@ -23,7 +23,10 @@ pub struct CountMin {
 impl CountMin {
     /// Creates an empty sketch; identical `(depth, width, seed)` ⇒ mergeable.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
-        assert!(depth > 0 && width > 0, "CountMin dimensions must be positive");
+        assert!(
+            depth > 0 && width > 0,
+            "CountMin dimensions must be positive"
+        );
         let hashes = (0..depth)
             .map(|r| KWiseHash::from_seed(2, seed ^ (0x3C6E_F372 + r as u64).rotate_left(13)))
             .collect();

@@ -35,7 +35,10 @@ impl CountSketch {
     /// Creates an empty sketch. All parties constructing with the same
     /// `(depth, width, seed)` share hash functions and can merge.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
-        assert!(depth > 0 && width > 0, "CountSketch dimensions must be positive");
+        assert!(
+            depth > 0 && width > 0,
+            "CountSketch dimensions must be positive"
+        );
         let bucket_hash = (0..depth)
             .map(|r| KWiseHash::from_seed(2, seed ^ (0x9E37_79B9 + r as u64)))
             .collect();
@@ -229,10 +232,7 @@ mod tests {
         let mut cs = CountSketch::new(9, 512, 11);
         cs.update_dense(&v);
         let est = cs.f2_estimate();
-        assert!(
-            (est - truth).abs() < 0.3 * truth,
-            "est {est} truth {truth}"
-        );
+        assert!((est - truth).abs() < 0.3 * truth, "est {est} truth {truth}");
     }
 
     #[test]

@@ -174,10 +174,7 @@ mod tests {
         }
         // Each bucket should get roughly 1000 (±25%).
         for (b, &c) in counts.iter().enumerate() {
-            assert!(
-                (700..1300).contains(&c),
-                "bucket {b} has {c} of 16000"
-            );
+            assert!((700..1300).contains(&c), "bucket {b} has {c} of 16000");
         }
     }
 

@@ -188,7 +188,10 @@ mod tests {
             merged.merge(&s);
         }
         let hh = merged.recover_range(l as u64);
-        assert!(hh.iter().any(|h| h.index == 250), "sum-heavy coordinate missed");
+        assert!(
+            hh.iter().any(|h| h.index == 250),
+            "sum-heavy coordinate missed"
+        );
         let est = merged.estimate(250);
         assert!((est - 20.0).abs() < 2.0, "estimate {est}");
     }

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example adaptive_sampling`
 
-use dlra::core::adaptive::{run_adaptive, AdaptiveConfig};
 use dlra::comm::CostModel;
+use dlra::core::adaptive::{run_adaptive, AdaptiveConfig};
 use dlra::prelude::*;
 use dlra::util::Rng;
 
@@ -29,8 +29,7 @@ fn main() {
     );
 
     for &rounds in &[1usize, 2, 3, 4] {
-        let mut model =
-            PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+        let mut model = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
         let cfg = AdaptiveConfig {
             k,
             rounds,

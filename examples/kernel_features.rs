@@ -14,8 +14,7 @@ fn main() {
     // Forest-Cover-like clustered base data: 3000×54 on 10 servers.
     let ds = dlra::data::forest_cover_like(1, 3);
     let raw_dims = ds.parts[0].cols();
-    let mut model =
-        PartitionModel::new(ds.parts.clone(), EntryFunction::Identity).unwrap();
+    let mut model = PartitionModel::new(ds.parts.clone(), EntryFunction::Identity).unwrap();
 
     // 128-dimensional Gaussian RFF map (bandwidth 2.0).
     let map = RffMap::new(raw_dims, 128, 2.0, 7);

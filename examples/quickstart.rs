@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dlra::prelude::*;
 use dlra::core::metrics::predicted_additive_error;
+use dlra::prelude::*;
 use dlra::util::Rng;
 
 fn main() {
@@ -14,18 +14,23 @@ fn main() {
     let mut rng = Rng::new(2024);
     let global = dlra::data::noisy_low_rank(1000, 64, 6, 0.1, &mut rng);
     let parts = dlra::data::split_with_noise_shares(&global, 8, 0.5, &mut rng);
-    let mut model = PartitionModel::new(parts, EntryFunction::Identity)
-        .expect("uniform shapes");
+    let mut model = PartitionModel::new(parts, EntryFunction::Identity).expect("uniform shapes");
 
-    println!("servers: {}, global shape: {:?}", model.num_servers(), model.shape());
-    println!("sum of local data sizes: {} words\n", model.total_local_words());
+    println!(
+        "servers: {}, global shape: {:?}",
+        model.num_servers(),
+        model.shape()
+    );
+    println!(
+        "sum of local data sizes: {} words\n",
+        model.total_local_words()
+    );
 
     // --- Protocol: Algorithm 1 with the generalized Z-sampler (z = f² = x²).
     // Sketch sizes are derived from a communication budget: aim the whole
     // protocol at ~25% of the total local data size.
     let k = 6;
-    let budget_per_server_pass =
-        model.total_local_words() / (4 * 2 * model.num_servers() as u64);
+    let budget_per_server_pass = model.total_local_words() / (4 * 2 * model.num_servers() as u64);
     let flat_dim = (model.shape().0 * model.shape().1) as u64;
     let params = ZSamplerParams::practical(flat_dim, budget_per_server_pass);
     for &r in &[40usize, 100, 250] {

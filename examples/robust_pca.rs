@@ -31,8 +31,7 @@ fn main() {
     let r = 150;
 
     // --- Naive PCA (f = identity): the outliers own the spectrum.
-    let mut naive_model =
-        PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+    let mut naive_model = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
     let cfg = Algorithm1Config {
         k,
         r,

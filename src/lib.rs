@@ -8,7 +8,8 @@
 //! | [`core`] (`dlra-core`) | the generalized partition model, Algorithm 1, applications (RFF / GM pooling / robust PCA) |
 //! | [`sampler`] (`dlra-sampler`) | the generalized Z-sampler (Algorithms 2–4), baselines |
 //! | [`sketch`] (`dlra-sketch`) | CountSketch, AMS F₂, heavy hitters, k-wise hashing |
-//! | [`comm`] (`dlra-comm`) | star-topology simulation with word-exact accounting |
+//! | [`comm`] (`dlra-comm`) | star-topology simulation with word-exact accounting, the substrate-generic `Collectives` trait |
+//! | [`runtime`] (`dlra-runtime`) | threaded message-passing substrate + concurrent query runtime |
 //! | [`linalg`] (`dlra-linalg`) | matrices, QR, symmetric eigen, Jacobi SVD, rank-k tools |
 //! | [`data`] (`dlra-data`) | synthetic stand-ins for the paper's datasets |
 //! | [`lowerbounds`] (`dlra-lowerbounds`) | executable Theorem 4 / 6 / 8 reductions |
@@ -40,6 +41,7 @@ pub use dlra_core as core;
 pub use dlra_data as data;
 pub use dlra_linalg as linalg;
 pub use dlra_lowerbounds as lowerbounds;
+pub use dlra_runtime as runtime;
 pub use dlra_sampler as sampler;
 pub use dlra_sketch as sketch;
 pub use dlra_util as util;

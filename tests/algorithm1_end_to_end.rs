@@ -116,10 +116,7 @@ fn protocol_beats_ship_everything_at_scale() {
     let cfg = Algorithm1Config {
         k: 3,
         r: 60,
-        sampler: SamplerKind::Z(ZSamplerParams::practical(
-            (600 * 32) as u64,
-            1200,
-        )),
+        sampler: SamplerKind::Z(ZSamplerParams::practical((600 * 32) as u64, 1200)),
         seed: 13,
         ..Algorithm1Config::default()
     };
@@ -154,7 +151,11 @@ fn huber_model_end_to_end_with_outliers() {
     let capped = model.global_matrix();
     assert!(capped.max_abs() <= 5.0 + 1e-9);
     let eval = evaluate_projection(&capped, &out.projection, 2).unwrap();
-    assert!(eval.additive_error < 0.3, "additive {}", eval.additive_error);
+    assert!(
+        eval.additive_error < 0.3,
+        "additive {}",
+        eval.additive_error
+    );
 }
 
 #[test]
@@ -183,7 +184,11 @@ fn gm_pooling_model_end_to_end() {
     };
     let out = run_algorithm1(&mut model, &cfg).unwrap();
     let eval = evaluate_projection(&model.global_matrix(), &out.projection, 3).unwrap();
-    assert!(eval.additive_error < 0.3, "additive {}", eval.additive_error);
+    assert!(
+        eval.additive_error < 0.3,
+        "additive {}",
+        eval.additive_error
+    );
 }
 
 #[test]
@@ -201,11 +206,7 @@ fn repeated_runs_are_deterministic_in_seed() {
     let o2 = run_algorithm1(&mut m2, &cfg).unwrap();
     assert_eq!(o1.rows, o2.rows);
     assert_eq!(o1.comm, o2.comm);
-    let diff = o1
-        .projection
-        .sub(&o2.projection)
-        .unwrap()
-        .frobenius_norm();
+    let diff = o1.projection.sub(&o2.projection).unwrap().frobenius_norm();
     assert!(diff < 1e-12);
 }
 

@@ -50,7 +50,11 @@ fn row_partition_baseline_wins_its_home_turf() {
 
     let base = row_partition_pca(blocks, k, 4 * k).unwrap();
     let e_base = evaluate_projection(&a, &base.projection, k).unwrap();
-    assert!(e_base.relative_error < 1.05, "baseline {}", e_base.relative_error);
+    assert!(
+        e_base.relative_error < 1.05,
+        "baseline {}",
+        e_base.relative_error
+    );
 
     let mut model = PartitionModel::new(embedded, EntryFunction::Identity).unwrap();
     let cfg = Algorithm1Config {
@@ -63,7 +67,11 @@ fn row_partition_baseline_wins_its_home_turf() {
     let alg1 = run_algorithm1(&mut model, &cfg).unwrap();
     let e_alg1 = evaluate_projection(&a, &alg1.projection, k).unwrap();
     // Additive error is small, but the baseline's relative error is tighter.
-    assert!(e_alg1.additive_error < 0.1, "alg1 {}", e_alg1.additive_error);
+    assert!(
+        e_alg1.additive_error < 0.1,
+        "alg1 {}",
+        e_alg1.additive_error
+    );
     assert!(
         e_base.relative_error <= e_alg1.relative_error + 0.02,
         "baseline {} vs alg1 {}",

@@ -3,9 +3,7 @@
 //! square and fractional-power z-functions.
 
 use dlra::comm::Cluster;
-use dlra::sampler::{
-    run_z_estimator, DenseServerVec, PowerAbs, Square, ZFn, ZSamplerParams,
-};
+use dlra::sampler::{run_z_estimator, DenseServerVec, PowerAbs, Square, ZFn, ZSamplerParams};
 use dlra::util::Rng;
 
 fn single_server(v: Vec<f64>) -> Cluster<DenseServerVec> {
@@ -98,7 +96,10 @@ fn two_planted_classes_both_seen() {
         .values()
         .flat_map(|e| e.members.iter().map(|&(_, val)| val * val))
         .collect();
-    assert!(z_values.iter().any(|&zz| zz > 1000.0), "heavy class missing");
+    assert!(
+        z_values.iter().any(|&zz| zz > 1000.0),
+        "heavy class missing"
+    );
     assert!(
         z_values.iter().any(|&zz| (0.5..2.0).contains(&zz)),
         "bulk class missing"
@@ -138,7 +139,13 @@ fn multi_server_matches_single_server_aggregate() {
     // linearity end to end), up to identical seeds.
     let mut rng = Rng::new(9);
     let v: Vec<f64> = (0..2048)
-        .map(|_| if rng.bernoulli(0.05) { rng.range_f64(1.0, 20.0) } else { 0.0 })
+        .map(|_| {
+            if rng.bernoulli(0.05) {
+                rng.range_f64(1.0, 20.0)
+            } else {
+                0.0
+            }
+        })
         .collect();
     let mut single = single_server(v.clone());
     // 3 additive shares.

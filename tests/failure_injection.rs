@@ -83,10 +83,7 @@ fn cancellation_across_servers() {
     let mut rng = Rng::new(3);
     let signal = dlra::data::noisy_low_rank(100, 8, 2, 0.01, &mut rng);
     let big = Matrix::gaussian(100, 8, &mut rng).scaled(1e4);
-    let parts = vec![
-        signal.add(&big).unwrap(),
-        big.scaled(-1.0),
-    ];
+    let parts = vec![signal.add(&big).unwrap(), big.scaled(-1.0)];
     let mut model = PartitionModel::new(parts, EntryFunction::Identity).unwrap();
     let cfg = Algorithm1Config {
         k: 2,

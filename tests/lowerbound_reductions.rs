@@ -102,7 +102,7 @@ fn theorem4_side_communication_in_bits() {
     }
     ch.send_word(Party::Alice); // x value
     ch.send(Party::Bob, 1); // verdict bit
-    // Orders of magnitude below the m-scale lower bound.
+                            // Orders of magnitude below the m-scale lower bound.
     assert!(ch.total_bits() < 128, "side bits {}", ch.total_bits());
     assert!((m as u64) / ch.total_bits() > 30);
 }

@@ -1,8 +1,6 @@
 //! Property-based tests of cross-crate invariants (proptest).
 
-use dlra::linalg::{
-    best_rank_k, lowrank::is_projection_of_rank_at_most, residual_sq, svd, Matrix,
-};
+use dlra::linalg::{best_rank_k, lowrank::is_projection_of_rank_at_most, residual_sq, svd, Matrix};
 use dlra::prelude::*;
 use dlra::sampler::{check_property_p, FairSq, HuberSq, L1L2Sq, PowerAbs, Square, ZFn};
 use dlra::util::Rng;

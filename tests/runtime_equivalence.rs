@@ -1,0 +1,156 @@
+//! Substrate-equivalence guarantee: Algorithm 1 on the threaded
+//! message-passing runtime is **bit-identical** to the sequential
+//! simulator — same projection matrix, same sampled row indices, same
+//! boosting score — and consumes **exactly** the same ledger word totals,
+//! for every tested seed and cluster size.
+//!
+//! This is the contract that lets every experiment and test in the
+//! workspace interchange substrates freely.
+
+use dlra::comm::Collectives;
+use dlra::core::adaptive::{run_adaptive, AdaptiveConfig};
+use dlra::prelude::*;
+use dlra::runtime::{threaded_model, QueryRequest, Runtime, RuntimeConfig, Substrate};
+use dlra::util::Rng;
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+const SERVER_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn shares(s: usize, n: usize, d: usize, k: usize, seed: u64) -> Vec<dlra::linalg::Matrix> {
+    let mut rng = Rng::new(seed);
+    let global = dlra::data::noisy_low_rank(n, d, k, 0.1, &mut rng);
+    dlra::data::split_with_noise_shares(&global, s, 0.3, &mut rng)
+}
+
+/// Runs one config on both substrates and asserts exact agreement.
+fn assert_equivalent(s: usize, seed: u64, cfg: &Algorithm1Config) {
+    let parts = shares(s, 72, 10, 3, seed);
+    let mut sequential = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+    let mut threaded = threaded_model(parts, EntryFunction::Identity).unwrap();
+
+    let a = run_algorithm1(&mut sequential, cfg).unwrap();
+    let b = run_algorithm1(&mut threaded, cfg).unwrap();
+
+    // Bit-identical outputs.
+    assert_eq!(
+        a.projection.as_slice(),
+        b.projection.as_slice(),
+        "projection diverges at s = {s}, seed = {seed}"
+    );
+    assert_eq!(
+        a.rows, b.rows,
+        "sampled rows diverge at s = {s}, seed = {seed}"
+    );
+    assert_eq!(
+        a.captured.to_bits(),
+        b.captured.to_bits(),
+        "boosting score diverges at s = {s}, seed = {seed}"
+    );
+
+    // Identical ledger totals, both for the run delta and the whole ledger.
+    assert_eq!(
+        a.comm, b.comm,
+        "run ledgers diverge at s = {s}, seed = {seed}"
+    );
+    assert_eq!(
+        sequential.cluster().comm(),
+        threaded.cluster().comm(),
+        "total ledgers diverge at s = {s}, seed = {seed}"
+    );
+}
+
+#[test]
+fn z_sampler_bit_identical_across_substrates() {
+    for &s in &SERVER_COUNTS {
+        for &seed in &SEEDS {
+            let cfg = Algorithm1Config {
+                k: 3,
+                r: 30,
+                sampler: SamplerKind::Z(ZSamplerParams::default()),
+                seed,
+                ..Default::default()
+            };
+            assert_equivalent(s, seed, &cfg);
+        }
+    }
+}
+
+#[test]
+fn uniform_sampler_bit_identical_across_substrates() {
+    for &s in &SERVER_COUNTS {
+        for &seed in &SEEDS {
+            let cfg = Algorithm1Config {
+                k: 2,
+                r: 25,
+                sampler: SamplerKind::Uniform,
+                seed,
+                ..Default::default()
+            };
+            assert_equivalent(s, seed, &cfg);
+        }
+    }
+}
+
+#[test]
+fn boosted_runs_bit_identical_across_substrates() {
+    let cfg = Algorithm1Config {
+        k: 3,
+        r: 24,
+        boost: 3,
+        sampler: SamplerKind::Z(ZSamplerParams::default()),
+        seed: 7,
+    };
+    assert_equivalent(4, 7, &cfg);
+}
+
+#[test]
+fn adaptive_protocol_bit_identical_across_substrates() {
+    let parts = shares(4, 96, 12, 3, 42);
+    let mut sequential = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+    let mut threaded = threaded_model(parts, EntryFunction::Identity).unwrap();
+    let cfg = AdaptiveConfig {
+        k: 3,
+        rounds: 2,
+        r_per_round: 20,
+        params: ZSamplerParams::default(),
+        seed: 42,
+    };
+    let a = run_adaptive(&mut sequential, &cfg).unwrap();
+    let b = run_adaptive(&mut threaded, &cfg).unwrap();
+    assert_eq!(a.projection.as_slice(), b.projection.as_slice());
+    assert_eq!(a.rows_per_round, b.rows_per_round);
+    assert_eq!(a.comm, b.comm);
+}
+
+#[test]
+fn runtime_submit_matches_both_substrates() {
+    let parts = shares(4, 72, 10, 3, 1);
+    let cfg = Algorithm1Config {
+        k: 3,
+        r: 30,
+        sampler: SamplerKind::Z(ZSamplerParams::default()),
+        seed: 1,
+        ..Default::default()
+    };
+
+    let mut direct = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+    let want = run_algorithm1(&mut direct, &cfg).unwrap();
+
+    for substrate in [Substrate::Sequential, Substrate::Threaded] {
+        let runtime = Runtime::new(
+            parts.clone(),
+            RuntimeConfig {
+                executors: 2,
+                substrate,
+            },
+        )
+        .unwrap();
+        let got = runtime
+            .submit(QueryRequest::identity(cfg.clone()))
+            .wait()
+            .unwrap();
+        assert_eq!(got.projection.as_slice(), want.projection.as_slice());
+        assert_eq!(got.rows, want.rows);
+        assert_eq!(got.comm, want.comm);
+    }
+}

@@ -26,7 +26,11 @@ fn cluster_from_aggregate(agg: &[f64], s: usize, rng: &mut Rng) -> Cluster<Dense
 
 /// Total-variation distance between empirical row frequencies and truth,
 /// restricted to the drawn support (coordinates with meaningful mass).
-fn tv_distance(draw_counts: &std::collections::BTreeMap<u64, usize>, truth: &[f64], n: usize) -> f64 {
+fn tv_distance(
+    draw_counts: &std::collections::BTreeMap<u64, usize>,
+    truth: &[f64],
+    n: usize,
+) -> f64 {
     let total: f64 = truth.iter().sum();
     let mut tv = 0.0;
     for (j, &w) in truth.iter().enumerate() {
