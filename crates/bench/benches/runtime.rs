@@ -7,7 +7,9 @@ use dlra_comm::{Cluster, Collectives};
 use dlra_core::prelude::*;
 use dlra_data::{noisy_low_rank, split_with_noise_shares};
 use dlra_linalg::Matrix;
-use dlra_runtime::{threaded_model, ThreadedCluster};
+use dlra_runtime::{
+    threaded_model, QueryRequest, Runtime, RuntimeConfig, Substrate, ThreadedCluster,
+};
 use dlra_sampler::ZSamplerParams;
 use dlra_util::Rng;
 use std::hint::black_box;
@@ -128,10 +130,55 @@ fn bench_algorithm1_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Query-dispatch latency across resident dataset sizes `n`.
+///
+/// Measures submit → result delivery for a degenerate query (`k = 0`):
+/// the executor builds the full per-query model from the resident payload
+/// and then rejects the config before any protocol work, isolating the
+/// dispatch overhead. With copy-on-write residency the per-query model is
+/// built from O(s) handle clones, so this is **flat in `n`**; before, it
+/// deep-copied all `s·n·d` resident words per submit.
+fn bench_dispatch_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_dispatch_latency");
+    group.sample_size(10);
+    let degenerate = Algorithm1Config {
+        k: 0,
+        r: 1,
+        sampler: SamplerKind::Uniform,
+        ..Default::default()
+    };
+    for &n in &[1024usize, 8192, 65536] {
+        let mut rng = Rng::new(29);
+        let a = noisy_low_rank(n, D, 5, 0.1, &mut rng);
+        let parts = split_with_noise_shares(&a, 4, 0.3, &mut rng);
+        for (name, substrate) in [
+            ("sequential", Substrate::Sequential),
+            ("threaded", Substrate::Threaded),
+        ] {
+            let runtime = Runtime::new(
+                parts.clone(),
+                RuntimeConfig {
+                    executors: 1,
+                    substrate,
+                },
+            )
+            .unwrap();
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let handle = runtime.submit(QueryRequest::identity(degenerate.clone()));
+                    black_box(handle.wait().is_err())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gather,
     bench_aggregate,
-    bench_algorithm1_end_to_end
+    bench_algorithm1_end_to_end,
+    bench_dispatch_latency
 );
 criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! its size in 8-byte words. This matches the paper's cost model, where a
 //! word holds one matrix entry, index, or hash seed.
 
+use dlra_linalg::Matrix;
 use dlra_sketch::{AmsF2, CountMin, CountSketch, HeavyHittersSketch};
 
 /// Wire size in 8-byte words of a message payload.
@@ -77,6 +78,17 @@ impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
     }
 }
 
+/// A matrix on the wire costs one word per entry. This is its *logical*
+/// size: `Matrix` storage is `Arc`-shared copy-on-write, so an in-process
+/// substrate may deliver a broadcast matrix as an O(1) handle clone, but
+/// the ledger charges what a real wire would carry — word accounting is
+/// independent of how the storage is shared.
+impl Payload for Matrix {
+    fn words(&self) -> u64 {
+        (self.rows() * self.cols()) as u64
+    }
+}
+
 impl Payload for CountSketch {
     fn words(&self) -> u64 {
         self.size_words()
@@ -123,6 +135,17 @@ mod tests {
         assert_eq!((1.0f64, 2u64, vec![0.0f64; 5]).words(), 7);
         assert_eq!(Some(3.0f64).words(), 1);
         assert_eq!(Option::<f64>::None.words(), 0);
+    }
+
+    #[test]
+    fn matrix_size_is_logical_not_storage() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(Payload::words(&m), 12);
+        // A clone shares storage but still costs full wire words: the
+        // ledger models the network, not the in-process representation.
+        let c = m.clone();
+        assert!(c.shares_storage(&m));
+        assert_eq!(Payload::words(&c), 12);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::fkv::{build_b_matrix, SampledRow};
 use crate::functions::EntryFunction;
 use crate::model::{MatrixServer, PartitionModel};
 use crate::{CoreError, Result};
-use dlra_comm::{Collectives, LedgerSnapshot, Payload};
+use dlra_comm::{Collectives, LedgerSnapshot};
 use dlra_linalg::{orthonormalize_columns, svd, Matrix};
 use dlra_sampler::{Square, ZSampler, ZSamplerParams};
 use dlra_util::Rng;
@@ -51,16 +51,6 @@ pub struct AdaptiveOutput {
     pub comm: LedgerSnapshot,
     /// Row indices sampled per round.
     pub rows_per_round: Vec<Vec<usize>>,
-}
-
-/// Wire form of a broadcast basis (`d × c` column-orthonormal matrix).
-#[derive(Clone)]
-struct BasisMsg(Matrix);
-
-impl Payload for BasisMsg {
-    fn words(&self) -> u64 {
-        (self.0.rows() * self.0.cols()) as u64
-    }
 }
 
 /// Runs adaptive distributed sampling on any substrate. Requires
@@ -102,14 +92,15 @@ pub fn run_adaptive<C: Collectives<MatrixServer>>(
         // 1. Broadcast the current basis so every server forms its local
         //    residual share Aᵗ(I − VVᵀ). Round 0 samples the raw matrix.
         if let Some(v) = &basis {
-            let msg = BasisMsg(v.clone());
             let vt = v.transpose();
+            // The `d × c` basis is a `Matrix` payload: charged at full wire
+            // words, while the per-worker message clones share storage.
             // `vt` moves into the closure: on the threaded substrate the
             // receive handler runs on worker threads.
             model
                 .cluster_mut()
-                .broadcast(&msg, "adaptive.basis", move |_t, server, m| {
-                    server.set_residual_basis(&m.0, &vt);
+                .broadcast(v, "adaptive.basis", move |_t, server, m| {
+                    server.set_residual_basis(m, &vt);
                 });
         }
 

@@ -74,6 +74,10 @@ pub enum CoreError {
     InvalidConfig(String),
     /// The sampler could not produce any rows (e.g. all-zero data).
     SamplerExhausted,
+    /// The serving runtime cannot run the query (executor pool dead or shut
+    /// down). Distinct from [`CoreError::InvalidConfig`]: the query itself
+    /// may be fine and can be retried against a live runtime.
+    RuntimeUnavailable(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -83,6 +87,7 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidModel(m) => write!(f, "invalid model: {m}"),
             CoreError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
             CoreError::SamplerExhausted => write!(f, "sampler produced no rows"),
+            CoreError::RuntimeUnavailable(m) => write!(f, "runtime unavailable: {m}"),
         }
     }
 }

@@ -8,30 +8,57 @@ use dlra_comm::{Cluster, Collectives};
 use dlra_linalg::Matrix;
 use dlra_sampler::SampleVector;
 
-/// One server's state: its local matrix viewed as a flattened
-/// coordinate vector (row-major, coordinate `j ↦ entry (j/d, j%d)`), plus
-/// the injected-coordinate tail used by the Z-sampler.
-#[derive(Debug, Clone)]
-pub struct MatrixServer {
-    local: Matrix,
+/// Query-local scratch layered over the resident local matrix: the
+/// injected-coordinate tail used by the Z-sampler, and the optional
+/// residual sampling view of the adaptive extension. Scratch is owned by
+/// one query's model instance and never aliases the resident storage, so
+/// concurrent queries over the same resident dataset cannot interfere.
+#[derive(Debug, Clone, Default)]
+struct QueryScratch {
     injected: Vec<f64>,
     injected_len: u64,
     /// When set, the *sampling view* is this residual matrix
-    /// `Aᵗ(I − VVᵀ)` instead of `local` (adaptive extension; see
-    /// [`crate::adaptive`]). Row fetches always serve the original rows.
+    /// `Aᵗ(I − VVᵀ)` instead of the resident local (adaptive extension;
+    /// see [`crate::adaptive`]). Row fetches always serve the original
+    /// rows.
     residual: Option<Matrix>,
+}
+
+/// One server's state: its local matrix viewed as a flattened
+/// coordinate vector (row-major, coordinate `j ↦ entry (j/d, j%d)`), plus
+/// the injected-coordinate tail used by the Z-sampler.
+///
+/// The state is split in two halves with different lifetimes:
+///
+/// * **resident local** — the matrix itself. No protocol mutates it, so
+///   every query's server shares the same copy-on-write storage
+///   ([`Matrix`] clones are O(1)); loading a dataset into `s` servers
+///   copies no entry data.
+/// * **query scratch** — injected coordinates and the residual sampling
+///   view, private to one query and reset between protocol runs.
+#[derive(Debug, Clone)]
+pub struct MatrixServer {
+    /// The resident half: immutable for the server's lifetime.
+    local: Matrix,
+    /// The query-local half.
+    scratch: QueryScratch,
 }
 
 impl MatrixServer {
     /// Wraps a local matrix (already locally transformed if the model's `f`
-    /// requires it).
+    /// requires it). The matrix storage is shared, not copied: servers built
+    /// from clones of one resident dataset all alias its entry buffers.
     pub fn new(local: Matrix) -> Self {
         MatrixServer {
             local,
-            injected: Vec::new(),
-            injected_len: 0,
-            residual: None,
+            scratch: QueryScratch::default(),
         }
+    }
+
+    /// `true` when this server's resident local aliases `m`'s storage —
+    /// i.e. building or running against this server copied no matrix data.
+    pub fn shares_resident_storage(&self, m: &Matrix) -> bool {
+        self.local.shares_storage(m)
     }
 
     /// The local matrix.
@@ -52,17 +79,17 @@ impl MatrixServer {
     pub fn set_residual_basis(&mut self, v: &Matrix, vt: &Matrix) {
         let coeff = self.local.matmul(v).expect("basis shape");
         let correction = coeff.matmul(vt).expect("basis shape");
-        self.residual = Some(self.local.sub(&correction).expect("same shape"));
+        self.scratch.residual = Some(self.local.sub(&correction).expect("same shape"));
     }
 
     /// Removes the residual view (sampling reverts to the local matrix).
     pub fn clear_residual(&mut self) {
-        self.residual = None;
+        self.scratch.residual = None;
     }
 
     /// The matrix the sampler currently sees.
     fn sample_matrix(&self) -> &Matrix {
-        self.residual.as_ref().unwrap_or(&self.local)
+        self.scratch.residual.as_ref().unwrap_or(&self.local)
     }
 }
 
@@ -72,19 +99,26 @@ impl SampleVector for MatrixServer {
     }
 
     fn dim(&self) -> u64 {
-        self.base_dim() + self.injected_len
+        self.base_dim() + self.scratch.injected_len
     }
 
+    /// Coordinate lookup. Coordinates past the matrix serve the injected
+    /// tail where this server holds it (the coordinator) and `0.0`
+    /// everywhere else — including past `dim()`, on every server alike, so
+    /// an out-of-range probe can never panic on one server while returning
+    /// `0.0` on another.
     fn value(&self, j: u64) -> f64 {
         let base = self.base_dim();
         if j < base {
             let m = self.sample_matrix();
             let d = m.cols();
             m[(j as usize / d, j as usize % d)]
-        } else if !self.injected.is_empty() {
-            self.injected[(j - base) as usize]
         } else {
-            0.0
+            self.scratch
+                .injected
+                .get((j - base) as usize)
+                .copied()
+                .unwrap_or(0.0)
         }
     }
 
@@ -95,7 +129,7 @@ impl SampleVector for MatrixServer {
             }
         }
         let base = self.base_dim();
-        for (j, &x) in self.injected.iter().enumerate() {
+        for (j, &x) in self.scratch.injected.iter().enumerate() {
             if x != 0.0 {
                 f(base + j as u64, x);
             }
@@ -104,14 +138,14 @@ impl SampleVector for MatrixServer {
 
     fn append_injected(&mut self, values: &[f64], is_coordinator: bool) {
         if is_coordinator {
-            self.injected.extend_from_slice(values);
+            self.scratch.injected.extend_from_slice(values);
         }
-        self.injected_len += values.len() as u64;
+        self.scratch.injected_len += values.len() as u64;
     }
 
     fn clear_injected(&mut self) {
-        self.injected.clear();
-        self.injected_len = 0;
+        self.scratch.injected.clear();
+        self.scratch.injected_len = 0;
     }
 }
 
@@ -172,6 +206,9 @@ impl<C: Collectives<MatrixServer>> PartitionModel<C> {
                 )));
             }
         }
+        // For `Max` evaluation the model keeps handles to the raw locals.
+        // Matrix storage is copy-on-write, so this shares the resident
+        // buffers with the servers below — s pointer bumps, no entry data.
         let raw_locals = if f == EntryFunction::Max {
             locals.clone()
         } else {
@@ -288,6 +325,75 @@ mod tests {
         assert_eq!(s.value(4), 9.0);
         s.clear_injected();
         assert_eq!(s.dim(), 4);
+    }
+
+    #[test]
+    fn matrix_server_value_is_total_on_every_server() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut coord = MatrixServer::new(m.clone());
+        let mut other = MatrixServer::new(m);
+        coord.append_injected(&[9.0, 8.0], true);
+        other.append_injected(&[9.0, 8.0], false);
+        assert_eq!(coord.dim(), 6);
+        assert_eq!(other.dim(), 6);
+        // In the injected range only the coordinator holds values.
+        assert_eq!(coord.value(4), 9.0);
+        assert_eq!(other.value(4), 0.0);
+        // Past `dim()` both paths agree on 0.0 instead of one panicking.
+        for j in [6u64, 7, 100] {
+            assert_eq!(coord.value(j), 0.0);
+            assert_eq!(other.value(j), 0.0);
+        }
+    }
+
+    #[test]
+    fn servers_share_resident_storage() {
+        let mut rng = Rng::new(4);
+        let parts: Vec<Matrix> = (0..3).map(|_| Matrix::gaussian(6, 4, &mut rng)).collect();
+        let model = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+        for (t, part) in parts.iter().enumerate() {
+            model.cluster().with_local(t, |server| {
+                assert!(server.shares_resident_storage(part), "server {t} copied");
+            });
+        }
+    }
+
+    #[test]
+    fn max_model_raw_locals_share_resident_storage() {
+        let mut rng = Rng::new(5);
+        let parts: Vec<Matrix> = (0..2).map(|_| Matrix::gaussian(4, 3, &mut rng)).collect();
+        let model = PartitionModel::new(parts.clone(), EntryFunction::Max).unwrap();
+        for (raw, part) in model.raw_locals.iter().zip(&parts) {
+            assert!(raw.shares_storage(part));
+        }
+        // Evaluation still sees the max-aggregated matrix.
+        let g = model.global_matrix();
+        assert_eq!(g.shape(), (4, 3));
+    }
+
+    #[test]
+    fn scratch_paths_never_touch_resident_storage() {
+        let mut rng = Rng::new(6);
+        let resident = Matrix::gaussian(8, 5, &mut rng);
+        let snapshot = resident.clone();
+        let mut server = MatrixServer::new(resident.clone());
+        assert!(server.shares_resident_storage(&resident));
+
+        // Injected-coordinate scratch: grows query-local state only.
+        server.append_injected(&[1.0, 2.0, 3.0], true);
+        assert!(server.shares_resident_storage(&resident));
+
+        // Residual sampling view: a fresh matrix, not a mutation of the
+        // resident local.
+        let v = dlra_linalg::orthonormalize_columns(&Matrix::gaussian(5, 2, &mut rng));
+        server.set_residual_basis(&v, &v.transpose());
+        assert!(server.shares_resident_storage(&resident));
+        assert!(!server.sample_matrix().shares_storage(&resident));
+
+        server.clear_residual();
+        server.clear_injected();
+        assert!(server.shares_resident_storage(&resident));
+        assert_eq!(resident, snapshot, "resident entries were mutated");
     }
 
     #[test]

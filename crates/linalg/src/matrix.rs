@@ -2,11 +2,23 @@
 
 use crate::{LinalgError, Result};
 use dlra_util::Rng;
+use std::sync::Arc;
 
 /// A dense row-major matrix of `f64`.
 ///
 /// Rows are the paper's "data points": `A ∈ ℝⁿˣᵈ` holds `n` points in `d`
 /// dimensions, and `a.row(i)` is the contiguous slice for point `i`.
+///
+/// # Copy-on-write storage
+///
+/// The entry buffer is `Arc`-shared: `clone()` is O(1) and the clones alias
+/// the same storage until one of them is mutated, at which point the mutating
+/// matrix takes a private copy (`Arc::make_mut`). An unshared matrix mutates
+/// in place with no copy. This is what lets a resident dataset serve many
+/// concurrent queries without per-query deep copies (`dlra-runtime`), while
+/// every `&mut` kernel keeps value semantics: writes through one handle are
+/// never visible through another. [`Matrix::shares_storage`] /
+/// [`Matrix::storage_refcount`] observe the sharing for tests.
 ///
 /// ```
 /// use dlra_linalg::Matrix;
@@ -14,12 +26,18 @@ use dlra_util::Rng;
 /// assert_eq!(a[(1, 0)], 3.0);
 /// assert_eq!(a.matmul(&Matrix::identity(2)).unwrap(), a);
 /// assert_eq!(a.frobenius_norm_sq(), 30.0);
+///
+/// let mut b = a.clone();
+/// assert!(b.shares_storage(&a)); // no data copied yet
+/// b.scale(2.0);                  // first write detaches b
+/// assert!(!b.shares_storage(&a));
+/// assert_eq!(a[(0, 0)], 1.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Arc<Vec<f64>>,
 }
 
 impl Matrix {
@@ -28,8 +46,31 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Arc::new(vec![0.0; rows * cols]),
         }
+    }
+
+    /// Exclusive access to the entry buffer, detaching from any shared
+    /// storage first (the copy-on-write point: unshared matrices mutate in
+    /// place, shared ones take a private copy on this call).
+    #[inline]
+    fn data_mut(&mut self) -> &mut Vec<f64> {
+        Arc::make_mut(&mut self.data)
+    }
+
+    /// `true` when `self` and `other` alias the same underlying entry
+    /// buffer (i.e. one is an unmutated clone of the other).
+    #[inline]
+    pub fn shares_storage(&self, other: &Matrix) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Number of matrices currently sharing this storage (the `Arc` strong
+    /// count). `1` means exclusively owned; tests use this to prove that a
+    /// code path did or did not copy matrix data.
+    #[inline]
+    pub fn storage_refcount(&self) -> usize {
+        Arc::strong_count(&self.data)
     }
 
     /// The `n × n` identity.
@@ -49,7 +90,11 @@ impl Matrix {
                 data.push(f(i, j));
             }
         }
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: Arc::new(data),
+        }
     }
 
     /// Builds a matrix from row slices; all rows must have equal length.
@@ -69,7 +114,7 @@ impl Matrix {
         Ok(Matrix {
             rows: r,
             cols: c,
-            data,
+            data: Arc::new(data),
         })
     }
 
@@ -81,7 +126,11 @@ impl Matrix {
                 data.len()
             )));
         }
-        Ok(Matrix { rows, cols, data })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Arc::new(data),
+        })
     }
 
     /// A matrix with i.i.d. standard normal entries.
@@ -123,7 +172,8 @@ impl Matrix {
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
         debug_assert!(i < self.rows);
-        &mut self.data[i * self.cols..(i + 1) * self.cols]
+        let c = self.cols;
+        &mut self.data_mut()[i * c..(i + 1) * c]
     }
 
     /// Column `j` copied into a fresh vector.
@@ -141,7 +191,7 @@ impl Matrix {
     /// Mutable underlying row-major buffer.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data_mut()
     }
 
     /// Transpose into a new matrix.
@@ -165,10 +215,11 @@ impl Matrix {
             )));
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
+        let out_data = Arc::get_mut(&mut out.data).expect("fresh buffer is unshared");
         // i-k-j order: stream over `other`'s rows for cache friendliness.
         for i in 0..self.rows {
             let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            let out_row = &mut out_data[i * other.cols..(i + 1) * other.cols];
             for (k, &aik) in a_row.iter().enumerate() {
                 if aik == 0.0 {
                     continue;
@@ -201,6 +252,7 @@ impl Matrix {
     pub fn gram(&self) -> Matrix {
         let d = self.cols;
         let mut g = Matrix::zeros(d, d);
+        let gd = Arc::get_mut(&mut g.data).expect("fresh buffer is unshared");
         for i in 0..self.rows {
             let r = self.row(i);
             for p in 0..d {
@@ -208,7 +260,7 @@ impl Matrix {
                 if rp == 0.0 {
                     continue;
                 }
-                let g_row = &mut g.data[p * d..(p + 1) * d];
+                let g_row = &mut gd[p * d..(p + 1) * d];
                 for q in p..d {
                     g_row[q] += rp * r[q];
                 }
@@ -217,8 +269,7 @@ impl Matrix {
         // Mirror the upper triangle.
         for p in 0..d {
             for q in (p + 1)..d {
-                let v = g[(p, q)];
-                g[(q, p)] = v;
+                gd[q * d + p] = gd[p * d + q];
             }
         }
         g
@@ -264,7 +315,7 @@ impl Matrix {
                 other.shape()
             )));
         }
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += b;
         }
         Ok(())
@@ -272,7 +323,7 @@ impl Matrix {
 
     /// Scales every entry by `c` in place.
     pub fn scale(&mut self, c: f64) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x *= c;
         }
     }
@@ -290,7 +341,7 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
         }
     }
 
@@ -337,12 +388,12 @@ impl Matrix {
                 self.cols, other.cols
             )));
         }
-        let mut data = self.data.clone();
+        let mut data = (*self.data).clone();
         data.extend_from_slice(&other.data);
         Ok(Matrix {
             rows: self.rows + other.rows,
             cols: self.cols,
-            data,
+            data: Arc::new(data),
         })
     }
 
@@ -432,12 +483,13 @@ impl Matrix {
         Ok(Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         })
     }
 }
@@ -455,7 +507,8 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        &mut self.data[i * self.cols + j]
+        let idx = i * self.cols + j;
+        &mut self.data_mut()[idx]
     }
 }
 
@@ -688,6 +741,69 @@ mod tests {
         assert!((a.row_norm_sq(0) - 1.0).abs() < 1e-12);
         assert_eq!(a.row(1), &[0.0, 0.0]); // zero row untouched
         assert_eq!(a.row(2), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn clone_is_shared_until_first_write() {
+        let mut rng = Rng::new(9);
+        let a = Matrix::gaussian(5, 4, &mut rng);
+        let b = a.clone();
+        assert!(b.shares_storage(&a));
+        assert_eq!(a.storage_refcount(), 2);
+        // Reads never detach.
+        assert_eq!(b.frobenius_norm_sq(), a.frobenius_norm_sq());
+        let _ = b.row(2);
+        assert!(b.shares_storage(&a));
+    }
+
+    #[test]
+    fn clone_then_add_assign_leaves_original_untouched() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let delta = m(&[&[10.0, 10.0], &[10.0, 10.0]]);
+        let mut b = a.clone();
+        b.add_assign(&delta).unwrap();
+        assert!(!b.shares_storage(&a));
+        assert_eq!(a, m(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        assert_eq!(b, m(&[&[11.0, 12.0], &[13.0, 14.0]]));
+    }
+
+    #[test]
+    fn every_mutator_detaches_from_shared_storage() {
+        let base = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let cases: Vec<fn(&mut Matrix)> = vec![
+            |x| x.scale(2.0),
+            |x| x[(0, 0)] = 99.0,
+            |x| x.row_mut(1)[0] = 99.0,
+            |x| x.as_mut_slice()[3] = 99.0,
+            |x| x.normalize_rows(),
+            |x| x.add_assign(&Matrix::identity(2)).unwrap(),
+        ];
+        for (i, mutate) in cases.into_iter().enumerate() {
+            let mut c = base.clone();
+            assert!(c.shares_storage(&base), "case {i}: clone not shared");
+            mutate(&mut c);
+            assert!(!c.shares_storage(&base), "case {i}: write did not detach");
+            assert_eq!(
+                base,
+                m(&[&[1.0, 2.0], &[3.0, 4.0]]),
+                "case {i}: write leaked into the shared original"
+            );
+        }
+    }
+
+    #[test]
+    fn unshared_mutation_copies_nothing() {
+        let mut rng = Rng::new(11);
+        let mut a = Matrix::gaussian(6, 3, &mut rng);
+        assert_eq!(a.storage_refcount(), 1);
+        let before = a.as_slice().as_ptr();
+        a.scale(0.5);
+        a.row_mut(0)[0] = 1.0;
+        assert_eq!(
+            a.as_slice().as_ptr(),
+            before,
+            "exclusively owned storage must mutate in place"
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * [`Runtime`] — a resident dataset plus an executor pool:
 //!   [`Runtime::submit`] lets many Algorithm 1 queries (different `k`,
 //!   `r`, sampler, seed, entrywise `f`) execute concurrently against one
-//!   loaded cluster.
+//!   loaded cluster. The resident matrices are shared copy-on-write, so
+//!   dispatch is O(s) handle clones — no per-query copy of the data — and
+//!   a dead or shut-down pool surfaces as
+//!   `CoreError::RuntimeUnavailable` through the handle, never a panic.
 //! * [`threaded_model`] / [`threaded_gm_pooling`] — one-line constructors
 //!   for a `PartitionModel` on the threaded substrate.
 //!

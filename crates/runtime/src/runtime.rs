@@ -11,11 +11,25 @@
 //! through the handle. Many queries are in flight at once, which is the
 //! first step toward serving real traffic against one loaded cluster.
 //!
-//! Each query runs against a private copy of the per-server states (the
-//! injected-coordinate scratch and residual views are query-local by
-//! design), so concurrent queries cannot interfere; sharing the matrix
-//! payload copy-on-write across queries is a known follow-on (see
-//! ROADMAP).
+//! ## Copy-on-write residency
+//!
+//! The resident matrices are loaded **once**; query dispatch performs no
+//! copy of their entry data. Each per-query model is built from O(1)
+//! handle clones of the shared copy-on-write [`Matrix`] storage (per
+//! server: one `Arc` bump), and the query-local state — the
+//! injected-coordinate scratch and residual sampling views — lives in the
+//! model's `MatrixServer` scratch half, so concurrent queries cannot
+//! interfere. Submit cost is therefore O(s), flat in the dataset size
+//! `n·d` (see the `runtime_dispatch_latency` bench and the shared-payload
+//! assertions in `tests/runtime_equivalence.rs`).
+//!
+//! ## Failure paths
+//!
+//! [`Runtime::submit`] never panics: if the executor pool has died (every
+//! executor panicked) or the runtime was [`Runtime::shutdown`], the
+//! returned handle resolves to [`CoreError::RuntimeUnavailable`], which is
+//! distinct from per-query errors like `InvalidConfig` — callers can tell
+//! "my query was bad" apart from "the pool is gone, retry elsewhere".
 
 use crate::threaded::ThreadedCluster;
 use dlra_core::algorithm1::{run_algorithm1, Algorithm1Config, Algorithm1Output};
@@ -80,9 +94,23 @@ impl QueryRequest {
     }
 }
 
-struct Task {
-    request: QueryRequest,
-    reply: Sender<Result<Algorithm1Output>>,
+enum Task {
+    Query {
+        request: QueryRequest,
+        reply: Sender<Result<Algorithm1Output>>,
+    },
+    /// Test-only: makes the executor that pops it panic, so tests can kill
+    /// the pool and exercise the dead-runtime failure paths.
+    #[cfg(test)]
+    Poison,
+}
+
+/// The error a handle resolves to when the pool cannot (or can no longer)
+/// run its query.
+fn runtime_unavailable() -> CoreError {
+    CoreError::RuntimeUnavailable(
+        "executor pool is not running (all executors exited or the runtime shut down)".into(),
+    )
 }
 
 /// Pending result of a submitted query.
@@ -91,26 +119,25 @@ pub struct QueryHandle {
 }
 
 impl QueryHandle {
-    /// Blocks until the query finishes.
+    /// Blocks until the query finishes. A query the runtime cannot deliver
+    /// (executor panicked mid-run, pool dead or shut down) resolves to
+    /// [`CoreError::RuntimeUnavailable`].
     pub fn wait(self) -> Result<Algorithm1Output> {
         match self.rx.recv() {
             Ok(result) => result,
-            Err(_) => Err(CoreError::InvalidConfig(
-                "runtime dropped the query (executor panicked or pool shut down)".into(),
-            )),
+            Err(_) => Err(runtime_unavailable()),
         }
     }
 
     /// Non-blocking poll; `None` while the query is still running. A dead
-    /// query (executor panicked, pool shut down) yields `Some(Err(..))`,
-    /// not `None`, so pollers cannot spin forever on it.
+    /// query (executor panicked, pool shut down) yields
+    /// `Some(Err(CoreError::RuntimeUnavailable))`, not `None`, so pollers
+    /// cannot spin forever on it.
     pub fn try_wait(&self) -> Option<Result<Algorithm1Output>> {
         match self.rx.try_recv() {
             Ok(result) => Some(result),
             Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(CoreError::InvalidConfig(
-                "runtime dropped the query (executor panicked or pool shut down)".into(),
-            ))),
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(runtime_unavailable())),
         }
     }
 }
@@ -138,13 +165,17 @@ impl QueryHandle {
 pub struct Runtime {
     queue: Option<Sender<Task>>,
     executors: Vec<JoinHandle<()>>,
+    /// The resident per-server matrices. Executors hold the same `Arc`;
+    /// per-query models are built from O(1) handle clones of the matrices
+    /// inside, never from copies of their entry data.
+    resident: Arc<Vec<Matrix>>,
     shape: (usize, usize),
-    num_servers: usize,
 }
 
 impl Runtime {
     /// Loads the resident dataset (one local matrix per server) and starts
-    /// the executor pool.
+    /// the executor pool. Loading shares the caller's matrix storage
+    /// copy-on-write — no entry data is copied here or at query dispatch.
     pub fn new(locals: Vec<Matrix>, config: RuntimeConfig) -> Result<Self> {
         if locals.is_empty() {
             return Err(CoreError::InvalidModel("no servers".into()));
@@ -159,7 +190,6 @@ impl Runtime {
                 m.shape()
             )));
         }
-        let num_servers = locals.len();
         let resident = Arc::new(locals);
         let (queue, tasks) = mpsc::channel::<Task>();
         let tasks = Arc::new(Mutex::new(tasks));
@@ -173,11 +203,17 @@ impl Runtime {
                     .spawn(move || loop {
                         // Hold the queue lock only for the pop, not the run.
                         let popped = tasks.lock().expect("task queue poisoned").recv();
-                        let Ok(task) = popped else { break };
-                        let result = execute(&resident, substrate, &task.request);
-                        // The caller may have dropped its handle; that's
-                        // fine, the result is simply discarded.
-                        let _ = task.reply.send(result);
+                        match popped {
+                            Ok(Task::Query { request, reply }) => {
+                                let result = execute(&resident, substrate, &request);
+                                // The caller may have dropped its handle;
+                                // that's fine, the result is discarded.
+                                let _ = reply.send(result);
+                            }
+                            #[cfg(test)]
+                            Ok(Task::Poison) => panic!("poison task (test-only)"),
+                            Err(_) => break,
+                        }
                     })
                     .expect("spawn runtime executor thread")
             })
@@ -185,20 +221,50 @@ impl Runtime {
         Ok(Runtime {
             queue: Some(queue),
             executors,
+            resident,
             shape: (n, d),
-            num_servers,
         })
     }
 
     /// Enqueues a query; returns immediately with its pending handle.
+    ///
+    /// Never panics: if the executor pool is gone — every executor died, or
+    /// [`Runtime::shutdown`] ran — the handle resolves to
+    /// [`CoreError::RuntimeUnavailable`] instead.
     pub fn submit(&self, request: QueryRequest) -> QueryHandle {
         let (reply, rx) = mpsc::channel();
-        self.queue
-            .as_ref()
-            .expect("runtime is live until dropped")
-            .send(Task { request, reply })
-            .expect("executor pool is alive");
+        match self.queue.as_ref() {
+            Some(queue) => {
+                if let Err(mpsc::SendError(task)) = queue.send(Task::Query { request, reply }) {
+                    // Every executor has exited (the pop side of the queue
+                    // is gone): deliver the failure through the handle.
+                    match task {
+                        Task::Query { reply, .. } => {
+                            let _ = reply.send(Err(runtime_unavailable()));
+                        }
+                        #[cfg(test)]
+                        Task::Poison => unreachable!("submit only sends queries"),
+                    }
+                }
+            }
+            // Shut down: the handle must still resolve.
+            None => {
+                let _ = reply.send(Err(runtime_unavailable()));
+            }
+        }
         QueryHandle { rx }
+    }
+
+    /// Stops the executor pool gracefully: already-queued and in-flight
+    /// queries complete and deliver their results, then the executors are
+    /// joined. Subsequent [`Runtime::submit`]s resolve to
+    /// [`CoreError::RuntimeUnavailable`]. Idempotent; `Drop` runs the same
+    /// path.
+    pub fn shutdown(&mut self) {
+        self.queue.take();
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
     }
 
     /// Global data shape `(n, d)` of the resident dataset.
@@ -208,18 +274,19 @@ impl Runtime {
 
     /// Number of servers holding the resident dataset.
     pub fn num_servers(&self) -> usize {
-        self.num_servers
+        self.resident.len()
+    }
+
+    /// The resident per-server matrices (evaluation and testing; queries
+    /// run against shared clones of these, never against copies).
+    pub fn resident(&self) -> &[Matrix] {
+        &self.resident
     }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        // Closing the queue lets executors drain outstanding queries and
-        // exit; in-flight handles still receive their results.
-        self.queue.take();
-        for handle in self.executors.drain(..) {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -229,7 +296,10 @@ fn execute(
     substrate: Substrate,
     request: &QueryRequest,
 ) -> Result<Algorithm1Output> {
-    let parts: Vec<Matrix> = resident.as_ref().clone();
+    // O(s) handle clones of the shared payload: each `Matrix` clone bumps a
+    // refcount, no entry data moves. The model's query-local scratch
+    // (injected coordinates, residual views) is freshly allocated per query.
+    let parts: Vec<Matrix> = resident.iter().cloned().collect();
     match substrate {
         Substrate::Sequential => {
             let mut model = PartitionModel::new(parts, request.f)?;
@@ -303,7 +373,100 @@ mod tests {
     fn query_errors_are_delivered() {
         let runtime = Runtime::new(locals(2, 10, 4, 1), RuntimeConfig::default()).unwrap();
         let handle = runtime.submit(QueryRequest::identity(cfg(0, 10, 1)));
-        assert!(handle.wait().is_err());
+        // A bad query is a query error, not a runtime failure.
+        assert!(matches!(handle.wait(), Err(CoreError::InvalidConfig(_)),));
+    }
+
+    #[test]
+    fn submit_survives_total_executor_death() {
+        let executors = 2;
+        let mut runtime = Runtime::new(
+            locals(2, 10, 4, 2),
+            RuntimeConfig {
+                executors,
+                substrate: Substrate::Sequential,
+            },
+        )
+        .unwrap();
+        // Kill the whole pool: one poison task per executor, then join so
+        // the death is fully observable before the next submit.
+        for _ in 0..executors {
+            runtime.queue.as_ref().unwrap().send(Task::Poison).unwrap();
+        }
+        for handle in runtime.executors.drain(..) {
+            assert!(handle.join().is_err(), "executor should have panicked");
+        }
+        // Regression: this used to panic on `expect("executor pool is
+        // alive")`. Now the failure arrives through the handle, typed.
+        let handle = runtime.submit(QueryRequest::identity(cfg(2, 10, 3)));
+        assert!(matches!(
+            handle.wait(),
+            Err(CoreError::RuntimeUnavailable(_)),
+        ));
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_runtime_unavailable() {
+        let mut runtime = Runtime::new(locals(2, 12, 4, 7), RuntimeConfig::default()).unwrap();
+        // Shutdown lets queued work finish first.
+        let queued = runtime.submit(QueryRequest::identity(cfg(2, 10, 4)));
+        runtime.shutdown();
+        assert!(queued.wait().is_ok());
+
+        let late = runtime.submit(QueryRequest::identity(cfg(2, 10, 5)));
+        // try_wait must observe the terminal state, not spin as "running".
+        assert!(matches!(
+            late.try_wait(),
+            Some(Err(CoreError::RuntimeUnavailable(_))),
+        ));
+        // Shutdown is idempotent and Drop after shutdown is clean.
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn dead_pool_error_is_distinguishable_from_query_errors() {
+        let mut runtime = Runtime::new(locals(2, 10, 4, 8), RuntimeConfig::default()).unwrap();
+        runtime.shutdown();
+        let err = runtime
+            .submit(QueryRequest::identity(cfg(2, 10, 6)))
+            .wait()
+            .unwrap_err();
+        match err {
+            CoreError::RuntimeUnavailable(msg) => {
+                assert!(msg.contains("executor"), "unhelpful message: {msg}")
+            }
+            other => panic!("expected RuntimeUnavailable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dispatch_clones_handles_not_data() {
+        let parts = locals(3, 50, 6, 21);
+        for substrate in [Substrate::Sequential, Substrate::Threaded] {
+            let runtime = Runtime::new(
+                parts.clone(),
+                RuntimeConfig {
+                    executors: 2,
+                    substrate,
+                },
+            )
+            .unwrap();
+            // Residency shares the caller's storage...
+            for (mine, theirs) in parts.iter().zip(runtime.resident()) {
+                assert!(mine.shares_storage(theirs));
+            }
+            // ...and a completed query leaves exactly the caller + runtime
+            // holding it (the query's shares were handles, released on
+            // completion — never detached copies).
+            runtime
+                .submit(QueryRequest::identity(cfg(2, 20, 22)))
+                .wait()
+                .unwrap();
+            drop(runtime);
+            for mine in &parts {
+                assert_eq!(mine.storage_refcount(), 1);
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use dlra::linalg::{best_rank_k, lowrank::is_projection_of_rank_at_most, residual_sq, svd, Matrix};
 use dlra::prelude::*;
-use dlra::sampler::{check_property_p, FairSq, HuberSq, L1L2Sq, PowerAbs, Square, ZFn};
+use dlra::sampler::{
+    check_property_p, FairSq, HuberSq, L1L2Sq, PowerAbs, SampleVector, Square, ZFn,
+};
 use dlra::util::Rng;
 use proptest::prelude::*;
 
@@ -105,6 +107,44 @@ proptest! {
                     prop_assert!((g[(i, j)] - f.apply(sum)).abs() < 1e-12);
                 }
             }
+        }
+    }
+
+    /// `MatrixServer::value` is total and consistent across servers: below
+    /// the matrix both agree; in the injected tail only the coordinator
+    /// serves values; past `dim()` every server returns 0.0 — no index is
+    /// allowed to panic on one server while another answers 0.0 (the
+    /// coordinator used to panic for `j ≥ base + injected.len()`).
+    #[test]
+    fn matrix_server_value_total_and_consistent(
+        seed in 0u64..5000,
+        n in 1usize..8,
+        d in 1usize..8,
+        extra in 0usize..12,
+        probe in 0u64..512,
+    ) {
+        let m = small_matrix(seed, n, d, 1.0);
+        let injected: Vec<f64> = (0..extra).map(|i| i as f64 + 1.0).collect();
+        let mut coordinator = MatrixServer::new(m.clone());
+        let mut server = MatrixServer::new(m);
+        coordinator.append_injected(&injected, true);
+        server.append_injected(&injected, false);
+        let base = (n * d) as u64;
+        let dim = base + extra as u64;
+        prop_assert_eq!(coordinator.dim(), dim);
+        prop_assert_eq!(server.dim(), dim);
+        // Probe the whole range plus a tail past `dim()`.
+        let j = probe % (dim + 8);
+        let vc = coordinator.value(j);
+        let vs = server.value(j);
+        if j < base {
+            prop_assert_eq!(vc, vs);
+        } else if j < dim {
+            prop_assert_eq!(vc, injected[(j - base) as usize]);
+            prop_assert_eq!(vs, 0.0);
+        } else {
+            prop_assert_eq!(vc, 0.0);
+            prop_assert_eq!(vs, 0.0);
         }
     }
 

@@ -154,3 +154,109 @@ fn runtime_submit_matches_both_substrates() {
         assert_eq!(got.comm, want.comm);
     }
 }
+
+/// Copy-on-write residency: loading a `Runtime` and dispatching queries
+/// shares the resident matrix storage — no query ever copies the entry
+/// data. Observed through the `Arc` refcount of each resident matrix: it
+/// is `2` at rest (this test + the runtime), rises **above** `2` while a
+/// query's model is alive (a deep copy would never raise it), and falls
+/// back to `1` once the runtime is dropped.
+#[test]
+fn query_dispatch_copies_no_resident_matrix_data() {
+    let parts = shares(3, 4096, 16, 3, 5);
+    let cfg = Algorithm1Config {
+        k: 3,
+        r: 40,
+        sampler: SamplerKind::Z(ZSamplerParams::default()),
+        seed: 5,
+        ..Default::default()
+    };
+    for substrate in [Substrate::Sequential, Substrate::Threaded] {
+        let runtime = Runtime::new(
+            parts.clone(),
+            RuntimeConfig {
+                executors: 2,
+                substrate,
+            },
+        )
+        .unwrap();
+        // Loading shared, did not copy: each matrix is held exactly by
+        // this test and by the runtime's resident payload.
+        for (mine, resident) in parts.iter().zip(runtime.resident()) {
+            assert!(
+                mine.shares_storage(resident),
+                "loading the runtime copied matrix data ({substrate:?})"
+            );
+            assert_eq!(mine.storage_refcount(), 2);
+        }
+
+        // While a query is in flight its model shares the payload too, so
+        // the refcount must exceed 2 at some point. A dispatch that deep-
+        // copied would leave it pinned at 2 for the whole run.
+        let handle = runtime.submit(QueryRequest::identity(cfg.clone()));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let mut observed_shared_dispatch = false;
+        while std::time::Instant::now() < deadline {
+            if parts[0].storage_refcount() > 2 {
+                observed_shared_dispatch = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(
+            observed_shared_dispatch,
+            "in-flight query never shared the resident payload ({substrate:?})"
+        );
+        handle.wait().unwrap();
+
+        // Query completion releases the shares; dropping the runtime leaves
+        // this test as the sole owner — nothing leaked, nothing copied.
+        drop(runtime);
+        for mine in &parts {
+            assert_eq!(mine.storage_refcount(), 1, "{substrate:?}");
+        }
+    }
+}
+
+/// A full protocol run never detaches a server from the resident storage:
+/// Algorithm 1 and the adaptive protocol only touch query-local scratch
+/// (injected coordinates, residual views), so after the run every server
+/// still aliases the caller's matrices.
+#[test]
+fn protocol_runs_leave_resident_storage_shared() {
+    let parts = shares(4, 72, 10, 3, 7);
+    let cfg = Algorithm1Config {
+        k: 3,
+        r: 30,
+        sampler: SamplerKind::Z(ZSamplerParams::default()),
+        seed: 7,
+        ..Default::default()
+    };
+
+    let mut threaded = threaded_model(parts.clone(), EntryFunction::Identity).unwrap();
+    run_algorithm1(&mut threaded, &cfg).unwrap();
+    let adaptive_cfg = AdaptiveConfig {
+        k: 3,
+        rounds: 2,
+        r_per_round: 15,
+        params: ZSamplerParams::default(),
+        seed: 7,
+    };
+    run_adaptive(&mut threaded, &adaptive_cfg).unwrap();
+    for (t, part) in parts.iter().enumerate() {
+        threaded.cluster().with_local(t, |server| {
+            assert!(
+                server.shares_resident_storage(part),
+                "server {t} detached from the resident storage"
+            );
+        });
+    }
+
+    let mut sequential = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+    run_algorithm1(&mut sequential, &cfg).unwrap();
+    for (t, part) in parts.iter().enumerate() {
+        sequential.cluster().with_local(t, |server| {
+            assert!(server.shares_resident_storage(part), "server {t} detached");
+        });
+    }
+}
