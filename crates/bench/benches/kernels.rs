@@ -1,0 +1,86 @@
+//! Criterion bench for the blocked/threaded dense kernels: blocked vs the
+//! retained naive reference, across thread counts, plus the factored
+//! projector apply. For the machine-readable sweep that writes
+//! `BENCH_kernels.json`, use the `kernels` binary instead:
+//! `cargo run --release -p dlra-bench --bin kernels`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlra_linalg::kernels::reference;
+use dlra_linalg::{orthonormalize_columns, set_threads, Matrix, Projector};
+use dlra_util::Rng;
+use std::hint::black_box;
+
+fn bench_blocked_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let mut rng = Rng::new(7);
+        let a = Matrix::gaussian(n, n, &mut rng);
+        let b = Matrix::gaussian(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("matmul_naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(reference::matmul(&a, &b).unwrap()[(0, 0)]));
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_blocked", n), &n, |bch, _| {
+            set_threads(1);
+            bch.iter(|| black_box(a.matmul(&b).unwrap()[(0, 0)]));
+        });
+        group.bench_with_input(BenchmarkId::new("gram_blocked", n), &n, |bch, _| {
+            set_threads(1);
+            bch.iter(|| black_box(a.gram()[(0, 0)]));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("transpose_matmul_blocked", n),
+            &n,
+            |bch, _| {
+                set_threads(1);
+                bch.iter(|| black_box(a.transpose_matmul(&b).unwrap()[(0, 0)]));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_threads");
+    group.sample_size(10);
+    let n = 512usize;
+    let mut rng = Rng::new(8);
+    let a = Matrix::gaussian(n, n, &mut rng);
+    let b = Matrix::gaussian(n, n, &mut rng);
+    for &t in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bch, &t| {
+            set_threads(t);
+            bch.iter(|| black_box(a.matmul(&b).unwrap()[(0, 0)]));
+        });
+    }
+    set_threads(1);
+    group.finish();
+}
+
+fn bench_projector_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projector");
+    group.sample_size(10);
+    let (n, d, k) = (2000usize, 256usize, 16usize);
+    let mut rng = Rng::new(9);
+    let a = Matrix::gaussian(n, d, &mut rng);
+    let p = Projector::from_basis(orthonormalize_columns(&Matrix::gaussian(d, k, &mut rng)));
+    group.bench_function("apply_factored_2000x256_k16", |bch| {
+        bch.iter(|| black_box(p.apply(&a).unwrap()[(0, 0)]));
+    });
+    group.bench_function("apply_dense_2000x256_k16", |bch| {
+        let dense = p.to_dense();
+        bch.iter(|| black_box(a.matmul(&dense).unwrap()[(0, 0)]));
+    });
+    group.bench_function("residual_sq_factored_2000x256_k16", |bch| {
+        bch.iter(|| black_box(p.residual_sq(&a).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_blocked_vs_naive,
+    bench_thread_scaling,
+    bench_projector_apply
+);
+criterion_main!(benches);

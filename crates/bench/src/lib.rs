@@ -2,6 +2,7 @@
 //! and the Criterion benches.
 
 pub mod cli;
+pub mod kernels;
 pub mod repro;
 
 pub use repro::{

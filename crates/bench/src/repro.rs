@@ -20,7 +20,7 @@ use dlra_core::fkv::{build_b_matrix, fkv_projection};
 use dlra_core::metrics::predicted_additive_error;
 use dlra_core::{EntryFunction, PartitionModel};
 use dlra_data as data;
-use dlra_linalg::{residual_sq, svd, Matrix, Svd};
+use dlra_linalg::{svd, Matrix, Projector, Svd};
 use dlra_sampler::{ZSampler, ZSamplerParams};
 use dlra_util::Rng;
 
@@ -133,8 +133,8 @@ impl Truth {
         }
     }
 
-    fn cell(&self, k: usize, r: usize, projection: &Matrix) -> (f64, f64, f64) {
-        let res = residual_sq(&self.matrix, projection).expect("residual");
+    fn cell(&self, k: usize, r: usize, projection: &Projector) -> (f64, f64, f64) {
+        let res = projection.residual_sq(&self.matrix).expect("residual");
         let best = self.svd.tail_energy(k);
         let additive = if self.total_sq > 0.0 {
             (res - best).abs() / self.total_sq

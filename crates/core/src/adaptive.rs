@@ -23,7 +23,7 @@ use crate::functions::EntryFunction;
 use crate::model::{MatrixServer, PartitionModel};
 use crate::{CoreError, Result};
 use dlra_comm::{Collectives, LedgerSnapshot};
-use dlra_linalg::{orthonormalize_columns, svd, Matrix};
+use dlra_linalg::{orthonormalize_columns, svd, Projector};
 use dlra_sampler::{Square, ZSampler, ZSamplerParams};
 use dlra_util::Rng;
 
@@ -45,8 +45,9 @@ pub struct AdaptiveConfig {
 /// Output of the adaptive protocol.
 #[derive(Debug, Clone)]
 pub struct AdaptiveOutput {
-    /// Final rank-≤k projection.
-    pub projection: Matrix,
+    /// Final rank-≤k projection, stored factored (`projection.basis()` is
+    /// the broadcast wire format).
+    pub projection: Projector,
     /// Communication consumed across all rounds.
     pub comm: LedgerSnapshot,
     /// Row indices sampled per round.
@@ -85,22 +86,21 @@ pub fn run_adaptive<C: Collectives<MatrixServer>>(
     // Accumulated sampled rows (raw aggregated, with probabilities from the
     // round in which each was drawn) and the current basis.
     let mut all_rows: Vec<SampledRow> = Vec::new();
-    let mut basis: Option<Matrix> = None; // d × c, orthonormal columns
+    let mut basis: Option<Projector> = None; // factored VVᵀ, V d × c
     let mut rows_per_round = Vec::new();
 
     for round in 0..cfg.rounds {
         // 1. Broadcast the current basis so every server forms its local
         //    residual share Aᵗ(I − VVᵀ). Round 0 samples the raw matrix.
-        if let Some(v) = &basis {
-            let vt = v.transpose();
-            // The `d × c` basis is a `Matrix` payload: charged at full wire
-            // words, while the per-worker message clones share storage.
-            // `vt` moves into the closure: on the threaded substrate the
-            // receive handler runs on worker threads.
+        //    The wire format is unchanged by the factored projector: what
+        //    travels is the `d × c` basis `V` itself (a `Matrix` payload,
+        //    charged at full wire words, message clones sharing storage);
+        //    each server rebuilds the projector locally.
+        if let Some(p) = &basis {
             model
                 .cluster_mut()
-                .broadcast(v, "adaptive.basis", move |_t, server, m| {
-                    server.set_residual_basis(m, &vt);
+                .broadcast(p.basis(), "adaptive.basis", move |_t, server, m| {
+                    server.set_residual_basis(m);
                 });
         }
 
@@ -126,7 +126,7 @@ pub fn run_adaptive<C: Collectives<MatrixServer>>(
             // Residual z-mass of the row under the current basis.
             let resid = match &basis {
                 None => row.raw.clone(),
-                Some(v) => residual_row(&row.raw, v),
+                Some(p) => p.residual_row(&row.raw),
             };
             let zmass: f64 = resid.iter().map(|x| x * x).sum();
             let q = (zmass / z_hat).clamp(1e-12, 1.0);
@@ -142,13 +142,13 @@ pub fn run_adaptive<C: Collectives<MatrixServer>>(
         let dec = svd(&b)?;
         let take = cfg.k.min(dec.s.len());
         let mut candidate = dec.top_right_vectors(take);
-        if let Some(v) = &basis {
-            candidate = v.hstack(&candidate)?;
+        if let Some(p) = &basis {
+            candidate = p.basis().hstack(&candidate)?;
         }
         let ortho = orthonormalize_columns(&candidate);
         // Keep at most 2k directions between rounds to bound the broadcast.
         let keep = (2 * cfg.k).min(ortho.cols());
-        basis = Some(ortho.select_col_block(0, keep));
+        basis = Some(Projector::from_basis(ortho.select_col_block(0, keep)));
     }
 
     // Clear residual bases (local cleanup).
@@ -164,8 +164,7 @@ pub fn run_adaptive<C: Collectives<MatrixServer>>(
     }
     let b = build_b_matrix(&all_rows)?;
     let dec = svd(&b)?;
-    let v = dec.top_right_vectors(cfg.k.min(dec.s.len()));
-    let projection = v.matmul(&v.transpose())?;
+    let projection = dec.top_right_projector(cfg.k.min(dec.s.len()));
     let _ = n;
     Ok(AdaptiveOutput {
         projection,
@@ -174,28 +173,11 @@ pub fn run_adaptive<C: Collectives<MatrixServer>>(
     })
 }
 
-/// `x(I − VVᵀ)` for a row vector `x`.
-fn residual_row(x: &[f64], v: &Matrix) -> Vec<f64> {
-    // coeff = xᵀV (length c), out = x − V·coeff.
-    let c = v.cols();
-    let mut coeff = vec![0.0f64; c];
-    for (j, cj) in coeff.iter_mut().enumerate() {
-        *cj = x.iter().enumerate().map(|(i, &xi)| xi * v[(i, j)]).sum();
-    }
-    let mut out = x.to_vec();
-    for (i, o) in out.iter_mut().enumerate() {
-        for (j, &cj) in coeff.iter().enumerate() {
-            *o -= v[(i, j)] * cj;
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::evaluate_projection;
-    use dlra_linalg::residual_sq;
+    use dlra_linalg::Matrix;
 
     fn shared_model(seed: u64) -> (PartitionModel, Matrix) {
         let mut rng = Rng::new(seed);
@@ -227,14 +209,20 @@ mod tests {
     }
 
     #[test]
-    fn residual_row_is_orthogonal_to_basis() {
+    fn broadcast_basis_round_trips_through_projector() {
+        // The residual weighting the coordinator applies (Projector::
+        // residual_row) and the view the servers install (set_residual_
+        // basis) must agree: x(I − VVᵀ) computed both ways.
         let mut rng = Rng::new(1);
         let v = orthonormalize_columns(&Matrix::gaussian(8, 3, &mut rng));
-        let x: Vec<f64> = (0..8).map(|_| rng.gaussian()).collect();
-        let r = residual_row(&x, &v);
-        for j in 0..3 {
-            let dot: f64 = r.iter().enumerate().map(|(i, &ri)| ri * v[(i, j)]).sum();
-            assert!(dot.abs() < 1e-10, "residual not orthogonal: {dot}");
+        let p = Projector::from_basis(v.clone());
+        let a = Matrix::gaussian(5, 8, &mut rng);
+        let server_view = p.residual(&a).unwrap();
+        for i in 0..5 {
+            let coord_view = p.residual_row(a.row(i));
+            for (x, y) in coord_view.iter().zip(server_view.row(i)) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+            }
         }
     }
 
@@ -277,8 +265,8 @@ mod tests {
             };
             let o1 = run_adaptive(&mut m1, &base).unwrap();
             let o2 = run_adaptive(&mut m2, &adaptive).unwrap();
-            oneshot_total += residual_sq(&a, &o1.projection).unwrap();
-            adaptive_total += residual_sq(&a, &o2.projection).unwrap();
+            oneshot_total += o1.projection.residual_sq(&a).unwrap();
+            adaptive_total += o2.projection.residual_sq(&a).unwrap();
         }
         assert!(
             adaptive_total <= oneshot_total * 1.15,

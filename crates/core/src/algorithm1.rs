@@ -16,7 +16,7 @@ use crate::fkv::{build_b_matrix, fkv_projection, SampledRow};
 use crate::model::{MatrixServer, PartitionModel};
 use crate::{CoreError, Result};
 use dlra_comm::{Collectives, LedgerSnapshot};
-use dlra_linalg::Matrix;
+use dlra_linalg::Projector;
 use dlra_sampler::{UniformSampler, ZSampler, ZSamplerParams};
 use dlra_util::Rng;
 
@@ -72,8 +72,10 @@ impl Algorithm1Config {
 /// Result of an Algorithm 1 run.
 #[derive(Debug, Clone)]
 pub struct Algorithm1Output {
-    /// The rank-≤k projection `P` (`d × d`).
-    pub projection: Matrix,
+    /// The rank-≤k projection `P = VVᵀ`, stored factored as its `d × k`
+    /// basis (`projection.basis()` is exactly the `V` of line 8; the dense
+    /// `d × d` matrix is never materialized on the protocol path).
+    pub projection: Projector,
     /// Words/messages/rounds consumed by this run (sampling + row fetches).
     pub comm: LedgerSnapshot,
     /// Row indices actually sampled (with multiplicity), per boost rep kept.
@@ -107,7 +109,7 @@ pub fn run_algorithm1<C: Collectives<MatrixServer>>(
     }
 
     let before = model.cluster().comm();
-    let mut best: Option<(Matrix, f64, Vec<usize>)> = None;
+    let mut best: Option<(Projector, f64, Vec<usize>)> = None;
     for rep in 0..cfg.boost {
         let rep_seed = cfg
             .seed
@@ -329,6 +331,7 @@ mod tests {
     use crate::functions::EntryFunction;
     use crate::metrics::evaluate_projection;
     use dlra_linalg::lowrank::is_projection_of_rank_at_most;
+    use dlra_linalg::Matrix;
 
     fn low_rank_model(
         s: usize,
@@ -387,7 +390,11 @@ mod tests {
             ..Default::default()
         };
         let out = run_algorithm1(&mut m, &cfg).unwrap();
-        assert!(is_projection_of_rank_at_most(&out.projection, 3, 1e-7));
+        assert!(is_projection_of_rank_at_most(
+            &out.projection.to_dense(),
+            3,
+            1e-7
+        ));
         let rep = evaluate_projection(&m.global_matrix(), &out.projection, 3).unwrap();
         assert!(rep.additive_error < 0.15, "additive {}", rep.additive_error);
         assert!(out.comm.total_words() > 0);

@@ -12,7 +12,7 @@ use crate::fkv::{build_b_matrix, fkv_projection, SampledRow};
 use crate::model::{MatrixServer, PartitionModel};
 use crate::{CoreError, Result};
 use dlra_comm::{Collectives, LedgerSnapshot};
-use dlra_linalg::Matrix;
+use dlra_linalg::{Matrix, Projector};
 use dlra_sampler::UniformSampler;
 use dlra_util::Rng;
 
@@ -74,8 +74,9 @@ impl RffMap {
 /// Output of the distributed RFF-PCA protocol.
 #[derive(Debug, Clone)]
 pub struct RffPcaOutput {
-    /// Rank-≤k projection in feature space (`d × d`).
-    pub projection: Matrix,
+    /// Rank-≤k projection in feature space, stored factored as its
+    /// `d × k` basis.
+    pub projection: Projector,
     /// Communication consumed (raw-row collection).
     pub comm: LedgerSnapshot,
     /// Sampled row indices (with multiplicity).

@@ -16,13 +16,13 @@
 
 use crate::{CoreError, Result};
 use dlra_comm::{Cluster, LedgerSnapshot};
-use dlra_linalg::{svd, Matrix};
+use dlra_linalg::{svd, Matrix, Projector};
 
 /// Output of the row-partition protocol.
 #[derive(Debug, Clone)]
 pub struct RowPartitionOutput {
-    /// Rank-≤k projection (`d × d`).
-    pub projection: Matrix,
+    /// Rank-≤k projection, stored factored as its `d × k` basis.
+    pub projection: Projector,
     /// Communication consumed (the per-server summaries).
     pub comm: LedgerSnapshot,
     /// Summary rank `t` each server transmitted.
@@ -82,8 +82,7 @@ pub fn row_partition_pca(
         }
     }
     let dec = svd(&stacked)?;
-    let v = dec.top_right_vectors(k);
-    let projection = v.matmul(&v.transpose())?;
+    let projection = dec.top_right_projector(k);
     Ok(RowPartitionOutput {
         projection,
         comm: cluster.comm(),

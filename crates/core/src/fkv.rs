@@ -7,7 +7,7 @@
 //! guarantee; the unit tests here exercise those lemmas numerically.
 
 use crate::{CoreError, Result};
-use dlra_linalg::{svd, Matrix};
+use dlra_linalg::{svd, Matrix, Projector};
 
 /// One sampled global row with its reported probability.
 #[derive(Debug, Clone)]
@@ -49,16 +49,16 @@ pub fn build_b_matrix(rows: &[SampledRow]) -> Result<Matrix> {
     Ok(b)
 }
 
-/// Top-k right singular projection of `B` (Algorithm 1 line 8):
-/// returns `(P = VVᵀ, ‖BP‖²_F)`; the captured energy drives the boosting
-/// comparison of §IV.
-pub fn fkv_projection(b: &Matrix, k: usize) -> Result<(Matrix, f64)> {
+/// Top-k right singular projection of `B` (Algorithm 1 line 8): returns
+/// the factored `P = VVᵀ` and `‖BP‖²_F`; the captured energy drives the
+/// boosting comparison of §IV. The `d × d` matrix is never materialized —
+/// `V` itself is what protocols ship and apply.
+pub fn fkv_projection(b: &Matrix, k: usize) -> Result<(Projector, f64)> {
     if k == 0 {
         return Err(CoreError::InvalidConfig("k must be positive".into()));
     }
     let dec = svd(b)?;
-    let v = dec.top_right_vectors(k);
-    let p = v.matmul(&v.transpose())?;
+    let p = dec.top_right_projector(k);
     let captured: f64 = dec.s.iter().take(k).map(|x| x * x).sum();
     Ok((p, captured))
 }
@@ -66,7 +66,7 @@ pub fn fkv_projection(b: &Matrix, k: usize) -> Result<(Matrix, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlra_linalg::{best_rank_k, residual_sq};
+    use dlra_linalg::best_rank_k;
     use dlra_util::Rng;
 
     fn exact_row_sampler(a: &Matrix, r: usize, rng: &mut Rng) -> Vec<SampledRow> {
@@ -169,7 +169,7 @@ mod tests {
         let rows = exact_row_sampler(&a, r, &mut rng);
         let b = build_b_matrix(&rows).unwrap();
         let (p, _) = fkv_projection(&b, k).unwrap();
-        let res = residual_sq(&a, &p).unwrap();
+        let res = p.residual_sq(&a).unwrap();
         let additive = (res - best.error_sq) / best.total_sq;
         assert!(
             additive < 0.15,
@@ -195,7 +195,7 @@ mod tests {
         }
         let b = build_b_matrix(&rows).unwrap();
         let (p, _) = fkv_projection(&b, k).unwrap();
-        let res = residual_sq(&a, &p).unwrap();
+        let res = p.residual_sq(&a).unwrap();
         let additive = (res - best.error_sq) / best.total_sq;
         assert!(additive < 0.2, "additive error {additive}");
     }

@@ -52,15 +52,16 @@ pub use algorithm1::{
 pub use baselines::{row_partition_pca, RowPartitionOutput};
 pub use fkv::{build_b_matrix, fkv_projection, SampledRow};
 pub use functions::EntryFunction;
-pub use metrics::{evaluate_projection, EvalReport};
+pub use metrics::{evaluate_dense_projection, evaluate_projection, EvalReport};
 pub use model::{MatrixServer, PartitionModel};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::algorithm1::{run_algorithm1, Algorithm1Config, Algorithm1Output, SamplerKind};
     pub use crate::functions::EntryFunction;
-    pub use crate::metrics::{evaluate_projection, EvalReport};
+    pub use crate::metrics::{evaluate_dense_projection, evaluate_projection, EvalReport};
     pub use crate::model::{MatrixServer, PartitionModel};
+    pub use dlra_linalg::Projector;
 }
 
 /// Errors surfaced by the protocol layer.

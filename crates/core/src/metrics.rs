@@ -5,7 +5,7 @@
 //! * theoretical additive-error prediction `k²/r`
 
 use crate::Result;
-use dlra_linalg::{best_rank_k_error_sq, residual_sq, Matrix};
+use dlra_linalg::{best_rank_k_error_sq, Matrix, Projector};
 
 /// Error report for one projection against the true global matrix.
 #[derive(Debug, Clone, Copy)]
@@ -23,12 +23,26 @@ pub struct EvalReport {
     pub relative_error: f64,
 }
 
-/// Evaluates a projection `P` against the global matrix `A` for rank `k`.
+/// Evaluates a factored projection `P = VVᵀ` against the global matrix `A`
+/// for rank `k`; the residual is computed through the basis (`O(ndk)`),
+/// never through a dense `d × d` matrix.
 ///
 /// This requires a full SVD of `A` and is evaluation-only: the paper's
 /// protocols never see `A` in one place.
-pub fn evaluate_projection(a: &Matrix, p: &Matrix, k: usize) -> Result<EvalReport> {
-    let residual_sq = residual_sq(a, p)?;
+pub fn evaluate_projection(a: &Matrix, p: &Projector, k: usize) -> Result<EvalReport> {
+    let residual_sq = p.residual_sq(a)?;
+    evaluate_with_residual(a, residual_sq, k)
+}
+
+/// [`evaluate_projection`] for an arbitrary **dense** `d × d` projection
+/// matrix (adversarial sweeps and hand-built projections in tests; protocol
+/// outputs are factored and use [`evaluate_projection`]).
+pub fn evaluate_dense_projection(a: &Matrix, p: &Matrix, k: usize) -> Result<EvalReport> {
+    let residual_sq = dlra_linalg::residual_sq(a, p)?;
+    evaluate_with_residual(a, residual_sq, k)
+}
+
+fn evaluate_with_residual(a: &Matrix, residual_sq: f64, k: usize) -> Result<EvalReport> {
     let best_error_sq = best_rank_k_error_sq(a, k)?;
     let total_sq = a.frobenius_norm_sq();
     let additive_error = if total_sq > 0.0 {
@@ -86,10 +100,11 @@ mod tests {
                 0.01 * rng.gaussian()
             }
         });
-        // Projection onto e₂ (misses the dominant direction).
+        // Projection onto e₂ (misses the dominant direction); exercises
+        // the dense-matrix evaluation path.
         let mut p = Matrix::zeros(4, 4);
         p[(1, 1)] = 1.0;
-        let rep = evaluate_projection(&a, &p, 1).unwrap();
+        let rep = evaluate_dense_projection(&a, &p, 1).unwrap();
         assert!(rep.additive_error > 0.5, "{}", rep.additive_error);
         assert!(rep.relative_error > 100.0, "{}", rep.relative_error);
     }
@@ -109,9 +124,21 @@ mod tests {
     #[test]
     fn zero_matrix_is_trivially_approximated() {
         let a = Matrix::zeros(5, 3);
-        let p = Matrix::zeros(3, 3);
-        let rep = evaluate_projection(&a, &p, 1).unwrap();
+        let rep = evaluate_projection(&a, &Projector::zero(3), 1).unwrap();
         assert_eq!(rep.additive_error, 0.0);
+        let rep = evaluate_dense_projection(&a, &Matrix::zeros(3, 3), 1).unwrap();
+        assert_eq!(rep.additive_error, 0.0);
+    }
+
+    #[test]
+    fn dense_and_factored_paths_agree() {
+        let mut rng = Rng::new(9);
+        let a = Matrix::gaussian(25, 7, &mut rng);
+        let approx = best_rank_k(&a, 3).unwrap();
+        let fac = evaluate_projection(&a, &approx.projection, 3).unwrap();
+        let den = evaluate_dense_projection(&a, &approx.projection.to_dense(), 3).unwrap();
+        assert!((fac.residual_sq - den.residual_sq).abs() < 1e-8);
+        assert!((fac.additive_error - den.additive_error).abs() < 1e-10);
     }
 
     #[test]

@@ -74,12 +74,12 @@ impl MatrixServer {
     }
 
     /// Installs a residual sampling view `Aᵗ(I − VVᵀ)` from an orthonormal
-    /// basis `v` (`d × c`) and its transpose (purely local computation
-    /// after the basis broadcast).
-    pub fn set_residual_basis(&mut self, v: &Matrix, vt: &Matrix) {
-        let coeff = self.local.matmul(v).expect("basis shape");
-        let correction = coeff.matmul(vt).expect("basis shape");
-        self.scratch.residual = Some(self.local.sub(&correction).expect("same shape"));
+    /// basis `v` (`d × c`, exactly the broadcast payload): a purely local
+    /// O(ndc) computation through the factored projector — the dense `d × d`
+    /// matrix is never formed.
+    pub fn set_residual_basis(&mut self, v: &Matrix) {
+        let projector = dlra_linalg::Projector::from_basis(v.clone());
+        self.scratch.residual = Some(projector.residual(&self.local).expect("basis shape"));
     }
 
     /// Removes the residual view (sampling reverts to the local matrix).
@@ -386,7 +386,7 @@ mod tests {
         // Residual sampling view: a fresh matrix, not a mutation of the
         // resident local.
         let v = dlra_linalg::orthonormalize_columns(&Matrix::gaussian(5, 2, &mut rng));
-        server.set_residual_basis(&v, &v.transpose());
+        server.set_residual_basis(&v);
         assert!(server.shares_resident_storage(&resident));
         assert!(!server.sample_matrix().shares_storage(&resident));
 

@@ -122,7 +122,7 @@ mod tests {
         let b = crate::fkv::build_b_matrix(&rows).unwrap();
         // ε = k·θ (Lemma 1's uniform bound over rank-k projections).
         let eps = k as f64 * gram_deviation(&a, &b);
-        let p = best_rank_k(&b, k).unwrap().projection;
+        let p = best_rank_k(&b, k).unwrap().projection.to_dense();
         let (lhs, rhs) = lemma2_sides(&a, &p, k, eps);
         assert!(lhs <= rhs + 1e-9, "{lhs} > {rhs}");
     }

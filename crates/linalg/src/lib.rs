@@ -3,6 +3,13 @@
 //! Everything is implemented from scratch on a row-major [`Matrix`] of `f64`:
 //!
 //! * [`matrix`] — the matrix type and elementwise / multiplicative kernels;
+//! * [`kernels`] — the cache-blocked, register-tiled, panel-parallel
+//!   implementations behind `matmul` / `transpose_matmul` / `gram` /
+//!   `transpose`, plus the retained naive [`kernels::reference`] baselines;
+//! * [`threads`] — the kernel thread-count knob ([`set_threads`] /
+//!   `DLRA_THREADS`, default = available parallelism);
+//! * [`projector`] — factored orthogonal projectors `P = V·Vᵀ` applied as
+//!   `(A·V)·Vᵀ`, never materializing the `d × d` matrix;
 //! * [`qr`] — Householder thin QR and orthonormalization;
 //! * [`eigen`] — cyclic Jacobi eigensolver for symmetric matrices;
 //! * [`svd`] — one-sided Jacobi (Hestenes) singular value decomposition;
@@ -10,26 +17,33 @@
 //!   Frobenius-error helpers used by the paper's definitions of additive and
 //!   relative error.
 //!
-//! The sizes exercised by the paper reproduction (n ≤ a few thousand,
-//! d ≤ 512) are small enough that simple cache-friendly loops are sufficient;
-//! the SVD is accurate to ~1e-12 on these sizes and is property-tested
-//! against reconstruction and orthogonality invariants.
+//! The multiplicative kernels keep a **fixed summation order** (ascending
+//! contraction index per output element), so every result is bit-identical
+//! across block sizes and thread counts — the substrate-equivalence
+//! guarantees of the protocol layers survive parallel kernels unchanged.
+//! The SVD is accurate to ~1e-12 on the reproduced sizes and is
+//! property-tested against reconstruction and orthogonality invariants.
 
 pub mod eigen;
+pub mod kernels;
 pub mod lowrank;
 pub mod matrix;
+pub mod projector;
 pub mod qr;
 pub mod randomized;
 pub mod svd;
+pub mod threads;
 
 pub use eigen::{sym_eigen, SymEigen};
 pub use lowrank::{
     best_rank_k, best_rank_k_error_sq, projection_from_basis, residual_sq, RankKApprox,
 };
 pub use matrix::Matrix;
+pub use projector::Projector;
 pub use qr::{householder_qr, orthonormalize_columns};
 pub use randomized::{randomized_svd, RandomizedSvdConfig};
 pub use svd::{svd, Svd};
+pub use threads::{set_threads, threads};
 
 /// Errors surfaced by the linear-algebra kernels.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -7,6 +7,7 @@
 //! where `P` is a `d × d` rank-≤k projection onto a row subspace.
 
 use crate::matrix::Matrix;
+use crate::projector::Projector;
 use crate::svd::{svd, Svd};
 use crate::{LinalgError, Result};
 
@@ -16,8 +17,10 @@ use crate::{LinalgError, Result};
 pub struct RankKApprox {
     /// Target rank `k`.
     pub k: usize,
-    /// The rank-k projection `P = VₖVₖᵀ` (`d × d`).
-    pub projection: Matrix,
+    /// The rank-k projection `P = VₖVₖᵀ`, stored factored as its basis
+    /// (`d × k`); apply with [`Projector::apply`], materialize with
+    /// [`Projector::to_dense`].
+    pub projection: Projector,
     /// `‖A − [A]ₖ‖²_F` (tail singular-value energy).
     pub error_sq: f64,
     /// `‖A‖²_F`.
@@ -26,11 +29,9 @@ pub struct RankKApprox {
 
 /// Computes `[A]ₖ` data from a precomputed SVD.
 pub fn best_rank_k_from_svd(d: &Svd, total_sq: f64, k: usize) -> RankKApprox {
-    let v = d.top_right_vectors(k);
-    let projection = v.matmul(&v.transpose()).expect("shape by construction");
     RankKApprox {
         k,
-        projection,
+        projection: Projector::from_basis(d.top_right_vectors(k)),
         error_sq: d.tail_energy(k),
         total_sq,
     }
@@ -120,7 +121,11 @@ mod tests {
         let a = Matrix::gaussian(10, 6, &mut rng);
         for k in 1..=4 {
             let approx = best_rank_k(&a, k).unwrap();
-            assert!(is_projection_of_rank_at_most(&approx.projection, k, 1e-8));
+            assert!(is_projection_of_rank_at_most(
+                &approx.projection.to_dense(),
+                k,
+                1e-8
+            ));
         }
     }
 
@@ -130,7 +135,7 @@ mod tests {
         let a = noisy_low_rank(12, 8, 2, 0.0, &mut rng);
         let approx = best_rank_k(&a, 2).unwrap();
         assert!(approx.error_sq < 1e-8 * approx.total_sq);
-        let res = residual_sq(&a, &approx.projection).unwrap();
+        let res = approx.projection.residual_sq(&a).unwrap();
         assert!(res < 1e-8 * approx.total_sq, "residual {res}");
     }
 
@@ -139,9 +144,9 @@ mod tests {
         let mut rng = Rng::new(43);
         let a = Matrix::gaussian(9, 5, &mut rng);
         let approx = best_rank_k(&a, 2).unwrap();
-        let ap = a.matmul(&approx.projection).unwrap();
+        let ap = approx.projection.apply(&a).unwrap();
         let explicit = a.sub(&ap).unwrap().frobenius_norm_sq();
-        let viaid = residual_sq(&a, &approx.projection).unwrap();
+        let viaid = approx.projection.residual_sq(&a).unwrap();
         assert!((explicit - viaid).abs() < 1e-8, "{explicit} vs {viaid}");
     }
 
@@ -152,7 +157,7 @@ mod tests {
         let a = noisy_low_rank(15, 8, 3, 0.3, &mut rng);
         let k = 3;
         let best = best_rank_k(&a, k).unwrap();
-        let best_res = residual_sq(&a, &best.projection).unwrap();
+        let best_res = best.projection.residual_sq(&a).unwrap();
         assert!((best_res - best.error_sq).abs() < 1e-7 * best.total_sq);
         for trial in 0..10 {
             let mut r2 = Rng::new(1000 + trial);
@@ -171,8 +176,8 @@ mod tests {
         let mut rng = Rng::new(45);
         let a = Matrix::gaussian(7, 6, &mut rng);
         let approx = best_rank_k(&a, 2).unwrap();
-        let cap = captured_sq(&a, &approx.projection).unwrap();
-        let res = residual_sq(&a, &approx.projection).unwrap();
+        let cap = approx.projection.captured_sq(&a).unwrap();
+        let res = approx.projection.residual_sq(&a).unwrap();
         assert!((cap + res - a.frobenius_norm_sq()).abs() < 1e-8);
     }
 

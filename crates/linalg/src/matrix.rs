@@ -194,19 +194,20 @@ impl Matrix {
         self.data_mut()
     }
 
-    /// Transpose into a new matrix.
+    /// Transpose into a new matrix (cache-blocked tile swap; parallel over
+    /// output row panels for large matrices).
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            let r = self.row(i);
-            for (j, &v) in r.iter().enumerate() {
-                t[(j, i)] = v;
-            }
-        }
+        let out = Arc::get_mut(&mut t.data).expect("fresh buffer is unshared");
+        crate::kernels::transpose_into(&self.data, self.rows, self.cols, out);
         t
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other` — cache-blocked, register-tiled, and
+    /// parallel over output row panels (see [`crate::kernels`]). The
+    /// summation order per output element is fixed (ascending contraction
+    /// index), so results are bit-identical across block sizes and thread
+    /// counts, and non-finite inputs propagate per IEEE 754.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch(format!(
@@ -216,20 +217,14 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
         let out_data = Arc::get_mut(&mut out.data).expect("fresh buffer is unshared");
-        // i-k-j order: stream over `other`'s rows for cache friendliness.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out_data[i * other.cols..(i + 1) * other.cols];
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (j, &bkj) in b_row.iter().enumerate() {
-                    out_row[j] += aik * bkj;
-                }
-            }
-        }
+        crate::kernels::matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            out_data,
+        );
         Ok(out)
     }
 
@@ -248,24 +243,13 @@ impl Matrix {
 
     /// Gram matrix `selfᵀ * self` (symmetric `cols × cols`), computed as a sum
     /// of row outer products — a single pass over the rows, which is how the
-    /// coordinator accumulates `BᵀB` in the protocols.
+    /// coordinator accumulates `BᵀB` in the protocols. Upper triangle is
+    /// computed blocked/parallel, then mirrored.
     pub fn gram(&self) -> Matrix {
         let d = self.cols;
         let mut g = Matrix::zeros(d, d);
         let gd = Arc::get_mut(&mut g.data).expect("fresh buffer is unshared");
-        for i in 0..self.rows {
-            let r = self.row(i);
-            for p in 0..d {
-                let rp = r[p];
-                if rp == 0.0 {
-                    continue;
-                }
-                let g_row = &mut gd[p * d..(p + 1) * d];
-                for q in p..d {
-                    g_row[q] += rp * r[q];
-                }
-            }
-        }
+        crate::kernels::gram_upper_into(&self.data, self.rows, d, gd);
         // Mirror the upper triangle.
         for p in 0..d {
             for q in (p + 1)..d {
@@ -435,7 +419,9 @@ impl Matrix {
     }
 
     /// `selfᵀ · other` without materializing the transpose
-    /// (`(cols × other.cols)` result).
+    /// (`(cols × other.cols)` result) — blocked and panel-parallel like
+    /// [`Matrix::matmul`], with a fixed (ascending row index) summation
+    /// order per output element.
     pub fn transpose_matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.rows != other.rows {
             return Err(LinalgError::ShapeMismatch(format!(
@@ -444,19 +430,15 @@ impl Matrix {
             )));
         }
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let b_row = other.row(i);
-            for (p, &ap) in a_row.iter().enumerate() {
-                if ap == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(p);
-                for (q, &bq) in b_row.iter().enumerate() {
-                    out_row[q] += ap * bq;
-                }
-            }
-        }
+        let out_data = Arc::get_mut(&mut out.data).expect("fresh buffer is unshared");
+        crate::kernels::transpose_matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            out_data,
+        );
         Ok(out)
     }
 
@@ -804,6 +786,38 @@ mod tests {
             before,
             "exclusively owned storage must mutate in place"
         );
+    }
+
+    #[test]
+    fn zero_times_nan_propagates_in_matmul() {
+        // Regression: the seed kernel skipped `aik == 0.0`, silently
+        // swallowing `0.0 * NaN` and masking non-finite inputs.
+        let a = m(&[&[0.0, 1.0]]);
+        let b = m(&[&[f64::NAN], &[2.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert!(
+            c[(0, 0)].is_nan(),
+            "0·NaN must propagate, got {}",
+            c[(0, 0)]
+        );
+
+        let inf = m(&[&[f64::INFINITY], &[3.0]]);
+        let c = a.matmul(&inf).unwrap();
+        assert!(c[(0, 0)].is_nan(), "0·∞ must yield NaN, got {}", c[(0, 0)]);
+    }
+
+    #[test]
+    fn zero_times_nan_propagates_in_transpose_matmul_and_gram() {
+        let a = m(&[&[0.0, 5.0], &[f64::NAN, 1.0]]);
+        let b = m(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        // aᵀ·b touches the NaN row for every output in column p = 0 and 1.
+        let t = a.transpose_matmul(&b).unwrap();
+        assert!(t[(0, 0)].is_nan());
+        // gram: column 0 contains NaN, so every entry touching it is NaN;
+        // the (1,1) entry never multiplies the NaN and stays finite.
+        let g = a.gram();
+        assert!(g[(0, 0)].is_nan() && g[(0, 1)].is_nan() && g[(1, 0)].is_nan());
+        assert_eq!(g[(1, 1)], 26.0);
     }
 
     #[test]

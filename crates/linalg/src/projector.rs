@@ -1,0 +1,234 @@
+//! Factored orthogonal projectors `P = V·Vᵀ`, stored as their basis `V`.
+//!
+//! The protocols' output is always a rank-≤k row-space projection, and the
+//! basis `V ∈ ℝᵈˣᶜ` (orthonormal columns) is both what the coordinator
+//! computes (Algorithm 1 line 8) and what the adaptive extension broadcasts
+//! over the wire. Materializing `P = V·Vᵀ ∈ ℝᵈˣᵈ` turns every O(ndc)
+//! application into an O(nd²) one and every O(dc) ship into O(d²) of
+//! memory — so the workspace keeps projectors factored and applies them as
+//! `(A·V)·Vᵀ`, falling back to [`Projector::to_dense`] only where a dense
+//! matrix is genuinely required (e.g. adversarial sweeps over arbitrary
+//! dense projections in `theory`).
+
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// A rank-≤c orthogonal projector `P = V·Vᵀ`, stored factored.
+///
+/// # Invariant
+///
+/// `V`'s columns are orthonormal (`VᵀV = I`). Constructors in this
+/// workspace obtain `V` from an SVD or a QR orthonormalization, which
+/// guarantees it; [`Projector::basis_orthonormality_error`] measures it for
+/// tests. The energy identities used by [`Projector::residual_sq`] rely on
+/// this invariant.
+///
+/// ```
+/// use dlra_linalg::{orthonormalize_columns, Matrix, Projector};
+/// use dlra_util::Rng;
+/// let mut rng = Rng::new(7);
+/// let p = Projector::from_basis(orthonormalize_columns(&Matrix::gaussian(6, 2, &mut rng)));
+/// let a = Matrix::gaussian(10, 6, &mut rng);
+/// let ap = p.apply(&a).unwrap();            // (A·V)·Vᵀ, never d×d
+/// let res = p.residual_sq(&a).unwrap();     // ‖A‖² − ‖AV‖²
+/// assert!((res - a.sub(&ap).unwrap().frobenius_norm_sq()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Projector {
+    v: Matrix,
+}
+
+impl Projector {
+    /// Wraps a `d × c` basis with orthonormal columns.
+    pub fn from_basis(v: Matrix) -> Self {
+        Projector { v }
+    }
+
+    /// The rank-0 projector on `ℝᵈ` (`P = 0`).
+    pub fn zero(d: usize) -> Self {
+        Projector {
+            v: Matrix::zeros(d, 0),
+        }
+    }
+
+    /// The stored basis `V` (`d × c`). This is exactly what the adaptive
+    /// protocol broadcasts, so the wire format of a projector is its basis.
+    pub fn basis(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Ambient dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.v.rows()
+    }
+
+    /// Rank bound `c` (the number of basis columns).
+    pub fn rank(&self) -> usize {
+        self.v.cols()
+    }
+
+    /// `A·P = (A·V)·Vᵀ` without materializing `P` — O(ndc) instead of
+    /// O(nd²).
+    pub fn apply(&self, a: &Matrix) -> Result<Matrix> {
+        let coeff = a.matmul(&self.v)?;
+        coeff.matmul(&self.v.transpose())
+    }
+
+    /// `A − A·P`, the residual of `a` against this projector.
+    pub fn residual(&self, a: &Matrix) -> Result<Matrix> {
+        a.sub(&self.apply(a)?)
+    }
+
+    /// `‖A·P‖²_F = ‖A·V‖²_F` (orthonormal `V`): the captured energy,
+    /// computed from the n×c coefficient matrix.
+    pub fn captured_sq(&self, a: &Matrix) -> Result<f64> {
+        Ok(a.matmul(&self.v)?.frobenius_norm_sq())
+    }
+
+    /// `‖A − A·P‖²_F` via the Pythagorean identity
+    /// `‖A‖²_F − ‖A·V‖²_F` (§II), clamped at zero against floating-point
+    /// drift. O(ndc) — the factored replacement for the dense
+    /// [`crate::lowrank::residual_sq`].
+    pub fn residual_sq(&self, a: &Matrix) -> Result<f64> {
+        Ok((a.frobenius_norm_sq() - self.captured_sq(a)?).max(0.0))
+    }
+
+    /// `x − x·P` for a single row vector `x` (length `d`): coefficients
+    /// `xᵀV` first, then the correction — O(dc).
+    pub fn residual_row(&self, x: &[f64]) -> Vec<f64> {
+        let c = self.v.cols();
+        let mut coeff = vec![0.0f64; c];
+        for (i, &xi) in x.iter().enumerate() {
+            let vrow = self.v.row(i);
+            for (cj, &vij) in coeff.iter_mut().zip(vrow) {
+                *cj += xi * vij;
+            }
+        }
+        let mut out = x.to_vec();
+        for (i, o) in out.iter_mut().enumerate() {
+            let vrow = self.v.row(i);
+            for (&cj, &vij) in coeff.iter().zip(vrow) {
+                *o -= vij * cj;
+            }
+        }
+        out
+    }
+
+    /// Materializes the dense `d × d` matrix `P = V·Vᵀ`. Evaluation /
+    /// interop only — protocol hot paths never call this.
+    pub fn to_dense(&self) -> Matrix {
+        self.v
+            .matmul(&self.v.transpose())
+            .expect("shape by construction")
+    }
+
+    /// `max |VᵀV − I|`: how far the basis is from orthonormal (tests).
+    pub fn basis_orthonormality_error(&self) -> f64 {
+        let g = self.v.gram();
+        let mut worst = 0.0f64;
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                let target = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((g[(i, j)] - target).abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::orthonormalize_columns;
+    use dlra_util::Rng;
+
+    fn random_projector(d: usize, c: usize, seed: u64) -> Projector {
+        let mut rng = Rng::new(seed);
+        Projector::from_basis(orthonormalize_columns(&Matrix::gaussian(d, c, &mut rng)))
+    }
+
+    #[test]
+    fn to_dense_matches_explicit_vvt() {
+        let p = random_projector(8, 3, 1);
+        let dense = p.to_dense();
+        let explicit = p.basis().matmul(&p.basis().transpose()).unwrap();
+        assert!(dense.sub(&explicit).unwrap().frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn apply_matches_dense_product() {
+        let mut rng = Rng::new(2);
+        let p = random_projector(10, 4, 3);
+        let a = Matrix::gaussian(15, 10, &mut rng);
+        let factored = p.apply(&a).unwrap();
+        let dense = a.matmul(&p.to_dense()).unwrap();
+        assert!(factored.sub(&dense).unwrap().frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn residual_sq_matches_dense_path() {
+        let mut rng = Rng::new(4);
+        let p = random_projector(9, 2, 5);
+        let a = Matrix::gaussian(20, 9, &mut rng);
+        let factored = p.residual_sq(&a).unwrap();
+        let dense = crate::lowrank::residual_sq(&a, &p.to_dense()).unwrap();
+        assert!((factored - dense).abs() < 1e-8, "{factored} vs {dense}");
+        let explicit = p.residual(&a).unwrap().frobenius_norm_sq();
+        assert!((factored - explicit).abs() < 1e-8);
+    }
+
+    #[test]
+    fn captured_plus_residual_is_total() {
+        let mut rng = Rng::new(6);
+        let p = random_projector(12, 5, 7);
+        let a = Matrix::gaussian(25, 12, &mut rng);
+        let cap = p.captured_sq(&a).unwrap();
+        let res = p.residual_sq(&a).unwrap();
+        assert!((cap + res - a.frobenius_norm_sq()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn residual_row_is_orthogonal_to_basis() {
+        let mut rng = Rng::new(8);
+        let p = random_projector(8, 3, 9);
+        let x: Vec<f64> = (0..8).map(|_| rng.gaussian()).collect();
+        let r = p.residual_row(&x);
+        for j in 0..3 {
+            let dot: f64 = r
+                .iter()
+                .enumerate()
+                .map(|(i, &ri)| ri * p.basis()[(i, j)])
+                .sum();
+            assert!(dot.abs() < 1e-10, "column {j}: {dot}");
+        }
+    }
+
+    #[test]
+    fn zero_projector_captures_nothing() {
+        let mut rng = Rng::new(10);
+        let a = Matrix::gaussian(6, 4, &mut rng);
+        let p = Projector::zero(4);
+        assert_eq!(p.rank(), 0);
+        assert_eq!(p.dim(), 4);
+        assert_eq!(p.captured_sq(&a).unwrap(), 0.0);
+        assert_eq!(p.residual_sq(&a).unwrap(), a.frobenius_norm_sq());
+        assert_eq!(p.to_dense().frobenius_norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn orthonormality_error_detects_bad_basis() {
+        let good = random_projector(7, 3, 11);
+        assert!(good.basis_orthonormality_error() < 1e-10);
+        let mut rng = Rng::new(12);
+        let bad = Projector::from_basis(Matrix::gaussian(7, 3, &mut rng).scaled(2.0));
+        assert!(bad.basis_orthonormality_error() > 0.1);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let p = random_projector(5, 2, 13);
+        let a = Matrix::zeros(4, 6);
+        assert!(p.apply(&a).is_err());
+        assert!(p.residual_sq(&a).is_err());
+    }
+}

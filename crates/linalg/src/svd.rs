@@ -39,6 +39,12 @@ impl Svd {
         Matrix::from_fn(n, k, |i, j| self.vt[(j, i)])
     }
 
+    /// The top-`k` right singular space as a factored projector
+    /// `P = VₖVₖᵀ` (Algorithm 1 line 8, without materializing `d × d`).
+    pub fn top_right_projector(&self, k: usize) -> crate::projector::Projector {
+        crate::projector::Projector::from_basis(self.top_right_vectors(k))
+    }
+
     /// Reconstructs `U · diag(σ) · Vᵀ` (for testing).
     pub fn reconstruct(&self) -> Matrix {
         let r = self.s.len();

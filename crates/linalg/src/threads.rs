@@ -1,0 +1,188 @@
+//! The kernel thread-pool knob.
+//!
+//! The blocked kernels in [`crate::kernels`] parallelize over disjoint row
+//! panels of their output with `std::thread::scope`. How many panels run
+//! concurrently is a process-wide setting resolved in this order:
+//!
+//! 1. the last [`set_threads`] call,
+//! 2. the `DLRA_THREADS` environment variable (read once),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Thread count never changes results: each worker owns a disjoint slice of
+//! the output and every output element is accumulated in the same fixed
+//! summation order regardless of how the panels are distributed, so kernels
+//! are bit-identical across thread counts (proved by
+//! `tests/kernel_equivalence.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = unresolved; resolved values are always ≥ 1.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the kernel thread count for the whole process (clamped to ≥ 1).
+/// Overrides `DLRA_THREADS` and the hardware default.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current kernel thread count (resolving the default on first use).
+pub fn threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let resolved = std::env::var("DLRA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    // Racing first calls resolve to the same value; a concurrent
+    // `set_threads` may overwrite, which is the caller's intent anyway.
+    THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Below this many flops the spawn latency dominates any speedup.
+const PARALLEL_WORK_FLOOR: usize = 1 << 21;
+
+/// Runs `kernel` over the rows of a contiguous row-major output buffer,
+/// split into one contiguous row panel per worker with (near-)equal row
+/// counts.
+///
+/// `kernel(first_row, panel)` must fill `panel` (rows `first_row ..
+/// first_row + panel.len() / row_width`) without reading any other panel —
+/// the disjoint `&mut` split makes that structurally impossible to violate.
+///
+/// `work` is a rough flop count for the whole call; cheap calls and
+/// single-thread configurations run inline on the caller's stack, so tiny
+/// matrices never pay thread-spawn latency.
+pub(crate) fn for_each_row_panel<F>(out: &mut [f64], row_width: usize, work: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    for_each_row_panel_by_weight(out, row_width, work, |_| 1, kernel)
+}
+
+/// [`for_each_row_panel`] with panel boundaries chosen so every worker gets
+/// (approximately) the same total of `row_weight(row)` instead of the same
+/// row count — e.g. the triangular gram kernel weights row `p` by `c − p`
+/// so the first panels (long rows) are narrower than the last.
+pub(crate) fn for_each_row_panel_by_weight<F, W>(
+    out: &mut [f64],
+    row_width: usize,
+    work: usize,
+    row_weight: W,
+    kernel: F,
+) where
+    F: Fn(usize, &mut [f64]) + Sync,
+    W: Fn(usize) -> usize,
+{
+    let rows = out.len().checked_div(row_width).unwrap_or(0);
+    if rows == 0 {
+        return;
+    }
+    let t = threads().min(rows);
+    if t <= 1 || work < PARALLEL_WORK_FLOOR {
+        kernel(0, out);
+        return;
+    }
+    // Cut the row range into `t` contiguous panels of (near-)equal total
+    // weight: walk the rows accumulating weight and cut at each multiple
+    // of `total / t`.
+    let total: usize = (0..rows).map(&row_weight).sum();
+    let target = total.div_ceil(t).max(1);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut row0 = 0;
+        let mut acc = 0usize;
+        let mut row = 0usize;
+        let mut panels_left = t;
+        while row0 < rows {
+            // Extend the panel until its weight reaches the target (always
+            // taking at least one row); the last panel takes everything.
+            if panels_left == 1 {
+                row = rows;
+            } else {
+                while row < rows && (acc < target || row == row0) {
+                    acc += row_weight(row);
+                    row += 1;
+                }
+                acc = acc.saturating_sub(target);
+            }
+            panels_left -= 1;
+            let panel_rows = row - row0;
+            let (panel, tail) = rest.split_at_mut(panel_rows * row_width);
+            rest = tail;
+            let kernel = &kernel;
+            let first = row0;
+            scope.spawn(move || kernel(first, panel));
+            row0 = row;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test for all process-global thread-knob behavior: `THREADS` is
+    /// shared across the test binary, so exercising it from several
+    /// parallel `#[test]`s would race the asserted values.
+    #[test]
+    fn thread_knob_and_panel_coverage() {
+        // Clamp and getter.
+        set_threads(0);
+        assert!(threads() >= 1);
+        set_threads(3);
+        assert_eq!(threads(), 3);
+
+        // Even split covers every row exactly once (forced parallel path
+        // via a huge work estimate).
+        let rows = 10;
+        let width = 4;
+        let mut out = vec![0.0f64; rows * width];
+        for_each_row_panel(&mut out, width, usize::MAX, |first_row, panel| {
+            for (r, row) in panel.chunks_exact_mut(width).enumerate() {
+                for x in row.iter_mut() {
+                    *x += (first_row + r) as f64;
+                }
+            }
+        });
+        for (i, row) in out.chunks_exact(width).enumerate() {
+            assert!(row.iter().all(|&x| x == i as f64), "row {i}: {row:?}");
+        }
+
+        // Weighted split covers every row exactly once too, with panels
+        // balanced by triangle-style weights.
+        let rows = 23;
+        let mut out = vec![0.0f64; rows * width];
+        for_each_row_panel_by_weight(
+            &mut out,
+            width,
+            usize::MAX,
+            |p| rows - p,
+            |first_row, panel| {
+                for (r, row) in panel.chunks_exact_mut(width).enumerate() {
+                    for x in row.iter_mut() {
+                        *x += (first_row + r) as f64;
+                    }
+                }
+            },
+        );
+        for (i, row) in out.chunks_exact(width).enumerate() {
+            assert!(row.iter().all(|&x| x == i as f64), "row {i}: {row:?}");
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn empty_output_is_a_noop() {
+        let mut out: Vec<f64> = vec![];
+        for_each_row_panel(&mut out, 0, 0, |_, _| panic!("kernel must not run"));
+        for_each_row_panel(&mut out, 8, 0, |_, _| panic!("kernel must not run"));
+    }
+}

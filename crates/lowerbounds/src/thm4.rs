@@ -96,7 +96,7 @@ pub fn solve_linfty_via_pca(
 /// The exact-SVD oracle: a projection achieving the optimum, hence any
 /// `(1+ε)` guarantee.
 pub fn exact_oracle(a: &Matrix, k: usize) -> Matrix {
-    best_rank_k(a, k).expect("oracle SVD").projection
+    best_rank_k(a, k).expect("oracle SVD").projection.to_dense()
 }
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ pub fn solve_ghd_via_pca(
 
 /// Exact-SVD oracle (satisfies any `(1+ε)` relative-error guarantee).
 pub fn exact_oracle(a: &Matrix, k: usize) -> Matrix {
-    best_rank_k(a, k).expect("oracle SVD").projection
+    best_rank_k(a, k).expect("oracle SVD").projection.to_dense()
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@
 //! let mut model = dlra_runtime::threaded_model(parts, EntryFunction::Identity).unwrap();
 //! let cfg = Algorithm1Config { k: 3, r: 40, sampler: SamplerKind::Uniform, ..Default::default() };
 //! let out = run_algorithm1(&mut model, &cfg).unwrap();
-//! assert_eq!(out.projection.shape(), (16, 16));
+//! assert_eq!(out.projection.dim(), 16);
 //! ```
 
 pub mod runtime;

@@ -159,8 +159,8 @@ impl QueryHandle {
 ///     Algorithm1Config { k: 2, r: 25, sampler: SamplerKind::Uniform, ..Default::default() }));
 /// let h2 = runtime.submit(QueryRequest::identity(
 ///     Algorithm1Config { k: 4, r: 40, sampler: SamplerKind::Uniform, ..Default::default() }));
-/// assert_eq!(h1.wait().unwrap().projection.shape(), (12, 12));
-/// assert_eq!(h2.wait().unwrap().projection.shape(), (12, 12));
+/// assert_eq!(h1.wait().unwrap().projection.dim(), 12);
+/// assert_eq!(h2.wait().unwrap().projection.dim(), 12);
 /// ```
 pub struct Runtime {
     queue: Option<Sender<Task>>,
@@ -363,7 +363,10 @@ mod tests {
             let got = handle.wait().unwrap();
             let mut direct = PartitionModel::new(parts.clone(), request.f).unwrap();
             let want = run_algorithm1(&mut direct, &request.cfg).unwrap();
-            assert_eq!(got.projection.as_slice(), want.projection.as_slice());
+            assert_eq!(
+                got.projection.basis().as_slice(),
+                want.projection.basis().as_slice()
+            );
             assert_eq!(got.rows, want.rows);
             assert_eq!(got.comm, want.comm);
         }

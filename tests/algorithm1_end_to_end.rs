@@ -206,8 +206,12 @@ fn repeated_runs_are_deterministic_in_seed() {
     let o2 = run_algorithm1(&mut m2, &cfg).unwrap();
     assert_eq!(o1.rows, o2.rows);
     assert_eq!(o1.comm, o2.comm);
-    let diff = o1.projection.sub(&o2.projection).unwrap().frobenius_norm();
-    assert!(diff < 1e-12);
+    // Factored projections make determinism checkable bitwise: the two
+    // runs must produce the exact same basis.
+    assert_eq!(
+        o1.projection.basis().as_slice(),
+        o2.projection.basis().as_slice()
+    );
 }
 
 #[test]

@@ -114,7 +114,7 @@ fn starved_sampler_budget_still_sound() {
     match run_algorithm1(&mut model, &cfg) {
         Ok(out) => {
             assert!(dlra::linalg::lowrank::is_projection_of_rank_at_most(
-                &out.projection,
+                &out.projection.to_dense(),
                 2,
                 1e-6
             ));

@@ -1,0 +1,139 @@
+//! The blocked/threaded kernel contract: for every shape and thread count,
+//! the cache-blocked, register-tiled, ISA-dispatched kernels are
+//! **bit-identical** to the retained naive reference kernels — the fixed
+//! per-element summation order makes the equality exact, not approximate.
+//! Also pins the factored-projector equivalence (`Projector::to_dense`
+//! matches the materialized `V·Vᵀ`) and the non-finite propagation the
+//! seed's zero-skip used to swallow.
+
+use dlra::linalg::kernels::reference;
+use dlra::linalg::{orthonormalize_columns, set_threads, Matrix, Projector};
+use dlra::util::Rng;
+use proptest::{proptest, ProptestConfig};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::new(seed ^ 0xD1CE);
+    Matrix::gaussian(rows, cols, &mut rng)
+}
+
+/// A matrix salted with exact zeros (the seed kernels special-cased them)
+/// and sign flips, to exercise the dropped zero-skip branch.
+fn sparse_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::new(seed ^ 0x5AB0);
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.f64() < 0.3 {
+            0.0
+        } else {
+            rng.gaussian()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Blocked/threaded matmul is bit-identical to the naive reference for
+    /// arbitrary shapes, including dimensions straddling every block edge.
+    #[test]
+    fn matmul_bit_identical(seed in 0u64..10_000, m in 1usize..70, k in 1usize..70, n in 1usize..70, threads in 1usize..5) {
+        let a = sparse_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 1);
+        set_threads(threads);
+        let fast = a.matmul(&b).unwrap();
+        set_threads(1);
+        let slow = reference::matmul(&a, &b).unwrap();
+        proptest::prop_assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    /// Same contract for `transpose_matmul`.
+    #[test]
+    fn transpose_matmul_bit_identical(seed in 0u64..10_000, r in 1usize..70, c in 1usize..50, n in 1usize..50, threads in 1usize..5) {
+        let a = sparse_matrix(r, c, seed);
+        let b = random_matrix(r, n, seed + 2);
+        set_threads(threads);
+        let fast = a.transpose_matmul(&b).unwrap();
+        set_threads(1);
+        let slow = reference::transpose_matmul(&a, &b).unwrap();
+        proptest::prop_assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    /// Same contract for `gram`.
+    #[test]
+    fn gram_bit_identical(seed in 0u64..10_000, r in 1usize..90, c in 1usize..60, threads in 1usize..5) {
+        let a = sparse_matrix(r, c, seed);
+        set_threads(threads);
+        let fast = a.gram();
+        set_threads(1);
+        let slow = reference::gram(&a);
+        proptest::prop_assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    /// Same contract for the blocked transpose.
+    #[test]
+    fn transpose_bit_identical(seed in 0u64..10_000, m in 1usize..80, n in 1usize..80, threads in 1usize..5) {
+        let a = random_matrix(m, n, seed);
+        set_threads(threads);
+        let fast = a.transpose();
+        set_threads(1);
+        let slow = reference::transpose(&a);
+        proptest::prop_assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    /// Thread count never changes a result: panels only partition the
+    /// output, each element's summation chain is the same on every worker
+    /// layout.
+    #[test]
+    fn thread_count_is_invisible(seed in 0u64..10_000, m in 1usize..60, k in 1usize..60, n in 1usize..60) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 3);
+        set_threads(1);
+        let one = a.matmul(&b).unwrap();
+        for t in [2usize, 3, 7] {
+            set_threads(t);
+            let many = a.matmul(&b).unwrap();
+            proptest::prop_assert_eq!(one.as_slice(), many.as_slice());
+        }
+        set_threads(1);
+    }
+
+    /// `Projector::to_dense` matches the materialized `V·Vᵀ` (the seed's
+    /// representation) to 1e-12, and the factored residual matches the
+    /// dense-path residual.
+    #[test]
+    fn projector_matches_materialized_vvt(seed in 0u64..10_000, d in 2usize..24, k in 1usize..6) {
+        let k = k.min(d);
+        let mut rng = Rng::new(seed ^ 0xBA515);
+        let v = orthonormalize_columns(&Matrix::gaussian(d, k, &mut rng));
+        let p = Projector::from_basis(v.clone());
+        let dense = v.matmul(&v.transpose()).unwrap();
+        let diff = p.to_dense().sub(&dense).unwrap().max_abs();
+        proptest::prop_assert!(diff < 1e-12, "to_dense off by {}", diff);
+
+        let a = Matrix::gaussian(3 * d, d, &mut rng);
+        let factored = p.residual_sq(&a).unwrap();
+        let dense_res = dlra::linalg::residual_sq(&a, &dense).unwrap();
+        let scale = 1.0 + a.frobenius_norm_sq();
+        proptest::prop_assert!(
+            (factored - dense_res).abs() < 1e-9 * scale,
+            "residual {} vs {}", factored, dense_res
+        );
+    }
+}
+
+/// Regression for the seed's NaN-swallowing zero-skip: `0 · NaN` and
+/// `0 · ∞` must reach the output as NaN in every multiplicative kernel.
+#[test]
+fn non_finite_inputs_propagate() {
+    set_threads(1);
+    let a = Matrix::from_rows(&[vec![0.0, 1.0]]).unwrap();
+    let bad = Matrix::from_rows(&[vec![f64::NAN], vec![2.0]]).unwrap();
+    assert!(a.matmul(&bad).unwrap()[(0, 0)].is_nan());
+
+    let inf = Matrix::from_rows(&[vec![f64::INFINITY], vec![2.0]]).unwrap();
+    assert!(a.matmul(&inf).unwrap()[(0, 0)].is_nan());
+
+    let cols = Matrix::from_rows(&[vec![0.0, 1.0], vec![f64::NAN, 2.0]]).unwrap();
+    let ones = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+    assert!(cols.transpose_matmul(&ones).unwrap()[(0, 0)].is_nan());
+    assert!(cols.gram()[(0, 0)].is_nan());
+}

@@ -33,7 +33,7 @@ proptest! {
     fn pythagorean_identity(seed in 0u64..5000, k in 1usize..5) {
         let a = small_matrix(seed, 12, 8, 1.0);
         let approx = best_rank_k(&a, k).unwrap();
-        let ap = a.matmul(&approx.projection).unwrap();
+        let ap = approx.projection.apply(&a).unwrap();
         let lhs = a.sub(&ap).unwrap().frobenius_norm_sq();
         let rhs = a.frobenius_norm_sq() - ap.frobenius_norm_sq();
         prop_assert!((lhs - rhs).abs() < 1e-7 * (1.0 + a.frobenius_norm_sq()));
@@ -45,8 +45,8 @@ proptest! {
     fn rank_k_projection_valid(seed in 0u64..5000, k in 1usize..6) {
         let a = small_matrix(seed, 10, 7, 1.5);
         let approx = best_rank_k(&a, k).unwrap();
-        prop_assert!(is_projection_of_rank_at_most(&approx.projection, k, 1e-7));
-        let res = residual_sq(&a, &approx.projection).unwrap();
+        prop_assert!(is_projection_of_rank_at_most(&approx.projection.to_dense(), k, 1e-7));
+        let res = approx.projection.residual_sq(&a).unwrap();
         prop_assert!((res - approx.error_sq).abs() < 1e-7 * (1.0 + approx.total_sq));
     }
 
@@ -154,7 +154,7 @@ proptest! {
     fn eckart_young_optimality(seed in 0u64..2000, k in 1usize..4) {
         let a = small_matrix(seed, 9, 6, 1.0);
         let best = best_rank_k(&a, k).unwrap();
-        let best_res = residual_sq(&a, &best.projection).unwrap();
+        let best_res = best.projection.residual_sq(&a).unwrap();
         let mut rng = Rng::new(seed ^ 0xFFFF);
         let rand_basis = dlra::linalg::orthonormalize_columns(
             &Matrix::gaussian(6, k, &mut rng));

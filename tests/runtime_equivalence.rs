@@ -33,8 +33,8 @@ fn assert_equivalent(s: usize, seed: u64, cfg: &Algorithm1Config) {
 
     // Bit-identical outputs.
     assert_eq!(
-        a.projection.as_slice(),
-        b.projection.as_slice(),
+        a.projection.basis().as_slice(),
+        b.projection.basis().as_slice(),
         "projection diverges at s = {s}, seed = {seed}"
     );
     assert_eq!(
@@ -117,7 +117,10 @@ fn adaptive_protocol_bit_identical_across_substrates() {
     };
     let a = run_adaptive(&mut sequential, &cfg).unwrap();
     let b = run_adaptive(&mut threaded, &cfg).unwrap();
-    assert_eq!(a.projection.as_slice(), b.projection.as_slice());
+    assert_eq!(
+        a.projection.basis().as_slice(),
+        b.projection.basis().as_slice()
+    );
     assert_eq!(a.rows_per_round, b.rows_per_round);
     assert_eq!(a.comm, b.comm);
 }
@@ -149,7 +152,10 @@ fn runtime_submit_matches_both_substrates() {
             .submit(QueryRequest::identity(cfg.clone()))
             .wait()
             .unwrap();
-        assert_eq!(got.projection.as_slice(), want.projection.as_slice());
+        assert_eq!(
+            got.projection.basis().as_slice(),
+            want.projection.basis().as_slice()
+        );
         assert_eq!(got.rows, want.rows);
         assert_eq!(got.comm, want.comm);
     }
