@@ -1,0 +1,112 @@
+//! Criterion benchmarks of the query planner: `Runtime::submit_batch`
+//! with the plan cache on vs off, B ∈ {1, 4, 16} queries sharing one `f`
+//! over a resident 1024×16 dataset. The batched path pays one
+//! `ZSampler::prepare` per batch; the unbatched path pays B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlra_core::prelude::*;
+use dlra_data::{noisy_low_rank, split_with_noise_shares};
+use dlra_linalg::Matrix;
+use dlra_runtime::{QueryRequest, Runtime, RuntimeConfig, Substrate};
+use dlra_sampler::ZSamplerParams;
+use dlra_util::Rng;
+use std::hint::black_box;
+
+const N: usize = 1024;
+const D: usize = 16;
+
+fn shares(s: usize) -> Vec<Matrix> {
+    let mut rng = Rng::new(19);
+    let a = noisy_low_rank(N, D, 4, 0.1, &mut rng);
+    split_with_noise_shares(&a, s, 0.3, &mut rng)
+}
+
+fn requests(b: usize) -> Vec<QueryRequest> {
+    (0..b)
+        .map(|i| {
+            QueryRequest::identity(Algorithm1Config {
+                k: 1 + i % 4,
+                r: 40,
+                sampler: SamplerKind::Z(ZSamplerParams::default()),
+                seed: 71,
+                ..Default::default()
+            })
+        })
+        .collect()
+}
+
+fn bench_batch_submit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_batch_vs_unbatched_1024x16");
+    group.sample_size(10);
+    let parts = shares(4);
+    for &b in &[1usize, 4, 16] {
+        let batch = requests(b);
+        group.bench_with_input(BenchmarkId::new("batched", b), &b, |bench, _| {
+            bench.iter(|| {
+                let runtime = Runtime::new(
+                    parts.clone(),
+                    RuntimeConfig {
+                        executors: 4,
+                        substrate: Substrate::Threaded,
+                        plan_cache: 16,
+                    },
+                )
+                .unwrap();
+                let handles = runtime.submit_batch(batch.clone());
+                let captured: f64 = handles
+                    .into_iter()
+                    .map(|h| h.wait().unwrap().captured)
+                    .sum();
+                black_box(captured)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("unbatched", b), &b, |bench, _| {
+            bench.iter(|| {
+                let runtime = Runtime::new(
+                    parts.clone(),
+                    RuntimeConfig {
+                        executors: 4,
+                        substrate: Substrate::Threaded,
+                        plan_cache: 0,
+                    },
+                )
+                .unwrap();
+                let handles: Vec<_> = batch.iter().map(|q| runtime.submit(q.clone())).collect();
+                let captured: f64 = handles
+                    .into_iter()
+                    .map(|h| h.wait().unwrap().captured)
+                    .sum();
+                black_box(captured)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Steady-state planned submit: the plan is already cached, so this
+/// measures the pure draw/fetch/SVD cost of serving one more query from a
+/// warm planner.
+fn bench_warm_cache_submit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_warm_submit_1024x16");
+    group.sample_size(10);
+    let parts = shares(4);
+    let request = &requests(1)[0];
+    let runtime = Runtime::new(
+        parts,
+        RuntimeConfig {
+            executors: 1,
+            substrate: Substrate::Threaded,
+            plan_cache: 16,
+        },
+    )
+    .unwrap();
+    // Warm the cache.
+    runtime.submit(request.clone()).wait().unwrap();
+    group.bench_function("warm", |bench| {
+        bench.iter(|| black_box(runtime.submit(request.clone()).wait().unwrap().captured));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_submit, bench_warm_cache_submit);
+criterion_main!(benches);

@@ -160,6 +160,7 @@ fn bench_dispatch_latency(c: &mut Criterion) {
                 RuntimeConfig {
                     executors: 1,
                     substrate,
+                    ..Default::default()
                 },
             )
             .unwrap();

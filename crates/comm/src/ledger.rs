@@ -125,6 +125,23 @@ impl LedgerSnapshot {
     }
 }
 
+/// Component-wise sum: recombines phase deltas (e.g. a shared prepare
+/// phase plus a per-query execute phase) into the total a single
+/// uninterrupted run would have charged — exact, because every field is a
+/// plain count.
+impl std::ops::Add for LedgerSnapshot {
+    type Output = LedgerSnapshot;
+
+    fn add(self, rhs: LedgerSnapshot) -> LedgerSnapshot {
+        LedgerSnapshot {
+            upstream_words: self.upstream_words + rhs.upstream_words,
+            downstream_words: self.downstream_words + rhs.downstream_words,
+            messages: self.messages + rhs.messages,
+            rounds: self.rounds + rhs.rounds,
+        }
+    }
+}
+
 impl Ledger {
     /// A fresh ledger. Event recording (the full transcript) is off by
     /// default; totals are always maintained.
@@ -265,6 +282,19 @@ mod tests {
         assert_eq!(delta.upstream_words, 20 + FRAME_WORDS);
         assert_eq!(delta.messages, 1);
         assert_eq!(delta.rounds, 1);
+    }
+
+    #[test]
+    fn snapshot_sum_recombines_phase_deltas() {
+        let l = Ledger::new();
+        l.charge(1, Direction::Upstream, 10, "prepare");
+        l.next_round();
+        let mid = l.snapshot();
+        let prepare = mid.since(&LedgerSnapshot::default());
+        l.charge(1, Direction::Downstream, 4, "execute");
+        l.next_round();
+        let execute = l.snapshot().since(&mid);
+        assert_eq!(prepare + execute, l.snapshot());
     }
 
     #[test]

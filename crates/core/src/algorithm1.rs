@@ -13,12 +13,14 @@
 //! the `P` with maximum `‖BP‖²_F`.
 
 use crate::fkv::{build_b_matrix, fkv_projection, SampledRow};
+use crate::functions::EntryFunction;
 use crate::model::{MatrixServer, PartitionModel};
 use crate::{CoreError, Result};
 use dlra_comm::{Collectives, LedgerSnapshot};
 use dlra_linalg::Projector;
-use dlra_sampler::{UniformSampler, ZSampler, ZSamplerParams};
+use dlra_sampler::{PreparedSampler, UniformSampler, ZFn, ZSampler, ZSamplerParams};
 use dlra_util::Rng;
+use std::sync::Arc;
 
 /// Which distributed sampler drives row selection.
 #[derive(Debug, Clone)]
@@ -84,14 +86,8 @@ pub struct Algorithm1Output {
     pub captured: f64,
 }
 
-/// Runs Algorithm 1 end to end on a partition model, on any substrate
-/// implementing [`Collectives`] (the sequential simulator or the threaded
-/// runtime) — the protocol body is identical either way.
-pub fn run_algorithm1<C: Collectives<MatrixServer>>(
-    model: &mut PartitionModel<C>,
-    cfg: &Algorithm1Config,
-) -> Result<Algorithm1Output> {
-    let (_, d) = model.shape();
+/// Validates an [`Algorithm1Config`] against the model's column count.
+fn validate_config(cfg: &Algorithm1Config, d: usize) -> Result<()> {
     if cfg.k == 0 {
         return Err(CoreError::InvalidConfig("k must be >= 1".into()));
     }
@@ -107,14 +103,24 @@ pub fn run_algorithm1<C: Collectives<MatrixServer>>(
     if cfg.boost == 0 {
         return Err(CoreError::InvalidConfig("boost must be >= 1".into()));
     }
+    Ok(())
+}
 
+/// The boosting loop shared by the planned and unplanned entry points:
+/// `sample` produces the rep's rows (lines 4–7), the body builds `B`, takes
+/// the top-k right singular space, and keeps the best `‖BP‖²_F`.
+fn run_boosted<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    cfg: &Algorithm1Config,
+    mut sample: impl FnMut(&mut PartitionModel<C>, u64) -> Result<Vec<SampledRow>>,
+) -> Result<Algorithm1Output> {
     let before = model.cluster().comm();
     let mut best: Option<(Projector, f64, Vec<usize>)> = None;
     for rep in 0..cfg.boost {
         let rep_seed = cfg
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rep as u64));
-        let sampled = sample_rows(model, cfg, rep_seed)?;
+        let sampled = sample(model, rep_seed)?;
         let indices: Vec<usize> = sampled.iter().map(|s| s.index).collect();
         let b = build_b_matrix(&sampled)?;
         let (p, captured) = fkv_projection(&b, cfg.k)?;
@@ -131,13 +137,141 @@ pub fn run_algorithm1<C: Collectives<MatrixServer>>(
     })
 }
 
+/// Runs Algorithm 1 end to end on a partition model, on any substrate
+/// implementing [`Collectives`] (the sequential simulator or the threaded
+/// runtime) — the protocol body is identical either way.
+///
+/// Internally this is prepare-then-execute: the Z-sampled path prepares a
+/// [`PreparedZPlan`] per boosting repetition and immediately consumes it,
+/// which is bit- and ledger-identical to the historical single-pass code.
+/// Callers serving many queries over one resident dataset should prepare
+/// once with [`prepare_z_plan`] and execute each query with
+/// [`run_algorithm1_with_plan`] instead — the preparation (the expensive,
+/// `k`-independent distributed phase) is then paid a single time.
+pub fn run_algorithm1<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    cfg: &Algorithm1Config,
+) -> Result<Algorithm1Output> {
+    validate_config(cfg, model.shape().1)?;
+    run_boosted(model, cfg, |model, rep_seed| {
+        sample_rows(model, cfg, rep_seed)
+    })
+}
+
+/// A shareable execution plan for Algorithm 1's Z-sampled path: the
+/// prepared Z-sampler (the `k`-independent distributed phase of the
+/// protocol — sketch bundles, coordinate injection, second estimator
+/// pass), the exact one-time communication it charged, and the identity it
+/// was prepared under. Cloning shares the `Arc`-backed structure; any
+/// number of queries may draw from one plan concurrently.
+#[derive(Debug, Clone)]
+pub struct PreparedZPlan {
+    sampler: Arc<PreparedSampler>,
+    /// Ledger delta of the preparation (two estimator passes plus the
+    /// injection broadcast) — the cost a planner amortizes across queries.
+    pub prepare_comm: LedgerSnapshot,
+    /// The entrywise `f` the plan was prepared under.
+    pub f: EntryFunction,
+    /// The sampler parameters the plan was prepared under.
+    pub params: ZSamplerParams,
+    /// The preparation seed (both estimator passes derive from it).
+    pub seed: u64,
+}
+
+impl PreparedZPlan {
+    /// The shared draw structure.
+    pub fn sampler(&self) -> &Arc<PreparedSampler> {
+        &self.sampler
+    }
+}
+
+/// The property-P `z` for the model's `f`, or the error naming the `f`
+/// that has none.
+fn z_fn_for<C: Collectives<MatrixServer>>(model: &PartitionModel<C>) -> Result<Box<dyn ZFn>> {
+    model.entry_function().z_fn().ok_or_else(|| {
+        CoreError::InvalidConfig(format!(
+            "no property-P z for f = {}; use GmRoot to approximate max",
+            model.entry_function().name()
+        ))
+    })
+}
+
+/// Runs the `k`-independent distributed phase once and returns the
+/// shareable plan. Deterministic in (data, `params`, `seed`): repeated
+/// preparations yield bit-identical plans charging identical ledger
+/// deltas, so a planner may cache the result and share it across every
+/// query with the same key. Fails with [`CoreError::SamplerExhausted`]
+/// when the data has no recoverable mass (exactly as the unplanned path
+/// would).
+pub fn prepare_z_plan<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    params: &ZSamplerParams,
+    seed: u64,
+) -> Result<PreparedZPlan> {
+    let zfn = z_fn_for(model)?;
+    let shared =
+        ZSampler::new(params.clone(), seed).prepare_shared(model.cluster_mut(), zfn.as_ref());
+    if shared.sampler.is_empty() {
+        return Err(CoreError::SamplerExhausted);
+    }
+    Ok(PreparedZPlan {
+        sampler: shared.sampler,
+        prepare_comm: shared.prepare_comm,
+        f: model.entry_function(),
+        params: params.clone(),
+        seed,
+    })
+}
+
+/// Runs Algorithm 1 consuming a pre-prepared sampler: only the per-query
+/// phases (probability-proportional draws, row fetches, the FKV step) run;
+/// no preparation communication is charged. The returned `comm` therefore
+/// covers draw/fetch only — callers account the plan's
+/// [`PreparedZPlan::prepare_comm`] once, however many queries consumed it.
+///
+/// `cfg.sampler` must be [`SamplerKind::Z`] with exactly the plan's
+/// parameters, and the model's `f` must match the plan's; mismatches are
+/// [`CoreError::InvalidConfig`] (a planner must never serve a query from a
+/// foreign plan). When `cfg.boost == 1` and `cfg.seed` equals the plan's
+/// prepare seed, the output is bit-identical to [`run_algorithm1`] and
+/// `prepare_comm + comm` equals its ledger delta exactly; with boosting,
+/// every repetition draws from the one shared preparation instead of
+/// re-preparing per repetition.
+pub fn run_algorithm1_with_plan<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    cfg: &Algorithm1Config,
+    plan: &PreparedZPlan,
+) -> Result<Algorithm1Output> {
+    validate_config(cfg, model.shape().1)?;
+    let SamplerKind::Z(params) = &cfg.sampler else {
+        return Err(CoreError::InvalidConfig(
+            "run_algorithm1_with_plan requires SamplerKind::Z".into(),
+        ));
+    };
+    if *params != plan.params {
+        return Err(CoreError::InvalidConfig(
+            "plan was prepared under different ZSamplerParams".into(),
+        ));
+    }
+    if plan.f != model.entry_function() {
+        return Err(CoreError::InvalidConfig(format!(
+            "plan was prepared under f = {}, model has f = {}",
+            plan.f.name(),
+            model.entry_function().name()
+        )));
+    }
+    run_boosted(model, cfg, |model, rep_seed| {
+        z_rows_from_plan(model, cfg.r, rep_seed, plan)
+    })
+}
+
 /// Lines 4–7: draw `r` rows and fetch them from the servers.
 fn sample_rows<C: Collectives<MatrixServer>>(
     model: &mut PartitionModel<C>,
     cfg: &Algorithm1Config,
     seed: u64,
 ) -> Result<Vec<SampledRow>> {
-    let (n, d) = model.shape();
+    let n = model.shape().0;
     let mut rng = Rng::new(seed ^ 0xA5A5_A5A5_5A5A_5A5A);
     match &cfg.sampler {
         SamplerKind::Uniform => {
@@ -171,43 +305,56 @@ fn sample_rows<C: Collectives<MatrixServer>>(
                 .collect())
         }
         SamplerKind::Z(params) => {
-            let zfn = model.entry_function().z_fn().ok_or_else(|| {
-                CoreError::InvalidConfig(format!(
-                    "no property-P z for f = {}; use GmRoot to approximate max",
-                    model.entry_function().name()
-                ))
-            })?;
-            let zsampler = ZSampler::new(params.clone(), seed);
-            let prepared = zsampler.prepare(model.cluster_mut(), zfn.as_ref());
-            if prepared.is_empty() {
-                return Err(CoreError::SamplerExhausted);
-            }
-            let draws = prepared.draw_many(cfg.r, &mut rng);
-            if draws.is_empty() {
-                return Err(CoreError::SamplerExhausted);
-            }
-            // Entry → row: an entry draw selects its row (§V: "If an entry
-            // is sampled, then we choose the entire row as the sample").
-            let row_of = |coord: u64| (coord as usize) / d;
-            let pairs: Vec<(usize, f64)> = draws
-                .iter()
-                .map(|dr| (row_of(dr.coord), f64::NAN))
-                .collect();
-            // Fetch raw rows first; the row's reported probability is its
-            // z-mass over Ẑ, computable exactly from the fetched raw row.
-            let mut rows = fetch_rows(model, &pairs)?;
-            let z_hat = prepared.z_hat();
-            for row in rows.iter_mut() {
-                let zmass: f64 = row.raw.iter().map(|&x| zfn.z(x)).sum();
-                row.q_hat = (zmass / z_hat).min(1.0);
-                // NaN-safe: reject zero, negative, and NaN probabilities.
-                if row.q_hat <= 0.0 || row.q_hat.is_nan() {
-                    return Err(CoreError::SamplerExhausted);
-                }
-            }
-            Ok(rows.into_iter().map(FetchedRow::into_sampled).collect())
+            // Prepare-then-execute: one plan per repetition, consumed
+            // immediately — bit- and ledger-identical to preparing inline.
+            let plan = prepare_z_plan(model, params, seed)?;
+            z_rows_from_plan(model, cfg.r, seed, &plan)
         }
     }
+}
+
+/// Lines 4–7 of the Z-sampled path, given an already-prepared sampler:
+/// draw `r` entries, promote each to its row, fetch the rows, and attach
+/// the exact `z`-mass probabilities. This is the per-query (plan-consuming)
+/// half of the prepare/execute split; all randomness comes from
+/// `draw_seed`, never from the plan.
+fn z_rows_from_plan<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    r: usize,
+    draw_seed: u64,
+    plan: &PreparedZPlan,
+) -> Result<Vec<SampledRow>> {
+    let d = model.shape().1;
+    let zfn = z_fn_for(model)?;
+    let mut rng = Rng::new(draw_seed ^ 0xA5A5_A5A5_5A5A_5A5A);
+    let prepared = plan.sampler();
+    if prepared.is_empty() {
+        return Err(CoreError::SamplerExhausted);
+    }
+    let draws = prepared.draw_many(r, &mut rng);
+    if draws.is_empty() {
+        return Err(CoreError::SamplerExhausted);
+    }
+    // Entry → row: an entry draw selects its row (§V: "If an entry
+    // is sampled, then we choose the entire row as the sample").
+    let row_of = |coord: u64| (coord as usize) / d;
+    let pairs: Vec<(usize, f64)> = draws
+        .iter()
+        .map(|dr| (row_of(dr.coord), f64::NAN))
+        .collect();
+    // Fetch raw rows first; the row's reported probability is its
+    // z-mass over Ẑ, computable exactly from the fetched raw row.
+    let mut rows = fetch_rows(model, &pairs)?;
+    let z_hat = prepared.z_hat();
+    for row in rows.iter_mut() {
+        let zmass: f64 = row.raw.iter().map(|&x| zfn.z(x)).sum();
+        row.q_hat = (zmass / z_hat).min(1.0);
+        // NaN-safe: reject zero, negative, and NaN probabilities.
+        if row.q_hat <= 0.0 || row.q_hat.is_nan() {
+            return Err(CoreError::SamplerExhausted);
+        }
+    }
+    Ok(rows.into_iter().map(FetchedRow::into_sampled).collect())
 }
 
 /// Internal extension of [`SampledRow`] carrying the raw (pre-`f`)
@@ -460,6 +607,129 @@ mod tests {
             "upstream {} vs expected ≈ {expect}",
             out.comm.upstream_words
         );
+    }
+
+    #[test]
+    fn planned_run_is_bit_identical_to_unplanned() {
+        // boost == 1 and matching seeds: prepare-then-execute through an
+        // explicit plan must reproduce run_algorithm1 exactly, and the
+        // plan's one-time cost plus the execute delta must equal the
+        // unplanned ledger delta word for word.
+        let cfg = Algorithm1Config {
+            k: 2,
+            r: 40,
+            sampler: SamplerKind::Z(ZSamplerParams::default()),
+            seed: 77,
+            ..Default::default()
+        };
+        let mut unplanned = low_rank_model(3, 96, 10, 2, 0.05, 8);
+        let want = run_algorithm1(&mut unplanned, &cfg).unwrap();
+
+        let mut planned = low_rank_model(3, 96, 10, 2, 0.05, 8);
+        let plan = prepare_z_plan(&mut planned, &ZSamplerParams::default(), 77).unwrap();
+        let got = run_algorithm1_with_plan(&mut planned, &cfg, &plan).unwrap();
+
+        assert_eq!(
+            got.projection.basis().as_slice(),
+            want.projection.basis().as_slice()
+        );
+        assert_eq!(got.rows, want.rows);
+        assert_eq!(got.captured.to_bits(), want.captured.to_bits());
+        assert_eq!(plan.prepare_comm + got.comm, want.comm);
+    }
+
+    #[test]
+    fn one_plan_serves_many_ranks() {
+        // The preparation is k-independent: one plan, three ranks, each
+        // execution charging only draw/fetch words.
+        let mut m = low_rank_model(3, 128, 12, 3, 0.05, 9);
+        let plan = prepare_z_plan(&mut m, &ZSamplerParams::default(), 5).unwrap();
+        let shared_before = Arc::strong_count(plan.sampler());
+        for k in 1..=3 {
+            let cfg = Algorithm1Config {
+                k,
+                r: 50,
+                sampler: SamplerKind::Z(ZSamplerParams::default()),
+                seed: 5,
+                ..Default::default()
+            };
+            let out = run_algorithm1_with_plan(&mut m, &cfg, &plan).unwrap();
+            assert_eq!(out.projection.basis().cols(), k);
+            assert!(out.comm.total_words() > 0);
+            assert!(out.comm.total_words() < plan.prepare_comm.total_words());
+        }
+        // Execution borrowed the plan; nothing cloned the structure away.
+        assert_eq!(Arc::strong_count(plan.sampler()), shared_before);
+    }
+
+    #[test]
+    fn boosted_planned_run_prepares_once() {
+        // With boosting, every repetition draws from the one shared
+        // preparation: the execute delta stays strictly below what two
+        // prepare phases would cost.
+        let cfg = Algorithm1Config {
+            k: 2,
+            r: 25,
+            boost: 3,
+            sampler: SamplerKind::Z(ZSamplerParams::default()),
+            seed: 13,
+        };
+        let mut m = low_rank_model(2, 80, 8, 2, 0.1, 10);
+        let plan = prepare_z_plan(&mut m, &ZSamplerParams::default(), 13).unwrap();
+        let out = run_algorithm1_with_plan(&mut m, &cfg, &plan).unwrap();
+        assert!(out.comm.total_words() < plan.prepare_comm.total_words());
+    }
+
+    #[test]
+    fn plan_mismatches_are_rejected() {
+        let mut m = low_rank_model(2, 60, 8, 2, 0.05, 11);
+        let plan = prepare_z_plan(&mut m, &ZSamplerParams::default(), 3).unwrap();
+
+        // Different sampler parameters.
+        let other_params = ZSamplerParams {
+            hh_width: 64,
+            ..ZSamplerParams::default()
+        };
+        let cfg = Algorithm1Config {
+            k: 2,
+            r: 20,
+            sampler: SamplerKind::Z(other_params),
+            seed: 3,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_algorithm1_with_plan(&mut m, &cfg, &plan),
+            Err(CoreError::InvalidConfig(_))
+        ));
+
+        // Non-Z sampler.
+        let cfg = Algorithm1Config {
+            k: 2,
+            r: 20,
+            sampler: SamplerKind::Uniform,
+            seed: 3,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_algorithm1_with_plan(&mut m, &cfg, &plan),
+            Err(CoreError::InvalidConfig(_))
+        ));
+
+        // Different entrywise f.
+        let mut rng = Rng::new(12);
+        let parts: Vec<Matrix> = (0..2).map(|_| Matrix::gaussian(60, 8, &mut rng)).collect();
+        let mut huber = PartitionModel::new(parts, EntryFunction::Huber { k: 2.0 }).unwrap();
+        let cfg = Algorithm1Config {
+            k: 2,
+            r: 20,
+            sampler: SamplerKind::Z(ZSamplerParams::default()),
+            seed: 3,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_algorithm1_with_plan(&mut huber, &cfg, &plan),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod theory;
 
 pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveOutput};
 pub use algorithm1::{
-    fetch_global_rows, run_algorithm1, Algorithm1Config, Algorithm1Output, GlobalRow, SamplerKind,
+    fetch_global_rows, prepare_z_plan, run_algorithm1, run_algorithm1_with_plan, Algorithm1Config,
+    Algorithm1Output, GlobalRow, PreparedZPlan, SamplerKind,
 };
 pub use baselines::{row_partition_pca, RowPartitionOutput};
 pub use fkv::{build_b_matrix, fkv_projection, SampledRow};
@@ -57,7 +58,10 @@ pub use model::{MatrixServer, PartitionModel};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::algorithm1::{run_algorithm1, Algorithm1Config, Algorithm1Output, SamplerKind};
+    pub use crate::algorithm1::{
+        prepare_z_plan, run_algorithm1, run_algorithm1_with_plan, Algorithm1Config,
+        Algorithm1Output, PreparedZPlan, SamplerKind,
+    };
     pub use crate::functions::EntryFunction;
     pub use crate::metrics::{evaluate_dense_projection, evaluate_projection, EvalReport};
     pub use crate::model::{MatrixServer, PartitionModel};

@@ -41,12 +41,6 @@ const MR: usize = 4;
 /// Register tile width of the GEMM micro-kernel (four AVX-512 vectors or
 /// eight AVX2 vectors of accumulators per tile row).
 const JW: usize = 32;
-/// Output sub-slab budget for the triangular gram kernel: the out rows
-/// being accumulated stay resident in L2 while the contraction index
-/// streams the full input. (`matmul`/`transpose_matmul` go through the
-/// register-tiled GEMM body instead, where the KC blocking plays this
-/// role.)
-const PB_BYTES: usize = 256 * 1024;
 
 /// The widest SIMD level the host supports, detected once. The kernel
 /// bodies are ordinary safe Rust compiled three times under different
@@ -286,8 +280,9 @@ pub(crate) fn transpose_matmul_into(
 }
 
 /// Upper triangle of `aᵀ · a` (`a` is `r × c`, `out` is `c × c`,
-/// zero-initialized); the caller mirrors. One pass over the rows — the
-/// coordinator's `BᵀB` accumulation — with `i` ascending per element.
+/// zero-initialized); the caller mirrors. The coordinator's `BᵀB`
+/// accumulation, register-tiled over KC row blocks with `i` strictly
+/// ascending per element.
 pub(crate) fn gram_upper_into(a: &[f64], r: usize, c: usize, out: &mut [f64]) {
     debug_assert_eq!(a.len(), r * c);
     debug_assert_eq!(out.len(), c * c);
@@ -312,27 +307,132 @@ isa_dispatch!(gram_panel_body =>
     fn gram_panel(a: &[f64], r: usize, c: usize, first_row: usize, panel: &mut [f64])
 );
 
+/// Register-tiled triangular gram body: the same `MR × JW` accumulator
+/// tile as the GEMM micro-kernel (`aᵀa` *is* `aᵀ·b` with `b = a`, so the
+/// contraction strides match `transpose_matmul`'s), restricted to output
+/// tiles on or above the diagonal. Per k-step inside a tile the only
+/// memory traffic is one `JW`-wide row load plus `MR` scalar loads — the
+/// out tile lives in registers for the whole `KC` block — where the old
+/// body re-read and re-wrote every output element through L2 per k-step.
+/// The ragged diagonal edge of each row quad (the up-to-`MR − 1` leading
+/// columns where not all quad rows are active yet) and the right-hand
+/// column tail accumulate per element over the same k-block, so every
+/// output element still receives its products in strictly ascending-k
+/// order and results stay bit-identical to [`reference::gram`].
 #[inline(always)]
 fn gram_panel_body(a: &[f64], r: usize, c: usize, first_row: usize, panel: &mut [f64]) {
+    // Tiles sit on absolute JW-aligned column positions so the NC blocks
+    // (NC is a multiple of JW) never split a tile.
+    const _: () = assert!(NC.is_multiple_of(JW));
     let prows = panel.len() / c;
-    // Out-slab sub-blocking (see `PB_BYTES`): accumulate a cache-resident
-    // band of output rows per pass over the input.
-    let pb_rows = (PB_BYTES / (c.max(1) * 8)).clamp(1, prows.max(1));
-    let mut pb = 0;
-    while pb < prows {
-        let pe = (pb + pb_rows).min(prows);
-        for i in 0..r {
-            let row = &a[i * c..(i + 1) * c];
-            for p in pb..pe {
-                let gp = first_row + p;
-                let x = row[gp];
-                let orow = &mut panel[p * c + gp..(p + 1) * c];
-                for (o, &bv) in orow.iter_mut().zip(&row[gp..]) {
-                    *o += x * bv;
+    let mut kb = 0;
+    while kb < r {
+        let ke = (kb + KC).min(r);
+        let mut jb = 0;
+        while jb < c {
+            let je = (jb + NC).min(c);
+            let mut p = 0;
+            while p + MR <= prows {
+                let g0 = first_row + p;
+                // First JW-aligned column at/after the quad's last
+                // diagonal; everything between a row's diagonal and it is
+                // the ragged edge, accumulated per element.
+                let jt0 = (g0 + MR - 1).next_multiple_of(JW);
+                for m in 0..MR {
+                    let gm = g0 + m;
+                    for q in gm.max(jb)..jt0.min(je) {
+                        let mut acc = panel[(p + m) * c + q];
+                        for k in kb..ke {
+                            acc += a[k * c + gm] * a[k * c + q];
+                        }
+                        panel[(p + m) * c + q] = acc;
+                    }
                 }
+                let mut jt = jt0.max(jb);
+                while jt + JW <= je {
+                    let (o01, o23) = panel[p * c..(p + MR) * c].split_at_mut(2 * c);
+                    let (o0, o1) = o01.split_at_mut(c);
+                    let (o2, o3) = o23.split_at_mut(c);
+                    let mut c0 = [0.0f64; JW];
+                    let mut c1 = [0.0f64; JW];
+                    let mut c2 = [0.0f64; JW];
+                    let mut c3 = [0.0f64; JW];
+                    c0.copy_from_slice(&o0[jt..jt + JW]);
+                    c1.copy_from_slice(&o1[jt..jt + JW]);
+                    c2.copy_from_slice(&o2[jt..jt + JW]);
+                    c3.copy_from_slice(&o3[jt..jt + JW]);
+                    for k in kb..ke {
+                        let bk: &[f64; JW] = (&a[k * c + jt..k * c + jt + JW])
+                            .try_into()
+                            .expect("JW window");
+                        let base = k * c + g0;
+                        let (x0, x1, x2, x3) = (a[base], a[base + 1], a[base + 2], a[base + 3]);
+                        for l in 0..JW {
+                            c0[l] += x0 * bk[l];
+                            c1[l] += x1 * bk[l];
+                            c2[l] += x2 * bk[l];
+                            c3[l] += x3 * bk[l];
+                        }
+                    }
+                    o0[jt..jt + JW].copy_from_slice(&c0);
+                    o1[jt..jt + JW].copy_from_slice(&c1);
+                    o2[jt..jt + JW].copy_from_slice(&c2);
+                    o3[jt..jt + JW].copy_from_slice(&c3);
+                    jt += JW;
+                }
+                // Column tail (je − jt < JW, only at je == c), per element.
+                for m in 0..MR {
+                    let gm = g0 + m;
+                    for q in jt.max(gm)..je {
+                        let mut acc = panel[(p + m) * c + q];
+                        for k in kb..ke {
+                            acc += a[k * c + gm] * a[k * c + q];
+                        }
+                        panel[(p + m) * c + q] = acc;
+                    }
+                }
+                p += MR;
             }
+            // Remainder rows: 1 × JW tiles on the same aligned grid.
+            while p < prows {
+                let gp = first_row + p;
+                let jt0 = gp.next_multiple_of(JW);
+                for q in gp.max(jb)..jt0.min(je) {
+                    let mut acc = panel[p * c + q];
+                    for k in kb..ke {
+                        acc += a[k * c + gp] * a[k * c + q];
+                    }
+                    panel[p * c + q] = acc;
+                }
+                let mut jt = jt0.max(jb);
+                while jt + JW <= je {
+                    let orow = &mut panel[p * c + jt..p * c + jt + JW];
+                    let mut acc = [0.0f64; JW];
+                    acc.copy_from_slice(orow);
+                    for k in kb..ke {
+                        let bk: &[f64; JW] = (&a[k * c + jt..k * c + jt + JW])
+                            .try_into()
+                            .expect("JW window");
+                        let x = a[k * c + gp];
+                        for l in 0..JW {
+                            acc[l] += x * bk[l];
+                        }
+                    }
+                    orow.copy_from_slice(&acc);
+                    jt += JW;
+                }
+                for q in jt.max(gp)..je {
+                    let mut acc = panel[p * c + q];
+                    for k in kb..ke {
+                        acc += a[k * c + gp] * a[k * c + q];
+                    }
+                    panel[p * c + q] = acc;
+                }
+                p += 1;
+            }
+            jb = je;
         }
-        pb = pe;
+        kb = ke;
     }
 }
 

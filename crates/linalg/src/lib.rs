@@ -7,7 +7,9 @@
 //!   implementations behind `matmul` / `transpose_matmul` / `gram` /
 //!   `transpose`, plus the retained naive [`kernels::reference`] baselines;
 //! * [`threads`] — the kernel thread-count knob ([`set_threads`] /
-//!   `DLRA_THREADS`, default = available parallelism);
+//!   `DLRA_THREADS`, default = available parallelism), the scoped
+//!   [`with_threads`] override outer parallelism layers use to pin
+//!   kernels, and the persistent panel-worker pool the kernels run on;
 //! * [`projector`] — factored orthogonal projectors `P = V·Vᵀ` applied as
 //!   `(A·V)·Vᵀ`, never materializing the `d × d` matrix;
 //! * [`qr`] — Householder thin QR and orthonormalization;
@@ -43,7 +45,9 @@ pub use projector::Projector;
 pub use qr::{householder_qr, orthonormalize_columns};
 pub use randomized::{randomized_svd, RandomizedSvdConfig};
 pub use svd::{svd, Svd};
-pub use threads::{set_threads, threads};
+pub use threads::{
+    parallelism_watermark, reset_parallelism_watermark, set_threads, threads, with_threads,
+};
 
 /// Errors surfaced by the linear-algebra kernels.
 #[derive(Debug, Clone, PartialEq, Eq)]

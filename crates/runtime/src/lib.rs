@@ -17,6 +17,15 @@
 //!   dispatch is O(s) handle clones — no per-query copy of the data — and
 //!   a dead or shut-down pool surfaces as
 //!   `CoreError::RuntimeUnavailable` through the handle, never a panic.
+//! * [`PlanCache`] / [`Runtime::submit_batch`] — the query planner:
+//!   unboosted Z-sampled queries sharing a [`PlanKey`] (`f`, sampler
+//!   parameters, seed, residency epoch) run the expensive,
+//!   `k`-independent `ZSampler::prepare` **once** and draw from the
+//!   shared `Arc`-backed structure concurrently; `Runtime::reload_resident`
+//!   bumps the epoch and invalidates every stale plan. Server workers pin
+//!   kernel threading to 1 (`dlra_linalg::with_threads`), so the
+//!   substrate's parallelism and the kernel pool never compose
+//!   multiplicatively.
 //! * [`threaded_model`] / [`threaded_gm_pooling`] — one-line constructors
 //!   for a `PartitionModel` on the threaded substrate.
 //!
@@ -36,6 +45,7 @@
 //! assert_eq!(out.projection.dim(), 16);
 //! ```
 
+pub mod planner;
 pub mod runtime;
 pub mod threaded;
 
@@ -44,7 +54,10 @@ use dlra_core::model::{MatrixServer, PartitionModel};
 use dlra_core::Result;
 use dlra_linalg::Matrix;
 
-pub use runtime::{QueryHandle, QueryRequest, Runtime, RuntimeConfig, Substrate};
+pub use planner::{PlanCache, PlanCacheStats, PlanKey};
+pub use runtime::{
+    PlanUse, QueryHandle, QueryOutcome, QueryRequest, Runtime, RuntimeConfig, Substrate,
+};
 pub use threaded::ThreadedCluster;
 
 /// A partition model on the threaded substrate (the parallel counterpart

@@ -1,5 +1,5 @@
 //! [`Runtime`]: a resident cluster serving many Algorithm 1 queries
-//! concurrently.
+//! concurrently, with a query planner amortizing sampler preparation.
 //!
 //! The runtime owns one resident dataset (the per-server local matrices)
 //! and a pool of executor threads. [`Runtime::submit`] enqueues a
@@ -10,6 +10,29 @@
 //! configured substrate, run the full protocol, and deliver the result
 //! through the handle. Many queries are in flight at once, which is the
 //! first step toward serving real traffic against one loaded cluster.
+//!
+//! ## Query planning
+//!
+//! The expensive distributed phase of a Z-sampled query — two estimator
+//! passes plus coordinate injection — is `k`-independent and deterministic
+//! in `(resident data, f, sampler parameters, prepare seed)`. The runtime
+//! therefore keeps a bounded LRU [`PlanCache`]: unboosted Z queries whose
+//! [`PlanKey`]s collide share one `Arc`-backed prepared sampler, prepared
+//! **exactly once** (concurrent executors block on the in-flight
+//! preparation instead of redoing it). [`Runtime::submit_batch`] is the
+//! batched entry point: B queries over the same `f` and seed pay one
+//! preparation plus B draw/fetch phases.
+//!
+//! Per-query accounting stays exact: a planned query's reported
+//! [`Algorithm1Output::comm`] is the preparation delta plus its own
+//! draw/fetch delta — bit-identical to what an unplanned run would have
+//! charged — while [`QueryOutcome::plan`] reports the shared preparation
+//! cost and whether this query was the one that physically paid it, so
+//! batch-level savings are measurable (see the `planner` bench).
+//!
+//! The cache is keyed by the **residency epoch**: [`Runtime::reload_resident`]
+//! swaps the dataset, bumps the epoch, and drops every stale plan — a
+//! plan can never outlive the data it summarizes.
 //!
 //! ## Copy-on-write residency
 //!
@@ -31,14 +54,18 @@
 //! distinct from per-query errors like `InvalidConfig` — callers can tell
 //! "my query was bad" apart from "the pool is gone, retry elsewhere".
 
+use crate::planner::{PlanCache, PlanCacheStats, PlanKey};
 use crate::threaded::ThreadedCluster;
-use dlra_core::algorithm1::{run_algorithm1, Algorithm1Config, Algorithm1Output};
+use dlra_comm::LedgerSnapshot;
+use dlra_core::algorithm1::{
+    run_algorithm1, run_algorithm1_with_plan, Algorithm1Config, Algorithm1Output, SamplerKind,
+};
 use dlra_core::functions::EntryFunction;
 use dlra_core::model::PartitionModel;
 use dlra_core::{CoreError, Result};
 use dlra_linalg::Matrix;
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// Which execution substrate the pooled executors build per query.
@@ -58,6 +85,14 @@ pub struct RuntimeConfig {
     pub executors: usize,
     /// Substrate each query runs on.
     pub substrate: Substrate,
+    /// Capacity of the plan cache (distinct prepared samplers held);
+    /// `0` disables planning entirely — every query then prepares its own
+    /// sampler, exactly as before the planner existed. The default is 16,
+    /// overridable with the `DLRA_PLAN_CACHE` environment variable
+    /// (`DLRA_PLAN_CACHE=0` disables, `DLRA_PLAN_CACHE=n` sets the
+    /// capacity) — which is how CI proves the planned and unplanned paths
+    /// stay bit- and ledger-identical.
+    pub plan_cache: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -66,9 +101,14 @@ impl Default for RuntimeConfig {
             .map(|p| p.get())
             .unwrap_or(2)
             .clamp(1, 8);
+        let plan_cache = std::env::var("DLRA_PLAN_CACHE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(16);
         RuntimeConfig {
             executors,
             substrate: Substrate::default(),
+            plan_cache,
         }
     }
 }
@@ -92,12 +132,50 @@ impl QueryRequest {
             cfg,
         }
     }
+
+    /// Whether the planner may serve this query from a shared preparation:
+    /// a Z-sampled, unboosted query (boosted repetitions re-prepare with
+    /// per-repetition seeds on the unplanned path, so sharing one
+    /// preparation would change their bits) with a valid-enough
+    /// configuration that preparing before validation cannot mask a
+    /// config error.
+    fn plannable(&self, d: usize) -> bool {
+        matches!(self.cfg.sampler, SamplerKind::Z(_))
+            && self.cfg.boost == 1
+            && self.cfg.k >= 1
+            && self.cfg.k <= d
+            && self.cfg.r >= 1
+            && self.f.z_fn().is_some()
+    }
+}
+
+/// How a delivered query interacted with the plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanUse {
+    /// The preparation's one-time ledger cost. It is already folded into
+    /// the output's `comm` (keeping per-query accounting identical to an
+    /// unplanned run); subtract it to get the query's own draw/fetch
+    /// delta, and charge it once per distinct plan when totalling a batch.
+    pub prepare_comm: LedgerSnapshot,
+    /// `true` when the preparation was served from the cache; `false` for
+    /// the one query per plan that physically ran it.
+    pub cache_hit: bool,
+}
+
+/// A delivered query result plus its planner provenance.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The protocol output (projection, per-query ledger delta, rows).
+    pub output: Algorithm1Output,
+    /// `Some` when the query executed from a shared plan; `None` on the
+    /// unplanned path (cache disabled, non-Z sampler, or boosted query).
+    pub plan: Option<PlanUse>,
 }
 
 enum Task {
     Query {
         request: QueryRequest,
-        reply: Sender<Result<Algorithm1Output>>,
+        reply: Sender<Result<QueryOutcome>>,
     },
     /// Test-only: makes the executor that pops it panic, so tests can kill
     /// the pool and exercise the dead-runtime failure paths.
@@ -115,7 +193,7 @@ fn runtime_unavailable() -> CoreError {
 
 /// Pending result of a submitted query.
 pub struct QueryHandle {
-    rx: Receiver<Result<Algorithm1Output>>,
+    rx: Receiver<Result<QueryOutcome>>,
 }
 
 impl QueryHandle {
@@ -123,6 +201,12 @@ impl QueryHandle {
     /// (executor panicked mid-run, pool dead or shut down) resolves to
     /// [`CoreError::RuntimeUnavailable`].
     pub fn wait(self) -> Result<Algorithm1Output> {
+        self.wait_outcome().map(|o| o.output)
+    }
+
+    /// Like [`QueryHandle::wait`], also reporting how the query interacted
+    /// with the plan cache.
+    pub fn wait_outcome(self) -> Result<QueryOutcome> {
         match self.rx.recv() {
             Ok(result) => result,
             Err(_) => Err(runtime_unavailable()),
@@ -135,11 +219,20 @@ impl QueryHandle {
     /// cannot spin forever on it.
     pub fn try_wait(&self) -> Option<Result<Algorithm1Output>> {
         match self.rx.try_recv() {
-            Ok(result) => Some(result),
+            Ok(result) => Some(result.map(|o| o.output)),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(runtime_unavailable())),
         }
     }
+}
+
+/// The resident dataset plus its epoch (bumped on every reload; part of
+/// every [`PlanKey`], so plans are pinned to the data they were prepared
+/// against).
+struct Resident {
+    locals: Arc<Vec<Matrix>>,
+    epoch: u64,
+    shape: (usize, usize),
 }
 
 /// A resident cluster plus an executor pool answering Algorithm 1 queries.
@@ -165,11 +258,13 @@ impl QueryHandle {
 pub struct Runtime {
     queue: Option<Sender<Task>>,
     executors: Vec<JoinHandle<()>>,
-    /// The resident per-server matrices. Executors hold the same `Arc`;
-    /// per-query models are built from O(1) handle clones of the matrices
-    /// inside, never from copies of their entry data.
-    resident: Arc<Vec<Matrix>>,
-    shape: (usize, usize),
+    /// The resident per-server matrices. Executors read the current
+    /// payload per query; per-query models are built from O(1) handle
+    /// clones of the matrices inside, never from copies of their entry
+    /// data.
+    resident: Arc<RwLock<Resident>>,
+    /// `Some` when planning is enabled (`RuntimeConfig::plan_cache > 0`).
+    planner: Option<Arc<PlanCache>>,
 }
 
 impl Runtime {
@@ -177,26 +272,20 @@ impl Runtime {
     /// the executor pool. Loading shares the caller's matrix storage
     /// copy-on-write — no entry data is copied here or at query dispatch.
     pub fn new(locals: Vec<Matrix>, config: RuntimeConfig) -> Result<Self> {
-        if locals.is_empty() {
-            return Err(CoreError::InvalidModel("no servers".into()));
-        }
-        let (n, d) = locals[0].shape();
-        if n == 0 || d == 0 {
-            return Err(CoreError::InvalidModel(format!("empty matrices {n}x{d}")));
-        }
-        if let Some((t, m)) = locals.iter().enumerate().find(|(_, m)| m.shape() != (n, d)) {
-            return Err(CoreError::InvalidModel(format!(
-                "server {t} has shape {:?}, expected ({n}, {d})",
-                m.shape()
-            )));
-        }
-        let resident = Arc::new(locals);
+        let shape = validate_locals(&locals)?;
+        let resident = Arc::new(RwLock::new(Resident {
+            locals: Arc::new(locals),
+            epoch: 0,
+            shape,
+        }));
+        let planner = (config.plan_cache > 0).then(|| Arc::new(PlanCache::new(config.plan_cache)));
         let (queue, tasks) = mpsc::channel::<Task>();
         let tasks = Arc::new(Mutex::new(tasks));
         let executors = (0..config.executors.max(1))
             .map(|i| {
                 let tasks = Arc::clone(&tasks);
                 let resident = Arc::clone(&resident);
+                let planner = planner.clone();
                 let substrate = config.substrate;
                 std::thread::Builder::new()
                     .name(format!("dlra-executor-{i}"))
@@ -205,7 +294,8 @@ impl Runtime {
                         let popped = tasks.lock().expect("task queue poisoned").recv();
                         match popped {
                             Ok(Task::Query { request, reply }) => {
-                                let result = execute(&resident, substrate, &request);
+                                let result =
+                                    execute(&resident, substrate, planner.as_deref(), &request);
                                 // The caller may have dropped its handle;
                                 // that's fine, the result is discarded.
                                 let _ = reply.send(result);
@@ -222,7 +312,7 @@ impl Runtime {
             queue: Some(queue),
             executors,
             resident,
-            shape: (n, d),
+            planner,
         })
     }
 
@@ -255,6 +345,48 @@ impl Runtime {
         QueryHandle { rx }
     }
 
+    /// Submits a batch of queries; handles are returned in request order.
+    ///
+    /// With planning enabled, queries in the batch (and any concurrently
+    /// submitted ones) that share a [`PlanKey`] — same `f`, same
+    /// `ZSamplerParams`, same seed, unboosted — run `ZSampler::prepare`
+    /// **at most once between them**: the first executor to reach a key
+    /// not yet cached prepares, every other query blocks on that
+    /// preparation and then draws from the shared structure concurrently.
+    /// Per distinct key, at most one delivered [`QueryOutcome`] carries
+    /// `plan.cache_hit == false` (the preparation's physical payer); on a
+    /// cold cache there is exactly one per key, while a warm cache may
+    /// serve the whole batch as hits with no payer at all — so total a
+    /// batch's physical cost from the payers you actually observe plus
+    /// the cached plans' already-paid `prepare_comm`, not from an assumed
+    /// payer count.
+    pub fn submit_batch(
+        &self,
+        requests: impl IntoIterator<Item = QueryRequest>,
+    ) -> Vec<QueryHandle> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Replaces the resident dataset and bumps the residency epoch:
+    /// in-flight queries finish against the payload they dispatched with
+    /// (their models hold handle clones), subsequent queries see the new
+    /// data, and every cached plan from the previous epoch is dropped —
+    /// the plan cache can never serve a preparation of data that is gone.
+    pub fn reload_resident(&self, locals: Vec<Matrix>) -> Result<()> {
+        let shape = validate_locals(&locals)?;
+        let epoch = {
+            let mut resident = self.resident.write().expect("resident state poisoned");
+            resident.locals = Arc::new(locals);
+            resident.epoch += 1;
+            resident.shape = shape;
+            resident.epoch
+        };
+        if let Some(planner) = &self.planner {
+            planner.retain_epoch(epoch);
+        }
+        Ok(())
+    }
+
     /// Stops the executor pool gracefully: already-queued and in-flight
     /// queries complete and deliver their results, then the executors are
     /// joined. Subsequent [`Runtime::submit`]s resolve to
@@ -269,18 +401,43 @@ impl Runtime {
 
     /// Global data shape `(n, d)` of the resident dataset.
     pub fn shape(&self) -> (usize, usize) {
-        self.shape
+        self.resident.read().expect("resident state poisoned").shape
     }
 
     /// Number of servers holding the resident dataset.
     pub fn num_servers(&self) -> usize {
-        self.resident.len()
+        self.resident
+            .read()
+            .expect("resident state poisoned")
+            .locals
+            .len()
+    }
+
+    /// The current residency epoch (0 at load, +1 per reload).
+    pub fn resident_epoch(&self) -> u64 {
+        self.resident.read().expect("resident state poisoned").epoch
     }
 
     /// The resident per-server matrices (evaluation and testing; queries
     /// run against shared clones of these, never against copies).
-    pub fn resident(&self) -> &[Matrix] {
-        &self.resident
+    pub fn resident(&self) -> Arc<Vec<Matrix>> {
+        Arc::clone(
+            &self
+                .resident
+                .read()
+                .expect("resident state poisoned")
+                .locals,
+        )
+    }
+
+    /// Plan-cache counters, or `None` when planning is disabled.
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.planner.as_ref().map(|p| p.stats())
+    }
+
+    /// Number of currently cached plans (0 when planning is disabled).
+    pub fn plan_cache_len(&self) -> usize {
+        self.planner.as_ref().map_or(0, |p| p.len())
     }
 }
 
@@ -290,32 +447,101 @@ impl Drop for Runtime {
     }
 }
 
-/// Runs one query on its private model instance.
+fn validate_locals(locals: &[Matrix]) -> Result<(usize, usize)> {
+    if locals.is_empty() {
+        return Err(CoreError::InvalidModel("no servers".into()));
+    }
+    let (n, d) = locals[0].shape();
+    if n == 0 || d == 0 {
+        return Err(CoreError::InvalidModel(format!("empty matrices {n}x{d}")));
+    }
+    if let Some((t, m)) = locals.iter().enumerate().find(|(_, m)| m.shape() != (n, d)) {
+        return Err(CoreError::InvalidModel(format!(
+            "server {t} has shape {:?}, expected ({n}, {d})",
+            m.shape()
+        )));
+    }
+    Ok((n, d))
+}
+
+/// Runs one query on its private model instance, consulting the planner
+/// when the query is eligible.
 fn execute(
-    resident: &Arc<Vec<Matrix>>,
+    resident: &RwLock<Resident>,
     substrate: Substrate,
+    planner: Option<&PlanCache>,
     request: &QueryRequest,
-) -> Result<Algorithm1Output> {
+) -> Result<QueryOutcome> {
     // O(s) handle clones of the shared payload: each `Matrix` clone bumps a
     // refcount, no entry data moves. The model's query-local scratch
     // (injected coordinates, residual views) is freshly allocated per query.
-    let parts: Vec<Matrix> = resident.iter().cloned().collect();
-    match substrate {
+    let (parts, epoch, d) = {
+        let resident = resident.read().expect("resident state poisoned");
+        let parts: Vec<Matrix> = resident.locals.iter().cloned().collect();
+        (parts, resident.epoch, resident.shape.1)
+    };
+    let result = match substrate {
         Substrate::Sequential => {
             let mut model = PartitionModel::new(parts, request.f)?;
-            run_algorithm1(&mut model, &request.cfg)
+            execute_on(&mut model, planner, request, epoch, d)
         }
         Substrate::Threaded => {
             let mut model = PartitionModel::with_substrate(parts, request.f, ThreadedCluster::new)?;
-            run_algorithm1(&mut model, &request.cfg)
+            execute_on(&mut model, planner, request, epoch, d)
+        }
+    };
+    // A reload may have landed between our epoch snapshot and any plan
+    // this query inserted: its `retain_epoch` ran before the insertion,
+    // so sweep again against the *current* epoch. The query's own result
+    // is untouched (it correctly answered against the data it dispatched
+    // with); this only stops a dead-epoch plan from squatting in an LRU
+    // slot until capacity pressure evicts it.
+    if let Some(cache) = planner {
+        let now = resident.read().expect("resident state poisoned").epoch;
+        if now != epoch {
+            cache.retain_epoch(now);
         }
     }
+    result
+}
+
+fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    planner: Option<&PlanCache>,
+    request: &QueryRequest,
+    epoch: u64,
+    d: usize,
+) -> Result<QueryOutcome> {
+    if let (Some(cache), SamplerKind::Z(params)) = (planner, &request.cfg.sampler) {
+        if request.plannable(d) {
+            let key = PlanKey::new(&request.f, params, request.cfg.seed, epoch);
+            let (plan, cache_hit) = cache.get_or_prepare(&key, || {
+                dlra_core::algorithm1::prepare_z_plan(model, params, request.cfg.seed)
+            })?;
+            let mut output = run_algorithm1_with_plan(model, &request.cfg, &plan)?;
+            // Per-query accounting stays identical to an unplanned run:
+            // the preparation delta is deterministic, so prepare + execute
+            // is exactly what this query would have charged alone.
+            output.comm = plan.prepare_comm + output.comm;
+            return Ok(QueryOutcome {
+                output,
+                plan: Some(PlanUse {
+                    prepare_comm: plan.prepare_comm,
+                    cache_hit,
+                }),
+            });
+        }
+    }
+    Ok(QueryOutcome {
+        output: run_algorithm1(model, &request.cfg)?,
+        plan: None,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlra_core::algorithm1::SamplerKind;
+    use dlra_sampler::ZSamplerParams;
     use dlra_util::Rng;
 
     fn locals(s: usize, n: usize, d: usize, seed: u64) -> Vec<Matrix> {
@@ -333,6 +559,14 @@ mod tests {
         }
     }
 
+    fn config(executors: usize, substrate: Substrate, plan_cache: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            executors,
+            substrate,
+            plan_cache,
+        }
+    }
+
     #[test]
     fn rejects_bad_residents() {
         assert!(Runtime::new(vec![], RuntimeConfig::default()).is_err());
@@ -343,14 +577,7 @@ mod tests {
     #[test]
     fn concurrent_queries_match_direct_runs() {
         let parts = locals(3, 60, 8, 11);
-        let runtime = Runtime::new(
-            parts.clone(),
-            RuntimeConfig {
-                executors: 4,
-                substrate: Substrate::Threaded,
-            },
-        )
-        .unwrap();
+        let runtime = Runtime::new(parts.clone(), config(4, Substrate::Threaded, 8)).unwrap();
 
         // Many concurrent queries with different (k, r, seed).
         let requests: Vec<QueryRequest> = (0..6)
@@ -373,6 +600,61 @@ mod tests {
     }
 
     #[test]
+    fn planned_submits_match_unplanned_bit_for_bit() {
+        // The same Z query through a cache-enabled and a cache-disabled
+        // runtime: identical projection, rows, and per-query ledger.
+        let parts = locals(3, 64, 8, 31);
+        let request = QueryRequest::identity(Algorithm1Config {
+            k: 2,
+            r: 30,
+            sampler: SamplerKind::Z(ZSamplerParams::default()),
+            seed: 9,
+            ..Default::default()
+        });
+        for substrate in [Substrate::Sequential, Substrate::Threaded] {
+            let planned = Runtime::new(parts.clone(), config(2, substrate, 8)).unwrap();
+            let unplanned = Runtime::new(parts.clone(), config(2, substrate, 0)).unwrap();
+            let a = planned.submit(request.clone()).wait_outcome().unwrap();
+            let b = unplanned.submit(request.clone()).wait_outcome().unwrap();
+            assert!(a.plan.is_some(), "cache-enabled query must be planned");
+            assert!(b.plan.is_none(), "cache-disabled query must not plan");
+            assert_eq!(
+                a.output.projection.basis().as_slice(),
+                b.output.projection.basis().as_slice()
+            );
+            assert_eq!(a.output.rows, b.output.rows);
+            assert_eq!(a.output.comm, b.output.comm, "{substrate:?}");
+        }
+    }
+
+    #[test]
+    fn boosted_and_non_z_queries_bypass_the_planner() {
+        let parts = locals(2, 40, 6, 33);
+        let runtime = Runtime::new(parts, config(1, Substrate::Sequential, 8)).unwrap();
+        let boosted = QueryRequest::identity(Algorithm1Config {
+            k: 2,
+            r: 15,
+            boost: 2,
+            sampler: SamplerKind::Z(ZSamplerParams::default()),
+            seed: 1,
+        });
+        assert!(runtime
+            .submit(boosted)
+            .wait_outcome()
+            .unwrap()
+            .plan
+            .is_none());
+        let uniform = QueryRequest::identity(cfg(2, 15, 2));
+        assert!(runtime
+            .submit(uniform)
+            .wait_outcome()
+            .unwrap()
+            .plan
+            .is_none());
+        assert_eq!(runtime.plan_cache_len(), 0);
+    }
+
+    #[test]
     fn query_errors_are_delivered() {
         let runtime = Runtime::new(locals(2, 10, 4, 1), RuntimeConfig::default()).unwrap();
         let handle = runtime.submit(QueryRequest::identity(cfg(0, 10, 1)));
@@ -385,10 +667,7 @@ mod tests {
         let executors = 2;
         let mut runtime = Runtime::new(
             locals(2, 10, 4, 2),
-            RuntimeConfig {
-                executors,
-                substrate: Substrate::Sequential,
-            },
+            config(executors, Substrate::Sequential, 0),
         )
         .unwrap();
         // Kill the whole pool: one poison task per executor, then join so
@@ -446,16 +725,9 @@ mod tests {
     fn dispatch_clones_handles_not_data() {
         let parts = locals(3, 50, 6, 21);
         for substrate in [Substrate::Sequential, Substrate::Threaded] {
-            let runtime = Runtime::new(
-                parts.clone(),
-                RuntimeConfig {
-                    executors: 2,
-                    substrate,
-                },
-            )
-            .unwrap();
+            let runtime = Runtime::new(parts.clone(), config(2, substrate, 16)).unwrap();
             // Residency shares the caller's storage...
-            for (mine, theirs) in parts.iter().zip(runtime.resident()) {
+            for (mine, theirs) in parts.iter().zip(runtime.resident().iter()) {
                 assert!(mine.shares_storage(theirs));
             }
             // ...and a completed query leaves exactly the caller + runtime
@@ -470,6 +742,42 @@ mod tests {
                 assert_eq!(mine.storage_refcount(), 1);
             }
         }
+    }
+
+    #[test]
+    fn reload_resident_swaps_data_and_epoch() {
+        let old = locals(2, 30, 6, 40);
+        let new = locals(2, 24, 5, 41);
+        let runtime = Runtime::new(old.clone(), config(2, Substrate::Sequential, 8)).unwrap();
+        assert_eq!(runtime.resident_epoch(), 0);
+        assert_eq!(runtime.shape(), (30, 6));
+
+        runtime.reload_resident(new.clone()).unwrap();
+        assert_eq!(runtime.resident_epoch(), 1);
+        assert_eq!(runtime.shape(), (24, 5));
+        for (mine, theirs) in new.iter().zip(runtime.resident().iter()) {
+            assert!(mine.shares_storage(theirs), "reload copied matrix data");
+        }
+        // Old payload fully released by the runtime.
+        for m in &old {
+            assert_eq!(m.storage_refcount(), 1);
+        }
+
+        // Queries now answer against the new data.
+        let got = runtime
+            .submit(QueryRequest::identity(cfg(2, 12, 42)))
+            .wait()
+            .unwrap();
+        let mut direct = PartitionModel::new(new, EntryFunction::Identity).unwrap();
+        let want = run_algorithm1(&mut direct, &cfg(2, 12, 42)).unwrap();
+        assert_eq!(
+            got.projection.basis().as_slice(),
+            want.projection.basis().as_slice()
+        );
+
+        // Bad reloads leave the runtime untouched.
+        assert!(runtime.reload_resident(vec![]).is_err());
+        assert_eq!(runtime.resident_epoch(), 1);
     }
 
     #[test]

@@ -84,6 +84,7 @@ impl<L: Send + 'static> ThreadedCluster<L> {
     /// (e.g. one shared with an enclosing experiment harness).
     pub fn with_ledger(locals: Vec<L>, ledger: Ledger) -> Self {
         assert!(!locals.is_empty(), "cluster needs at least one server");
+        let num_servers = locals.len();
         let workers = locals
             .into_iter()
             .enumerate()
@@ -97,9 +98,24 @@ impl<L: Send + 'static> ThreadedCluster<L> {
                         while let Ok(msg) = work.recv() {
                             match msg {
                                 WorkerMsg::Job(job) => {
-                                    let mut guard =
-                                        worker_state.lock().expect("server state poisoned");
-                                    job(t, &mut guard);
+                                    // Server workers are themselves a
+                                    // parallelism layer: divide the kernel
+                                    // thread budget across the s workers
+                                    // (floor, at least 1) so the two
+                                    // layers compose additively — s × ⌊T/s⌋
+                                    // ≤ T live kernel threads — instead of
+                                    // multiplying to s × T. Resolved per
+                                    // job, outside the scoped override, so
+                                    // a set_threads after construction is
+                                    // honored. Never changes results:
+                                    // kernels are bit-identical across
+                                    // thread counts.
+                                    let share = (dlra_linalg::threads() / num_servers).max(1);
+                                    dlra_linalg::with_threads(share, || {
+                                        let mut guard =
+                                            worker_state.lock().expect("server state poisoned");
+                                        job(t, &mut guard);
+                                    });
                                 }
                                 WorkerMsg::Shutdown => break,
                             }

@@ -54,4 +54,4 @@ pub use estimator::{run_z_estimator, ClassEstimate, EstimatorOutput};
 pub use params::ZSamplerParams;
 pub use vector::{DenseServerVec, SampleVector};
 pub use zfn::{check_property_p, FairSq, HuberSq, L1L2Sq, PowerAbs, Square, ZFn};
-pub use zsampler::{Draw, PreparedSampler, SamplerStats, ZSampler};
+pub use zsampler::{Draw, PreparedSampler, SamplerStats, SharedPrepared, ZSampler};

@@ -9,7 +9,11 @@
 //! the ablation benches.
 
 /// Parameters for Algorithms 2–4.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every knob exactly (query planners key prepared
+/// samplers on it: two parameterizations may share a preparation only when
+/// they are identical).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZSamplerParams {
     /// Level-set width: class `i` holds coordinates with
     /// `z(a_j) ∈ [(1+ε)ⁱ, (1+ε)^{i+1})` (the paper's ε).

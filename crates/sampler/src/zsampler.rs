@@ -21,8 +21,9 @@ use crate::estimator::{run_z_estimator, EstimatorOutput};
 use crate::params::ZSamplerParams;
 use crate::vector::SampleVector;
 use crate::zfn::ZFn;
-use dlra_comm::{Collectives, Payload};
+use dlra_comm::{Collectives, LedgerSnapshot, Payload};
 use dlra_util::Rng;
+use std::sync::Arc;
 
 /// One sampled coordinate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +70,21 @@ pub struct ZSampler {
 /// A recovered class member: `(coordinate, exact aggregate value, z-value)`.
 type ClassMember = (u64, f64, f64);
 
+/// A [`PreparedSampler`] wrapped for sharing across queries: the structure
+/// itself behind an `Arc` (draws take `&self` and an external RNG, so one
+/// preparation can serve any number of concurrent consumers) plus the
+/// ledger delta the preparation cost — the `k`-independent, one-time part
+/// of Algorithm 1's communication, accounted separately from the per-query
+/// draw/fetch phases so planners can amortize it.
+#[derive(Debug, Clone)]
+pub struct SharedPrepared {
+    /// The shareable draw structure.
+    pub sampler: Arc<PreparedSampler>,
+    /// Exact communication charged by the two estimator passes and the
+    /// injection broadcast of this preparation.
+    pub prepare_comm: LedgerSnapshot,
+}
+
 /// A prepared sampling structure supporting repeated draws.
 #[derive(Debug, Clone)]
 pub struct PreparedSampler {
@@ -91,6 +107,34 @@ impl ZSampler {
     /// Generic over the substrate: the same pipeline runs on the sequential
     /// simulator and the threaded runtime.
     pub fn prepare<L, C>(&self, cluster: &mut C, zfn: &dyn ZFn) -> PreparedSampler
+    where
+        L: SampleVector,
+        C: Collectives<L>,
+    {
+        self.prepare_inner(cluster, zfn)
+    }
+
+    /// [`ZSampler::prepare`] returning a shareable artifact: the prepared
+    /// structure behind an `Arc` together with the exact ledger delta the
+    /// preparation charged. The preparation is a deterministic function of
+    /// the cluster contents, the parameters, and the seed — two calls on
+    /// identical data produce bit-identical structures and identical
+    /// deltas — which is what makes it safe for a query planner to run it
+    /// once and share the result across every query with the same plan key.
+    pub fn prepare_shared<L, C>(&self, cluster: &mut C, zfn: &dyn ZFn) -> SharedPrepared
+    where
+        L: SampleVector,
+        C: Collectives<L>,
+    {
+        let before = cluster.comm();
+        let sampler = Arc::new(self.prepare_inner(cluster, zfn));
+        SharedPrepared {
+            sampler,
+            prepare_comm: cluster.comm().since(&before),
+        }
+    }
+
+    fn prepare_inner<L, C>(&self, cluster: &mut C, zfn: &dyn ZFn) -> PreparedSampler
     where
         L: SampleVector,
         C: Collectives<L>,
@@ -460,6 +504,40 @@ mod tests {
         for d in prep.draw_many(500, &mut rng) {
             assert!(d.coord < dim as u64);
         }
+    }
+
+    #[test]
+    fn prepare_shared_matches_prepare_and_accounts_cost() {
+        let parts = vec![vec![1.0, 0.0, 3.0, 0.5, 0.0, 2.0, 0.0, 0.25]; 3];
+        let s = ZSampler::new(test_params(), 23);
+
+        let mut c1 = make_cluster(parts.clone());
+        let plain = s.prepare(&mut c1, &Square);
+
+        let mut c2 = make_cluster(parts);
+        let before = dlra_comm::Collectives::comm(&c2);
+        let shared = s.prepare_shared(&mut c2, &Square);
+
+        // Same structure, bit for bit (deterministic pipeline)...
+        assert_eq!(plain.z_hat().to_bits(), shared.sampler.z_hat().to_bits());
+        assert_eq!(plain.stats(), shared.sampler.stats());
+        let mut ra = Rng::new(9);
+        let mut rb = Rng::new(9);
+        assert_eq!(
+            plain.draw_many(50, &mut ra),
+            shared.sampler.draw_many(50, &mut rb)
+        );
+
+        // ...and the snapshotted cost is exactly what the cluster charged.
+        assert_eq!(
+            shared.prepare_comm,
+            dlra_comm::Collectives::comm(&c2).since(&before)
+        );
+        assert!(shared.prepare_comm.total_words() > 0);
+
+        // The artifact is shareable: cloning bumps the Arc, not the data.
+        let other = Arc::clone(&shared.sampler);
+        assert_eq!(Arc::strong_count(&other), 2);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Plan-cache semantics and the batched-submission guarantee:
+//!
+//! * `Runtime::submit_batch` of B queries sharing one `f` runs
+//!   `ZSampler::prepare` **exactly once** — the ledger shows one
+//!   prepare-phase cost plus B draw/fetch phases — and every query's
+//!   output is bit-identical to a sequential run reusing the same
+//!   `PreparedSampler`.
+//! * Hits share the same `Arc`; misses occur on differing
+//!   `ZSamplerParams`, seed, or `f`; reloading the resident dataset bumps
+//!   the epoch and invalidates every cached plan.
+
+use dlra::prelude::*;
+use dlra::runtime::{QueryRequest, Runtime, RuntimeConfig, Substrate};
+use dlra::util::Rng;
+
+fn shares(s: usize, n: usize, d: usize, k: usize, seed: u64) -> Vec<dlra::linalg::Matrix> {
+    let mut rng = Rng::new(seed);
+    let global = dlra::data::noisy_low_rank(n, d, k, 0.1, &mut rng);
+    dlra::data::split_with_noise_shares(&global, s, 0.3, &mut rng)
+}
+
+fn config(executors: usize, plan_cache: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        executors,
+        substrate: Substrate::Threaded,
+        plan_cache,
+    }
+}
+
+fn z_request(k: usize, r: usize, seed: u64) -> QueryRequest {
+    QueryRequest::identity(Algorithm1Config {
+        k,
+        r,
+        sampler: SamplerKind::Z(ZSamplerParams::default()),
+        seed,
+        ..Default::default()
+    })
+}
+
+/// The tentpole acceptance test: one preparation for the whole batch,
+/// exact ledger decomposition, bit-identical outputs.
+#[test]
+fn submit_batch_prepares_once_with_bit_identical_outputs() {
+    let parts = shares(4, 160, 12, 3, 21);
+    let batch_seed = 77;
+    let requests: Vec<QueryRequest> = (0..6)
+        .map(|i| z_request(1 + i % 3, 25 + 5 * i, batch_seed))
+        .collect();
+
+    let runtime = Runtime::new(parts.clone(), config(4, 16)).unwrap();
+    let outcomes: Vec<_> = runtime
+        .submit_batch(requests.clone())
+        .into_iter()
+        .map(|h| h.wait_outcome().unwrap())
+        .collect();
+
+    // Exactly one query physically paid the preparation; every outcome
+    // reports the same (deterministic) prepare cost.
+    let payers = outcomes
+        .iter()
+        .filter(|o| !o.plan.as_ref().unwrap().cache_hit)
+        .count();
+    assert_eq!(payers, 1, "preparation ran {payers} times for one plan key");
+    let stats = runtime.plan_cache_stats().unwrap();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, requests.len() as u64 - 1);
+    let prepare_comm = outcomes[0].plan.as_ref().unwrap().prepare_comm;
+    assert!(prepare_comm.total_words() > 0);
+    for o in &outcomes {
+        assert_eq!(o.plan.as_ref().unwrap().prepare_comm, prepare_comm);
+    }
+
+    // Reference: a sequential run that prepares once and reuses the same
+    // PreparedSampler for every query of the batch.
+    let mut model = PartitionModel::new(parts, EntryFunction::Identity).unwrap();
+    let plan = prepare_z_plan(&mut model, &ZSamplerParams::default(), batch_seed).unwrap();
+    assert_eq!(plan.prepare_comm, prepare_comm, "prepare ledger diverged");
+    for (request, outcome) in requests.iter().zip(&outcomes) {
+        let want = run_algorithm1_with_plan(&mut model, &request.cfg, &plan).unwrap();
+        assert_eq!(
+            outcome.output.projection.basis().as_slice(),
+            want.projection.basis().as_slice(),
+            "projection diverged from plan-reuse reference"
+        );
+        assert_eq!(outcome.output.rows, want.rows);
+        assert_eq!(outcome.output.captured.to_bits(), want.captured.to_bits());
+        // Batch ledger decomposition: the runtime reports prepare + own
+        // draw/fetch per query; subtracting the shared prepare leaves
+        // exactly the reference execution delta.
+        assert_eq!(outcome.output.comm, plan.prepare_comm + want.comm);
+    }
+
+    // Total physical words for the batch: one prepare + B draw/fetch
+    // phases — (B − 1) preparations cheaper than unbatched submission.
+    let physical: u64 = prepare_comm.total_words()
+        + outcomes
+            .iter()
+            .map(|o| o.output.comm.total_words() - prepare_comm.total_words())
+            .sum::<u64>();
+    let unbatched: u64 = outcomes.iter().map(|o| o.output.comm.total_words()).sum();
+    assert_eq!(
+        unbatched - physical,
+        (requests.len() as u64 - 1) * prepare_comm.total_words()
+    );
+}
+
+#[test]
+fn plan_cache_misses_on_params_seed_and_f() {
+    let parts = shares(3, 80, 8, 2, 5);
+    let runtime = Runtime::new(parts, config(1, 16)).unwrap();
+
+    runtime.submit(z_request(2, 20, 1)).wait().unwrap();
+    let s0 = runtime.plan_cache_stats().unwrap();
+    assert_eq!((s0.misses, s0.hits), (1, 0));
+
+    // Same key: hit.
+    runtime.submit(z_request(3, 25, 1)).wait().unwrap();
+    let s1 = runtime.plan_cache_stats().unwrap();
+    assert_eq!((s1.misses, s1.hits), (1, 1));
+
+    // Different protocol seed: different prepare seed, miss.
+    runtime.submit(z_request(2, 20, 2)).wait().unwrap();
+    assert_eq!(runtime.plan_cache_stats().unwrap().misses, 2);
+
+    // Different ZSamplerParams: miss.
+    let other_params = ZSamplerParams {
+        hh_width: 64,
+        ..ZSamplerParams::default()
+    };
+    runtime
+        .submit(QueryRequest::identity(Algorithm1Config {
+            k: 2,
+            r: 20,
+            sampler: SamplerKind::Z(other_params),
+            seed: 1,
+            ..Default::default()
+        }))
+        .wait()
+        .unwrap();
+    assert_eq!(runtime.plan_cache_stats().unwrap().misses, 3);
+
+    // Different f: miss (and a different prepared structure entirely).
+    runtime
+        .submit(QueryRequest {
+            f: EntryFunction::Huber { k: 2.0 },
+            cfg: z_request(2, 20, 1).cfg,
+        })
+        .wait()
+        .unwrap();
+    let s4 = runtime.plan_cache_stats().unwrap();
+    assert_eq!(s4.misses, 4);
+    assert_eq!(s4.hits, 1);
+    assert_eq!(runtime.plan_cache_len(), 4);
+}
+
+#[test]
+fn residency_reload_invalidates_cached_plans() {
+    let old = shares(3, 96, 10, 3, 31);
+    let new = shares(3, 96, 10, 3, 32);
+    let runtime = Runtime::new(old, config(2, 16)).unwrap();
+
+    let before = runtime.submit(z_request(2, 20, 9)).wait().unwrap();
+    runtime.submit(z_request(2, 20, 9)).wait().unwrap();
+    let warm = runtime.plan_cache_stats().unwrap();
+    assert_eq!((warm.misses, warm.hits), (1, 1));
+    assert_eq!(runtime.plan_cache_len(), 1);
+
+    // Reload: epoch bumps, the cached plan is dropped, and the same query
+    // re-prepares against (and answers from) the new data.
+    runtime.reload_resident(new.clone()).unwrap();
+    assert_eq!(runtime.resident_epoch(), 1);
+    assert_eq!(runtime.plan_cache_len(), 0);
+    assert_eq!(runtime.plan_cache_stats().unwrap().invalidations, 1);
+
+    let after = runtime.submit(z_request(2, 20, 9)).wait().unwrap();
+    let cold = runtime.plan_cache_stats().unwrap();
+    assert_eq!((cold.misses, cold.hits), (2, 1), "stale plan was served");
+    assert_ne!(
+        after.projection.basis().as_slice(),
+        before.projection.basis().as_slice(),
+        "query after reload must see the new data"
+    );
+    let mut direct = PartitionModel::new(new, EntryFunction::Identity).unwrap();
+    let want = run_algorithm1(&mut direct, &z_request(2, 20, 9).cfg).unwrap();
+    assert_eq!(
+        after.projection.basis().as_slice(),
+        want.projection.basis().as_slice()
+    );
+    assert_eq!(after.comm, want.comm);
+}

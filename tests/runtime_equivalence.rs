@@ -145,6 +145,7 @@ fn runtime_submit_matches_both_substrates() {
             RuntimeConfig {
                 executors: 2,
                 substrate,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -158,6 +159,53 @@ fn runtime_submit_matches_both_substrates() {
         );
         assert_eq!(got.rows, want.rows);
         assert_eq!(got.comm, want.comm);
+    }
+}
+
+/// The plan cache is an optimization, never a semantic: the same Z query
+/// submitted through a cache-enabled and a cache-disabled runtime delivers
+/// bit-identical outputs and identical per-query ledger totals, both equal
+/// to a direct sequential run. (CI additionally runs this whole suite with
+/// `DLRA_PLAN_CACHE=0` and `=32`, toggling the default-config path.)
+#[test]
+fn plan_cache_on_and_off_stay_ledger_and_bit_identical() {
+    let parts = shares(4, 72, 10, 3, 3);
+    let cfg = Algorithm1Config {
+        k: 3,
+        r: 30,
+        sampler: SamplerKind::Z(ZSamplerParams::default()),
+        seed: 3,
+        ..Default::default()
+    };
+    let mut direct = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+    let want = run_algorithm1(&mut direct, &cfg).unwrap();
+
+    for substrate in [Substrate::Sequential, Substrate::Threaded] {
+        for plan_cache in [0usize, 8] {
+            let runtime = Runtime::new(
+                parts.clone(),
+                RuntimeConfig {
+                    executors: 2,
+                    substrate,
+                    plan_cache,
+                },
+            )
+            .unwrap();
+            let got = runtime
+                .submit(QueryRequest::identity(cfg.clone()))
+                .wait()
+                .unwrap();
+            assert_eq!(
+                got.projection.basis().as_slice(),
+                want.projection.basis().as_slice(),
+                "projection diverges ({substrate:?}, plan_cache = {plan_cache})"
+            );
+            assert_eq!(got.rows, want.rows);
+            assert_eq!(
+                got.comm, want.comm,
+                "ledger diverges ({substrate:?}, plan_cache = {plan_cache})"
+            );
+        }
     }
 }
 
@@ -183,12 +231,13 @@ fn query_dispatch_copies_no_resident_matrix_data() {
             RuntimeConfig {
                 executors: 2,
                 substrate,
+                ..Default::default()
             },
         )
         .unwrap();
         // Loading shared, did not copy: each matrix is held exactly by
         // this test and by the runtime's resident payload.
-        for (mine, resident) in parts.iter().zip(runtime.resident()) {
+        for (mine, resident) in parts.iter().zip(runtime.resident().iter()) {
             assert!(
                 mine.shares_storage(resident),
                 "loading the runtime copied matrix data ({substrate:?})"

@@ -1,0 +1,73 @@
+//! Kernel/runtime thread composition: the threaded substrate's server
+//! workers pin kernel threading to 1 (`dlra_linalg::with_threads`), so
+//! `s` server workers × `DLRA_THREADS` kernel threads can never
+//! oversubscribe multiplicatively. Proved through the kernel layer's
+//! parallelism watermark — the counters are process-global, so this file
+//! holds exactly one test (its own binary → its own process).
+//!
+//! Lower bounds on the watermark are deliberately loose: on a single-core
+//! runner the pool's workers may execute their panels one after another,
+//! so only the *upper* bound (the budget) is deterministic.
+
+use dlra::comm::Collectives;
+use dlra::linalg::{
+    parallelism_watermark, reset_parallelism_watermark, set_threads, threads, with_threads, Matrix,
+};
+use dlra::runtime::ThreadedCluster;
+use dlra::util::Rng;
+
+#[test]
+fn kernel_threads_never_exceed_the_configured_budget() {
+    // A gram big enough to clear the kernel layer's parallel-work floor
+    // (r·c² = 512·128² ≈ 8.4M flops > 2²¹).
+    let mut rng = Rng::new(3);
+    let big = Matrix::gaussian(512, 128, &mut rng);
+
+    // Baseline: with the process knob at 4, a lone kernel call keeps at
+    // most 4 kernel threads live (the caller plus ≤ 3 pool workers); the
+    // watermark always observes at least the caller itself.
+    set_threads(4);
+    reset_parallelism_watermark();
+    let direct = big.gram();
+    assert!(
+        (1..=4).contains(&parallelism_watermark()),
+        "lone kernel watermark {} outside [1, 4]",
+        parallelism_watermark()
+    );
+
+    // Scoped pin: the same call under with_threads(1, ..) runs inline —
+    // exactly one live kernel thread, deterministically.
+    reset_parallelism_watermark();
+    let pinned = with_threads(1, || big.gram());
+    assert_eq!(parallelism_watermark(), 1, "scoped override not observed");
+    assert_eq!(direct.as_slice(), pinned.as_slice(), "pinning changed bits");
+
+    // Composition: s = 6 server workers each running the same kernel
+    // concurrently, with the process knob still at 4. Server workers pin
+    // kernels to 1, so the budget is s × 1 = 6 live kernel threads — not
+    // the s × 4 = 24 the two layers would multiply to unpinned.
+    let s = 6;
+    let locals: Vec<Matrix> = (0..s).map(|_| big.clone()).collect();
+    let mut cluster = ThreadedCluster::new(locals);
+    reset_parallelism_watermark();
+    let observed = cluster.gather("composition.gram", |_t, local: &mut Matrix| {
+        let g = local.gram();
+        // Inside a server worker the kernel layer must observe the pin.
+        (threads() as f64) + g[(0, 0)] * 0.0
+    });
+    assert!(
+        parallelism_watermark() <= s,
+        "total live kernel threads {} exceeded the budget of {s}",
+        parallelism_watermark()
+    );
+    for (t, &seen) in observed.iter().enumerate() {
+        assert_eq!(seen, 1.0, "server worker {t} saw {seen} kernel threads");
+    }
+
+    // And the per-server results are the pinned (= unpinned) bits.
+    cluster.with_local(0, |local: &Matrix| {
+        assert_eq!(local.gram().as_slice(), direct.as_slice());
+    });
+
+    set_threads(1);
+}
