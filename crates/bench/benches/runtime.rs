@@ -8,7 +8,8 @@ use dlra_core::prelude::*;
 use dlra_data::{noisy_low_rank, split_with_noise_shares};
 use dlra_linalg::Matrix;
 use dlra_runtime::{
-    threaded_model, QueryRequest, Runtime, RuntimeConfig, Substrate, ThreadedCluster,
+    threaded_model, Query, QueryRequest, Runtime, RuntimeConfig, Service, ServiceConfig, Substrate,
+    ThreadedCluster,
 };
 use dlra_sampler::ZSamplerParams;
 use dlra_util::Rng;
@@ -175,11 +176,53 @@ fn bench_dispatch_latency(c: &mut Criterion) {
     group.finish();
 }
 
+/// Front-door overhead of the multi-dataset service façade: submit → wait
+/// for a minimal query (rank 1, one sampled row) on one dataset, while the
+/// service hosts 1, 4, or 16 resident datasets. Dataset resolution is a
+/// handle deref — hosting more tenants must not tax a tenant's dispatch.
+fn bench_service_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_dispatch_latency");
+    group.sample_size(10);
+    let tiny = Query::rank(1)
+        .samples(1)
+        .sampler(SamplerKind::Uniform)
+        .seed(3)
+        .build()
+        .expect("valid query");
+    for &datasets in &[1usize, 4, 16] {
+        let service = Service::new(ServiceConfig {
+            executors: 1,
+            substrate: Substrate::Threaded,
+            ..Default::default()
+        });
+        let handles: Vec<_> = (0..datasets)
+            .map(|i| {
+                let mut rng = Rng::new(31 + i as u64);
+                let a = noisy_low_rank(1024, D, 5, 0.1, &mut rng);
+                let parts = split_with_noise_shares(&a, 4, 0.3, &mut rng);
+                service.load(&format!("tenant-{i}"), parts).unwrap()
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("resident_datasets", datasets),
+            &datasets,
+            |b, _| {
+                b.iter(|| {
+                    let ticket = handles[0].submit(&tiny);
+                    black_box(ticket.wait().is_ok())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gather,
     bench_aggregate,
     bench_algorithm1_end_to_end,
-    bench_dispatch_latency
+    bench_dispatch_latency,
+    bench_service_dispatch
 );
 criterion_main!(benches);

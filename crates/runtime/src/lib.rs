@@ -1,8 +1,9 @@
-//! # dlra-runtime — threaded message-passing execution substrate
+//! # dlra-runtime — threaded execution substrate + multi-dataset service façade
 //!
 //! The sequential simulator in `dlra-comm` executes every "distributed"
 //! protocol single-threaded on one core. This crate provides the real
-//! concurrent substrate behind the same [`dlra_comm::Collectives`] surface:
+//! concurrent substrate behind the same [`dlra_comm::Collectives`] surface,
+//! and the serving layers on top of it:
 //!
 //! * [`ThreadedCluster`] — each of the `s` servers is a dedicated worker
 //!   thread owning its local state, exchanging typed messages with the
@@ -10,43 +11,58 @@
 //!   bit-identical to the sequential [`dlra_comm::Cluster`] and the
 //!   word-exact [`dlra_comm::Ledger`] totals match exactly (see
 //!   `tests/runtime_equivalence.rs` at the workspace root).
-//! * [`Runtime`] — a resident dataset plus an executor pool:
-//!   [`Runtime::submit`] lets many Algorithm 1 queries (different `k`,
-//!   `r`, sampler, seed, entrywise `f`) execute concurrently against one
-//!   loaded cluster. The resident matrices are shared copy-on-write, so
-//!   dispatch is O(s) handle clones — no per-query copy of the data — and
-//!   a dead or shut-down pool surfaces as
-//!   `CoreError::RuntimeUnavailable` through the handle, never a panic.
-//! * [`PlanCache`] / [`Runtime::submit_batch`] — the query planner:
-//!   unboosted Z-sampled queries sharing a [`PlanKey`] (`f`, sampler
-//!   parameters, seed, residency epoch) run the expensive,
-//!   `k`-independent `ZSampler::prepare` **once** and draw from the
-//!   shared `Arc`-backed structure concurrently; `Runtime::reload_resident`
-//!   bumps the epoch and invalidates every stale plan. Server workers pin
-//!   kernel threading to 1 (`dlra_linalg::with_threads`), so the
-//!   substrate's parallelism and the kernel pool never compose
-//!   multiplicatively.
+//! * [`Service`] — the **multi-dataset front door**: many named resident
+//!   datasets share one executor pool, each with its own residency epoch
+//!   and private plan-cache partition ([`Service::load`] /
+//!   [`Service::reload`] / [`Service::evict`] — one tenant's reload never
+//!   invalidates another's plans). Queries are built with the typed
+//!   [`Query`] builder (validated at construction, [`QueryError`]) and
+//!   submitted to a [`DatasetHandle`]; the returned [`Ticket`] supports
+//!   [`Ticket::cancel`] (drop-before-execute), [`Ticket::deadline`]
+//!   (expired queries resolve to [`ServiceError::Deadline`] without
+//!   running), and [`Ticket::wait_timeout`]. Failures are unified in the
+//!   [`ServiceError`] taxonomy. Executors budget kernel threads at
+//!   `max(1, total/executors)` so coordinator-side SVDs never
+//!   oversubscribe at high executor counts.
+//! * [`Runtime`] — the single-dataset API, now a thin shim over a
+//!   one-dataset [`Service`] with outputs and per-query ledgers unchanged
+//!   bit for bit: [`Runtime::submit`] / [`Runtime::submit_batch`] for raw
+//!   [`QueryRequest`]s, copy-on-write residency, graceful
+//!   `CoreError::RuntimeUnavailable` on a dead pool.
+//! * [`PlanCache`] — the query planner: unboosted Z-sampled queries
+//!   sharing a [`PlanKey`] (dataset id, `f`, sampler parameters, seed,
+//!   residency epoch) run the expensive, `k`-independent
+//!   `ZSampler::prepare` **once** and draw from the shared `Arc`-backed
+//!   structure concurrently. Server workers pin kernel threading to 1
+//!   (`dlra_linalg::with_threads`), so the substrate's parallelism and the
+//!   kernel pool never compose multiplicatively.
 //! * [`threaded_model`] / [`threaded_gm_pooling`] — one-line constructors
 //!   for a `PartitionModel` on the threaded substrate.
 //!
 //! ```
 //! use dlra_core::prelude::*;
+//! use dlra_runtime::{Query, Service, ServiceConfig};
 //! use dlra_linalg::Matrix;
 //! use dlra_util::Rng;
 //!
 //! let mut rng = Rng::new(7);
 //! let parts: Vec<Matrix> = (0..4).map(|_| Matrix::gaussian(120, 16, &mut rng)).collect();
 //!
-//! // Same call site as on the sequential substrate — only the model
-//! // constructor differs.
-//! let mut model = dlra_runtime::threaded_model(parts, EntryFunction::Identity).unwrap();
-//! let cfg = Algorithm1Config { k: 3, r: 40, sampler: SamplerKind::Uniform, ..Default::default() };
-//! let out = run_algorithm1(&mut model, &cfg).unwrap();
-//! assert_eq!(out.projection.dim(), 16);
+//! let service = Service::new(ServiceConfig::default());
+//! let dataset = service.load("demo", parts).unwrap();
+//! let query = Query::rank(3)
+//!     .samples(40)
+//!     .sampler(SamplerKind::Uniform)
+//!     .build()
+//!     .unwrap();
+//! let out = dataset.submit(&query).wait().unwrap();
+//! assert_eq!(out.output.projection.dim(), 16);
 //! ```
 
 pub mod planner;
+pub mod query;
 pub mod runtime;
+pub mod service;
 pub mod threaded;
 
 use dlra_core::functions::EntryFunction;
@@ -55,8 +71,10 @@ use dlra_core::Result;
 use dlra_linalg::Matrix;
 
 pub use planner::{PlanCache, PlanCacheStats, PlanKey};
-pub use runtime::{
-    PlanUse, QueryHandle, QueryOutcome, QueryRequest, Runtime, RuntimeConfig, Substrate,
+pub use query::{Query, QueryBuilder, QueryError, QueryRequest};
+pub use runtime::{QueryHandle, Runtime, RuntimeConfig};
+pub use service::{
+    DatasetHandle, PlanUse, QueryOutcome, Service, ServiceConfig, ServiceError, Substrate, Ticket,
 };
 pub use threaded::ThreadedCluster;
 

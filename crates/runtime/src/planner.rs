@@ -11,14 +11,16 @@
 //!
 //! ## Keying and invalidation
 //!
-//! A key is the exact bit pattern of the entrywise `f` (discriminant plus
-//! parameter bits — `0.1 + 0.2 ≠ 0.3` matters here, so no epsilon
-//! equality), the exact [`ZSamplerParams`], the prepare seed, and the
-//! **residency epoch** of the dataset the plan was prepared against. The
-//! epoch is bumped whenever the resident matrices change
-//! (`Runtime::reload_resident`), so stale plans can never be served: their
-//! keys simply stop matching, and [`PlanCache::retain_epoch`] drops them
-//! eagerly.
+//! A key is the **dataset id** (the service layer partitions one cache
+//! per dataset, but the id keys anyway — a plan can never cross datasets
+//! even if partitions were ever merged), the exact bit pattern of the
+//! entrywise `f` (discriminant plus parameter bits — `0.1 + 0.2 ≠ 0.3`
+//! matters here, so no epsilon equality), the exact [`ZSamplerParams`],
+//! the prepare seed, and the **residency epoch** of the dataset the plan
+//! was prepared against. The epoch is bumped whenever that dataset's
+//! resident matrices change (`Service::reload` / `Runtime::reload_resident`),
+//! so stale plans can never be served: their keys simply stop matching,
+//! and [`PlanCache::retain_epoch`] drops them eagerly.
 //!
 //! ## Concurrency
 //!
@@ -40,6 +42,10 @@ use std::sync::{Arc, Condvar, Mutex};
 /// exactly when their keys are equal.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
+    /// Service-unique id of the dataset the plan reads. Caches are already
+    /// partitioned per dataset, but the id keys anyway — a plan can never
+    /// cross datasets even if partitions were ever merged or shared.
+    dataset: u64,
     /// Entrywise `f`: discriminant and parameter bit pattern.
     f: [u64; 2],
     /// Every `ZSamplerParams` knob, f64 knobs as bit patterns.
@@ -51,8 +57,14 @@ pub struct PlanKey {
 }
 
 impl PlanKey {
-    /// Builds the key for a query's preparation.
-    pub fn new(f: &EntryFunction, params: &ZSamplerParams, seed: u64, epoch: u64) -> Self {
+    /// Builds the key for a query's preparation against dataset `dataset`.
+    pub fn new(
+        dataset: u64,
+        f: &EntryFunction,
+        params: &ZSamplerParams,
+        seed: u64,
+        epoch: u64,
+    ) -> Self {
         let f = match *f {
             EntryFunction::Identity => [0, 0],
             EntryFunction::GmRoot { p } => [1, p.to_bits()],
@@ -62,6 +74,7 @@ impl PlanKey {
             EntryFunction::Max => [5, 0],
         };
         PlanKey {
+            dataset,
             f,
             params: [
                 params.eps_class.to_bits(),
@@ -88,6 +101,11 @@ impl PlanKey {
     /// The residency epoch this key was built against.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The dataset id this key was built against.
+    pub fn dataset(&self) -> u64 {
+        self.dataset
     }
 }
 
@@ -435,6 +453,7 @@ mod tests {
 
     fn key(seed: u64, epoch: u64) -> PlanKey {
         PlanKey::new(
+            0,
             &EntryFunction::Identity,
             &ZSamplerParams::default(),
             seed,
@@ -443,23 +462,35 @@ mod tests {
     }
 
     #[test]
-    fn keys_distinguish_f_params_seed_epoch() {
+    fn keys_distinguish_dataset_f_params_seed_epoch() {
         let base = key(1, 0);
         assert_eq!(base, key(1, 0));
         assert_ne!(base, key(2, 0), "seed must key");
         assert_ne!(base, key(1, 1), "epoch must key");
+        assert_ne!(
+            base,
+            PlanKey::new(
+                7,
+                &EntryFunction::Identity,
+                &ZSamplerParams::default(),
+                1,
+                0
+            ),
+            "dataset id must key"
+        );
         let other_params = ZSamplerParams {
             hh_width: 64,
             ..ZSamplerParams::default()
         };
         assert_ne!(
             base,
-            PlanKey::new(&EntryFunction::Identity, &other_params, 1, 0),
+            PlanKey::new(0, &EntryFunction::Identity, &other_params, 1, 0),
             "params must key"
         );
         assert_ne!(
             base,
             PlanKey::new(
+                0,
                 &EntryFunction::Huber { k: 1.0 },
                 &ZSamplerParams::default(),
                 1,
@@ -469,12 +500,14 @@ mod tests {
         );
         assert_ne!(
             PlanKey::new(
+                0,
                 &EntryFunction::Huber { k: 1.0 },
                 &ZSamplerParams::default(),
                 1,
                 0
             ),
             PlanKey::new(
+                0,
                 &EntryFunction::Huber { k: 2.0 },
                 &ZSamplerParams::default(),
                 1,
@@ -482,6 +515,8 @@ mod tests {
             ),
             "f parameters must key"
         );
+        assert_eq!(base.dataset(), 0);
+        assert_eq!(base.epoch(), 0);
     }
 
     #[test]

@@ -1,27 +1,27 @@
-//! [`Runtime`]: a resident cluster serving many Algorithm 1 queries
-//! concurrently, with a query planner amortizing sampler preparation.
+//! [`Runtime`]: the single-dataset serving API, now a **thin shim over a
+//! one-dataset [`Service`]**.
 //!
-//! The runtime owns one resident dataset (the per-server local matrices)
-//! and a pool of executor threads. [`Runtime::submit`] enqueues a
-//! [`QueryRequest`] — target rank `k`, sample count `r`, boosting,
-//! sampler, seed, and entrywise function `f` may all differ per query —
-//! and returns a [`QueryHandle`] immediately; executors pop queries,
-//! instantiate a partition model over the resident locals on the
-//! configured substrate, run the full protocol, and deliver the result
-//! through the handle. Many queries are in flight at once, which is the
-//! first step toward serving real traffic against one loaded cluster.
+//! `Runtime` predates the multi-dataset service façade: it owns exactly
+//! one resident dataset and answers raw [`QueryRequest`]s. Everything it
+//! does — executor pool, copy-on-write dispatch, the plan cache, the
+//! failure paths — now lives in [`crate::service`]; `Runtime` keeps its
+//! exact public surface (and its exact bits: outputs and per-query ledgers
+//! are identical, which the pre-façade equivalence suite
+//! `tests/runtime_equivalence.rs` proves by running unchanged through this
+//! layer).
 //!
 //! ## Query planning
 //!
 //! The expensive distributed phase of a Z-sampled query — two estimator
 //! passes plus coordinate injection — is `k`-independent and deterministic
 //! in `(resident data, f, sampler parameters, prepare seed)`. The runtime
-//! therefore keeps a bounded LRU [`PlanCache`]: unboosted Z queries whose
-//! [`PlanKey`]s collide share one `Arc`-backed prepared sampler, prepared
-//! **exactly once** (concurrent executors block on the in-flight
-//! preparation instead of redoing it). [`Runtime::submit_batch`] is the
-//! batched entry point: B queries over the same `f` and seed pay one
-//! preparation plus B draw/fetch phases.
+//! therefore keeps a bounded LRU [`PlanCache`](crate::planner::PlanCache):
+//! unboosted Z queries whose [`PlanKey`](crate::planner::PlanKey)s collide
+//! share one `Arc`-backed prepared sampler, prepared **exactly once**
+//! (concurrent executors block on the in-flight preparation instead of
+//! redoing it). [`Runtime::submit_batch`] is the batched entry point: B
+//! queries over the same `f` and seed pay one preparation plus B
+//! draw/fetch phases.
 //!
 //! Per-query accounting stays exact: a planned query's reported
 //! [`Algorithm1Output::comm`] is the preparation delta plus its own
@@ -48,35 +48,26 @@
 //!
 //! ## Failure paths
 //!
-//! [`Runtime::submit`] never panics: if the executor pool has died (every
-//! executor panicked) or the runtime was [`Runtime::shutdown`], the
-//! returned handle resolves to [`CoreError::RuntimeUnavailable`], which is
-//! distinct from per-query errors like `InvalidConfig` — callers can tell
-//! "my query was bad" apart from "the pool is gone, retry elsewhere".
+//! [`Runtime::submit`] and [`Runtime::submit_batch`] never panic: if the
+//! executor pool has died (every executor panicked) or the runtime was
+//! [`Runtime::shutdown`], every returned handle resolves to
+//! [`CoreError::RuntimeUnavailable`], which is distinct from per-query
+//! errors like `InvalidConfig` — callers can tell "my query was bad" apart
+//! from "the pool is gone, retry elsewhere".
 
-use crate::planner::{PlanCache, PlanCacheStats, PlanKey};
-use crate::threaded::ThreadedCluster;
-use dlra_comm::LedgerSnapshot;
-use dlra_core::algorithm1::{
-    run_algorithm1, run_algorithm1_with_plan, Algorithm1Config, Algorithm1Output, SamplerKind,
-};
-use dlra_core::functions::EntryFunction;
-use dlra_core::model::PartitionModel;
+use crate::planner::PlanCacheStats;
+use crate::query::{QueryError, QueryRequest};
+use crate::service::{DatasetHandle, Service, ServiceConfig, ServiceError, Substrate, Ticket};
+use dlra_core::algorithm1::Algorithm1Output;
 use dlra_core::{CoreError, Result};
 use dlra_linalg::Matrix;
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex, RwLock};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
-/// Which execution substrate the pooled executors build per query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Substrate {
-    /// The sequential in-process simulator (`dlra-comm::Cluster`).
-    Sequential,
-    /// The threaded message-passing cluster ([`ThreadedCluster`]).
-    #[default]
-    Threaded,
-}
+pub use crate::service::{PlanUse, QueryOutcome};
+
+/// The name the runtime's single dataset is resident under in its backing
+/// [`Service`].
+const RESIDENT_DATASET: &str = "resident";
 
 /// Configuration of a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -97,103 +88,48 @@ pub struct RuntimeConfig {
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        let executors = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(2)
-            .clamp(1, 8);
-        let plan_cache = std::env::var("DLRA_PLAN_CACHE")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(16);
+        let ServiceConfig {
+            executors,
+            substrate,
+            plan_cache,
+        } = ServiceConfig::default();
         RuntimeConfig {
             executors,
-            substrate: Substrate::default(),
+            substrate,
             plan_cache,
         }
     }
 }
 
-/// One Algorithm 1 query against the resident dataset.
-#[derive(Debug, Clone)]
-pub struct QueryRequest {
-    /// The entrywise function `f` applied to the aggregated entries.
-    /// Interpreted exactly as by `PartitionModel::new` (for `GmRoot`,
-    /// submit locally pre-transformed locals).
-    pub f: EntryFunction,
-    /// Protocol configuration (`k`, `r`, boosting, sampler, seed).
-    pub cfg: Algorithm1Config,
-}
-
-impl QueryRequest {
-    /// A query with `f = Identity`.
-    pub fn identity(cfg: Algorithm1Config) -> Self {
-        QueryRequest {
-            f: EntryFunction::Identity,
-            cfg,
+impl From<RuntimeConfig> for ServiceConfig {
+    fn from(config: RuntimeConfig) -> Self {
+        ServiceConfig {
+            executors: config.executors,
+            substrate: config.substrate,
+            plan_cache: config.plan_cache,
         }
     }
+}
 
-    /// Whether the planner may serve this query from a shared preparation:
-    /// a Z-sampled, unboosted query (boosted repetitions re-prepare with
-    /// per-repetition seeds on the unplanned path, so sharing one
-    /// preparation would change their bits) with a valid-enough
-    /// configuration that preparing before validation cannot mask a
-    /// config error.
-    fn plannable(&self, d: usize) -> bool {
-        matches!(self.cfg.sampler, SamplerKind::Z(_))
-            && self.cfg.boost == 1
-            && self.cfg.k >= 1
-            && self.cfg.k <= d
-            && self.cfg.r >= 1
-            && self.f.z_fn().is_some()
+/// Maps a service-layer failure back onto the runtime's `CoreError`
+/// surface, preserving the pre-façade error taxonomy exactly: protocol
+/// rejections stay `InvalidConfig`, pool death stays `RuntimeUnavailable`.
+fn service_to_core(err: ServiceError) -> CoreError {
+    match err {
+        ServiceError::InvalidQuery(QueryError::Rejected(m)) => CoreError::InvalidConfig(m),
+        ServiceError::InvalidQuery(q) => CoreError::InvalidConfig(q.to_string()),
+        ServiceError::RuntimeUnavailable(m) => CoreError::RuntimeUnavailable(m),
+        ServiceError::InvalidDataset(m) => CoreError::InvalidModel(m),
+        ServiceError::Execution(e) => e,
+        // Unreachable through the Runtime surface (it never evicts, cancels,
+        // or sets deadlines), but must still resolve to *something* typed.
+        other => CoreError::RuntimeUnavailable(other.to_string()),
     }
-}
-
-/// How a delivered query interacted with the plan cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PlanUse {
-    /// The preparation's one-time ledger cost. It is already folded into
-    /// the output's `comm` (keeping per-query accounting identical to an
-    /// unplanned run); subtract it to get the query's own draw/fetch
-    /// delta, and charge it once per distinct plan when totalling a batch.
-    pub prepare_comm: LedgerSnapshot,
-    /// `true` when the preparation was served from the cache; `false` for
-    /// the one query per plan that physically ran it.
-    pub cache_hit: bool,
-}
-
-/// A delivered query result plus its planner provenance.
-#[derive(Debug, Clone)]
-pub struct QueryOutcome {
-    /// The protocol output (projection, per-query ledger delta, rows).
-    pub output: Algorithm1Output,
-    /// `Some` when the query executed from a shared plan; `None` on the
-    /// unplanned path (cache disabled, non-Z sampler, or boosted query).
-    pub plan: Option<PlanUse>,
-}
-
-enum Task {
-    Query {
-        request: QueryRequest,
-        reply: Sender<Result<QueryOutcome>>,
-    },
-    /// Test-only: makes the executor that pops it panic, so tests can kill
-    /// the pool and exercise the dead-runtime failure paths.
-    #[cfg(test)]
-    Poison,
-}
-
-/// The error a handle resolves to when the pool cannot (or can no longer)
-/// run its query.
-fn runtime_unavailable() -> CoreError {
-    CoreError::RuntimeUnavailable(
-        "executor pool is not running (all executors exited or the runtime shut down)".into(),
-    )
 }
 
 /// Pending result of a submitted query.
 pub struct QueryHandle {
-    rx: Receiver<Result<QueryOutcome>>,
+    ticket: Ticket,
 }
 
 impl QueryHandle {
@@ -207,10 +143,7 @@ impl QueryHandle {
     /// Like [`QueryHandle::wait`], also reporting how the query interacted
     /// with the plan cache.
     pub fn wait_outcome(self) -> Result<QueryOutcome> {
-        match self.rx.recv() {
-            Ok(result) => result,
-            Err(_) => Err(runtime_unavailable()),
-        }
+        self.ticket.wait().map_err(service_to_core)
     }
 
     /// Non-blocking poll; `None` while the query is still running. A dead
@@ -218,24 +151,14 @@ impl QueryHandle {
     /// `Some(Err(CoreError::RuntimeUnavailable))`, not `None`, so pollers
     /// cannot spin forever on it.
     pub fn try_wait(&self) -> Option<Result<Algorithm1Output>> {
-        match self.rx.try_recv() {
-            Ok(result) => Some(result.map(|o| o.output)),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(runtime_unavailable())),
-        }
+        self.ticket
+            .try_wait()
+            .map(|r| r.map(|o| o.output).map_err(service_to_core))
     }
 }
 
-/// The resident dataset plus its epoch (bumped on every reload; part of
-/// every [`PlanKey`], so plans are pinned to the data they were prepared
-/// against).
-struct Resident {
-    locals: Arc<Vec<Matrix>>,
-    epoch: u64,
-    shape: (usize, usize),
-}
-
-/// A resident cluster plus an executor pool answering Algorithm 1 queries.
+/// A resident cluster plus an executor pool answering Algorithm 1 queries
+/// — a one-dataset shim over [`Service`].
 ///
 /// ```
 /// use dlra_core::prelude::*;
@@ -256,15 +179,8 @@ struct Resident {
 /// assert_eq!(h2.wait().unwrap().projection.dim(), 12);
 /// ```
 pub struct Runtime {
-    queue: Option<Sender<Task>>,
-    executors: Vec<JoinHandle<()>>,
-    /// The resident per-server matrices. Executors read the current
-    /// payload per query; per-query models are built from O(1) handle
-    /// clones of the matrices inside, never from copies of their entry
-    /// data.
-    resident: Arc<RwLock<Resident>>,
-    /// `Some` when planning is enabled (`RuntimeConfig::plan_cache > 0`).
-    planner: Option<Arc<PlanCache>>,
+    service: Service,
+    handle: DatasetHandle,
 }
 
 impl Runtime {
@@ -272,48 +188,11 @@ impl Runtime {
     /// the executor pool. Loading shares the caller's matrix storage
     /// copy-on-write — no entry data is copied here or at query dispatch.
     pub fn new(locals: Vec<Matrix>, config: RuntimeConfig) -> Result<Self> {
-        let shape = validate_locals(&locals)?;
-        let resident = Arc::new(RwLock::new(Resident {
-            locals: Arc::new(locals),
-            epoch: 0,
-            shape,
-        }));
-        let planner = (config.plan_cache > 0).then(|| Arc::new(PlanCache::new(config.plan_cache)));
-        let (queue, tasks) = mpsc::channel::<Task>();
-        let tasks = Arc::new(Mutex::new(tasks));
-        let executors = (0..config.executors.max(1))
-            .map(|i| {
-                let tasks = Arc::clone(&tasks);
-                let resident = Arc::clone(&resident);
-                let planner = planner.clone();
-                let substrate = config.substrate;
-                std::thread::Builder::new()
-                    .name(format!("dlra-executor-{i}"))
-                    .spawn(move || loop {
-                        // Hold the queue lock only for the pop, not the run.
-                        let popped = tasks.lock().expect("task queue poisoned").recv();
-                        match popped {
-                            Ok(Task::Query { request, reply }) => {
-                                let result =
-                                    execute(&resident, substrate, planner.as_deref(), &request);
-                                // The caller may have dropped its handle;
-                                // that's fine, the result is discarded.
-                                let _ = reply.send(result);
-                            }
-                            #[cfg(test)]
-                            Ok(Task::Poison) => panic!("poison task (test-only)"),
-                            Err(_) => break,
-                        }
-                    })
-                    .expect("spawn runtime executor thread")
-            })
-            .collect();
-        Ok(Runtime {
-            queue: Some(queue),
-            executors,
-            resident,
-            planner,
-        })
+        let service = Service::new(config.into());
+        let handle = service
+            .load(RESIDENT_DATASET, locals)
+            .map_err(service_to_core)?;
+        Ok(Runtime { service, handle })
     }
 
     /// Enqueues a query; returns immediately with its pending handle.
@@ -322,44 +201,30 @@ impl Runtime {
     /// [`Runtime::shutdown`] ran — the handle resolves to
     /// [`CoreError::RuntimeUnavailable`] instead.
     pub fn submit(&self, request: QueryRequest) -> QueryHandle {
-        let (reply, rx) = mpsc::channel();
-        match self.queue.as_ref() {
-            Some(queue) => {
-                if let Err(mpsc::SendError(task)) = queue.send(Task::Query { request, reply }) {
-                    // Every executor has exited (the pop side of the queue
-                    // is gone): deliver the failure through the handle.
-                    match task {
-                        Task::Query { reply, .. } => {
-                            let _ = reply.send(Err(runtime_unavailable()));
-                        }
-                        #[cfg(test)]
-                        Task::Poison => unreachable!("submit only sends queries"),
-                    }
-                }
-            }
-            // Shut down: the handle must still resolve.
-            None => {
-                let _ = reply.send(Err(runtime_unavailable()));
-            }
+        QueryHandle {
+            ticket: self.handle.submit_request(request),
         }
-        QueryHandle { rx }
     }
 
     /// Submits a batch of queries; handles are returned in request order.
     ///
     /// With planning enabled, queries in the batch (and any concurrently
-    /// submitted ones) that share a [`PlanKey`] — same `f`, same
-    /// `ZSamplerParams`, same seed, unboosted — run `ZSampler::prepare`
-    /// **at most once between them**: the first executor to reach a key
-    /// not yet cached prepares, every other query blocks on that
-    /// preparation and then draws from the shared structure concurrently.
-    /// Per distinct key, at most one delivered [`QueryOutcome`] carries
-    /// `plan.cache_hit == false` (the preparation's physical payer); on a
-    /// cold cache there is exactly one per key, while a warm cache may
-    /// serve the whole batch as hits with no payer at all — so total a
-    /// batch's physical cost from the payers you actually observe plus
-    /// the cached plans' already-paid `prepare_comm`, not from an assumed
-    /// payer count.
+    /// submitted ones) that share a [`PlanKey`](crate::planner::PlanKey) —
+    /// same `f`, same `ZSamplerParams`, same seed, unboosted — run
+    /// `ZSampler::prepare` **at most once between them**: the first
+    /// executor to reach a key not yet cached prepares, every other query
+    /// blocks on that preparation and then draws from the shared structure
+    /// concurrently. Per distinct key, at most one delivered
+    /// [`QueryOutcome`] carries `plan.cache_hit == false` (the
+    /// preparation's physical payer); on a cold cache there is exactly one
+    /// per key, while a warm cache may serve the whole batch as hits with
+    /// no payer at all — so total a batch's physical cost from the payers
+    /// you actually observe plus the cached plans' already-paid
+    /// `prepare_comm`, not from an assumed payer count.
+    ///
+    /// Like [`Runtime::submit`], this never panics on a dead or shut-down
+    /// pool: every handle of the batch resolves to
+    /// [`CoreError::RuntimeUnavailable`].
     pub fn submit_batch(
         &self,
         requests: impl IntoIterator<Item = QueryRequest>,
@@ -373,18 +238,9 @@ impl Runtime {
     /// data, and every cached plan from the previous epoch is dropped —
     /// the plan cache can never serve a preparation of data that is gone.
     pub fn reload_resident(&self, locals: Vec<Matrix>) -> Result<()> {
-        let shape = validate_locals(&locals)?;
-        let epoch = {
-            let mut resident = self.resident.write().expect("resident state poisoned");
-            resident.locals = Arc::new(locals);
-            resident.epoch += 1;
-            resident.shape = shape;
-            resident.epoch
-        };
-        if let Some(planner) = &self.planner {
-            planner.retain_epoch(epoch);
-        }
-        Ok(())
+        self.service
+            .reload(RESIDENT_DATASET, locals)
+            .map_err(service_to_core)
     }
 
     /// Stops the executor pool gracefully: already-queued and in-flight
@@ -393,154 +249,54 @@ impl Runtime {
     /// [`CoreError::RuntimeUnavailable`]. Idempotent; `Drop` runs the same
     /// path.
     pub fn shutdown(&mut self) {
-        self.queue.take();
-        for handle in self.executors.drain(..) {
-            let _ = handle.join();
-        }
+        self.service.shutdown();
     }
 
     /// Global data shape `(n, d)` of the resident dataset.
     pub fn shape(&self) -> (usize, usize) {
-        self.resident.read().expect("resident state poisoned").shape
+        self.handle.shape()
     }
 
     /// Number of servers holding the resident dataset.
     pub fn num_servers(&self) -> usize {
-        self.resident
-            .read()
-            .expect("resident state poisoned")
-            .locals
-            .len()
+        self.handle.num_servers()
     }
 
     /// The current residency epoch (0 at load, +1 per reload).
     pub fn resident_epoch(&self) -> u64 {
-        self.resident.read().expect("resident state poisoned").epoch
+        self.handle.epoch()
     }
 
     /// The resident per-server matrices (evaluation and testing; queries
     /// run against shared clones of these, never against copies).
     pub fn resident(&self) -> Arc<Vec<Matrix>> {
-        Arc::clone(
-            &self
-                .resident
-                .read()
-                .expect("resident state poisoned")
-                .locals,
-        )
+        self.handle.resident()
     }
 
     /// Plan-cache counters, or `None` when planning is disabled.
     pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
-        self.planner.as_ref().map(|p| p.stats())
+        self.handle.plan_stats()
     }
 
     /// Number of currently cached plans (0 when planning is disabled).
     pub fn plan_cache_len(&self) -> usize {
-        self.planner.as_ref().map_or(0, |p| p.len())
+        self.handle.plan_cache_len()
     }
-}
 
-impl Drop for Runtime {
-    fn drop(&mut self) {
-        self.shutdown();
+    /// The backing one-dataset [`Service`] (the runtime's dataset is
+    /// resident under the name `"resident"`). Escape hatch for callers
+    /// migrating to the multi-dataset façade.
+    pub fn service(&self) -> &Service {
+        &self.service
     }
-}
-
-fn validate_locals(locals: &[Matrix]) -> Result<(usize, usize)> {
-    if locals.is_empty() {
-        return Err(CoreError::InvalidModel("no servers".into()));
-    }
-    let (n, d) = locals[0].shape();
-    if n == 0 || d == 0 {
-        return Err(CoreError::InvalidModel(format!("empty matrices {n}x{d}")));
-    }
-    if let Some((t, m)) = locals.iter().enumerate().find(|(_, m)| m.shape() != (n, d)) {
-        return Err(CoreError::InvalidModel(format!(
-            "server {t} has shape {:?}, expected ({n}, {d})",
-            m.shape()
-        )));
-    }
-    Ok((n, d))
-}
-
-/// Runs one query on its private model instance, consulting the planner
-/// when the query is eligible.
-fn execute(
-    resident: &RwLock<Resident>,
-    substrate: Substrate,
-    planner: Option<&PlanCache>,
-    request: &QueryRequest,
-) -> Result<QueryOutcome> {
-    // O(s) handle clones of the shared payload: each `Matrix` clone bumps a
-    // refcount, no entry data moves. The model's query-local scratch
-    // (injected coordinates, residual views) is freshly allocated per query.
-    let (parts, epoch, d) = {
-        let resident = resident.read().expect("resident state poisoned");
-        let parts: Vec<Matrix> = resident.locals.iter().cloned().collect();
-        (parts, resident.epoch, resident.shape.1)
-    };
-    let result = match substrate {
-        Substrate::Sequential => {
-            let mut model = PartitionModel::new(parts, request.f)?;
-            execute_on(&mut model, planner, request, epoch, d)
-        }
-        Substrate::Threaded => {
-            let mut model = PartitionModel::with_substrate(parts, request.f, ThreadedCluster::new)?;
-            execute_on(&mut model, planner, request, epoch, d)
-        }
-    };
-    // A reload may have landed between our epoch snapshot and any plan
-    // this query inserted: its `retain_epoch` ran before the insertion,
-    // so sweep again against the *current* epoch. The query's own result
-    // is untouched (it correctly answered against the data it dispatched
-    // with); this only stops a dead-epoch plan from squatting in an LRU
-    // slot until capacity pressure evicts it.
-    if let Some(cache) = planner {
-        let now = resident.read().expect("resident state poisoned").epoch;
-        if now != epoch {
-            cache.retain_epoch(now);
-        }
-    }
-    result
-}
-
-fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
-    model: &mut PartitionModel<C>,
-    planner: Option<&PlanCache>,
-    request: &QueryRequest,
-    epoch: u64,
-    d: usize,
-) -> Result<QueryOutcome> {
-    if let (Some(cache), SamplerKind::Z(params)) = (planner, &request.cfg.sampler) {
-        if request.plannable(d) {
-            let key = PlanKey::new(&request.f, params, request.cfg.seed, epoch);
-            let (plan, cache_hit) = cache.get_or_prepare(&key, || {
-                dlra_core::algorithm1::prepare_z_plan(model, params, request.cfg.seed)
-            })?;
-            let mut output = run_algorithm1_with_plan(model, &request.cfg, &plan)?;
-            // Per-query accounting stays identical to an unplanned run:
-            // the preparation delta is deterministic, so prepare + execute
-            // is exactly what this query would have charged alone.
-            output.comm = plan.prepare_comm + output.comm;
-            return Ok(QueryOutcome {
-                output,
-                plan: Some(PlanUse {
-                    prepare_comm: plan.prepare_comm,
-                    cache_hit,
-                }),
-            });
-        }
-    }
-    Ok(QueryOutcome {
-        output: run_algorithm1(model, &request.cfg)?,
-        plan: None,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlra_core::algorithm1::{run_algorithm1, Algorithm1Config, SamplerKind};
+    use dlra_core::functions::EntryFunction;
+    use dlra_core::model::PartitionModel;
     use dlra_sampler::ZSamplerParams;
     use dlra_util::Rng;
 
@@ -664,20 +420,11 @@ mod tests {
 
     #[test]
     fn submit_survives_total_executor_death() {
-        let executors = 2;
-        let mut runtime = Runtime::new(
-            locals(2, 10, 4, 2),
-            config(executors, Substrate::Sequential, 0),
-        )
-        .unwrap();
-        // Kill the whole pool: one poison task per executor, then join so
-        // the death is fully observable before the next submit.
-        for _ in 0..executors {
-            runtime.queue.as_ref().unwrap().send(Task::Poison).unwrap();
-        }
-        for handle in runtime.executors.drain(..) {
-            assert!(handle.join().is_err(), "executor should have panicked");
-        }
+        let mut runtime =
+            Runtime::new(locals(2, 10, 4, 2), config(2, Substrate::Sequential, 0)).unwrap();
+        // Kill the whole pool: one poison task per executor, joined so the
+        // death is fully observable before the next submit.
+        runtime.service.poison_executors();
         // Regression: this used to panic on `expect("executor pool is
         // alive")`. Now the failure arrives through the handle, typed.
         let handle = runtime.submit(QueryRequest::identity(cfg(2, 10, 3)));
@@ -685,6 +432,37 @@ mod tests {
             handle.wait(),
             Err(CoreError::RuntimeUnavailable(_)),
         ));
+    }
+
+    #[test]
+    fn submit_batch_survives_dead_pool() {
+        // The batched path must degrade exactly like the single-submit
+        // path: every handle of the batch resolves to RuntimeUnavailable,
+        // in order, with no panic. (Until this test, only `submit` had a
+        // dead-pool regression test.)
+        let mut runtime =
+            Runtime::new(locals(2, 10, 4, 6), config(2, Substrate::Sequential, 0)).unwrap();
+        runtime.service.poison_executors();
+        let handles =
+            runtime.submit_batch((0..3).map(|i| QueryRequest::identity(cfg(2, 10, 10 + i))));
+        assert_eq!(handles.len(), 3);
+        for handle in handles {
+            assert!(matches!(
+                handle.wait(),
+                Err(CoreError::RuntimeUnavailable(_)),
+            ));
+        }
+        // And the same after a graceful shutdown.
+        let mut runtime = Runtime::new(locals(2, 10, 4, 6), RuntimeConfig::default()).unwrap();
+        runtime.shutdown();
+        for handle in
+            runtime.submit_batch((0..3).map(|i| QueryRequest::identity(cfg(2, 10, 20 + i))))
+        {
+            assert!(matches!(
+                handle.wait(),
+                Err(CoreError::RuntimeUnavailable(_)),
+            ));
+        }
     }
 
     #[test]

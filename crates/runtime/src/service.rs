@@ -1,0 +1,1131 @@
+//! The service façade: **many named resident datasets** behind one
+//! executor pool, typed queries, and tickets with cancellation and
+//! deadlines.
+//!
+//! A [`Service`] is the front door of the serving system. Where `Runtime`
+//! owns exactly one dataset, a service hosts any number of them by name:
+//! [`Service::load`] makes a dataset resident and returns a
+//! [`DatasetHandle`], [`Service::reload`] swaps one tenant's data in place
+//! (bumping only **that** dataset's residency epoch), and
+//! [`Service::evict`] removes it. Every dataset owns a private plan-cache
+//! partition, so one tenant's reload or eviction can never invalidate
+//! another tenant's prepared plans or in-flight queries — the isolation is
+//! stats-assertable per dataset through [`DatasetHandle::plan_stats`].
+//!
+//! Queries are built through the typed [`Query`](crate::query::Query)
+//! builder (validated at construction, see [`crate::query`]) and submitted
+//! to a handle; [`DatasetHandle::submit`] returns a [`Ticket`]:
+//!
+//! * [`Ticket::cancel`] — drop-before-execute: executors check the
+//!   cancellation flag when they pop the query **and again between the
+//!   (possibly shared) sampler preparation and the draw/fetch execution**;
+//!   a cancelled query resolves to [`ServiceError::Cancelled`].
+//! * [`Ticket::deadline`] — an expired deadline resolves the ticket to
+//!   [`ServiceError::Deadline`] without running the protocol at all.
+//! * [`Ticket::wait_timeout`] — bounded blocking; on timeout the caller
+//!   gets the ticket back (typically to `cancel` it).
+//!
+//! Failures are unified into the [`ServiceError`] taxonomy: an invalid
+//! query ([`ServiceError::InvalidQuery`]) is distinct from an evicted
+//! dataset ([`ServiceError::DatasetEvicted`]), an expired deadline
+//! ([`ServiceError::Deadline`]), and a dead executor pool
+//! ([`ServiceError::RuntimeUnavailable`]).
+//!
+//! ## Executor-layer kernel budgeting
+//!
+//! Each executor wraps query execution in
+//! `dlra_linalg::with_threads(max(1, total / executors))`, so
+//! coordinator-side kernels (the SVD of `B`, gram products) share the
+//! process kernel-thread budget across concurrent queries instead of each
+//! claiming all of it — at high executor counts the two layers previously
+//! oversubscribed multiplicatively (`tests/thread_composition.rs` bounds
+//! the live-thread watermark). Thread counts never change results: kernels
+//! are bit-identical across thread counts.
+//!
+//! ## Relation to `Runtime`
+//!
+//! The single-dataset [`Runtime`](crate::runtime::Runtime) is now a thin
+//! shim over a one-dataset `Service`: same executors, same planner, same
+//! copy-on-write dispatch, bit- and ledger-identical outputs (the whole
+//! pre-façade equivalence suite runs through this layer).
+
+use crate::planner::{PlanCache, PlanCacheStats, PlanKey};
+use crate::query::{Query, QueryError, QueryRequest};
+use crate::threaded::ThreadedCluster;
+use dlra_comm::LedgerSnapshot;
+use dlra_core::algorithm1::{
+    prepare_z_plan, run_algorithm1, run_algorithm1_with_plan, Algorithm1Output, SamplerKind,
+};
+use dlra_core::model::PartitionModel;
+use dlra_core::CoreError;
+use dlra_linalg::Matrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which execution substrate the pooled executors build per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Substrate {
+    /// The sequential in-process simulator (`dlra-comm::Cluster`).
+    Sequential,
+    /// The threaded message-passing cluster ([`ThreadedCluster`]).
+    #[default]
+    Threaded,
+}
+
+pub(crate) fn default_executors() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .clamp(1, 8)
+}
+
+pub(crate) fn default_plan_cache() -> usize {
+    std::env::var("DLRA_PLAN_CACHE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(16)
+}
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of executor threads, i.e. queries in flight concurrently
+    /// (shared across every resident dataset).
+    pub executors: usize,
+    /// Substrate each query runs on.
+    pub substrate: Substrate,
+    /// Per-dataset plan-cache capacity (distinct prepared samplers held);
+    /// `0` disables planning entirely. The default is 16, overridable with
+    /// the `DLRA_PLAN_CACHE` environment variable — which is how CI proves
+    /// the planned and unplanned paths stay bit- and ledger-identical.
+    pub plan_cache: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            executors: default_executors(),
+            substrate: Substrate::default(),
+            plan_cache: default_plan_cache(),
+        }
+    }
+}
+
+/// How a delivered query interacted with its dataset's plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanUse {
+    /// The preparation's one-time ledger cost. It is already folded into
+    /// the output's `comm` (keeping per-query accounting identical to an
+    /// unplanned run); subtract it to get the query's own draw/fetch
+    /// delta, and charge it once per distinct plan when totalling a batch.
+    pub prepare_comm: LedgerSnapshot,
+    /// `true` when the preparation was served from the cache; `false` for
+    /// the one query per plan that physically ran it.
+    pub cache_hit: bool,
+}
+
+/// A delivered query result plus its planner provenance.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The protocol output (projection, per-query ledger delta, rows).
+    pub output: Algorithm1Output,
+    /// `Some` when the query executed from a shared plan; `None` on the
+    /// unplanned path (cache disabled, non-Z sampler, or boosted query).
+    pub plan: Option<PlanUse>,
+}
+
+/// The unified error taxonomy of the service layer. Callers can tell "my
+/// query was bad" ([`ServiceError::InvalidQuery`]) apart from "the data is
+/// gone" ([`ServiceError::DatasetEvicted`]), "I ran out of time"
+/// ([`ServiceError::Deadline`]), and "the pool is gone, retry elsewhere"
+/// ([`ServiceError::RuntimeUnavailable`]).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The query is invalid — rejected by the builder-equivalent checks,
+    /// by the shape of the addressed dataset, or by the protocol itself.
+    InvalidQuery(QueryError),
+    /// The addressed dataset was evicted (the handle outlived its data).
+    DatasetEvicted {
+        /// Name the dataset was resident under.
+        dataset: String,
+    },
+    /// No dataset with this name is resident ([`Service::reload`] /
+    /// [`Service::evict`] addressing).
+    UnknownDataset(String),
+    /// [`Service::load`] would overwrite a resident dataset; use
+    /// [`Service::reload`] to swap data under an existing name.
+    DatasetExists(String),
+    /// The dataset payload is malformed (no servers, mismatched shapes).
+    InvalidDataset(String),
+    /// The ticket's deadline expired before the query executed.
+    Deadline,
+    /// The ticket was cancelled before the query executed.
+    Cancelled,
+    /// The executor pool is gone (shut down or every executor died). The
+    /// query itself may be fine and can be retried against a live service.
+    RuntimeUnavailable(String),
+    /// The protocol failed mid-execution (sampler exhausted, numerical
+    /// failure).
+    Execution(CoreError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            ServiceError::DatasetEvicted { dataset } => {
+                write!(f, "dataset '{dataset}' was evicted")
+            }
+            ServiceError::UnknownDataset(name) => {
+                write!(f, "no dataset named '{name}' is resident")
+            }
+            ServiceError::DatasetExists(name) => {
+                write!(f, "dataset '{name}' is already resident (use reload)")
+            }
+            ServiceError::InvalidDataset(m) => write!(f, "invalid dataset: {m}"),
+            ServiceError::Deadline => write!(f, "deadline expired before the query executed"),
+            ServiceError::Cancelled => write!(f, "query cancelled before execution"),
+            ServiceError::RuntimeUnavailable(m) => write!(f, "runtime unavailable: {m}"),
+            ServiceError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<QueryError> for ServiceError {
+    fn from(e: QueryError) -> Self {
+        ServiceError::InvalidQuery(e)
+    }
+}
+
+/// Maps a protocol-layer failure into the service taxonomy.
+fn map_execution(err: CoreError) -> ServiceError {
+    match err {
+        CoreError::InvalidConfig(m) => ServiceError::InvalidQuery(QueryError::Rejected(m)),
+        CoreError::RuntimeUnavailable(m) => ServiceError::RuntimeUnavailable(m),
+        other => ServiceError::Execution(other),
+    }
+}
+
+/// The error a ticket resolves to when the pool cannot (or can no longer)
+/// run its query.
+pub(crate) fn runtime_unavailable() -> ServiceError {
+    ServiceError::RuntimeUnavailable(
+        "executor pool is not running (all executors exited or the runtime shut down)".into(),
+    )
+}
+
+/// The resident payload of one dataset plus its epoch (bumped on every
+/// reload; part of every [`PlanKey`], so plans are pinned to the data they
+/// were prepared against).
+struct Resident {
+    locals: Arc<Vec<Matrix>>,
+    epoch: u64,
+    shape: (usize, usize),
+}
+
+/// One named resident dataset: payload, residency epoch, and a private
+/// plan-cache partition. Queries hold an `Arc` to the dataset they were
+/// addressed to, so eviction never invalidates what is already executing.
+struct Dataset {
+    /// Service-unique id; part of every [`PlanKey`] this dataset mints, so
+    /// plans can never cross datasets even if caches were ever shared.
+    id: u64,
+    name: String,
+    resident: RwLock<Resident>,
+    /// `Some` when planning is enabled (`ServiceConfig::plan_cache > 0`).
+    /// Private to this dataset: another tenant's reload/evict cannot touch
+    /// it.
+    planner: Option<Arc<PlanCache>>,
+    evicted: AtomicBool,
+}
+
+/// Lifecycle of a submitted query, kept in **one** atomic word so that
+/// [`Ticket::cancel`] and the executor's claim cannot race each other into
+/// contradictory answers (two separate flags would allow "cancel returned
+/// true" and "the query ran anyway" simultaneously).
+mod ticket_state {
+    /// Queued; nobody has claimed it.
+    pub const PENDING: u8 = 0;
+    /// An executor won the claim and is executing (or has delivered).
+    pub const STARTED: u8 = 1;
+    /// A cancel won the claim; the query will never execute.
+    pub const CANCELLED: u8 = 2;
+    /// Resolved without executing (submission-time failure, deadline,
+    /// eviction) — cancellation can no longer change the outcome.
+    pub const RESOLVED: u8 = 3;
+}
+
+/// Cancellation/deadline state shared between a [`Ticket`] and the
+/// executor that will run (or skip) its query.
+struct TicketShared {
+    /// One of [`ticket_state`]'s values; every transition out of `PENDING`
+    /// is a compare-exchange, so exactly one party claims the query.
+    state: AtomicU8,
+    /// Set by every `cancel` call, even too-late ones: the
+    /// prepare→execute checkpoint honors it best-effort after execution
+    /// has started.
+    cancel_requested: AtomicBool,
+    submitted: Instant,
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl TicketShared {
+    fn new(deadline: Option<Duration>) -> Self {
+        let submitted = Instant::now();
+        TicketShared {
+            state: AtomicU8::new(ticket_state::PENDING),
+            cancel_requested: AtomicBool::new(false),
+            submitted,
+            deadline: Mutex::new(deadline.and_then(|d| submitted.checked_add(d))),
+        }
+    }
+
+    /// Tries to move `PENDING → to`; on failure returns the state that won
+    /// instead.
+    fn claim(&self, to: u8) -> Result<(), u8> {
+        self.state
+            .compare_exchange(
+                ticket_state::PENDING,
+                to,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .map(|_| ())
+    }
+
+    /// Marks a ticket resolved at submission time (no executor will claim
+    /// it), so a later `cancel` truthfully reports it was too late.
+    fn resolve_eagerly(&self) {
+        let _ = self.claim(ticket_state::RESOLVED);
+    }
+
+    fn deadline_expired(&self) -> bool {
+        self.deadline
+            .lock()
+            .expect("ticket deadline poisoned")
+            .is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+/// Pending result of a submitted query: resolves exactly once, to a
+/// [`QueryOutcome`] or a [`ServiceError`].
+pub struct Ticket {
+    rx: Receiver<Result<QueryOutcome, ServiceError>>,
+    shared: Arc<TicketShared>,
+}
+
+impl Ticket {
+    /// Requests cancellation. Returns `true` exactly when the query will
+    /// never execute: it was still pending and this call claimed it, so
+    /// the ticket resolves to [`ServiceError::Cancelled`] (a repeated
+    /// cancel of an already-cancelled ticket also reports `true`). Returns
+    /// `false` when it is too late for that guarantee — execution has
+    /// started (the request flag is still set, and an executor that has
+    /// not yet passed the prepare→execute checkpoint may still honor it),
+    /// or the ticket already resolved another way (submission-time
+    /// failure, expired deadline, delivered result).
+    pub fn cancel(&self) -> bool {
+        self.shared.cancel_requested.store(true, Ordering::SeqCst);
+        match self.shared.claim(ticket_state::CANCELLED) {
+            Ok(()) => true,
+            Err(won) => won == ticket_state::CANCELLED,
+        }
+    }
+
+    /// Whether an executor has started executing this query.
+    pub fn started(&self) -> bool {
+        self.shared.state.load(Ordering::SeqCst) == ticket_state::STARTED
+    }
+
+    /// Sets (or tightens — a later, looser deadline never relaxes an
+    /// earlier one) the query's deadline, measured from **submission**. A
+    /// query whose deadline has expired by the time an executor reaches it
+    /// resolves to [`ServiceError::Deadline`] without running.
+    pub fn deadline(self, after: Duration) -> Self {
+        if let Some(at) = self.shared.submitted.checked_add(after) {
+            let mut slot = self
+                .shared
+                .deadline
+                .lock()
+                .expect("ticket deadline poisoned");
+            *slot = Some(match *slot {
+                Some(cur) => cur.min(at),
+                None => at,
+            });
+        }
+        self
+    }
+
+    /// The terminal error of a ticket whose reply channel died: a query
+    /// this ticket successfully claimed as cancelled stays [`Cancelled`]
+    /// even if the pool collapsed around it; anything else is the pool's
+    /// fault.
+    fn disconnected(&self) -> ServiceError {
+        if self.shared.state.load(Ordering::SeqCst) == ticket_state::CANCELLED {
+            ServiceError::Cancelled
+        } else {
+            runtime_unavailable()
+        }
+    }
+
+    /// Blocks until the query resolves. A query the service cannot deliver
+    /// (executor panicked mid-run, pool dead or shut down) resolves to
+    /// [`ServiceError::RuntimeUnavailable`].
+    pub fn wait(self) -> Result<QueryOutcome, ServiceError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(self.disconnected()),
+        }
+    }
+
+    /// Blocks for at most `timeout`. `Ok` carries the resolution; on
+    /// timeout the ticket comes back as `Err(self)` so the caller can keep
+    /// waiting — or [`Ticket::cancel`] it.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<QueryOutcome, ServiceError>, Ticket> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let err = self.disconnected();
+                Ok(Err(err))
+            }
+        }
+    }
+
+    /// Non-blocking poll; `None` while the query is still pending. A dead
+    /// query (executor panicked, pool shut down) yields
+    /// `Some(Err(ServiceError::RuntimeUnavailable))`, not `None`, so
+    /// pollers cannot spin forever on it.
+    pub fn try_wait(&self) -> Option<Result<QueryOutcome, ServiceError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(self.disconnected())),
+        }
+    }
+
+    /// A ticket already resolved to `result` (submission-time failures).
+    /// The state moves to `RESOLVED`, so a later `cancel` truthfully
+    /// reports it was too late to change the outcome.
+    fn resolved(shared: Arc<TicketShared>, result: Result<QueryOutcome, ServiceError>) -> Ticket {
+        shared.resolve_eagerly();
+        let (reply, rx) = mpsc::channel();
+        let _ = reply.send(result);
+        Ticket { rx, shared }
+    }
+}
+
+enum Task {
+    Query {
+        dataset: Arc<Dataset>,
+        request: QueryRequest,
+        ticket: Arc<TicketShared>,
+        reply: Sender<Result<QueryOutcome, ServiceError>>,
+    },
+    /// Test-only: makes the executor that pops it panic, so tests can kill
+    /// the pool and exercise the dead-runtime failure paths.
+    #[cfg(test)]
+    Poison,
+}
+
+/// State shared between the [`Service`], its executors, and every
+/// [`DatasetHandle`].
+struct Shared {
+    /// `None` after shutdown; handles then resolve submissions to
+    /// [`ServiceError::RuntimeUnavailable`].
+    queue: RwLock<Option<Sender<Task>>>,
+    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    next_dataset_id: AtomicU64,
+    plan_cache: usize,
+}
+
+/// A multi-dataset serving front door: named copy-on-write resident
+/// datasets, a shared executor pool, per-dataset plan caches, typed
+/// queries, tickets with cancellation and deadlines.
+///
+/// ```
+/// use dlra_core::prelude::*;
+/// use dlra_runtime::{Query, Service, ServiceConfig};
+/// use dlra_linalg::Matrix;
+/// use dlra_util::Rng;
+///
+/// let mut rng = Rng::new(3);
+/// let tenant_a: Vec<Matrix> = (0..3).map(|_| Matrix::gaussian(80, 12, &mut rng)).collect();
+/// let tenant_b: Vec<Matrix> = (0..2).map(|_| Matrix::gaussian(60, 8, &mut rng)).collect();
+///
+/// let service = Service::new(ServiceConfig::default());
+/// let a = service.load("tenant-a", tenant_a).unwrap();
+/// let b = service.load("tenant-b", tenant_b).unwrap();
+///
+/// // Interleaved queries against both datasets, concurrently in flight.
+/// let qa = Query::rank(2).samples(25).sampler(SamplerKind::Uniform).build().unwrap();
+/// let qb = Query::rank(3).samples(30).sampler(SamplerKind::Uniform).build().unwrap();
+/// let ta = a.submit(&qa);
+/// let tb = b.submit(&qb);
+/// assert_eq!(ta.wait().unwrap().output.projection.dim(), 12);
+/// assert_eq!(tb.wait().unwrap().output.projection.dim(), 8);
+/// ```
+pub struct Service {
+    shared: Arc<Shared>,
+    substrate: Substrate,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the executor pool. Datasets are loaded afterwards with
+    /// [`Service::load`].
+    pub fn new(config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: RwLock::new(None),
+            datasets: RwLock::new(HashMap::new()),
+            next_dataset_id: AtomicU64::new(0),
+            plan_cache: config.plan_cache,
+        });
+        let (queue, tasks) = mpsc::channel::<Task>();
+        *shared.queue.write().expect("service queue poisoned") = Some(queue);
+        let tasks = Arc::new(Mutex::new(tasks));
+        let total = config.executors.max(1);
+        let executors = (0..total)
+            .map(|i| {
+                let tasks = Arc::clone(&tasks);
+                let substrate = config.substrate;
+                std::thread::Builder::new()
+                    .name(format!("dlra-executor-{i}"))
+                    .spawn(move || executor_loop(&tasks, substrate, total))
+                    .expect("spawn service executor thread")
+            })
+            .collect();
+        Service {
+            shared,
+            substrate: config.substrate,
+            executors,
+        }
+    }
+
+    /// Makes `locals` (one matrix per server) resident under `name` and
+    /// returns its handle. Loading shares the caller's matrix storage
+    /// copy-on-write — no entry data is copied here or at query dispatch.
+    /// Fails with [`ServiceError::DatasetExists`] if the name is taken
+    /// (use [`Service::reload`] to swap data under a live name).
+    pub fn load(&self, name: &str, locals: Vec<Matrix>) -> Result<DatasetHandle, ServiceError> {
+        let shape = validate_locals(&locals)?;
+        let mut datasets = self.shared.datasets.write().expect("dataset map poisoned");
+        if datasets.contains_key(name) {
+            return Err(ServiceError::DatasetExists(name.to_string()));
+        }
+        let dataset = Arc::new(Dataset {
+            id: self.shared.next_dataset_id.fetch_add(1, Ordering::SeqCst),
+            name: name.to_string(),
+            resident: RwLock::new(Resident {
+                locals: Arc::new(locals),
+                epoch: 0,
+                shape,
+            }),
+            planner: (self.shared.plan_cache > 0)
+                .then(|| Arc::new(PlanCache::new(self.shared.plan_cache))),
+            evicted: AtomicBool::new(false),
+        });
+        datasets.insert(name.to_string(), Arc::clone(&dataset));
+        Ok(DatasetHandle {
+            shared: Arc::clone(&self.shared),
+            dataset,
+        })
+    }
+
+    /// Replaces `name`'s resident payload and bumps **its** residency
+    /// epoch: in-flight queries finish against the payload they dispatched
+    /// with (their models hold handle clones), subsequent queries see the
+    /// new data, and every cached plan from the dataset's previous epoch
+    /// is dropped — from this dataset's cache partition only; every other
+    /// dataset's plans stay live.
+    pub fn reload(&self, name: &str, locals: Vec<Matrix>) -> Result<(), ServiceError> {
+        let shape = validate_locals(&locals)?;
+        let dataset = self
+            .shared
+            .datasets
+            .read()
+            .expect("dataset map poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))?;
+        let epoch = {
+            let mut resident = dataset.resident.write().expect("resident state poisoned");
+            resident.locals = Arc::new(locals);
+            resident.epoch += 1;
+            resident.shape = shape;
+            resident.epoch
+        };
+        if let Some(planner) = &dataset.planner {
+            planner.retain_epoch(epoch);
+        }
+        Ok(())
+    }
+
+    /// Evicts `name`: the dataset leaves the registry, queued-but-unstarted
+    /// queries addressed to it resolve to [`ServiceError::DatasetEvicted`],
+    /// queries already executing finish against the payload they hold, and
+    /// its plan-cache partition is purged. Other datasets are untouched.
+    /// The name becomes immediately available for a fresh [`Service::load`]
+    /// (with a new dataset id — stale handles keep reporting eviction).
+    pub fn evict(&self, name: &str) -> Result<(), ServiceError> {
+        let dataset = self
+            .shared
+            .datasets
+            .write()
+            .expect("dataset map poisoned")
+            .remove(name)
+            .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))?;
+        dataset.evicted.store(true, Ordering::SeqCst);
+        if let Some(planner) = &dataset.planner {
+            // No key can ever carry this epoch (epochs count up from 0), so
+            // this drops every settled plan of the evicted dataset.
+            planner.retain_epoch(u64::MAX);
+        }
+        Ok(())
+    }
+
+    /// The handle of a resident dataset, or `None`.
+    pub fn dataset(&self, name: &str) -> Option<DatasetHandle> {
+        self.shared
+            .datasets
+            .read()
+            .expect("dataset map poisoned")
+            .get(name)
+            .map(|dataset| DatasetHandle {
+                shared: Arc::clone(&self.shared),
+                dataset: Arc::clone(dataset),
+            })
+    }
+
+    /// Names of every resident dataset (unordered).
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.shared
+            .datasets
+            .read()
+            .expect("dataset map poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The substrate queries run on.
+    pub fn substrate(&self) -> Substrate {
+        self.substrate
+    }
+
+    /// Number of executor threads.
+    pub fn executors(&self) -> usize {
+        self.executors.len()
+    }
+
+    /// Stops the executor pool gracefully: already-queued and in-flight
+    /// queries complete and deliver their results, then the executors are
+    /// joined. Subsequent submissions resolve to
+    /// [`ServiceError::RuntimeUnavailable`]. Idempotent; `Drop` runs the
+    /// same path.
+    pub fn shutdown(&mut self) {
+        self.shared
+            .queue
+            .write()
+            .expect("service queue poisoned")
+            .take();
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Test-only: kills the whole executor pool (one poison task per
+    /// executor, joined so the death is fully observable) to exercise the
+    /// dead-pool failure paths.
+    #[cfg(test)]
+    pub(crate) fn poison_executors(&mut self) {
+        let n = self.executors.len();
+        if let Some(queue) = self
+            .shared
+            .queue
+            .read()
+            .expect("service queue poisoned")
+            .as_ref()
+        {
+            for _ in 0..n {
+                queue.send(Task::Poison).expect("pool already dead");
+            }
+        }
+        for handle in self.executors.drain(..) {
+            assert!(handle.join().is_err(), "executor should have panicked");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A cheap, cloneable handle to one resident dataset of a [`Service`]. The
+/// handle pins the dataset **identity** (not just the name): after an
+/// evict-then-load under the same name, stale handles keep resolving to
+/// [`ServiceError::DatasetEvicted`] instead of silently answering from a
+/// stranger's data.
+#[derive(Clone)]
+pub struct DatasetHandle {
+    shared: Arc<Shared>,
+    dataset: Arc<Dataset>,
+}
+
+impl DatasetHandle {
+    /// Submits a typed query; returns immediately with its [`Ticket`].
+    ///
+    /// Never panics and never blocks on execution: submission-time
+    /// failures (evicted dataset, `k` exceeding the dataset's column
+    /// count, dead pool) come back through the ticket, typed.
+    pub fn submit(&self, query: &Query) -> Ticket {
+        let shared = Arc::new(TicketShared::new(query.deadline));
+        let d = self
+            .dataset
+            .resident
+            .read()
+            .expect("resident state poisoned")
+            .shape
+            .1;
+        let k = query.request.cfg.k;
+        if k > d {
+            return Ticket::resolved(
+                shared,
+                Err(ServiceError::InvalidQuery(
+                    QueryError::RankExceedsDimension { k, d },
+                )),
+            );
+        }
+        self.dispatch(query.request.clone(), shared)
+    }
+
+    /// The compatibility path behind `Runtime::submit`: a raw, unvalidated
+    /// [`QueryRequest`] with no deadline. Malformed configurations surface
+    /// from the protocol itself, exactly as before the builder existed.
+    pub(crate) fn submit_request(&self, request: QueryRequest) -> Ticket {
+        self.dispatch(request, Arc::new(TicketShared::new(None)))
+    }
+
+    fn dispatch(&self, request: QueryRequest, shared: Arc<TicketShared>) -> Ticket {
+        if self.dataset.evicted.load(Ordering::SeqCst) {
+            return Ticket::resolved(
+                shared,
+                Err(ServiceError::DatasetEvicted {
+                    dataset: self.dataset.name.clone(),
+                }),
+            );
+        }
+        let (reply, rx) = mpsc::channel();
+        let ticket = Ticket {
+            rx,
+            shared: Arc::clone(&shared),
+        };
+        match self
+            .shared
+            .queue
+            .read()
+            .expect("service queue poisoned")
+            .as_ref()
+        {
+            Some(queue) => {
+                let task = Task::Query {
+                    dataset: Arc::clone(&self.dataset),
+                    request,
+                    ticket: shared,
+                    reply,
+                };
+                if let Err(mpsc::SendError(task)) = queue.send(task) {
+                    // Every executor has exited (the pop side of the queue
+                    // is gone): deliver the failure through the ticket.
+                    match task {
+                        Task::Query { reply, ticket, .. } => {
+                            ticket.resolve_eagerly();
+                            let _ = reply.send(Err(runtime_unavailable()));
+                        }
+                        #[cfg(test)]
+                        Task::Poison => unreachable!("dispatch only sends queries"),
+                    }
+                }
+            }
+            // Shut down: the ticket must still resolve.
+            None => {
+                ticket.shared.resolve_eagerly();
+                let _ = reply.send(Err(runtime_unavailable()));
+            }
+        }
+        ticket
+    }
+
+    /// The name this dataset is resident under.
+    pub fn name(&self) -> &str {
+        &self.dataset.name
+    }
+
+    /// Global data shape `(n, d)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.dataset
+            .resident
+            .read()
+            .expect("resident state poisoned")
+            .shape
+    }
+
+    /// Number of servers holding this dataset.
+    pub fn num_servers(&self) -> usize {
+        self.dataset
+            .resident
+            .read()
+            .expect("resident state poisoned")
+            .locals
+            .len()
+    }
+
+    /// The dataset's residency epoch (0 at load, +1 per reload).
+    pub fn epoch(&self) -> u64 {
+        self.dataset
+            .resident
+            .read()
+            .expect("resident state poisoned")
+            .epoch
+    }
+
+    /// Whether the dataset has been evicted.
+    pub fn is_evicted(&self) -> bool {
+        self.dataset.evicted.load(Ordering::SeqCst)
+    }
+
+    /// The resident per-server matrices (evaluation and testing; queries
+    /// run against shared clones of these, never against copies).
+    pub fn resident(&self) -> Arc<Vec<Matrix>> {
+        Arc::clone(
+            &self
+                .dataset
+                .resident
+                .read()
+                .expect("resident state poisoned")
+                .locals,
+        )
+    }
+
+    /// This dataset's plan-cache counters, or `None` when planning is
+    /// disabled. Private per dataset: another tenant's reload or eviction
+    /// never moves these numbers.
+    pub fn plan_stats(&self) -> Option<PlanCacheStats> {
+        self.dataset.planner.as_ref().map(|p| p.stats())
+    }
+
+    /// Number of plans currently cached for this dataset (0 when planning
+    /// is disabled).
+    pub fn plan_cache_len(&self) -> usize {
+        self.dataset.planner.as_ref().map_or(0, |p| p.len())
+    }
+}
+
+fn validate_locals(locals: &[Matrix]) -> Result<(usize, usize), ServiceError> {
+    if locals.is_empty() {
+        return Err(ServiceError::InvalidDataset("no servers".into()));
+    }
+    let (n, d) = locals[0].shape();
+    if n == 0 || d == 0 {
+        return Err(ServiceError::InvalidDataset(format!(
+            "empty matrices {n}x{d}"
+        )));
+    }
+    if let Some((t, m)) = locals.iter().enumerate().find(|(_, m)| m.shape() != (n, d)) {
+        return Err(ServiceError::InvalidDataset(format!(
+            "server {t} has shape {:?}, expected ({n}, {d})",
+            m.shape()
+        )));
+    }
+    Ok((n, d))
+}
+
+fn executor_loop(tasks: &Mutex<Receiver<Task>>, substrate: Substrate, executors: usize) {
+    loop {
+        // Hold the queue lock only for the pop, not the run.
+        let popped = tasks.lock().expect("task queue poisoned").recv();
+        match popped {
+            Ok(Task::Query {
+                dataset,
+                request,
+                ticket,
+                reply,
+            }) => {
+                let result = run_query(&dataset, substrate, executors, &request, &ticket);
+                // The caller may have dropped its ticket; that's fine, the
+                // result is discarded.
+                let _ = reply.send(result);
+            }
+            #[cfg(test)]
+            Ok(Task::Poison) => panic!("poison task (test-only)"),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Pre-execution gatekeeping plus the kernel-budgeted protocol run.
+fn run_query(
+    dataset: &Arc<Dataset>,
+    substrate: Substrate,
+    executors: usize,
+    request: &QueryRequest,
+    ticket: &TicketShared,
+) -> Result<QueryOutcome, ServiceError> {
+    // Terminal gates first: a deadline or eviction resolves the ticket
+    // without ever claiming it as started. Each resolution is itself a
+    // claim out of PENDING, so a concurrent `cancel` cannot be told "the
+    // query was dropped" while a different outcome is delivered — whoever
+    // wins the compare-exchange names the outcome.
+    if ticket.deadline_expired() {
+        return match ticket.claim(ticket_state::RESOLVED) {
+            Ok(()) => Err(ServiceError::Deadline),
+            Err(_) => Err(ServiceError::Cancelled),
+        };
+    }
+    if dataset.evicted.load(Ordering::SeqCst) {
+        return match ticket.claim(ticket_state::RESOLVED) {
+            Ok(()) => Err(ServiceError::DatasetEvicted {
+                dataset: dataset.name.clone(),
+            }),
+            Err(_) => Err(ServiceError::Cancelled),
+        };
+    }
+    // Claim the query for execution: if a cancel got there first, honor
+    // it — `cancel()` returned true, so the query must never run.
+    if ticket.claim(ticket_state::STARTED).is_err() {
+        return Err(ServiceError::Cancelled);
+    }
+    // Executor-layer kernel budgeting: coordinator-side kernels (the SVD
+    // of B, gram products) share the process kernel-thread budget across
+    // executors instead of each claiming all of it. Thread counts never
+    // change bits, so this is invisible to the equivalence suites. The
+    // budget is read outside the override so `set_threads` changes are
+    // picked up per query.
+    let budget = (dlra_linalg::threads() / executors).max(1);
+    dlra_linalg::with_threads(budget, || execute(dataset, substrate, request, ticket))
+}
+
+/// Runs one query on its private model instance, consulting the dataset's
+/// planner partition when the query is eligible.
+fn execute(
+    dataset: &Arc<Dataset>,
+    substrate: Substrate,
+    request: &QueryRequest,
+    ticket: &TicketShared,
+) -> Result<QueryOutcome, ServiceError> {
+    // O(s) handle clones of the shared payload: each `Matrix` clone bumps a
+    // refcount, no entry data moves. The model's query-local scratch
+    // (injected coordinates, residual views) is freshly allocated per query.
+    let (parts, epoch, d) = {
+        let resident = dataset.resident.read().expect("resident state poisoned");
+        let parts: Vec<Matrix> = resident.locals.iter().cloned().collect();
+        (parts, resident.epoch, resident.shape.1)
+    };
+    let result = match substrate {
+        Substrate::Sequential => {
+            let mut model = PartitionModel::new(parts, request.f).map_err(map_execution)?;
+            execute_on(&mut model, dataset, request, epoch, d, ticket)
+        }
+        Substrate::Threaded => {
+            let mut model = PartitionModel::with_substrate(parts, request.f, ThreadedCluster::new)
+                .map_err(map_execution)?;
+            execute_on(&mut model, dataset, request, epoch, d, ticket)
+        }
+    };
+    // A reload (or eviction) may have landed between our epoch snapshot and
+    // any plan this query inserted: its `retain_epoch` ran before the
+    // insertion, so sweep again against the *current* state. The query's
+    // own result is untouched (it correctly answered against the data it
+    // dispatched with); this only stops a dead-epoch plan from squatting in
+    // an LRU slot until capacity pressure evicts it.
+    if let Some(cache) = dataset.planner.as_deref() {
+        if dataset.evicted.load(Ordering::SeqCst) {
+            cache.retain_epoch(u64::MAX);
+        } else {
+            let now = dataset
+                .resident
+                .read()
+                .expect("resident state poisoned")
+                .epoch;
+            if now != epoch {
+                cache.retain_epoch(now);
+            }
+        }
+    }
+    result
+}
+
+fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    dataset: &Dataset,
+    request: &QueryRequest,
+    epoch: u64,
+    d: usize,
+    ticket: &TicketShared,
+) -> Result<QueryOutcome, ServiceError> {
+    if let (Some(cache), SamplerKind::Z(params)) =
+        (dataset.planner.as_deref(), &request.cfg.sampler)
+    {
+        if request.plannable(d) {
+            let key = PlanKey::new(dataset.id, &request.f, params, request.cfg.seed, epoch);
+            let (plan, cache_hit) = cache
+                .get_or_prepare(&key, || prepare_z_plan(model, params, request.cfg.seed))
+                .map_err(map_execution)?;
+            // The drop-before-execute checkpoint: the (possibly shared)
+            // preparation stays cached for other queries either way, but a
+            // cancelled or expired query pays no draw/fetch phase.
+            if ticket.cancel_requested.load(Ordering::SeqCst) {
+                return Err(ServiceError::Cancelled);
+            }
+            if ticket.deadline_expired() {
+                return Err(ServiceError::Deadline);
+            }
+            let mut output =
+                run_algorithm1_with_plan(model, &request.cfg, &plan).map_err(map_execution)?;
+            // Per-query accounting stays identical to an unplanned run:
+            // the preparation delta is deterministic, so prepare + execute
+            // is exactly what this query would have charged alone.
+            output.comm = plan.prepare_comm + output.comm;
+            return Ok(QueryOutcome {
+                output,
+                plan: Some(PlanUse {
+                    prepare_comm: plan.prepare_comm,
+                    cache_hit,
+                }),
+            });
+        }
+    }
+    run_algorithm1(model, &request.cfg)
+        .map(|output| QueryOutcome { output, plan: None })
+        .map_err(map_execution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_core::algorithm1::Algorithm1Config;
+    use dlra_util::Rng;
+
+    fn locals(s: usize, n: usize, d: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = Rng::new(seed);
+        (0..s).map(|_| Matrix::gaussian(n, d, &mut rng)).collect()
+    }
+
+    fn config(executors: usize, plan_cache: usize) -> ServiceConfig {
+        ServiceConfig {
+            executors,
+            substrate: Substrate::Sequential,
+            plan_cache,
+        }
+    }
+
+    fn uniform_query(k: usize, r: usize, seed: u64) -> Query {
+        Query::rank(k)
+            .samples(r)
+            .sampler(SamplerKind::Uniform)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn load_validates_and_rejects_duplicates() {
+        let service = Service::new(config(1, 0));
+        assert!(matches!(
+            service.load("a", vec![]),
+            Err(ServiceError::InvalidDataset(_))
+        ));
+        let mixed = vec![Matrix::zeros(3, 2), Matrix::zeros(2, 2)];
+        assert!(matches!(
+            service.load("a", mixed),
+            Err(ServiceError::InvalidDataset(_))
+        ));
+        service.load("a", locals(2, 10, 4, 1)).unwrap();
+        assert!(matches!(
+            service.load("a", locals(2, 10, 4, 2)),
+            Err(ServiceError::DatasetExists(_))
+        ));
+        assert!(matches!(
+            service.reload("b", locals(2, 10, 4, 2)),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            service.evict("b"),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn rank_exceeding_dimension_resolves_eagerly() {
+        let service = Service::new(config(1, 0));
+        let handle = service.load("a", locals(2, 10, 4, 1)).unwrap();
+        let ticket = handle.submit(&uniform_query(5, 10, 1));
+        assert!(matches!(
+            ticket.wait(),
+            Err(ServiceError::InvalidQuery(
+                QueryError::RankExceedsDimension { k: 5, d: 4 }
+            ))
+        ));
+    }
+
+    #[test]
+    fn evicted_handle_reports_eviction_even_after_name_reuse() {
+        let service = Service::new(config(1, 0));
+        let old = service.load("a", locals(2, 10, 4, 1)).unwrap();
+        service.evict("a").unwrap();
+        assert!(old.is_evicted());
+        assert!(matches!(
+            old.submit(&uniform_query(2, 5, 1)).wait(),
+            Err(ServiceError::DatasetEvicted { dataset }) if dataset == "a"
+        ));
+        // The name is free again; the stale handle stays evicted.
+        let fresh = service.load("a", locals(2, 12, 4, 2)).unwrap();
+        assert!(!fresh.is_evicted());
+        assert!(old.is_evicted());
+        assert!(fresh.submit(&uniform_query(2, 5, 1)).wait().is_ok());
+    }
+
+    #[test]
+    fn shutdown_resolves_tickets_as_runtime_unavailable() {
+        let mut service = Service::new(config(2, 0));
+        let handle = service.load("a", locals(2, 12, 4, 7)).unwrap();
+        let queued = handle.submit(&uniform_query(2, 6, 1));
+        service.shutdown();
+        assert!(queued.wait().is_ok(), "shutdown must drain queued work");
+        let late = handle.submit(&uniform_query(2, 6, 2));
+        assert!(matches!(
+            late.try_wait(),
+            Some(Err(ServiceError::RuntimeUnavailable(_)))
+        ));
+        service.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn raw_requests_defer_validation_to_the_protocol() {
+        // The Runtime compatibility path: a malformed raw request surfaces
+        // as a protocol rejection, not an eager builder error.
+        let service = Service::new(config(1, 0));
+        let handle = service.load("a", locals(2, 10, 4, 1)).unwrap();
+        let bad = QueryRequest::identity(Algorithm1Config {
+            k: 0,
+            r: 10,
+            sampler: SamplerKind::Uniform,
+            ..Default::default()
+        });
+        assert!(matches!(
+            handle.submit_request(bad).wait(),
+            Err(ServiceError::InvalidQuery(QueryError::Rejected(_)))
+        ));
+    }
+}

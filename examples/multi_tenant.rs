@@ -1,0 +1,133 @@
+//! Multi-tenant serving: one `Service`, several named resident datasets,
+//! interleaved queries, per-dataset plan caches, lifecycle isolation, and
+//! ticket-level control (deadlines, cancellation).
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use dlra::prelude::*;
+use dlra::util::Rng;
+use std::time::Duration;
+
+fn tenant_shares(
+    n: usize,
+    d: usize,
+    rank: usize,
+    servers: usize,
+    seed: u64,
+) -> Vec<dlra::linalg::Matrix> {
+    let mut rng = Rng::new(seed);
+    let global = dlra::data::noisy_low_rank(n, d, rank, 0.1, &mut rng);
+    dlra::data::split_with_noise_shares(&global, servers, 0.4, &mut rng)
+}
+
+fn main() {
+    let service = Service::new(ServiceConfig::default());
+
+    // --- Two tenants with differently shaped datasets behind one pool.
+    let alpha = service
+        .load("tenant-alpha", tenant_shares(2000, 48, 5, 6, 11))
+        .expect("load alpha");
+    let beta = service
+        .load("tenant-beta", tenant_shares(1200, 32, 4, 4, 22))
+        .expect("load beta");
+    for handle in [&alpha, &beta] {
+        println!(
+            "loaded '{}': {} servers, shape {:?}, epoch {}",
+            handle.name(),
+            handle.num_servers(),
+            handle.shape(),
+            handle.epoch()
+        );
+    }
+
+    // --- Interleaved queries: each tenant submits a burst of Z queries
+    // sharing a plan key (one preparation each, per-dataset cache) plus
+    // one uniform query. All are concurrently in flight.
+    let alpha_query = |r: usize| {
+        Query::rank(5)
+            .samples(r)
+            .sampler(SamplerKind::Z(ZSamplerParams::default()))
+            .seed(301)
+            .build()
+            .expect("valid query")
+    };
+    let beta_query = |r: usize| {
+        Query::rank(4)
+            .samples(r)
+            .sampler(SamplerKind::Z(ZSamplerParams::default()))
+            .seed(302)
+            .build()
+            .expect("valid query")
+    };
+    let tickets: Vec<(&str, Ticket)> = (0..4)
+        .flat_map(|i| {
+            [
+                ("alpha", alpha.submit(&alpha_query(60 + 10 * i))),
+                ("beta", beta.submit(&beta_query(40 + 10 * i))),
+            ]
+        })
+        .collect();
+    for (tenant, ticket) in tickets {
+        let outcome = ticket.wait().expect("query served");
+        let plan = match &outcome.plan {
+            Some(p) if p.cache_hit => "plan: cache hit",
+            Some(_) => "plan: prepared here",
+            None => "unplanned",
+        };
+        println!(
+            "{tenant}: rank-{} projection, {:>7} words, {plan}",
+            outcome.output.projection.rank(),
+            outcome.output.comm.total_words()
+        );
+    }
+    if let (Some(sa), Some(sb)) = (alpha.plan_stats(), beta.plan_stats()) {
+        println!(
+            "plan caches — alpha: {} miss / {} hits; beta: {} miss / {} hits",
+            sa.misses, sa.hits, sb.misses, sb.hits
+        );
+    }
+
+    // --- Lifecycle isolation: reloading alpha bumps only alpha's epoch
+    // and invalidates only alpha's plans; beta keeps serving from cache.
+    service
+        .reload("tenant-alpha", tenant_shares(2000, 48, 5, 6, 12))
+        .expect("reload alpha");
+    println!(
+        "\nafter alpha reload: alpha epoch {}, beta epoch {} (beta plans cached: {})",
+        alpha.epoch(),
+        beta.epoch(),
+        beta.plan_cache_len()
+    );
+    let outcome = beta.submit(&beta_query(40)).wait().expect("beta query");
+    if let Some(plan) = outcome.plan {
+        println!(
+            "beta after alpha's reload: cache_hit = {} (its plans survived)",
+            plan.cache_hit
+        );
+    }
+
+    // --- Tickets: a deadline that expires resolves without running; a
+    // cancelled queued query is dropped before execution.
+    let expired = beta.submit(&beta_query(200)).deadline(Duration::ZERO);
+    println!("expired deadline resolves to: {:?}", expired.wait().err());
+
+    let cancelled = beta.submit(&beta_query(200));
+    let dropped_before_execute = cancelled.cancel();
+    println!(
+        "cancelled query (dropped before execute: {dropped_before_execute}) resolves to: {:?}",
+        cancelled.wait().err()
+    );
+
+    // --- Eviction: alpha leaves; its handle reports the eviction, beta
+    // is untouched, and the name is free for a future load.
+    service.evict("tenant-alpha").expect("evict alpha");
+    println!(
+        "\nafter eviction: alpha evicted = {}, submit resolves to: {:?}",
+        alpha.is_evicted(),
+        alpha.submit(&alpha_query(60)).wait().err()
+    );
+    println!(
+        "beta still serving: {}",
+        beta.submit(&beta_query(40)).wait().is_ok()
+    );
+}

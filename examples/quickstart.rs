@@ -1,5 +1,6 @@
 //! Quickstart: distributed low-rank approximation of a matrix that exists
-//! only as additive shares across servers.
+//! only as additive shares across servers — served through the `Service`
+//! façade with the typed query builder.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -14,12 +15,22 @@ fn main() {
     let mut rng = Rng::new(2024);
     let global = dlra::data::noisy_low_rank(1000, 64, 6, 0.1, &mut rng);
     let parts = dlra::data::split_with_noise_shares(&global, 8, 0.5, &mut rng);
-    let mut model = PartitionModel::new(parts, EntryFunction::Identity).expect("uniform shapes");
 
+    // A model over the same shares, used only to evaluate against the true
+    // global matrix (which the protocol itself never materializes).
+    let model =
+        PartitionModel::new(parts.clone(), EntryFunction::Identity).expect("uniform shapes");
+
+    // --- Serving: make the shares resident in a Service. Loading shares
+    // the matrix storage copy-on-write; queries dispatch with O(s) handle
+    // clones, never copies of the data.
+    let service = Service::new(ServiceConfig::default());
+    let dataset = service.load("planted", parts).expect("load dataset");
     println!(
-        "servers: {}, global shape: {:?}",
-        model.num_servers(),
-        model.shape()
+        "dataset '{}': servers: {}, global shape: {:?}",
+        dataset.name(),
+        dataset.num_servers(),
+        dataset.shape()
     );
     println!(
         "sum of local data sizes: {} words\n",
@@ -33,18 +44,27 @@ fn main() {
     let budget_per_server_pass = model.total_local_words() / (4 * 2 * model.num_servers() as u64);
     let flat_dim = (model.shape().0 * model.shape().1) as u64;
     let params = ZSamplerParams::practical(flat_dim, budget_per_server_pass);
-    for &r in &[40usize, 100, 250] {
-        let cfg = Algorithm1Config {
-            k,
-            r,
-            sampler: SamplerKind::Z(params.clone()),
-            seed: 7 + r as u64,
-            ..Algorithm1Config::default()
-        };
-        let out = run_algorithm1(&mut model, &cfg).expect("protocol run");
 
-        // --- Evaluation against the true global matrix (which the protocol
-        // itself never materializes).
+    // Three queries built through the typed builder — validated at
+    // construction, not mid-protocol — and submitted concurrently; the
+    // tickets resolve as executors deliver.
+    let tickets: Vec<(usize, Ticket)> = [40usize, 100, 250]
+        .into_iter()
+        .map(|r| {
+            let query = Query::rank(k)
+                .samples(r)
+                .sampler(SamplerKind::Z(params.clone()))
+                .seed(7 + r as u64)
+                .build()
+                .expect("valid query");
+            (r, dataset.submit(&query))
+        })
+        .collect();
+
+    for (r, ticket) in tickets {
+        let out = ticket.wait().expect("query served").output;
+
+        // --- Evaluation against the true global matrix.
         let truth = model.global_matrix();
         let report = evaluate_projection(&truth, &out.projection, k).expect("eval");
 

@@ -9,7 +9,7 @@
 //! | [`sampler`] (`dlra-sampler`) | the generalized Z-sampler (Algorithms 2–4), baselines |
 //! | [`sketch`] (`dlra-sketch`) | CountSketch, AMS F₂, heavy hitters, k-wise hashing |
 //! | [`comm`] (`dlra-comm`) | star-topology simulation with word-exact accounting, the substrate-generic `Collectives` trait |
-//! | [`runtime`] (`dlra-runtime`) | threaded message-passing substrate + concurrent query runtime |
+//! | [`runtime`] (`dlra-runtime`) | threaded message-passing substrate + the multi-dataset `Service` façade (typed query builder, tickets with cancellation/deadlines) |
 //! | [`linalg`] (`dlra-linalg`) | matrices, QR, symmetric eigen, Jacobi SVD, rank-k tools |
 //! | [`data`] (`dlra-data`) | synthetic stand-ins for the paper's datasets |
 //! | [`lowerbounds`] (`dlra-lowerbounds`) | executable Theorem 4 / 6 / 8 reductions |
@@ -49,5 +49,8 @@ pub use dlra_util as util;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use dlra_core::prelude::*;
+    pub use dlra_runtime::{
+        DatasetHandle, Query, QueryError, Service, ServiceConfig, ServiceError, Ticket,
+    };
     pub use dlra_sampler::{ZSampler, ZSamplerParams};
 }

@@ -1,0 +1,451 @@
+//! The service façade's acceptance suite:
+//!
+//! * A [`Service`] hosting two named datasets serves **interleaved
+//!   concurrent queries** whose outputs and per-query ledgers are
+//!   bit-identical to single-`Runtime` runs of the same queries.
+//! * `reload`/`evict` of one dataset provably leaves the other's cached
+//!   plans live (stats-asserted per dataset) and never touches its
+//!   in-flight queries.
+//! * Cancellation before/after execution start, deadline expiry (the
+//!   query resolves without running), `wait_timeout`.
+//! * The typed builder rejects malformed queries at construction; the
+//!   dataset-shape check resolves eagerly at submission.
+//!
+//! Like the equivalence suite, CI runs this file under `DLRA_PLAN_CACHE=0`
+//! and `=32`, so every path is proven planner-on and planner-off; the
+//! plan-stats assertions guard on planning being enabled.
+
+use dlra::prelude::*;
+use dlra::runtime::{Runtime, RuntimeConfig, ServiceConfig, Substrate, Ticket};
+use dlra::util::Rng;
+use std::time::Duration;
+
+fn shares(s: usize, n: usize, d: usize, k: usize, seed: u64) -> Vec<dlra::linalg::Matrix> {
+    let mut rng = Rng::new(seed);
+    let global = dlra::data::noisy_low_rank(n, d, k, 0.1, &mut rng);
+    dlra::data::split_with_noise_shares(&global, s, 0.3, &mut rng)
+}
+
+/// Executor/substrate pinned; plan-cache capacity from the environment
+/// (`DLRA_PLAN_CACHE`), exactly like the equivalence suite, so CI proves
+/// the façade planner-on and planner-off.
+fn service_config(executors: usize) -> ServiceConfig {
+    ServiceConfig {
+        executors,
+        substrate: Substrate::Threaded,
+        ..Default::default()
+    }
+}
+
+fn z_query(k: usize, r: usize, seed: u64) -> Query {
+    Query::rank(k)
+        .samples(r)
+        .sampler(SamplerKind::Z(ZSamplerParams::default()))
+        .seed(seed)
+        .build()
+        .expect("valid query")
+}
+
+fn uniform_query(k: usize, r: usize, seed: u64) -> Query {
+    Query::rank(k)
+        .samples(r)
+        .sampler(SamplerKind::Uniform)
+        .seed(seed)
+        .build()
+        .expect("valid query")
+}
+
+/// The tentpole acceptance test: two resident datasets, interleaved
+/// concurrent queries, per-dataset plan caches — outputs and per-query
+/// ledgers bit-identical to single-`Runtime` runs of the same queries.
+#[test]
+fn two_datasets_interleaved_match_single_runtime_runs_bit_for_bit() {
+    let parts_a = shares(3, 120, 10, 3, 101);
+    let parts_b = shares(4, 96, 8, 2, 202);
+    let config = service_config(4);
+
+    let service = Service::new(config.clone());
+    let a = service.load("tenant-a", parts_a.clone()).unwrap();
+    let b = service.load("tenant-b", parts_b.clone()).unwrap();
+    assert_eq!(a.shape(), (120, 10));
+    assert_eq!(b.shape(), (96, 8));
+
+    // Four Z queries per dataset sharing one plan key, plus a uniform one
+    // each (which bypasses the planner).
+    let queries_a: Vec<Query> = (0..4)
+        .map(|i| z_query(1 + i % 3, 20 + 5 * i, 7))
+        .chain([uniform_query(2, 15, 8)])
+        .collect();
+    let queries_b: Vec<Query> = (0..4)
+        .map(|i| z_query(1 + i % 2, 18 + 4 * i, 9))
+        .chain([uniform_query(1, 12, 10)])
+        .collect();
+
+    // Interleave submissions so both tenants' queries are concurrently in
+    // flight on the shared executor pool.
+    let mut tickets: Vec<(usize, bool, Ticket)> = Vec::new();
+    for i in 0..queries_a.len().max(queries_b.len()) {
+        if let Some(q) = queries_a.get(i) {
+            tickets.push((i, true, a.submit(q)));
+        }
+        if let Some(q) = queries_b.get(i) {
+            tickets.push((i, false, b.submit(q)));
+        }
+    }
+
+    // Reference: single-dataset runtimes with the same plan-cache setting,
+    // one per tenant, answering the same queries.
+    let runtime_config = |executors| RuntimeConfig {
+        executors,
+        substrate: config.substrate,
+        plan_cache: config.plan_cache,
+    };
+    let runtime_a = Runtime::new(parts_a, runtime_config(4)).unwrap();
+    let runtime_b = Runtime::new(parts_b, runtime_config(4)).unwrap();
+
+    for (i, is_a, ticket) in tickets {
+        let got = ticket.wait().expect("service query failed");
+        let (runtime, queries) = if is_a {
+            (&runtime_a, &queries_a)
+        } else {
+            (&runtime_b, &queries_b)
+        };
+        let want = runtime
+            .submit(queries[i].request().clone())
+            .wait_outcome()
+            .expect("runtime query failed");
+        let tenant = if is_a { "a" } else { "b" };
+        assert_eq!(
+            got.output.projection.basis().as_slice(),
+            want.output.projection.basis().as_slice(),
+            "projection diverged (tenant {tenant}, query {i})"
+        );
+        assert_eq!(got.output.rows, want.output.rows, "tenant {tenant} q{i}");
+        assert_eq!(
+            got.output.comm, want.output.comm,
+            "per-query ledger diverged (tenant {tenant}, query {i})"
+        );
+        assert_eq!(
+            got.plan.is_some(),
+            want.plan.is_some(),
+            "planner provenance diverged (tenant {tenant}, query {i})"
+        );
+    }
+
+    // Per-dataset plan caches: each tenant prepared its own single key
+    // exactly once (4 Z queries → 1 miss + 3 hits), independently.
+    if let (Some(sa), Some(sb)) = (a.plan_stats(), b.plan_stats()) {
+        assert_eq!((sa.misses, sa.hits), (1, 3), "tenant a cache");
+        assert_eq!((sb.misses, sb.hits), (1, 3), "tenant b cache");
+        assert_eq!(a.plan_cache_len(), 1);
+        assert_eq!(b.plan_cache_len(), 1);
+    }
+}
+
+/// Reload and evict of dataset A never invalidate B's cached plans or
+/// in-flight queries — stats-asserted per dataset.
+#[test]
+fn reload_and_evict_of_one_dataset_leave_the_other_live() {
+    let parts_a = shares(3, 100, 10, 3, 31);
+    let parts_a2 = shares(3, 100, 10, 3, 32);
+    let parts_b = shares(2, 80, 8, 2, 33);
+    let service = Service::new(service_config(2));
+    let a = service.load("a", parts_a).unwrap();
+    let b = service.load("b", parts_b.clone()).unwrap();
+
+    let qa = z_query(2, 20, 5);
+    let qb = z_query(2, 22, 6);
+
+    // Warm both tenants' caches: one miss then one hit each.
+    a.submit(&qa).wait().unwrap();
+    a.submit(&qa).wait().unwrap();
+    let before_b = b.submit(&qb).wait().unwrap();
+    b.submit(&qb).wait().unwrap();
+    let planning = a.plan_stats().is_some();
+    if planning {
+        assert_eq!(
+            (a.plan_stats().unwrap().misses, a.plan_stats().unwrap().hits),
+            (1, 1)
+        );
+        assert_eq!(
+            (b.plan_stats().unwrap().misses, b.plan_stats().unwrap().hits),
+            (1, 1)
+        );
+    }
+
+    // Submit a B query, then reload A while it is in flight: the B query
+    // must complete against its own (untouched) data.
+    let in_flight_b = b.submit(&qb);
+    service.reload("a", parts_a2.clone()).unwrap();
+    let during = in_flight_b
+        .wait()
+        .expect("B in-flight query survived A's reload");
+    assert_eq!(
+        during.output.projection.basis().as_slice(),
+        before_b.output.projection.basis().as_slice(),
+        "A's reload changed B's answer"
+    );
+
+    assert_eq!(a.epoch(), 1, "A reloaded");
+    assert_eq!(b.epoch(), 0, "B's epoch must not move on A's reload");
+    if planning {
+        // A's partition was invalidated; B's plans stay live and keep
+        // serving hits with no new misses.
+        let sa = a.plan_stats().unwrap();
+        assert_eq!(a.plan_cache_len(), 0, "A's stale plans must drop");
+        assert!(sa.invalidations >= 1, "A must record the invalidation");
+        let sb0 = b.plan_stats().unwrap();
+        assert_eq!(b.plan_cache_len(), 1, "B's plan must stay cached");
+        assert_eq!(sb0.invalidations, 0, "B must see no invalidation");
+        let after_b = b.submit(&qb).wait().unwrap();
+        let sb1 = b.plan_stats().unwrap();
+        assert_eq!(sb1.misses, sb0.misses, "B re-prepared after A's reload");
+        assert_eq!(sb1.hits, sb0.hits + 1, "B's cached plan must serve a hit");
+        assert!(after_b.plan.unwrap().cache_hit);
+        assert_eq!(
+            after_b.output.projection.basis().as_slice(),
+            before_b.output.projection.basis().as_slice()
+        );
+    }
+
+    // A answers from the new data (and re-prepares if planning).
+    let reloaded_a = a.submit(&qa).wait().unwrap();
+    let mut direct = PartitionModel::new(parts_a2, EntryFunction::Identity).unwrap();
+    let want = run_algorithm1(&mut direct, &qa.request().cfg).unwrap();
+    assert_eq!(
+        reloaded_a.output.projection.basis().as_slice(),
+        want.projection.basis().as_slice()
+    );
+    assert_eq!(reloaded_a.output.comm, want.comm);
+
+    // Evict A: its handle reports eviction, B keeps serving from cache.
+    service.evict("a").unwrap();
+    assert!(a.is_evicted());
+    assert!(!b.is_evicted());
+    assert!(matches!(
+        a.submit(&qa).wait(),
+        Err(ServiceError::DatasetEvicted { dataset }) if dataset == "a"
+    ));
+    let survivor = b.submit(&qb).wait().unwrap();
+    assert_eq!(
+        survivor.output.projection.basis().as_slice(),
+        before_b.output.projection.basis().as_slice(),
+        "A's eviction changed B's answer"
+    );
+    if planning {
+        assert_eq!(b.plan_cache_len(), 1, "B's plan must survive A's eviction");
+        assert_eq!(
+            b.plan_stats().unwrap().invalidations,
+            0,
+            "B must never be invalidated by A's lifecycle"
+        );
+    }
+    // B's payload is still the storage the caller loaded (copy-on-write).
+    for (mine, theirs) in parts_b.iter().zip(b.resident().iter()) {
+        assert!(mine.shares_storage(theirs));
+    }
+}
+
+/// Keeps a single executor busy so that queries submitted behind the
+/// blockers sit in the queue deterministically.
+fn submit_blockers(handle: &DatasetHandle, count: usize) -> Vec<Ticket> {
+    let blockers: Vec<Ticket> = (0..count)
+        .map(|i| handle.submit(&z_query(4, 120, 1000 + i as u64)))
+        .collect();
+    // Wait until the pool has actually started chewing on the first one.
+    while !blockers[0].started() {
+        std::thread::yield_now();
+    }
+    blockers
+}
+
+#[test]
+fn cancellation_before_and_after_execution_start() {
+    let service = Service::new(service_config(1));
+    let handle = service.load("d", shares(2, 512, 16, 4, 77)).unwrap();
+    let blockers = submit_blockers(&handle, 3);
+
+    // Cancel while queued: drop-before-execute is guaranteed.
+    let victim = handle.submit(&uniform_query(2, 20, 2));
+    assert!(
+        victim.cancel(),
+        "cancel before execution must report drop-before-execute"
+    );
+    assert!(matches!(victim.wait(), Err(ServiceError::Cancelled)));
+
+    // The blockers are untouched by the cancellation.
+    for blocker in blockers {
+        assert!(blocker.wait().is_ok());
+    }
+
+    // Cancel after the query already resolved: too late, typed as such.
+    let done = handle.submit(&uniform_query(2, 20, 3));
+    let result = loop {
+        if let Some(result) = done.try_wait() {
+            break result;
+        }
+        std::thread::yield_now();
+    };
+    assert!(result.is_ok());
+    assert!(done.started());
+    assert!(
+        !done.cancel(),
+        "cancel after execution must report it was too late"
+    );
+}
+
+#[test]
+fn deadline_expiry_resolves_without_running() {
+    let service = Service::new(service_config(1));
+    let handle = service.load("d", shares(2, 512, 16, 4, 88)).unwrap();
+
+    // A deadline carried by the builder is seeded into the ticket before
+    // dispatch, so even an idle executor observes it as already expired:
+    // typed error, the protocol never runs.
+    let dead = handle.submit(
+        &Query::rank(2)
+            .samples(25)
+            .sampler(SamplerKind::Uniform)
+            .seed(556)
+            .deadline(Duration::ZERO)
+            .build()
+            .unwrap(),
+    );
+    assert!(matches!(dead.wait(), Err(ServiceError::Deadline)));
+
+    // A post-submission `Ticket::deadline` needs the executor to still be
+    // busy when it lands — park the queue behind blockers so the store is
+    // deterministically ordered before the pop. The expired Z query's key
+    // must never reach the plan cache (planning enabled): the blockers
+    // account for every cached plan.
+    let blockers = submit_blockers(&handle, 2);
+    let dead = handle.submit(&z_query(2, 30, 555)).deadline(Duration::ZERO);
+    assert!(matches!(dead.wait(), Err(ServiceError::Deadline)));
+    for blocker in blockers {
+        assert!(blocker.wait().is_ok());
+    }
+    if handle.plan_stats().is_some() {
+        assert_eq!(
+            handle.plan_cache_len(),
+            2,
+            "an expired query must never prepare a plan (only the 2 blockers may)"
+        );
+    }
+
+    // A generous deadline never fires.
+    let alive = handle
+        .submit(&uniform_query(2, 25, 557))
+        .deadline(Duration::from_secs(120));
+    assert!(alive.wait().is_ok());
+}
+
+#[test]
+fn wait_timeout_returns_the_ticket_on_timeout() {
+    let service = Service::new(service_config(1));
+    let handle = service.load("d", shares(2, 512, 16, 4, 99)).unwrap();
+    let _blockers = submit_blockers(&handle, 3);
+
+    // Queued behind the blockers: a tiny wait times out and hands the
+    // ticket back; the caller can then cancel it — the serving pattern
+    // "wait 1 ms, then give up".
+    let slow = handle.submit(&uniform_query(2, 20, 4));
+    match slow.wait_timeout(Duration::from_millis(1)) {
+        Ok(result) => {
+            // Single-core schedulers may legitimately finish everything
+            // first; then the result must simply be valid.
+            assert!(result.is_ok());
+        }
+        Err(ticket) => {
+            ticket.cancel();
+            assert!(matches!(
+                ticket.wait(),
+                Err(ServiceError::Cancelled) | Ok(_)
+            ));
+        }
+    }
+
+    // A completed query resolves within any reasonable timeout.
+    let fast = handle.submit(&uniform_query(1, 10, 5));
+    match fast.wait_timeout(Duration::from_secs(120)) {
+        Ok(result) => assert!(result.is_ok()),
+        Err(_) => panic!("resolved query must not time out"),
+    }
+}
+
+#[test]
+fn typed_builder_and_shape_validation() {
+    assert_eq!(Query::rank(0).build().unwrap_err(), QueryError::ZeroRank);
+    assert_eq!(
+        Query::rank(2).samples(0).build().unwrap_err(),
+        QueryError::ZeroSamples
+    );
+    assert_eq!(
+        Query::rank(2).boosted(0).build().unwrap_err(),
+        QueryError::ZeroBoost
+    );
+    assert!(matches!(
+        Query::rank(2)
+            .function(EntryFunction::Max)
+            .sampler(SamplerKind::Z(ZSamplerParams::default()))
+            .build(),
+        Err(QueryError::UnsupportedFunction { .. })
+    ));
+
+    // The dataset-dependent check resolves eagerly at submission.
+    let service = Service::new(service_config(1));
+    let handle = service.load("d", shares(2, 40, 6, 2, 11)).unwrap();
+    let too_wide = uniform_query(7, 10, 1);
+    assert!(matches!(
+        handle.submit(&too_wide).wait(),
+        Err(ServiceError::InvalidQuery(
+            QueryError::RankExceedsDimension { k: 7, d: 6 }
+        ))
+    ));
+
+    // A boosted, non-identity query built through the builder runs fine.
+    let fancy = Query::rank(2)
+        .samples(18)
+        .function(EntryFunction::Huber { k: 1.5 })
+        .sampler(SamplerKind::Z(ZSamplerParams::default()))
+        .boosted(2)
+        .seed(42)
+        .build()
+        .unwrap();
+    let out = handle.submit(&fancy).wait().unwrap();
+    assert_eq!(out.output.projection.dim(), 6);
+    assert!(out.plan.is_none(), "boosted queries bypass the planner");
+}
+
+#[test]
+fn shutdown_and_dataset_registry_errors_are_typed() {
+    let mut service = Service::new(service_config(1));
+    let handle = service.load("d", shares(2, 30, 6, 2, 13)).unwrap();
+    assert!(matches!(
+        service.load("d", shares(2, 30, 6, 2, 14)),
+        Err(ServiceError::DatasetExists(_))
+    ));
+    assert!(matches!(
+        service.reload("ghost", shares(2, 30, 6, 2, 14)),
+        Err(ServiceError::UnknownDataset(_))
+    ));
+    assert!(matches!(
+        service.evict("ghost"),
+        Err(ServiceError::UnknownDataset(_))
+    ));
+    assert!(matches!(
+        service.load("bad", vec![]),
+        Err(ServiceError::InvalidDataset(_))
+    ));
+
+    let mut names = service.dataset_names();
+    names.sort();
+    assert_eq!(names, ["d"]);
+    assert!(service.dataset("d").is_some());
+    assert!(service.dataset("ghost").is_none());
+
+    service.shutdown();
+    assert!(matches!(
+        handle.submit(&uniform_query(2, 10, 1)).wait(),
+        Err(ServiceError::RuntimeUnavailable(_))
+    ));
+}

@@ -1,9 +1,11 @@
 //! Kernel/runtime thread composition: the threaded substrate's server
 //! workers pin kernel threading to 1 (`dlra_linalg::with_threads`), so
 //! `s` server workers × `DLRA_THREADS` kernel threads can never
-//! oversubscribe multiplicatively. Proved through the kernel layer's
-//! parallelism watermark — the counters are process-global, so this file
-//! holds exactly one test (its own binary → its own process).
+//! oversubscribe multiplicatively — and service executors budget
+//! coordinator-side kernels at `max(1, total/executors)`, so high
+//! executor counts cannot oversubscribe either. Proved through the kernel
+//! layer's parallelism watermark — the counters are process-global, so
+//! this file holds exactly one test (its own binary → its own process).
 //!
 //! Lower bounds on the watermark are deliberately loose: on a single-core
 //! runner the pool's workers may execute their panels one after another,
@@ -13,7 +15,8 @@ use dlra::comm::Collectives;
 use dlra::linalg::{
     parallelism_watermark, reset_parallelism_watermark, set_threads, threads, with_threads, Matrix,
 };
-use dlra::runtime::ThreadedCluster;
+use dlra::prelude::*;
+use dlra::runtime::{ServiceConfig, Substrate, ThreadedCluster, Ticket};
 use dlra::util::Rng;
 
 #[test]
@@ -68,6 +71,52 @@ fn kernel_threads_never_exceed_the_configured_budget() {
     cluster.with_local(0, |local: &Matrix| {
         assert_eq!(local.gram().as_slice(), direct.as_slice());
     });
+    drop(cluster);
+
+    // Executor-layer kernel budgeting: service executors wrap each query
+    // in `with_threads(max(1, total/executors))`, so coordinator-side
+    // kernels (building B, its gram/SVD) share the process budget instead
+    // of each executor claiming all of it. With the knob at 8 and 4
+    // executors over s = 2 servers, any instant sees at most
+    // `executors × max(s × 1, 8/4) = 4 × 2 = 8` live kernel threads — not
+    // the `4 × 8 = 32` the unbudgeted layers would multiply to. The rows
+    // sampled (600 × 64 columns) make the coordinator-side gram clear the
+    // parallel-work floor, so the budget is genuinely exercised.
+    set_threads(8);
+    let executors = 4;
+    let servers = 2;
+    let mut rng = Rng::new(9);
+    let locals: Vec<Matrix> = (0..servers)
+        .map(|_| Matrix::gaussian(1024, 64, &mut rng))
+        .collect();
+    let service = Service::new(ServiceConfig {
+        executors,
+        substrate: Substrate::Threaded,
+        plan_cache: 0,
+    });
+    let dataset = service.load("budget", locals).unwrap();
+    reset_parallelism_watermark();
+    let tickets: Vec<Ticket> = (0..2 * executors)
+        .map(|i| {
+            let query = Query::rank(8)
+                .samples(600)
+                .sampler(SamplerKind::Uniform)
+                .seed(50 + i as u64)
+                .build()
+                .unwrap();
+            dataset.submit(&query)
+        })
+        .collect();
+    for ticket in tickets {
+        assert_eq!(ticket.wait().unwrap().output.projection.dim(), 64);
+    }
+    let budget = 8 / executors;
+    assert!(
+        parallelism_watermark() <= executors * servers.max(budget),
+        "budgeted executors peaked at {} live kernel threads, bound is {}",
+        parallelism_watermark(),
+        executors * servers.max(budget)
+    );
 
     set_threads(1);
 }
