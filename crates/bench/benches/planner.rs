@@ -49,6 +49,7 @@ fn bench_batch_submit(c: &mut Criterion) {
                         executors: 4,
                         substrate: Substrate::Threaded,
                         plan_cache: 16,
+                        metrics: true,
                     },
                 )
                 .unwrap();
@@ -68,6 +69,7 @@ fn bench_batch_submit(c: &mut Criterion) {
                         executors: 4,
                         substrate: Substrate::Threaded,
                         plan_cache: 0,
+                        metrics: true,
                     },
                 )
                 .unwrap();
@@ -97,6 +99,7 @@ fn bench_warm_cache_submit(c: &mut Criterion) {
             executors: 1,
             substrate: Substrate::Threaded,
             plan_cache: 16,
+            metrics: true,
         },
     )
     .unwrap();

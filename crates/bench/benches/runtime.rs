@@ -213,6 +213,16 @@ fn bench_service_dispatch(c: &mut Criterion) {
                 });
             },
         );
+        // The registry saw every iteration above: report the end-to-end
+        // submit → resolve distribution it measured alongside criterion's
+        // per-iteration mean.
+        if let Some(metrics) = service.metrics() {
+            let snap = &metrics.datasets[0];
+            eprintln!(
+                "service_dispatch_latency/{datasets}: {} ({} queries)",
+                snap.latency, snap.completed
+            );
+        }
     }
     group.finish();
 }

@@ -3,6 +3,7 @@
 
 pub mod cli;
 pub mod kernels;
+pub mod obs;
 pub mod planner;
 pub mod repro;
 

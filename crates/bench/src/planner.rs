@@ -136,6 +136,7 @@ fn runtime_config(spec: &PlannerBenchSpec, plan_cache: usize) -> RuntimeConfig {
         executors: spec.executors,
         substrate: Substrate::Threaded,
         plan_cache,
+        metrics: true,
     }
 }
 

@@ -142,6 +142,33 @@ impl std::ops::Add for LedgerSnapshot {
     }
 }
 
+/// In-place component-wise sum — the accumulation form of [`Add`], used by
+/// metrics registries folding per-query deltas into running totals.
+impl std::ops::AddAssign for LedgerSnapshot {
+    fn add_assign(&mut self, rhs: LedgerSnapshot) {
+        self.upstream_words += rhs.upstream_words;
+        self.downstream_words += rhs.downstream_words;
+        self.messages += rhs.messages;
+        self.rounds += rhs.rounds;
+    }
+}
+
+/// Operator-friendly one-liner: total words with the up/down split,
+/// message and round counts.
+impl std::fmt::Display for LedgerSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} words ({} up / {} down), {} msgs, {} rounds",
+            self.total_words(),
+            self.upstream_words,
+            self.downstream_words,
+            self.messages,
+            self.rounds
+        )
+    }
+}
+
 impl Ledger {
     /// A fresh ledger. Event recording (the full transcript) is off by
     /// default; totals are always maintained.
@@ -354,6 +381,39 @@ mod tests {
         assert_eq!(l.snapshot(), LedgerSnapshot::default());
         l.charge(1, Direction::Upstream, 4, "z2");
         assert_eq!(l.events().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_add_assign_matches_add() {
+        let a = LedgerSnapshot {
+            upstream_words: 10,
+            downstream_words: 2,
+            messages: 3,
+            rounds: 1,
+        };
+        let b = LedgerSnapshot {
+            upstream_words: 7,
+            downstream_words: 5,
+            messages: 2,
+            rounds: 2,
+        };
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, a + b);
+    }
+
+    #[test]
+    fn snapshot_display_totals() {
+        let s = LedgerSnapshot {
+            upstream_words: 10,
+            downstream_words: 2,
+            messages: 3,
+            rounds: 1,
+        };
+        assert_eq!(
+            format!("{s}"),
+            "12 words (10 up / 2 down), 3 msgs, 1 rounds"
+        );
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub use qr::{householder_qr, orthonormalize_columns};
 pub use randomized::{randomized_svd, RandomizedSvdConfig};
 pub use svd::{svd, Svd};
 pub use threads::{
-    parallelism_watermark, reset_parallelism_watermark, set_threads, threads, with_threads,
+    parallelism_watermark, pool_profile, pool_profiling, reset_parallelism_watermark,
+    reset_pool_profile, set_pool_profiling, set_threads, threads, with_threads, PoolProfile,
 };
 
 /// Errors surfaced by the linear-algebra kernels.

@@ -26,9 +26,10 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// 0 = unresolved; resolved values are always ≥ 1.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -116,6 +117,73 @@ pub fn reset_parallelism_watermark() {
 /// that were live at once since the last [`reset_parallelism_watermark`].
 pub fn parallelism_watermark() -> usize {
     PEAK.load(Ordering::Acquire)
+}
+
+/// Pool profiling: per-section wall time and per-worker busy time, recorded
+/// only while [`set_pool_profiling`] is on. When off (the default) the cost
+/// is one relaxed atomic load per kernel section / pool job — no clock
+/// reads — and results are never affected either way.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static PARALLEL_SECTIONS: AtomicU64 = AtomicU64::new(0);
+static INLINE_SECTIONS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Turns kernel-pool profiling on or off (process-wide).
+pub fn set_pool_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernel-pool profiling is currently on.
+pub fn pool_profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Clears the accumulated [`pool_profile`] counters.
+pub fn reset_pool_profile() {
+    PARALLEL_SECTIONS.store(0, Ordering::Relaxed);
+    INLINE_SECTIONS.store(0, Ordering::Relaxed);
+    BUSY_NANOS.store(0, Ordering::Relaxed);
+    WALL_NANOS.store(0, Ordering::Relaxed);
+}
+
+/// Accumulated profile of the panel dispatcher since the last
+/// [`reset_pool_profile`] (all zero unless profiling was enabled).
+pub fn pool_profile() -> PoolProfile {
+    PoolProfile {
+        parallel_sections: PARALLEL_SECTIONS.load(Ordering::Relaxed),
+        inline_sections: INLINE_SECTIONS.load(Ordering::Relaxed),
+        busy_nanos: BUSY_NANOS.load(Ordering::Relaxed),
+        wall_nanos: WALL_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+/// Profile of the persistent panel pool: how many kernel sections ran
+/// parallel vs inline, total section wall time, and total busy time across
+/// the submitting thread and all pool workers. `busy / wall` is the
+/// effective parallelism actually achieved (vs the configured `threads()`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolProfile {
+    /// Kernel sections dispatched to the worker pool.
+    pub parallel_sections: u64,
+    /// Kernel sections run inline (single thread or below the work floor).
+    pub inline_sections: u64,
+    /// Nanoseconds of kernel execution summed over every participant.
+    pub busy_nanos: u64,
+    /// Nanoseconds of wall time summed over profiled sections.
+    pub wall_nanos: u64,
+}
+
+impl PoolProfile {
+    /// Average number of threads effectively busy during profiled kernel
+    /// sections (0 when nothing was profiled).
+    pub fn effective_parallelism(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / self.wall_nanos as f64
+        }
+    }
 }
 
 /// A completion latch: one parallel call waits for its dispatched panels.
@@ -232,6 +300,7 @@ fn worker_loop(work: &Mutex<Receiver<PanelJob>>) {
         };
         let Ok(job) = job else { return };
         enter_kernel();
+        let job_start = pool_profiling().then(Instant::now);
         // Pool workers pin nested parallelism to 1: a kernel that somehow
         // re-enters the dispatcher runs inline instead of waiting on the
         // very pool it occupies.
@@ -242,6 +311,11 @@ fn worker_loop(work: &Mutex<Receiver<PanelJob>>) {
                 (job.call)(job.kernel, job.first_row, job.panel, job.panel_len)
             })
         }));
+        if let Some(t0) = job_start {
+            // Before `count_down`, so a section's busy time is fully
+            // accumulated by the time its submitter stops waiting.
+            BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         exit_kernel();
         // SAFETY: the latch outlives the job (submit-then-wait protocol).
         let latch = unsafe { &*job.latch };
@@ -293,14 +367,22 @@ pub(crate) fn for_each_row_panel_by_weight<F, W>(
     }
     let t = threads().min(rows);
     if t <= 1 || work < PARALLEL_WORK_FLOOR {
+        let section_start = pool_profiling().then(Instant::now);
         enter_kernel();
         let result = catch_unwind(AssertUnwindSafe(|| kernel(0, out)));
         exit_kernel();
+        if let Some(t0) = section_start {
+            let nanos = t0.elapsed().as_nanos() as u64;
+            INLINE_SECTIONS.fetch_add(1, Ordering::Relaxed);
+            BUSY_NANOS.fetch_add(nanos, Ordering::Relaxed);
+            WALL_NANOS.fetch_add(nanos, Ordering::Relaxed);
+        }
         if let Err(payload) = result {
             resume_unwind(payload);
         }
         return;
     }
+    let section_start = pool_profiling().then(Instant::now);
     // Cut the row range into `t` contiguous panels of (near-)equal total
     // weight: walk the rows accumulating weight and cut at each multiple
     // of `total / t`.
@@ -351,13 +433,21 @@ pub(crate) fn for_each_row_panel_by_weight<F, W>(
 
     // Run our own panel while the pool chews on the rest.
     enter_kernel();
+    let own_start = section_start.map(|_| Instant::now());
     let mine = catch_unwind(AssertUnwindSafe(|| kernel(first0, panel0)));
+    if let Some(t0) = own_start {
+        BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
     exit_kernel();
 
     // Wait before propagating anything: the jobs borrow `kernel`, the
     // latch, and slices of `out`, all of which must stay alive until every
     // worker is done with them.
     latch.wait();
+    if let Some(t0) = section_start {
+        PARALLEL_SECTIONS.fetch_add(1, Ordering::Relaxed);
+        WALL_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
     if let Err(payload) = mine {
         resume_unwind(payload);
     }
@@ -465,6 +555,42 @@ mod tests {
         assert!(out.iter().all(|&x| x == 2.0), "pool unusable after panic");
 
         set_threads(1);
+    }
+
+    #[test]
+    fn pool_profile_accumulates_when_enabled() {
+        // The counters are process-global; assert only monotone deltas so
+        // concurrently running kernel tests cannot break this one.
+        set_pool_profiling(false);
+        let before = pool_profile();
+        let width = 4;
+        let mut out = vec![0.0f64; 4 * width];
+        with_threads(1, || {
+            for_each_row_panel(&mut out, width, 0, |_, panel| {
+                for x in panel.iter_mut() {
+                    *x += 1.0;
+                }
+            });
+        });
+        // Disabled: the inline section above must not have been counted…
+        // (another test may have enabled profiling concurrently, so only
+        // check the enabled path strictly).
+        set_pool_profiling(true);
+        assert!(pool_profiling());
+        with_threads(2, || {
+            for_each_row_panel(&mut out, width, usize::MAX, |_, panel| {
+                for x in panel.iter_mut() {
+                    *x += 1.0;
+                }
+            });
+        });
+        set_pool_profiling(false);
+        let after = pool_profile();
+        assert!(after.parallel_sections > before.parallel_sections);
+        assert!(after.wall_nanos > before.wall_nanos);
+        assert!(after.busy_nanos > before.busy_nanos);
+        assert!(after.effective_parallelism() > 0.0);
+        assert_eq!(PoolProfile::default().effective_parallelism(), 0.0);
     }
 
     #[test]

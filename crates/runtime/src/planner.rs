@@ -33,6 +33,7 @@
 use dlra_core::algorithm1::PreparedZPlan;
 use dlra_core::functions::EntryFunction;
 use dlra_core::Result;
+use dlra_obs::trace;
 use dlra_sampler::ZSamplerParams;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -120,6 +121,32 @@ pub struct PlanCacheStats {
     pub evictions: u64,
     /// Plans dropped by epoch invalidation.
     pub invalidations: u64,
+}
+
+impl PlanCacheStats {
+    /// Hits over total lookups, `0.0` when the cache was never consulted.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for PlanCacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit), {} evicted, {} invalidated",
+            self.hits,
+            self.misses,
+            self.hit_ratio() * 100.0,
+            self.evictions,
+            self.invalidations
+        )
+    }
 }
 
 enum SlotState {
@@ -255,6 +282,7 @@ impl PlanCache {
         };
 
         if !mine {
+            let wait_span = trace::span("plan", "plan.wait");
             let mut state = slot.state.lock().expect("plan slot poisoned");
             loop {
                 match &*state {
@@ -264,6 +292,7 @@ impl PlanCache {
                     SlotState::Ready(plan) => {
                         let plan = Arc::clone(plan);
                         drop(state);
+                        drop(wait_span);
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return Ok((plan, true));
                     }
@@ -271,6 +300,7 @@ impl PlanCache {
                         // Take over the failed attempt.
                         *state = SlotState::Preparing;
                         drop(state);
+                        drop(wait_span);
                         return self.prepare_into(key, &slot, build);
                     }
                 }
@@ -311,7 +341,10 @@ impl PlanCache {
             slot,
             armed: true,
         };
-        let built = build();
+        let built = {
+            let _span = trace::span("plan", "plan.prepare").arg("dataset", key.dataset);
+            build()
+        };
         guard.armed = false;
         drop(guard);
 

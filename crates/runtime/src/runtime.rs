@@ -84,6 +84,9 @@ pub struct RuntimeConfig {
     /// capacity) — which is how CI proves the planned and unplanned paths
     /// stay bit- and ledger-identical.
     pub plan_cache: usize,
+    /// Whether the metrics registry is maintained (default `true`); see
+    /// [`ServiceConfig::metrics`]. Never affects results either way.
+    pub metrics: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -92,11 +95,13 @@ impl Default for RuntimeConfig {
             executors,
             substrate,
             plan_cache,
+            metrics,
         } = ServiceConfig::default();
         RuntimeConfig {
             executors,
             substrate,
             plan_cache,
+            metrics,
         }
     }
 }
@@ -107,6 +112,7 @@ impl From<RuntimeConfig> for ServiceConfig {
             executors: config.executors,
             substrate: config.substrate,
             plan_cache: config.plan_cache,
+            metrics: config.metrics,
         }
     }
 }
@@ -252,6 +258,12 @@ impl Runtime {
         self.service.shutdown();
     }
 
+    /// A point-in-time snapshot of the metrics registry, or `None` when
+    /// [`RuntimeConfig::metrics`] is `false`. See [`Service::metrics`].
+    pub fn metrics(&self) -> Option<dlra_obs::metrics::MetricsSnapshot> {
+        self.service.metrics()
+    }
+
     /// Global data shape `(n, d)` of the resident dataset.
     pub fn shape(&self) -> (usize, usize) {
         self.handle.shape()
@@ -320,6 +332,7 @@ mod tests {
             executors,
             substrate,
             plan_cache,
+            metrics: true,
         }
     }
 

@@ -59,6 +59,8 @@ use dlra_core::algorithm1::{
 use dlra_core::model::PartitionModel;
 use dlra_core::CoreError;
 use dlra_linalg::Matrix;
+use dlra_obs::metrics::{DatasetMetrics, KernelPoolSnapshot, MetricsSnapshot, PlanCacheSnapshot};
+use dlra_obs::trace;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -103,6 +105,11 @@ pub struct ServiceConfig {
     /// the `DLRA_PLAN_CACHE` environment variable — which is how CI proves
     /// the planned and unplanned paths stay bit- and ledger-identical.
     pub plan_cache: usize,
+    /// Whether the per-dataset metrics registry is maintained (default
+    /// `true`; the cost per query is a handful of relaxed atomic adds).
+    /// When `false`, [`Service::metrics`] returns `None` and the query
+    /// path records nothing. Never affects results either way.
+    pub metrics: bool,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +118,7 @@ impl Default for ServiceConfig {
             executors: default_executors(),
             substrate: Substrate::default(),
             plan_cache: default_plan_cache(),
+            metrics: true,
         }
     }
 }
@@ -136,6 +144,42 @@ pub struct QueryOutcome {
     /// `Some` when the query executed from a shared plan; `None` on the
     /// unplanned path (cache disabled, non-Z sampler, or boosted query).
     pub plan: Option<PlanUse>,
+}
+
+/// Operator-friendly one-liner: cache interaction plus the preparation's
+/// word cost.
+impl std::fmt::Display for PlanUse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}, prepare cost {}",
+            if self.cache_hit {
+                "plan cache hit"
+            } else {
+                "plan prepared"
+            },
+            self.prepare_comm
+        )
+    }
+}
+
+/// Operator-friendly one-liner: projection shape, sample count, charged
+/// communication, and planner provenance.
+impl std::fmt::Display for QueryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "projection dim={} rows={} captured={:.4} comm[{}]",
+            self.output.projection.dim(),
+            self.output.rows.len(),
+            self.output.captured,
+            self.output.comm
+        )?;
+        match &self.plan {
+            Some(plan) => write!(f, " ({plan})"),
+            None => write!(f, " (unplanned)"),
+        }
+    }
 }
 
 /// The unified error taxonomy of the service layer. Callers can tell "my
@@ -242,6 +286,9 @@ struct Dataset {
     /// Private to this dataset: another tenant's reload/evict cannot touch
     /// it.
     planner: Option<Arc<PlanCache>>,
+    /// `Some` when the service maintains metrics
+    /// (`ServiceConfig::metrics`). Private per dataset, like the planner.
+    metrics: Option<Arc<DatasetMetrics>>,
     evicted: AtomicBool,
 }
 
@@ -261,6 +308,10 @@ mod ticket_state {
     pub const RESOLVED: u8 = 3;
 }
 
+/// Process-wide query id mint: every submitted query gets a unique id so
+/// trace spans from different lifecycle stages (and threads) correlate.
+static NEXT_QUERY_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Cancellation/deadline state shared between a [`Ticket`] and the
 /// executor that will run (or skip) its query.
 struct TicketShared {
@@ -273,6 +324,8 @@ struct TicketShared {
     cancel_requested: AtomicBool,
     submitted: Instant,
     deadline: Mutex<Option<Instant>>,
+    /// Process-unique id correlating this query's trace events.
+    query_id: u64,
 }
 
 impl TicketShared {
@@ -283,6 +336,7 @@ impl TicketShared {
             cancel_requested: AtomicBool::new(false),
             submitted,
             deadline: Mutex::new(deadline.and_then(|d| submitted.checked_add(d))),
+            query_id: NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -446,6 +500,8 @@ struct Shared {
     datasets: RwLock<HashMap<String, Arc<Dataset>>>,
     next_dataset_id: AtomicU64,
     plan_cache: usize,
+    /// Whether per-dataset metrics registries are maintained.
+    metrics: bool,
 }
 
 /// A multi-dataset serving front door: named copy-on-write resident
@@ -478,6 +534,7 @@ pub struct Service {
     shared: Arc<Shared>,
     substrate: Substrate,
     executors: Vec<JoinHandle<()>>,
+    started: Instant,
 }
 
 impl Service {
@@ -489,7 +546,15 @@ impl Service {
             datasets: RwLock::new(HashMap::new()),
             next_dataset_id: AtomicU64::new(0),
             plan_cache: config.plan_cache,
+            metrics: config.metrics,
         });
+        if config.metrics {
+            // Process-global (the kernel pool is process-global too): a
+            // metrics-enabled service turns the pool profile on so its
+            // snapshots carry busy/wall nanos and section counts. Cost
+            // when on is two clock reads per pool section.
+            dlra_linalg::set_pool_profiling(true);
+        }
         let (queue, tasks) = mpsc::channel::<Task>();
         *shared.queue.write().expect("service queue poisoned") = Some(queue);
         let tasks = Arc::new(Mutex::new(tasks));
@@ -508,6 +573,7 @@ impl Service {
             shared,
             substrate: config.substrate,
             executors,
+            started: Instant::now(),
         }
     }
 
@@ -532,6 +598,7 @@ impl Service {
             }),
             planner: (self.shared.plan_cache > 0)
                 .then(|| Arc::new(PlanCache::new(self.shared.plan_cache))),
+            metrics: self.shared.metrics.then(|| Arc::new(DatasetMetrics::new())),
             evicted: AtomicBool::new(false),
         });
         datasets.insert(name.to_string(), Arc::clone(&dataset));
@@ -627,6 +694,64 @@ impl Service {
         self.executors.len()
     }
 
+    /// A point-in-time metrics snapshot — one entry per resident dataset
+    /// (in load order) with outcome counters, queue/in-flight gauges,
+    /// latency and phase histograms, word-exact communication totals, and
+    /// plan-cache counters — plus the kernel pool's thread count,
+    /// parallelism watermark, and profiling accumulators. `None` when the
+    /// registry is disabled (`ServiceConfig::metrics = false`).
+    ///
+    /// Export with [`MetricsSnapshot::to_json`],
+    /// [`MetricsSnapshot::to_prometheus`], or `Display`.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        if !self.shared.metrics {
+            return None;
+        }
+        let mut residents: Vec<Arc<Dataset>> = self
+            .shared
+            .datasets
+            .read()
+            .expect("dataset map poisoned")
+            .values()
+            .cloned()
+            .collect();
+        // Dataset ids count up from 0 at load, so this is load order —
+        // deterministic, unlike HashMap iteration.
+        residents.sort_by_key(|dataset| dataset.id);
+        let datasets = residents
+            .iter()
+            .filter_map(|dataset| {
+                let registry = dataset.metrics.as_ref()?;
+                let mut snap = registry.snapshot();
+                snap.name = dataset.name.clone();
+                snap.plan_cache = dataset.planner.as_ref().map(|planner| {
+                    let stats = planner.stats();
+                    PlanCacheSnapshot {
+                        hits: stats.hits,
+                        misses: stats.misses,
+                        evictions: stats.evictions,
+                        invalidations: stats.invalidations,
+                    }
+                });
+                Some(snap)
+            })
+            .collect();
+        let profile = dlra_linalg::pool_profile();
+        Some(MetricsSnapshot {
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            executors: self.executors.len(),
+            kernel: KernelPoolSnapshot {
+                threads: dlra_linalg::threads(),
+                watermark: dlra_linalg::parallelism_watermark(),
+                parallel_sections: profile.parallel_sections,
+                inline_sections: profile.inline_sections,
+                busy_nanos: profile.busy_nanos,
+                wall_nanos: profile.wall_nanos,
+            },
+            datasets,
+        })
+    }
+
     /// Stops the executor pool gracefully: already-queued and in-flight
     /// queries complete and deliver their results, then the executors are
     /// joined. Subsequent submissions resolve to
@@ -641,6 +766,8 @@ impl Service {
         for handle in self.executors.drain(..) {
             let _ = handle.join();
         }
+        // Queries can no longer record events; persist what they did.
+        trace::flush();
     }
 
     /// Test-only: kills the whole executor pool (one poison task per
@@ -700,6 +827,7 @@ impl DatasetHandle {
             .1;
         let k = query.request.cfg.k;
         if k > d {
+            self.reject(&shared);
             return Ticket::resolved(
                 shared,
                 Err(ServiceError::InvalidQuery(
@@ -717,8 +845,21 @@ impl DatasetHandle {
         self.dispatch(request, Arc::new(TicketShared::new(None)))
     }
 
+    /// Records a submission-time rejection (metrics + trace).
+    fn reject(&self, shared: &TicketShared) {
+        if let Some(m) = self.dataset.metrics.as_deref() {
+            m.query_rejected();
+        }
+        trace::instant(
+            "query",
+            "query.reject",
+            &[("qid", shared.query_id), ("dataset", self.dataset.id)],
+        );
+    }
+
     fn dispatch(&self, request: QueryRequest, shared: Arc<TicketShared>) -> Ticket {
         if self.dataset.evicted.load(Ordering::SeqCst) {
+            self.reject(&shared);
             return Ticket::resolved(
                 shared,
                 Err(ServiceError::DatasetEvicted {
@@ -745,21 +886,43 @@ impl DatasetHandle {
                     ticket: shared,
                     reply,
                 };
-                if let Err(mpsc::SendError(task)) = queue.send(task) {
-                    // Every executor has exited (the pop side of the queue
-                    // is gone): deliver the failure through the ticket.
-                    match task {
-                        Task::Query { reply, ticket, .. } => {
-                            ticket.resolve_eagerly();
-                            let _ = reply.send(Err(runtime_unavailable()));
+                match queue.send(task) {
+                    Ok(()) => {
+                        // Counted only once actually enqueued: the matching
+                        // `query_dequeued` runs when an executor pops it
+                        // (shutdown drains the queue, so every enqueued
+                        // task is eventually popped).
+                        if let Some(m) = self.dataset.metrics.as_deref() {
+                            m.query_submitted();
                         }
-                        #[cfg(test)]
-                        Task::Poison => unreachable!("dispatch only sends queries"),
+                        trace::instant(
+                            "query",
+                            "query.submit",
+                            &[
+                                ("qid", ticket.shared.query_id),
+                                ("dataset", self.dataset.id),
+                            ],
+                        );
+                    }
+                    Err(mpsc::SendError(task)) => {
+                        // Every executor has exited (the pop side of the
+                        // queue is gone): deliver the failure through the
+                        // ticket.
+                        match task {
+                            Task::Query { reply, ticket, .. } => {
+                                self.reject(&ticket);
+                                ticket.resolve_eagerly();
+                                let _ = reply.send(Err(runtime_unavailable()));
+                            }
+                            #[cfg(test)]
+                            Task::Poison => unreachable!("dispatch only sends queries"),
+                        }
                     }
                 }
             }
             // Shut down: the ticket must still resolve.
             None => {
+                self.reject(&ticket.shared);
                 ticket.shared.resolve_eagerly();
                 let _ = reply.send(Err(runtime_unavailable()));
             }
@@ -874,8 +1037,79 @@ fn executor_loop(tasks: &Mutex<Receiver<Task>>, substrate: Substrate, executors:
     }
 }
 
-/// Pre-execution gatekeeping plus the kernel-budgeted protocol run.
+/// Observability envelope around [`run_query_inner`]: records the queue
+/// wait, the run span, and classifies the terminal outcome into the
+/// dataset's metric counters. Pure bookkeeping — the result passes
+/// through untouched.
 fn run_query(
+    dataset: &Arc<Dataset>,
+    substrate: Substrate,
+    executors: usize,
+    request: &QueryRequest,
+    ticket: &TicketShared,
+) -> Result<QueryOutcome, ServiceError> {
+    let metrics = dataset.metrics.as_deref();
+    if let Some(m) = metrics {
+        m.query_dequeued();
+    }
+    trace::complete_since(
+        "query",
+        "query.queue",
+        ticket.submitted,
+        &[("qid", ticket.query_id), ("dataset", dataset.id)],
+    );
+    let result = {
+        let _span = trace::span("query", "query.run")
+            .arg("qid", ticket.query_id)
+            .arg("dataset", dataset.id);
+        if let Some(m) = metrics {
+            m.query_started();
+        }
+        let result = run_query_inner(dataset, substrate, executors, request, ticket);
+        if let Some(m) = metrics {
+            m.query_finished();
+        }
+        result
+    };
+    let qid = [("qid", ticket.query_id)];
+    match &result {
+        Ok(outcome) => {
+            if let Some(m) = metrics {
+                let latency = ticket.submitted.elapsed().as_micros() as u64;
+                m.query_completed(latency, &outcome.output.comm);
+            }
+            trace::instant("query", "query.complete", &qid);
+        }
+        Err(ServiceError::Cancelled) => {
+            if let Some(m) = metrics {
+                m.query_cancelled();
+            }
+            trace::instant("query", "query.cancelled", &qid);
+        }
+        Err(ServiceError::Deadline) => {
+            if let Some(m) = metrics {
+                m.query_expired();
+            }
+            trace::instant("query", "query.deadline", &qid);
+        }
+        Err(ServiceError::DatasetEvicted { .. }) => {
+            if let Some(m) = metrics {
+                m.query_rejected();
+            }
+            trace::instant("query", "query.evicted", &qid);
+        }
+        Err(_) => {
+            if let Some(m) = metrics {
+                m.query_failed();
+            }
+            trace::instant("query", "query.failed", &qid);
+        }
+    }
+    result
+}
+
+/// Pre-execution gatekeeping plus the kernel-budgeted protocol run.
+fn run_query_inner(
     dataset: &Arc<Dataset>,
     substrate: Substrate,
     executors: usize,
@@ -978,10 +1212,24 @@ fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
         (dataset.planner.as_deref(), &request.cfg.sampler)
     {
         if request.plannable(d) {
+            let metrics = dataset.metrics.as_deref();
             let key = PlanKey::new(dataset.id, &request.f, params, request.cfg.seed, epoch);
+            let prep_start = metrics.map(|_| Instant::now());
+            let lookup_span = trace::span("plan", "plan.lookup").arg("qid", ticket.query_id);
             let (plan, cache_hit) = cache
                 .get_or_prepare(&key, || prepare_z_plan(model, params, request.cfg.seed))
                 .map_err(map_execution)?;
+            drop(lookup_span.arg("hit", cache_hit as u64));
+            if let Some(m) = metrics {
+                m.plan_outcome(cache_hit);
+                let micros = prep_start
+                    .expect("paired with metrics")
+                    .elapsed()
+                    .as_micros() as u64;
+                // Only a physically-paid preparation charges its ledger
+                // delta to `prepare_comm`; a hit's share is already there.
+                m.record_prepare(micros, (!cache_hit).then_some(&plan.prepare_comm));
+            }
             // The drop-before-execute checkpoint: the (possibly shared)
             // preparation stays cached for other queries either way, but a
             // cancelled or expired query pays no draw/fetch phase.
@@ -991,8 +1239,19 @@ fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
             if ticket.deadline_expired() {
                 return Err(ServiceError::Deadline);
             }
+            let exec_start = metrics.map(|_| Instant::now());
+            let exec_span = trace::span("query", "query.execute").arg("qid", ticket.query_id);
             let mut output =
                 run_algorithm1_with_plan(model, &request.cfg, &plan).map_err(map_execution)?;
+            drop(exec_span);
+            if let Some(m) = metrics {
+                let micros = exec_start
+                    .expect("paired with metrics")
+                    .elapsed()
+                    .as_micros() as u64;
+                // Pre-fold delta: the draw/fetch phase only.
+                m.record_execute(micros, &output.comm);
+            }
             // Per-query accounting stays identical to an unplanned run:
             // the preparation delta is deterministic, so prepare + execute
             // is exactly what this query would have charged alone.
@@ -1006,9 +1265,21 @@ fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
             });
         }
     }
-    run_algorithm1(model, &request.cfg)
+    let metrics = dataset.metrics.as_deref();
+    let exec_start = metrics.map(|_| Instant::now());
+    let exec_span = trace::span("query", "query.execute").arg("qid", ticket.query_id);
+    let result = run_algorithm1(model, &request.cfg)
         .map(|output| QueryOutcome { output, plan: None })
-        .map_err(map_execution)
+        .map_err(map_execution);
+    drop(exec_span);
+    if let (Some(m), Ok(outcome)) = (metrics, &result) {
+        let micros = exec_start
+            .expect("paired with metrics")
+            .elapsed()
+            .as_micros() as u64;
+        m.record_execute(micros, &outcome.output.comm);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -1027,6 +1298,7 @@ mod tests {
             executors,
             substrate: Substrate::Sequential,
             plan_cache,
+            metrics: true,
         }
     }
 

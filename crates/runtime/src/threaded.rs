@@ -32,6 +32,7 @@
 
 use dlra_comm::ledger::Direction;
 use dlra_comm::{Collectives, Ledger, Payload};
+use dlra_obs::trace;
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -207,6 +208,7 @@ impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
         T: Payload + Clone + Send + 'static,
         F: Fn(usize, &mut L, &T) + Send + Sync + 'static,
     {
+        let _span = trace::span("comm.broadcast", label).arg("servers", self.workers.len() as u64);
         self.ledger.next_round();
         let words = msg.words();
         for t in 1..self.workers.len() {
@@ -241,6 +243,7 @@ impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
         T: Payload + Send + 'static,
         F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
     {
+        let _span = trace::span("comm.gather", label).arg("servers", self.workers.len() as u64);
         self.ledger.next_round();
         let out = self.run_on_all(compute);
         for (t, reply) in out.iter().enumerate() {
@@ -258,6 +261,7 @@ impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
         T: Payload + Send + 'static,
         F: FnOnce(&mut L, &Q) -> T + Send + 'static,
     {
+        let _span = trace::span("comm.query_server", label).arg("server", t as u64);
         if t != 0 {
             self.ledger
                 .charge(t, Direction::Downstream, request.words(), label);
@@ -286,6 +290,7 @@ impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
         T: Payload + Send + 'static,
         F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static,
     {
+        let _span = trace::span("comm.query_all", label).arg("servers", self.workers.len() as u64);
         self.ledger.next_round();
         let request_words = request.words();
         for t in 1..self.workers.len() {

@@ -1,0 +1,94 @@
+//! Observability end to end: a two-tenant mixed workload behind one
+//! `Service`, then every export format the registry and tracer offer —
+//! the human-readable summary, JSON, Prometheus text, and a
+//! chrome://tracing trace file.
+//!
+//! Run with: `cargo run --release --example observability`
+//!
+//! The trace is written to `DLRA_TRACE` if set, else to
+//! `target/trace_observability.json`; open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+
+use dlra::obs::trace;
+use dlra::prelude::*;
+use dlra::util::Rng;
+
+fn tenant_shares(
+    n: usize,
+    d: usize,
+    rank: usize,
+    servers: usize,
+    seed: u64,
+) -> Vec<dlra::linalg::Matrix> {
+    let mut rng = Rng::new(seed);
+    let global = dlra::data::noisy_low_rank(n, d, rank, 0.1, &mut rng);
+    dlra::data::split_with_noise_shares(&global, servers, 0.4, &mut rng)
+}
+
+fn main() {
+    // Tracing is normally armed by the DLRA_TRACE environment variable;
+    // the example arms it explicitly so it always produces a trace.
+    let trace_path = std::env::var("DLRA_TRACE")
+        .unwrap_or_else(|_| "target/trace_observability.json".to_string());
+    trace::enable(&trace_path);
+
+    let mut service = Service::new(ServiceConfig::default());
+    let alpha = service
+        .load("tenant-alpha", tenant_shares(1500, 40, 5, 5, 11))
+        .expect("load alpha");
+    let beta = service
+        .load("tenant-beta", tenant_shares(900, 28, 4, 3, 22))
+        .expect("load beta");
+
+    // --- Mixed workload: repeated Z queries (plan-cache hits), distinct
+    // Z queries (misses), uniform queries (unplanned path), and one
+    // deliberately cancelled ticket — so every counter moves.
+    let z = |k: usize, r: usize, seed: u64| {
+        Query::rank(k)
+            .samples(r)
+            .sampler(SamplerKind::Z(ZSamplerParams::default()))
+            .seed(seed)
+            .build()
+            .expect("valid query")
+    };
+    let uniform = |k: usize, r: usize, seed: u64| {
+        Query::rank(k)
+            .samples(r)
+            .sampler(SamplerKind::Uniform)
+            .seed(seed)
+            .build()
+            .expect("valid query")
+    };
+
+    let mut tickets = Vec::new();
+    for round in 0..3u64 {
+        tickets.push(alpha.submit(&z(5, 60, 301))); // shared plan key
+        tickets.push(alpha.submit(&z(4, 48, 300 + round))); // distinct keys
+        tickets.push(beta.submit(&z(4, 40, 302))); // shared plan key
+        tickets.push(beta.submit(&uniform(3, 30, 400 + round)));
+    }
+    let cancelled = alpha.submit(&z(5, 60, 999));
+    let _ = cancelled.cancel();
+
+    let mut completed = 0;
+    for ticket in tickets {
+        if ticket.wait().is_ok() {
+            completed += 1;
+        }
+    }
+    println!("workload done: {completed} queries completed, 1 cancelled\n");
+
+    let metrics = service.metrics().expect("metrics enabled by default");
+
+    println!("=== summary ===\n{metrics}");
+    println!("=== JSON ===\n{}\n", metrics.to_json());
+    println!("=== Prometheus ===\n{}", metrics.to_prometheus());
+
+    service.shutdown(); // also flushes the tracer
+    println!(
+        "trace: {} ({} events, {} dropped) — open at chrome://tracing",
+        trace_path,
+        trace::recorded(),
+        trace::dropped()
+    );
+}

@@ -10,6 +10,7 @@
 //! | [`sketch`] (`dlra-sketch`) | CountSketch, AMS F₂, heavy hitters, k-wise hashing |
 //! | [`comm`] (`dlra-comm`) | star-topology simulation with word-exact accounting, the substrate-generic `Collectives` trait |
 //! | [`runtime`] (`dlra-runtime`) | threaded message-passing substrate + the multi-dataset `Service` façade (typed query builder, tickets with cancellation/deadlines) |
+//! | [`obs`] (`dlra-obs`) | structured tracing (chrome://tracing export via `DLRA_TRACE`) and the per-dataset metrics registry |
 //! | [`linalg`] (`dlra-linalg`) | matrices, QR, symmetric eigen, Jacobi SVD, rank-k tools |
 //! | [`data`] (`dlra-data`) | synthetic stand-ins for the paper's datasets |
 //! | [`lowerbounds`] (`dlra-lowerbounds`) | executable Theorem 4 / 6 / 8 reductions |
@@ -41,6 +42,7 @@ pub use dlra_core as core;
 pub use dlra_data as data;
 pub use dlra_linalg as linalg;
 pub use dlra_lowerbounds as lowerbounds;
+pub use dlra_obs as obs;
 pub use dlra_runtime as runtime;
 pub use dlra_sampler as sampler;
 pub use dlra_sketch as sketch;
@@ -49,8 +51,13 @@ pub use dlra_util as util;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use dlra_core::prelude::*;
+    pub use dlra_obs::metrics::{
+        DatasetMetricsSnapshot, HistogramSnapshot, KernelPoolSnapshot, MetricsSnapshot,
+        PlanCacheSnapshot,
+    };
     pub use dlra_runtime::{
-        DatasetHandle, Query, QueryError, Service, ServiceConfig, ServiceError, Ticket,
+        DatasetHandle, PlanCacheStats, PlanUse, Query, QueryError, QueryOutcome, Service,
+        ServiceConfig, ServiceError, Ticket,
     };
     pub use dlra_sampler::{ZSampler, ZSamplerParams};
 }

@@ -24,6 +24,7 @@ fn config(executors: usize, plan_cache: usize) -> RuntimeConfig {
         executors,
         substrate: Substrate::Threaded,
         plan_cache,
+        metrics: true,
     }
 }
 

@@ -188,6 +188,7 @@ fn plan_cache_on_and_off_stay_ledger_and_bit_identical() {
                     executors: 2,
                     substrate,
                     plan_cache,
+                    metrics: true,
                 },
             )
             .unwrap();

@@ -99,6 +99,7 @@ fn two_datasets_interleaved_match_single_runtime_runs_bit_for_bit() {
         executors,
         substrate: config.substrate,
         plan_cache: config.plan_cache,
+        metrics: config.metrics,
     };
     let runtime_a = Runtime::new(parts_a, runtime_config(4)).unwrap();
     let runtime_b = Runtime::new(parts_b, runtime_config(4)).unwrap();

@@ -93,6 +93,7 @@ fn kernel_threads_never_exceed_the_configured_budget() {
         executors,
         substrate: Substrate::Threaded,
         plan_cache: 0,
+        metrics: true,
     });
     let dataset = service.load("budget", locals).unwrap();
     reset_parallelism_watermark();
