@@ -1,0 +1,304 @@
+//! The analysis driver: walks the workspace, runs every rule, applies
+//! `dlra-allow` suppressions, and enforces suppression hygiene.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{rule, Diagnostic, Report, Severity};
+use crate::lock_order::{self, EdgeWitness};
+use crate::rules;
+use crate::source::SourceFile;
+
+/// Directories under a crate that hold test-only code; the walker skips
+/// them entirely (the rules govern shipped code).
+const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
+
+/// Analyzes in-memory sources, keyed by workspace-relative virtual path.
+/// This is the seam the fixture tests drive.
+pub fn check_sources(sources: &[(String, String)]) -> Report {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(p, s)| SourceFile::parse(p, s))
+        .collect();
+    analyze(files)
+}
+
+/// Walks the workspace rooted at `root` and analyzes every shipped
+/// source file: `src/**` of the facade crate and of each `crates/*`
+/// member except the vendored test shims.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    Ok(analyze(collect_files(root)?))
+}
+
+/// The lock-acquisition edges per crate (for `dlra-analyze graph`).
+pub fn workspace_lock_edges(root: &Path) -> std::io::Result<Vec<(String, Vec<EdgeWitness>)>> {
+    let report_files = collect_files(root)?;
+    let mut out = Vec::new();
+    for (crate_root, files) in by_crate(&report_files) {
+        let (edges, _) = lock_order::build_edges(&files);
+        if !edges.is_empty() {
+            out.push((crate_root, edges));
+        }
+    }
+    Ok(out)
+}
+
+fn collect_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for (virtual_root, dir) in source_roots(root) {
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .collect();
+            entries.sort();
+            for path in entries {
+                let name = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                if path.is_dir() {
+                    if !SKIP_DIRS.contains(&name.as_str()) {
+                        stack.push(path);
+                    }
+                } else if name.ends_with(".rs") {
+                    let rel = path
+                        .strip_prefix(root)
+                        .map(|p| p.to_string_lossy().replace('\\', "/"))
+                        .unwrap_or_else(|_| format!("{virtual_root}/{name}"));
+                    let src = fs::read_to_string(&path)?;
+                    files.push(SourceFile::parse(&rel, &src));
+                }
+            }
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// The `src/` roots to walk: the facade crate plus every `crates/*`
+/// member except the vendored shims (they impersonate external crates
+/// and are exempt from repo policy).
+fn source_roots(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        out.push(("src".to_string(), facade));
+    }
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if name == "shims" {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                out.push((format!("crates/{name}/src"), src));
+            }
+        }
+    }
+    out
+}
+
+/// Groups files by crate root (`crates/<name>` or `src` for the facade).
+fn by_crate(files: &[SourceFile]) -> BTreeMap<String, Vec<&SourceFile>> {
+    let mut out: BTreeMap<String, Vec<&SourceFile>> = BTreeMap::new();
+    for f in files {
+        let key = crate_root(&f.path);
+        out.entry(key).or_default().push(f);
+    }
+    out
+}
+
+fn crate_root(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    if parts.first() == Some(&"crates") && parts.len() >= 2 {
+        format!("crates/{}", parts[1])
+    } else {
+        "src".to_string()
+    }
+}
+
+fn analyze(files: Vec<SourceFile>) -> Report {
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    let mut candidates: Vec<Diagnostic> = Vec::new();
+
+    // Per-file rules.
+    for f in &files {
+        candidates.extend(rules::determinism(f));
+        candidates.extend(rules::env_determinism(f));
+        candidates.extend(rules::panic_policy(f));
+        candidates.extend(rules::unsafe_hygiene_file(f));
+        candidates.extend(rules::atomic_ordering(f));
+        candidates.extend(rules::thread_discipline(f));
+    }
+
+    // Per-crate rules: crate-level attributes and the lock graph.
+    for (crate_root, members) in by_crate(&files) {
+        let root_file = members.iter().find(|f| {
+            f.path == format!("{crate_root}/src/lib.rs")
+                || (crate_root == "src" && f.path == "src/lib.rs")
+                || f.path == format!("{crate_root}/src/main.rs")
+        });
+        let has_unsafe = members.iter().any(|f| rules::has_unsafe_code(f));
+        candidates.extend(rules::unsafe_hygiene_crate(
+            &crate_root,
+            root_file.copied(),
+            has_unsafe,
+        ));
+        candidates.extend(lock_order::check_crate(&members));
+    }
+
+    // Apply suppressions. A suppression must name a known rule and carry
+    // a reason to take effect; defective ones leave the finding standing
+    // and add a hygiene error of their own.
+    let by_path: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
+    let mut used: BTreeMap<(String, usize), bool> = BTreeMap::new();
+    for f in &files {
+        for s in &f.suppressions {
+            used.insert((f.path.clone(), s.line), false);
+        }
+    }
+    for d in candidates {
+        let suppressed = by_path.get(d.path.as_str()).and_then(|f| {
+            let idx = f.suppression_for(d.rule, d.line)?;
+            let s = &f.suppressions[idx];
+            (s.reason.is_some() && rule(&s.rule).is_some()).then(|| (f.path.clone(), s.line))
+        });
+        match suppressed {
+            Some(key) => {
+                used.insert(key, true);
+            }
+            None => report.diagnostics.push(d),
+        }
+    }
+
+    // Suppression hygiene: unknown rules and missing reasons are errors;
+    // a well-formed suppression that matched nothing is a warning.
+    for f in &files {
+        for s in &f.suppressions {
+            if rule(&s.rule).is_none() {
+                report.diagnostics.push(Diagnostic {
+                    rule: "suppression-hygiene",
+                    severity: Severity::Error,
+                    path: f.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!("`dlra-allow({})` names an unknown rule", s.rule),
+                    help: Some("run `dlra-analyze rules` for the list of rule ids".into()),
+                    snippet: f.snippet(s.line),
+                });
+            } else if s.reason.is_none() {
+                report.diagnostics.push(Diagnostic {
+                    rule: "suppression-hygiene",
+                    severity: Severity::Error,
+                    path: f.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!("`dlra-allow({})` without a reason", s.rule),
+                    help: Some(
+                        "suppressions must justify themselves: write \
+                         `// dlra-allow(rule): <why this is sound>`"
+                            .into(),
+                    ),
+                    snippet: f.snippet(s.line),
+                });
+            } else if used.get(&(f.path.clone(), s.line)) == Some(&false) {
+                report.diagnostics.push(Diagnostic {
+                    rule: "suppression-hygiene",
+                    severity: Severity::Warning,
+                    path: f.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!("unused `dlra-allow({})`", s.rule),
+                    help: Some(
+                        "the rule no longer fires here; drop the suppression so it can't \
+                         mask a future regression"
+                            .into(),
+                    ),
+                    snippet: f.snippet(s.line),
+                });
+            }
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(items: &[(&str, &str)]) -> Vec<(String, String)> {
+        items
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_the_finding() {
+        let r = check_sources(&src(&[(
+            "crates/runtime/src/a.rs",
+            "fn f() {\n    // dlra-allow(panic-policy): init cannot fail\n    x.unwrap();\n}\n",
+        )]));
+        assert_eq!(r.of_rule("panic-policy").count(), 0, "{}", r.render());
+        assert_eq!(r.of_rule("suppression-hygiene").count(), 0);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_rejected_and_finding_stands() {
+        let r = check_sources(&src(&[(
+            "crates/runtime/src/a.rs",
+            "fn f() {\n    // dlra-allow(panic-policy)\n    x.unwrap();\n}\n",
+        )]));
+        assert_eq!(r.of_rule("panic-policy").count(), 1, "{}", r.render());
+        assert_eq!(r.of_rule("suppression-hygiene").count(), 1);
+        assert!(r.errors() >= 2);
+    }
+
+    #[test]
+    fn unknown_rule_suppression_is_an_error() {
+        let r = check_sources(&src(&[(
+            "crates/runtime/src/a.rs",
+            "// dlra-allow(no-such-rule): because\nfn f() {}\n",
+        )]));
+        assert_eq!(r.of_rule("suppression-hygiene").count(), 1);
+        assert_eq!(r.errors(), 1);
+    }
+
+    #[test]
+    fn unused_suppression_is_a_warning_not_an_error() {
+        let r = check_sources(&src(&[(
+            "crates/runtime/src/a.rs",
+            "// dlra-allow(panic-policy): nothing here panics\nfn f() {}\n",
+        )]));
+        assert_eq!(r.errors(), 0, "{}", r.render());
+        assert_eq!(r.warnings(), 1);
+    }
+
+    #[test]
+    fn crate_grouping_feeds_crate_level_checks() {
+        // Unsafe-free crate without forbid(unsafe_code) on its root.
+        let r = check_sources(&src(&[
+            ("crates/foo/src/lib.rs", "pub mod a;\n"),
+            ("crates/foo/src/a.rs", "pub fn ok() {}\n"),
+        ]));
+        assert_eq!(r.of_rule("unsafe-hygiene").count(), 1, "{}", r.render());
+    }
+}

@@ -1,0 +1,397 @@
+//! A lightweight, comment- and string-aware Rust lexer.
+//!
+//! The rules in this crate are textual, but naive substring matching over
+//! raw source would flag `unwrap` inside a doc example or a diagnostic
+//! message string. The lexer splits every source line into two views:
+//!
+//! * **code** — the line with comments removed and string/char-literal
+//!   *interiors* blanked to spaces (the delimiting quotes survive, so the
+//!   shape of the code is preserved and byte columns still line up), and
+//! * **comment** — the concatenated text of every comment on the line
+//!   (line comments, doc comments, and any block-comment fragments).
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments
+//! (`/* /* */ */`), string literals with escapes, raw strings with any
+//! hash arity (`r#".."#`), byte and byte-raw strings, char literals, and
+//! lifetimes (`'a` never opens a char literal).
+//!
+//! No external parser crates: the same offline constraint as the shim
+//! crates applies, and positional fidelity (exact line/column for
+//! diagnostics) is easier to guarantee over raw text anyway.
+
+/// One source line, split into its code and comment views.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments stripped and literal interiors blanked.
+    pub code: String,
+    /// Concatenated comment text (without the `//` / `/*` markers).
+    pub comment: String,
+}
+
+impl Line {
+    /// `true` when the line carries no code tokens (blank or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// `true` when the line is comment-only (no code, some comment text).
+    pub fn is_comment_only(&self) -> bool {
+        self.is_code_blank() && !self.comment.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* … */`.
+    BlockComment(u32),
+    /// Inside `"…"`; the flag is set right after a `\`.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r##"…"##` with the given hash arity.
+    RawStr {
+        hashes: u32,
+    },
+    /// Inside `'…'`; the flag is set right after a `\`.
+    Char {
+        escaped: bool,
+    },
+}
+
+/// Splits `src` into per-line code/comment views. The result always has
+/// exactly as many entries as `src` has lines.
+pub fn lex(src: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+
+    // `prev_code` is the last non-whitespace char emitted to the code view;
+    // it disambiguates lifetimes from char literals (`<'a>` vs `b'a'`).
+    let mut prev_code: char = '\0';
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        if c == '\n' {
+            // A line comment ends with the line; everything else carries.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    i += 2;
+                    // Skip doc markers so `///` and `//!` read like `//`.
+                    while matches!(bytes.get(i), Some('/') | Some('!')) {
+                        i += 1;
+                    }
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    cur.code.push(' ');
+                    cur.code.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    cur.code.push('"');
+                    prev_code = '"';
+                    state = State::Str { escaped: false };
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_or_byte_literal(&bytes, i) => {
+                    // Consume the prefix (`r`, `b`, `br`, `rb`) plus hashes,
+                    // then enter the appropriate literal state.
+                    let mut j = i;
+                    while matches!(bytes.get(j), Some('r') | Some('b')) {
+                        cur.code.push(bytes[j]);
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        cur.code.push('#');
+                        hashes += 1;
+                        j += 1;
+                    }
+                    match bytes.get(j) {
+                        Some('"') => {
+                            cur.code.push('"');
+                            prev_code = '"';
+                            i = j + 1;
+                            if hashes == 0 && !raw_prefix(&bytes, i) {
+                                // b"…" is an ordinary escaped string.
+                                state = State::Str { escaped: false };
+                            } else {
+                                state = State::RawStr { hashes };
+                            }
+                        }
+                        Some('\'') => {
+                            cur.code.push('\'');
+                            prev_code = '\'';
+                            state = State::Char { escaped: false };
+                            i = j + 1;
+                        }
+                        _ => {
+                            // `r#ident` (raw identifier) or a bare `r`/`b`.
+                            prev_code = bytes[j.saturating_sub(1)];
+                            i = j;
+                        }
+                    }
+                }
+                '\'' => {
+                    // Lifetime (`'a`, `'static`) vs char literal: a lifetime
+                    // is `'` + ident-start not followed by a closing quote.
+                    let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                        && bytes.get(i + 2) != Some(&'\'');
+                    cur.code.push('\'');
+                    prev_code = '\'';
+                    i += 1;
+                    if !is_lifetime {
+                        state = State::Char { escaped: false };
+                    }
+                }
+                _ => {
+                    cur.code.push(c);
+                    if !c.is_whitespace() {
+                        prev_code = c;
+                    }
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    cur.code.push(' ');
+                    cur.code.push(' ');
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                } else if c == '\\' {
+                    state = State::Str { escaped: true };
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                    continue;
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && raw_str_closes(&bytes, i, hashes) {
+                    cur.code.push('"');
+                    for _ in 0..hashes {
+                        cur.code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char { escaped } => {
+                if escaped {
+                    state = State::Char { escaped: false };
+                    cur.code.push(' ');
+                } else if c == '\\' {
+                    state = State::Char { escaped: true };
+                    cur.code.push(' ');
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                } else {
+                    cur.code.push(' ');
+                }
+                i += 1;
+            }
+        }
+        let _ = prev_code;
+    }
+    lines.push(cur);
+    lines
+}
+
+/// Whether position `i` (an `r` or `b`) starts a raw/byte literal prefix
+/// rather than an ordinary identifier like `radius` or `bits`.
+fn is_raw_or_byte_literal(bytes: &[char], i: usize) -> bool {
+    // Not a literal prefix if glued to a preceding ident char (`hdr"x"` is
+    // not valid Rust anyway, but `_b"…"` would misfire otherwise).
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    let mut saw_r = false;
+    while let Some(&c) = bytes.get(j) {
+        match c {
+            'r' => {
+                if saw_r {
+                    return false;
+                }
+                saw_r = true;
+                j += 1;
+            }
+            'b' => {
+                if j > i {
+                    return false;
+                }
+                j += 1;
+            }
+            '#' => {
+                // Hashes require a raw prefix and must end in a quote.
+                if !saw_r {
+                    return false;
+                }
+                while bytes.get(j) == Some(&'#') {
+                    j += 1;
+                }
+                return bytes.get(j) == Some(&'"');
+            }
+            '"' => return true,
+            '\'' => return j == i + 1 && bytes[i] == 'b', // b'x'
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Whether the prefix consumed just before position `i` contained an `r`
+/// (needed to tell `b"…"` — escaped — from `rb"…"` / `br"…"` — raw).
+fn raw_prefix(bytes: &[char], quote_plus_one: usize) -> bool {
+    // Walk back over the quote and prefix letters.
+    let mut j = quote_plus_one.saturating_sub(2); // before the quote
+    loop {
+        match bytes.get(j) {
+            Some('r') => return true,
+            Some('b') | Some('#') => {
+                if j == 0 {
+                    return false;
+                }
+                j -= 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Whether the `"` at position `i` closes a raw string of `hashes` arity.
+fn raw_str_closes(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_into_the_comment_view() {
+        let lines = lex("let x = 1; // trailing note\n// full line\nlet y = 2;");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(lines[0].comment.trim(), "trailing note");
+        assert!(lines[1].is_comment_only());
+        assert_eq!(lines[1].comment.trim(), "full line");
+        assert_eq!(lines[2].code, "let y = 2;");
+    }
+
+    #[test]
+    fn doc_comments_do_not_leak_code() {
+        let lines = lex("/// let x = foo.unwrap();\nfn real() {}");
+        assert!(lines[0].is_comment_only());
+        assert!(lines[0].comment.contains("unwrap"));
+        assert_eq!(lines[1].code, "fn real() {}");
+    }
+
+    #[test]
+    fn string_interiors_are_blanked_but_quotes_survive() {
+        let c = code("let s = \"call .unwrap() now\";");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("let s = \""));
+        assert!(c[0].ends_with("\";"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let c = code("let s = r#\"has \" quote and .unwrap()\"#; let t = 1;");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = code("a /* outer /* inner */ still */ b");
+        assert_eq!(c[0].split_whitespace().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn multiline_strings_and_comments_carry_state() {
+        let src =
+            "let s = \"line one\nstill string .unwrap()\";\n/* block\nstill block */ let x = 1;";
+        let c = code(src);
+        assert!(!c[1].contains("unwrap"));
+        assert!(c[1].contains("\";"));
+        assert!(!c[2].contains("block"));
+        assert!(c[3].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = code("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let esc = '\\'';");
+        assert!(c[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(c[0].contains("let c = '"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let c = code("let s = \"quote \\\" inside\"; let x = 2;");
+        assert!(c[0].contains("let x = 2;"));
+        assert!(!c[0].contains("inside"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let c = code("let b = b\"bytes .unwrap()\"; let ch = b'x'; let ident = broadcast;");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("let ident = broadcast;"));
+    }
+
+    #[test]
+    fn line_count_is_preserved() {
+        let src = "a\nb\n\nc";
+        assert_eq!(lex(src).len(), 4);
+    }
+}

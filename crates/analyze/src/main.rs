@@ -1,0 +1,116 @@
+//! CLI for the invariant lint engine.
+//!
+//! ```text
+//! dlra-analyze check [--root <dir>]   run every rule; exit 1 on errors
+//! dlra-analyze graph [--root <dir>]   print the lock-acquisition edges
+//! dlra-analyze rules                  list rule ids and what they enforce
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dlra_analyze::{engine, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("check");
+    let root = match root_arg(&args) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("dlra-analyze: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd {
+        "check" => match engine::check_workspace(&root) {
+            // An empty walk means the root is wrong, not that the code is
+            // clean — a vacuous pass must not satisfy the CI gate.
+            Ok(report) if report.files == 0 => {
+                eprintln!(
+                    "dlra-analyze: no Rust sources under {} — is this the workspace root?",
+                    root.display()
+                );
+                ExitCode::from(2)
+            }
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.errors() > 0 {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "dlra-analyze: failed to read workspace at {}: {e}",
+                    root.display()
+                );
+                ExitCode::from(2)
+            }
+        },
+        "graph" => match engine::workspace_lock_edges(&root) {
+            Ok(crates) => {
+                for (crate_root, edges) in crates {
+                    println!("{crate_root}:");
+                    for e in edges {
+                        println!("  {} -> {}  ({}:{})", e.from, e.to, e.path, e.line);
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!(
+                    "dlra-analyze: failed to read workspace at {}: {e}",
+                    root.display()
+                );
+                ExitCode::from(2)
+            }
+        },
+        "rules" => {
+            for r in RULES {
+                println!("{:<20} [{}] {}", r.id, r.severity, normalize(r.summary));
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("dlra-analyze: unknown command `{other}` (try: check, graph, rules)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `--root <dir>` if given, else the nearest enclosing directory whose
+/// `Cargo.toml` declares `[workspace]`.
+fn root_arg(args: &[String]) -> Result<PathBuf, String> {
+    if let Some(at) = args.iter().position(|a| a == "--root") {
+        let dir = args
+            .get(at + 1)
+            .ok_or_else(|| "--root requires a directory argument".to_string())?;
+        return Ok(PathBuf::from(dir));
+    }
+    let start = std::env::current_dir().map_err(|e| e.to_string())?;
+    find_workspace_root(&start)
+        .ok_or_else(|| format!("no [workspace] Cargo.toml above {}", start.display()))
+}
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Collapses the multi-line summary literals into single-space prose.
+fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}

@@ -1,0 +1,333 @@
+//! The per-file source model: lexed lines, test-region map, and
+//! `dlra-allow` suppressions.
+
+use crate::lexer::{lex, Line};
+
+/// A suppression comment: `// dlra-allow(rule): reason`.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The rule id inside the parentheses (not yet validated).
+    pub rule: String,
+    /// The reason after the colon, trimmed. `None` when the colon or the
+    /// text after it is missing — which is itself a finding.
+    pub reason: Option<String>,
+}
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Raw source lines (for snippets).
+    pub raw: Vec<String>,
+    /// Lexed code/comment views, parallel to `raw`.
+    pub lines: Vec<Line>,
+    /// `in_test[i]` is `true` when 0-based line `i` belongs to a
+    /// `#[cfg(test)]` item (or the whole file is a test/bench/example).
+    pub in_test: Vec<bool>,
+    /// Every `dlra-allow` comment in the file, in line order.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, src: &str) -> Self {
+        let raw: Vec<String> = src.lines().map(str::to_string).collect();
+        let mut lines = lex(src);
+        // `str::lines` drops a trailing newline's empty tail; keep parallel.
+        lines.truncate(raw.len().max(1));
+        while lines.len() < raw.len() {
+            lines.push(Line::default());
+        }
+        let in_test = test_regions(&lines);
+        let suppressions = find_suppressions(&lines);
+        SourceFile {
+            path: path.to_string(),
+            raw,
+            lines,
+            in_test,
+            suppressions,
+        }
+    }
+
+    /// The lexed code view of 1-based line `line` ("" when out of range).
+    pub fn code(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.code.as_str())
+            .unwrap_or("")
+    }
+
+    /// The raw text of 1-based line `line` (for snippets).
+    pub fn snippet(&self, line: usize) -> Option<String> {
+        self.raw.get(line.wrapping_sub(1)).cloned()
+    }
+
+    /// Whether 1-based line `line` is inside `#[cfg(test)]` code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Every `(line, column)` occurrence of `needle` in the code view,
+    /// skipping test regions. Both are 1-based.
+    pub fn code_matches(&self, needle: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, l) in self.lines.iter().enumerate() {
+            if self.in_test[i] {
+                continue;
+            }
+            let mut from = 0;
+            while let Some(at) = l.code[from..].find(needle) {
+                out.push((i + 1, from + at + 1));
+                from += at + needle.len();
+            }
+        }
+        out
+    }
+
+    /// The comment text "attached" to 1-based line `line`: the line's own
+    /// comment plus any contiguous comment-only lines directly above
+    /// (capped so a module header can't justify arbitrary code below it).
+    pub fn attached_comment(&self, line: usize) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let idx = line.wrapping_sub(1);
+        if let Some(l) = self.lines.get(idx) {
+            parts.push(&l.comment);
+        }
+        let mut up = idx;
+        let mut budget = 12;
+        while up > 0 && budget > 0 {
+            up -= 1;
+            budget -= 1;
+            let l = &self.lines[up];
+            // Attribute lines (e.g. `#[target_feature(..)]`) commonly sit
+            // between an item and its comment block; skip through them.
+            let code = l.code.trim();
+            if l.is_comment_only() || (code.starts_with("#[") && l.comment.trim().is_empty()) {
+                parts.push(&l.comment);
+            } else if code.is_empty() && l.comment.trim().is_empty() {
+                break; // blank line ends the attachment
+            } else {
+                break;
+            }
+        }
+        parts.join("\n")
+    }
+
+    /// The suppression (if any) covering a finding of `rule` at 1-based
+    /// `line`: a `dlra-allow(rule)` on the line itself or on contiguous
+    /// comment-only lines directly above. Returns the suppression's index
+    /// into [`SourceFile::suppressions`].
+    pub fn suppression_for(&self, rule: &str, line: usize) -> Option<usize> {
+        if line == 0 || line > self.lines.len() {
+            return None; // file- or crate-level findings have no anchor line
+        }
+        let mut candidates: Vec<usize> = vec![line];
+        let mut up = line - 1; // 0-based of `line`
+        while up > 0 {
+            let l = &self.lines[up - 1];
+            let code = l.code.trim();
+            if l.is_comment_only() || (code.starts_with("#[") && l.comment.trim().is_empty()) {
+                candidates.push(up);
+                up -= 1;
+            } else {
+                break;
+            }
+        }
+        self.suppressions
+            .iter()
+            .position(|s| s.rule == rule && candidates.contains(&s.line))
+    }
+}
+
+/// Marks lines covered by `#[cfg(test)]` items. The attribute guards the
+/// *next item only* (commonly `mod tests { … }`, sometimes a single enum
+/// variant or function), so the skip runs to that item's closing brace or
+/// terminating semicolon — not to the end of the file.
+fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        let code = &lines[i].code;
+        if let Some(at) = code
+            .find("#[cfg(test)]")
+            .or_else(|| code.find("#[cfg(all(test"))
+        {
+            // Everything from the attribute to the end of the guarded
+            // item: its matching close brace, a terminating `;`, or — for
+            // enum variants — the `,` (or the enum's own `}`) that ends
+            // the variant before any brace opened.
+            let mut depth: i32 = 0;
+            let mut parens: i32 = 0;
+            let mut seen_open = false;
+            let mut j = i;
+            let mut col = at;
+            'scan: while j < lines.len() {
+                in_test[j] = true;
+                let line_code = &lines[j].code;
+                for c in line_code[col..].chars() {
+                    match c {
+                        '(' => parens += 1,
+                        ')' => parens -= 1,
+                        '{' => {
+                            depth += 1;
+                            seen_open = true;
+                        }
+                        '}' => {
+                            if !seen_open {
+                                break 'scan; // enclosing item closed first
+                            }
+                            depth -= 1;
+                            if depth == 0 {
+                                break 'scan;
+                            }
+                        }
+                        ';' if !seen_open => break 'scan,
+                        ',' if !seen_open && parens == 0 => break 'scan,
+                        _ => {}
+                    }
+                }
+                j += 1;
+                col = 0;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Extracts every `dlra-allow(rule)[: reason]` comment. A directive is
+/// only recognized at the start of the comment text — mentions embedded
+/// in prose (doc comments describing the syntax) don't count.
+fn find_suppressions(lines: &[Line]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        let comment = &l.comment;
+        if !comment.trim_start().starts_with("dlra-allow(") {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(at) = comment[from..].find("dlra-allow(") {
+            let start = from + at + "dlra-allow(".len();
+            let Some(close) = comment[start..].find(')') else {
+                out.push(Suppression {
+                    line: i + 1,
+                    rule: String::new(),
+                    reason: None,
+                });
+                break;
+            };
+            let rule = comment[start..start + close].trim().to_string();
+            let rest = &comment[start + close + 1..];
+            let reason = rest.strip_prefix(':').map(str::trim).and_then(|r| {
+                if r.is_empty() {
+                    None
+                } else {
+                    // A reason ends at the next suppression on the line.
+                    let r = r.split("dlra-allow(").next().unwrap_or(r).trim();
+                    (!r.is_empty()).then(|| r.to_string())
+                }
+            });
+            out.push(Suppression {
+                line: i + 1,
+                rule,
+                reason,
+            });
+            from = start + close + 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_guards_only_the_next_item() {
+        let src = "\
+fn live() {
+    x.unwrap();
+}
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn also_live() {
+    z.unwrap();
+}
+";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(!f.is_test_line(2));
+        assert!(f.is_test_line(5));
+        assert!(f.is_test_line(6));
+        assert!(!f.is_test_line(9));
+        let hits = f.code_matches(".unwrap()");
+        assert_eq!(hits.iter().map(|h| h.0).collect::<Vec<_>>(), vec![2, 9]);
+    }
+
+    #[test]
+    fn cfg_test_on_a_single_variant_is_bounded() {
+        let src = "\
+enum Task {
+    Query,
+    #[cfg(test)]
+    Poison,
+}
+fn live() { a.unwrap(); }
+";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn suppressions_parse_rule_and_reason() {
+        let src = "\
+// dlra-allow(panic-policy): initialization cannot fail
+let x = y.unwrap();
+let z = w.unwrap(); // dlra-allow(panic-policy): checked above
+// dlra-allow(determinism)
+// dlra-allow(): empty
+";
+        let f = SourceFile::parse("a.rs", src);
+        assert_eq!(f.suppressions.len(), 4);
+        assert_eq!(f.suppressions[0].rule, "panic-policy");
+        assert_eq!(
+            f.suppressions[0].reason.as_deref(),
+            Some("initialization cannot fail")
+        );
+        assert_eq!(f.suppressions[1].line, 3);
+        assert!(f.suppressions[2].reason.is_none());
+        assert_eq!(f.suppressions[3].rule, "");
+    }
+
+    #[test]
+    fn suppression_attaches_same_line_and_above() {
+        let src = "\
+// dlra-allow(panic-policy): reason here
+let x = y.unwrap();
+let q = r.unwrap();
+";
+        let f = SourceFile::parse("a.rs", src);
+        assert_eq!(f.suppression_for("panic-policy", 2), Some(0));
+        assert_eq!(f.suppression_for("panic-policy", 3), None);
+        assert_eq!(f.suppression_for("determinism", 2), None);
+    }
+
+    #[test]
+    fn attached_comment_skips_attributes() {
+        let src = "\
+// SAFETY: verified by detect()
+#[target_feature(enable = \"avx2\")]
+unsafe fn go() {}
+";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(f.attached_comment(3).contains("SAFETY"));
+    }
+}

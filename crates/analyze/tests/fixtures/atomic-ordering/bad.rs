@@ -1,0 +1,13 @@
+// Fixture: unjustified SeqCst, including the plain-counter case.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static QUERIES: AtomicU64 = AtomicU64::new(0);
+pub static READY: AtomicU64 = AtomicU64::new(0);
+
+pub fn record() {
+    QUERIES.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn publish() {
+    READY.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,17 @@
+// Fixture: weak orderings for counters, and a justified SeqCst.
+// Must produce zero findings.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static QUERIES: AtomicU64 = AtomicU64::new(0);
+pub static READY: AtomicU64 = AtomicU64::new(0);
+
+pub fn record() {
+    QUERIES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish() {
+    // SeqCst is load-bearing here: the flag participates in a
+    // store-buffering pattern with a second flag in another module, and
+    // both observers must agree on a single total order of the stores.
+    READY.store(1, Ordering::SeqCst);
+}

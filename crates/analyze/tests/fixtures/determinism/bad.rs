@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads and unordered collections in a
+// ledger-deterministic module. Every marked line must be flagged.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn charge(words: &mut HashMap<String, u64>, server: &str, n: u64) {
+    let start = Instant::now();
+    *words.entry(server.to_string()).or_insert(0) += n;
+    let _ = start.elapsed();
+}

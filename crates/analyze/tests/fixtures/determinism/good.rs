@@ -1,0 +1,11 @@
+// Fixture: the deterministic equivalent — ordered collections, no
+// clocks. Must produce zero findings.
+use std::collections::BTreeMap;
+
+pub fn charge(words: &mut BTreeMap<String, u64>, server: &str, n: u64) {
+    *words.entry(server.to_string()).or_insert(0) += n;
+}
+
+// The words appearing inside strings or comments must not trip the rule:
+// a HashMap mentioned here is prose, not code.
+pub const DOC: &str = "HashMap and Instant::now are banned in this module";

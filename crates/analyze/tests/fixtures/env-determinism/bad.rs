@@ -1,0 +1,7 @@
+// Fixture: ambient environment reads in a ledger-deterministic module.
+pub fn threads() -> usize {
+    std::env::var("DLRA_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,9 @@
+// Fixture: configuration threaded through typed parameters instead of
+// the ambient environment. Must produce zero findings.
+pub struct Config {
+    pub threads: usize,
+}
+
+pub fn threads(cfg: &Config) -> usize {
+    cfg.threads.max(1)
+}

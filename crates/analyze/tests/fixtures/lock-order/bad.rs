@@ -1,0 +1,27 @@
+// Fixture: two locks acquired in opposite orders by two functions — the
+// classic AB/BA deadlock shape. The acquisition graph has the cycle
+// fixture.queue -> fixture.table -> fixture.queue.
+use std::sync::Mutex;
+
+pub struct State {
+    // dlra-lock-order: fixture.queue
+    queue: Mutex<Vec<u64>>,
+    // dlra-lock-order: fixture.table
+    table: Mutex<Vec<String>>,
+}
+
+impl State {
+    pub fn enqueue(&self, id: u64, name: &str) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut t = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        q.push(id);
+        t.push(name.to_string());
+    }
+
+    pub fn rename(&self, name: &str, id: u64) {
+        let mut t = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        t.push(name.to_string());
+        q.push(id);
+    }
+}

@@ -1,0 +1,31 @@
+// Fixture: the same two locks, but every path agrees on the order
+// fixture.queue -> fixture.table. The graph is acyclic; zero findings.
+use std::sync::Mutex;
+
+pub struct State {
+    // dlra-lock-order: fixture.queue
+    queue: Mutex<Vec<u64>>,
+    // dlra-lock-order: fixture.table
+    table: Mutex<Vec<String>>,
+}
+
+impl State {
+    pub fn enqueue(&self, id: u64, name: &str) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut t = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        q.push(id);
+        t.push(name.to_string());
+    }
+
+    pub fn rename(&self, name: &str, id: u64) {
+        // Release the table guard before touching the queue: the shared
+        // order is queue before table, so a table-first path must not
+        // hold its guard across the queue acquisition.
+        {
+            let mut t = self.table.lock().unwrap_or_else(|e| e.into_inner());
+            t.push(name.to_string());
+        }
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push(id);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: panicking constructs on the serving path.
+pub fn first_row(rows: &[u64]) -> u64 {
+    let head = rows.first().unwrap();
+    if *head == 0 {
+        panic!("zero row id");
+    }
+    rows.iter().copied().max().expect("nonempty")
+}

@@ -1,0 +1,20 @@
+// Fixture: typed-error handling on the serving path, with a test module
+// where unwraps are sanctioned. Must produce zero findings.
+pub fn first_row(rows: &[u64]) -> Result<u64, String> {
+    match rows.first() {
+        Some(&head) if head != 0 => Ok(head),
+        Some(_) => Err("zero row id".to_string()),
+        None => Err("empty".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        // Inside #[cfg(test)] the rule does not apply.
+        assert_eq!(first_row(&[3]).unwrap(), 3);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: defective suppressions. A reason-less dlra-allow is an error
+// and the finding it meant to cover still stands; an unknown rule id is
+// an error; a well-formed suppression matching nothing is a warning.
+use std::collections::BTreeMap;
+
+// dlra-allow(determinism)
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::UNIX_EPOCH
+}
+
+// dlra-allow(no-such-rule): the rule id is misspelled
+pub fn noop() {}
+
+// dlra-allow(panic-policy): nothing on the next line panics
+pub fn unused(map: &BTreeMap<u32, u32>) -> usize {
+    map.len()
+}

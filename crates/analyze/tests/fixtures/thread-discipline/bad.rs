@@ -1,0 +1,4 @@
+// Fixture: an ad-hoc spawn outside the sanctioned pools.
+pub fn fire_and_forget(job: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(job);
+}

@@ -1,0 +1,5 @@
+// Fixture: no ad-hoc threads; work is queued for an existing pool.
+// Must produce zero findings.
+pub fn enqueue(queue: &std::sync::mpsc::Sender<Box<dyn FnOnce() + Send>>, job: Box<dyn FnOnce() + Send>) {
+    let _ = queue.send(job);
+}

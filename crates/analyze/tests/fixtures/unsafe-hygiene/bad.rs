@@ -1,0 +1,6 @@
+// Fixture: an unsafe block with no SAFETY comment. Checked under a
+// non-linalg path it violates the confinement half of the rule; checked
+// under crates/linalg it violates the justification half.
+pub fn reinterpret(bytes: &[u8]) -> &[u32] {
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, bytes.len() / 4) }
+}

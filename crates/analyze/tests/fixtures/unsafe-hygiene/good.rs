@@ -1,0 +1,8 @@
+// Fixture: unsafe confined to crates/linalg and justified in place.
+// Must produce zero file-level findings when checked under linalg.
+pub fn reinterpret(bytes: &[u8]) -> &[u32] {
+    // SAFETY: the pointer comes from a live &[u8] borrow and the length
+    // is truncated to whole u32 words, so the view never reads past the
+    // original allocation; alignment is checked by the caller.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, bytes.len() / 4) }
+}

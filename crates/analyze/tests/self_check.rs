@@ -1,0 +1,19 @@
+//! The analyzer must pass on the workspace that ships it: this test runs
+//! the full rule set over the live repo, which is exactly what the CI
+//! gate (`cargo run -p dlra-analyze -- check`) enforces. If a change
+//! introduces a violation, this test names it.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_dlra_analyze() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = dlra_analyze::check_workspace(&root).expect("workspace sources readable");
+    assert!(
+        report.files > 50,
+        "walker found only {} files",
+        report.files
+    );
+    assert_eq!(report.errors(), 0, "\n{}", report.render());
+    assert_eq!(report.warnings(), 0, "\n{}", report.render());
+}

@@ -1,6 +1,7 @@
 //! Shared figure-reproduction machinery for the `fig1` / `fig2` binaries
 //! and the Criterion benches.
 
+#![forbid(unsafe_code)]
 pub mod cli;
 pub mod kernels;
 pub mod obs;

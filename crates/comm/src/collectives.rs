@@ -81,6 +81,8 @@ pub trait Collectives<L> {
     {
         let replies = self.gather(label, compute);
         let mut it = replies.into_iter();
+        // dlra-allow(panic-policy): clusters are constructed with >= 1
+        // server (enforced at build time), so gather always yields a reply.
         let mut acc = it.next().expect("at least one server");
         for r in it {
             merge(&mut acc, r);

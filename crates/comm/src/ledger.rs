@@ -11,6 +11,7 @@
 //! count, and `snapshot` taken at any quiescent point (no collective in
 //! flight) is exact.
 
+use dlra_util::sync::MutexExt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -84,6 +85,7 @@ struct LedgerInner {
     messages: AtomicU64,
     rounds: AtomicU64,
     record_events: AtomicBool,
+    // dlra-lock-order: ledger.events
     events: Mutex<Vec<CommEvent>>,
 }
 
@@ -200,17 +202,13 @@ impl Ledger {
         self.inner.messages.fetch_add(1, Ordering::Relaxed);
         if self.inner.record_events.load(Ordering::Acquire) {
             let round = self.inner.rounds.load(Ordering::Relaxed);
-            self.inner
-                .events
-                .lock()
-                .expect("ledger transcript poisoned")
-                .push(CommEvent {
-                    server,
-                    direction,
-                    payload_words,
-                    label,
-                    round,
-                });
+            self.inner.events.lock_recover().push(CommEvent {
+                server,
+                direction,
+                payload_words,
+                label,
+                round,
+            });
         }
         cost
     }
@@ -234,11 +232,7 @@ impl Ledger {
 
     /// Copy of the recorded transcript (empty unless recording was enabled).
     pub fn events(&self) -> Vec<CommEvent> {
-        self.inner
-            .events
-            .lock()
-            .expect("ledger transcript poisoned")
-            .clone()
+        self.inner.events.lock_recover().clone()
     }
 
     /// Aggregates the recorded transcript by step label: returns
@@ -246,11 +240,7 @@ impl Ledger {
     /// descending. Empty unless recording was enabled. Used by the
     /// experiment harness to report per-phase communication breakdowns.
     pub fn by_label(&self) -> Vec<(&'static str, u64, u64)> {
-        let events = self
-            .inner
-            .events
-            .lock()
-            .expect("ledger transcript poisoned");
+        let events = self.inner.events.lock_recover();
         let mut agg: std::collections::BTreeMap<&'static str, (u64, u64)> =
             std::collections::BTreeMap::new();
         for e in events.iter() {
@@ -272,11 +262,7 @@ impl Ledger {
         self.inner.downstream_words.store(0, Ordering::Relaxed);
         self.inner.messages.store(0, Ordering::Relaxed);
         self.inner.rounds.store(0, Ordering::Relaxed);
-        self.inner
-            .events
-            .lock()
-            .expect("ledger transcript poisoned")
-            .clear();
+        self.inner.events.lock_recover().clear();
     }
 }
 

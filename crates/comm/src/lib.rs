@@ -18,6 +18,7 @@
 //!   generic over the execution substrate (this crate's sequential
 //!   [`Cluster`] or `dlra-runtime`'s threaded message-passing cluster).
 
+#![forbid(unsafe_code)]
 pub mod cluster;
 pub mod collectives;
 pub mod ledger;

@@ -35,6 +35,7 @@
 //! assert!(report.additive_error < 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod adaptive;
 pub mod algorithm1;
 pub mod apps;

@@ -10,6 +10,7 @@
 //! tests run small while the figure harnesses run at (scaled-down)
 //! paper-like shapes.
 
+#![forbid(unsafe_code)]
 pub mod datasets;
 pub mod io;
 pub mod partition;

@@ -111,9 +111,12 @@ macro_rules! isa_dispatch {
                     $base($($arg),*)
                 }
                 match isa::detect() {
-                    // SAFETY: the feature set was verified by
-                    // `is_x86_feature_detected!` in `isa::detect`.
+                    // SAFETY: the avx512f/avx512vl feature set was
+                    // verified by `is_x86_feature_detected!` in
+                    // `isa::detect`.
                     isa::Isa::Avx512 => return unsafe { avx512($($arg),*) },
+                    // SAFETY: the avx2/fma feature set was verified by
+                    // `is_x86_feature_detected!` in `isa::detect`.
                     isa::Isa::Avx2 => return unsafe { avx2($($arg),*) },
                     isa::Isa::Scalar => {}
                 }

@@ -26,6 +26,7 @@
 //! The SVD is accurate to ~1e-12 on the reproduced sizes and is
 //! property-tested against reconstruction and orthogonality invariants.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod eigen;
 pub mod kernels;
 pub mod lowrank;

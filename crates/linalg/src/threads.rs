@@ -188,6 +188,7 @@ impl PoolProfile {
 
 /// A completion latch: one parallel call waits for its dispatched panels.
 struct Latch {
+    // dlra-lock-order: kernel.latch
     remaining: Mutex<usize>,
     done: Condvar,
     panicked: AtomicBool,
@@ -223,6 +224,10 @@ impl Latch {
 /// job completed, so the pointers never outlive their borrows; panels are
 /// disjoint `split_at_mut` slices, so workers cannot alias.
 struct PanelJob {
+    // SAFETY: callers pass `call_kernel::<F>` together with a `kernel`
+    // pointer derived from `&F`, so the vtable-style pair always agrees
+    // on the erased type (upheld by the single call site in
+    // `for_each_row_panel`).
     call: unsafe fn(*const (), usize, *mut f64, usize),
     kernel: *const (),
     first_row: usize,
@@ -248,18 +253,27 @@ unsafe fn call_kernel<F: Fn(usize, &mut [f64]) + Sync>(
     panel: *mut f64,
     panel_len: usize,
 ) {
-    let kernel = &*(kernel as *const F);
-    kernel(first_row, std::slice::from_raw_parts_mut(panel, panel_len));
+    // SAFETY: the caller promises `kernel` points to a live `F` (see the
+    // `# Safety` contract); `PanelJob` construction derives it from `&F`.
+    let kernel = unsafe { &*(kernel as *const F) };
+    // SAFETY: `panel/panel_len` describe a live `&mut [f64]` disjoint
+    // from every other job's panel (`split_at_mut`), valid until the
+    // submitter's latch releases — after this call returns.
+    kernel(first_row, unsafe {
+        std::slice::from_raw_parts_mut(panel, panel_len)
+    });
 }
 
 struct Pool {
     sender: Sender<PanelJob>,
+    // dlra-lock-order: kernel.inbox
     receiver: Arc<Mutex<Receiver<PanelJob>>>,
     spawned: usize,
 }
 
 static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
 
+// dlra-lock-order: kernel.pool
 fn pool() -> &'static Mutex<Pool> {
     POOL.get_or_init(|| {
         let (sender, receiver) = mpsc::channel();

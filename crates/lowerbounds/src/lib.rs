@@ -15,6 +15,7 @@
 //! * [`thm6`] — `f = max` or Huber ψ needs `Ω̃(nd)` bits (from 2-DISJ);
 //! * [`thm8`] — `f(x) = xᵖ` needs `Ω(1/ε²)` bits (from Gap-Hamming).
 
+#![forbid(unsafe_code)]
 pub mod problems;
 pub mod thm4;
 pub mod thm6;

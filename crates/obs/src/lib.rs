@@ -16,6 +16,7 @@
 //! communication metrics are identical across repeated runs, kernel thread
 //! counts, and plan-cache configurations.
 
+#![forbid(unsafe_code)]
 pub mod metrics;
 pub mod trace;
 

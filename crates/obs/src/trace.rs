@@ -24,6 +24,7 @@
 //! file size for long runs; events beyond it are counted in [`dropped`]
 //! rather than recorded.
 
+use dlra_util::sync::MutexExt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -83,6 +84,7 @@ struct Recorder {
     buffer: Vec<TraceEvent>,
 }
 
+// dlra-lock-order: trace.recorder
 fn recorder() -> &'static Mutex<Recorder> {
     static RECORDER: OnceLock<Mutex<Recorder>> = OnceLock::new();
     RECORDER.get_or_init(|| Mutex::new(Recorder::default()))
@@ -136,7 +138,7 @@ fn resolve_from_env() -> bool {
 /// first flush after enabling; re-enabling with a different path starts a
 /// fresh file. Takes precedence over `DLRA_TRACE`.
 pub fn enable(path: impl AsRef<Path>) {
-    let mut rec = recorder().lock().expect("trace recorder poisoned");
+    let mut rec = recorder().lock_recover();
     epoch(); // pin the time origin no later than the first enable
     rec.path = Some(path.as_ref().to_path_buf());
     rec.header_written = false;
@@ -166,7 +168,7 @@ fn record(event: TraceEvent) {
         DROPPED.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    let mut rec = recorder().lock().expect("trace recorder poisoned");
+    let mut rec = recorder().lock_recover();
     rec.buffer.push(event);
     if rec.buffer.len() >= AUTO_FLUSH_LEN {
         flush_locked(&mut rec);
@@ -178,7 +180,7 @@ fn record(event: TraceEvent) {
 /// fills and by `Service::shutdown`; call it manually before reading the
 /// file in-process.
 pub fn flush() {
-    let mut rec = recorder().lock().expect("trace recorder poisoned");
+    let mut rec = recorder().lock_recover();
     flush_locked(&mut rec);
 }
 

@@ -59,6 +59,7 @@
 //! assert_eq!(out.output.projection.dim(), 16);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod planner;
 pub mod query;
 pub mod runtime;

@@ -35,9 +35,10 @@ use dlra_core::functions::EntryFunction;
 use dlra_core::Result;
 use dlra_obs::trace;
 use dlra_sampler::ZSamplerParams;
+use dlra_util::sync::MutexExt;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Identity of one preparation: two queries may share a prepared sampler
 /// exactly when their keys are equal.
@@ -159,6 +160,7 @@ enum SlotState {
 }
 
 struct PlanSlot {
+    // dlra-lock-order: plan.slot
     state: Mutex<SlotState>,
     turned: Condvar,
 }
@@ -182,6 +184,7 @@ struct CacheInner {
 /// concurrency semantics.
 pub struct PlanCache {
     capacity: usize,
+    // dlra-lock-order: plan.cache
     inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -222,11 +225,7 @@ impl PlanCache {
 
     /// Number of cached (or in-preparation) plans.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("plan cache poisoned")
-            .entries
-            .len()
+        self.inner.lock_recover().entries.len()
     }
 
     /// `true` when nothing is cached.
@@ -257,7 +256,7 @@ impl PlanCache {
         build: impl FnOnce() -> Result<PreparedZPlan>,
     ) -> Result<(Arc<PreparedZPlan>, bool)> {
         let (slot, mine) = {
-            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            let mut inner = self.inner.lock_recover();
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.entries.get_mut(key) {
@@ -283,11 +282,14 @@ impl PlanCache {
 
         if !mine {
             let wait_span = trace::span("plan", "plan.wait");
-            let mut state = slot.state.lock().expect("plan slot poisoned");
+            let mut state = slot.state.lock_recover();
             loop {
                 match &*state {
                     SlotState::Preparing => {
-                        state = slot.turned.wait(state).expect("plan slot poisoned");
+                        state = slot
+                            .turned
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                     SlotState::Ready(plan) => {
                         let plan = Arc::clone(plan);
@@ -351,10 +353,9 @@ impl PlanCache {
         match built {
             Ok(plan) => {
                 let plan = Arc::new(plan);
-                *slot.state.lock().expect("plan slot poisoned") =
-                    SlotState::Ready(Arc::clone(&plan));
+                *slot.state.lock_recover() = SlotState::Ready(Arc::clone(&plan));
                 slot.turned.notify_all();
-                let mut inner = self.inner.lock().expect("plan cache poisoned");
+                let mut inner = self.inner.lock_recover();
                 inner.tick += 1;
                 let tick = inner.tick;
                 match inner.entries.get(key) {
@@ -430,10 +431,7 @@ impl PlanCache {
                 .iter()
                 .filter(|(key, entry)| {
                     *key != just_inserted
-                        && matches!(
-                            *entry.slot.state.lock().expect("plan slot poisoned"),
-                            SlotState::Ready(_)
-                        )
+                        && matches!(*entry.slot.state.lock_recover(), SlotState::Ready(_))
                 })
                 .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(key, _)| key.clone());
@@ -450,14 +448,11 @@ impl PlanCache {
     /// but marked stale, so the finished plan is delivered to its waiters
     /// and then purged instead of re-entering the cache.
     pub fn retain_epoch(&self, epoch: u64) {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = self.inner.lock_recover();
         let before = inner.entries.len();
         inner.entries.retain(|key, entry| {
             key.epoch == epoch || {
-                let preparing = matches!(
-                    *entry.slot.state.lock().expect("plan slot poisoned"),
-                    SlotState::Preparing
-                );
+                let preparing = matches!(*entry.slot.state.lock_recover(), SlotState::Preparing);
                 if preparing {
                     entry.stale = true;
                 }

@@ -61,6 +61,7 @@ use dlra_core::CoreError;
 use dlra_linalg::Matrix;
 use dlra_obs::metrics::{DatasetMetrics, KernelPoolSnapshot, MetricsSnapshot, PlanCacheSnapshot};
 use dlra_obs::trace;
+use dlra_util::sync::{MutexExt, RwLockExt};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -281,6 +282,7 @@ struct Dataset {
     /// plans can never cross datasets even if caches were ever shared.
     id: u64,
     name: String,
+    // dlra-lock-order: dataset.resident
     resident: RwLock<Resident>,
     /// `Some` when planning is enabled (`ServiceConfig::plan_cache > 0`).
     /// Private to this dataset: another tenant's reload/evict cannot touch
@@ -323,6 +325,7 @@ struct TicketShared {
     /// has started.
     cancel_requested: AtomicBool,
     submitted: Instant,
+    // dlra-lock-order: ticket.deadline
     deadline: Mutex<Option<Instant>>,
     /// Process-unique id correlating this query's trace events.
     query_id: u64,
@@ -343,12 +346,17 @@ impl TicketShared {
     /// Tries to move `PENDING → to`; on failure returns the state that won
     /// instead.
     fn claim(&self, to: u8) -> Result<(), u8> {
+        // The ticket state machine lives in this one atomic, and a CAS
+        // already totally orders its transitions. AcqRel/Acquire makes a
+        // successful claim publish (and a failed claim observe) everything
+        // the transitioning thread wrote first; nothing here needs the
+        // cross-variable total order SeqCst would add.
         self.state
             .compare_exchange(
                 ticket_state::PENDING,
                 to,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::AcqRel,
+                Ordering::Acquire,
             )
             .map(|_| ())
     }
@@ -361,8 +369,7 @@ impl TicketShared {
 
     fn deadline_expired(&self) -> bool {
         self.deadline
-            .lock()
-            .expect("ticket deadline poisoned")
+            .lock_recover()
             .is_some_and(|at| Instant::now() >= at)
     }
 }
@@ -385,7 +392,10 @@ impl Ticket {
     /// or the ticket already resolved another way (submission-time
     /// failure, expired deadline, delivered result).
     pub fn cancel(&self) -> bool {
-        self.shared.cancel_requested.store(true, Ordering::SeqCst);
+        // Release pairs with the Acquire load at the executor's
+        // prepare→execute checkpoint; the flag is documented best-effort,
+        // the hard guarantee rides on the `claim` CAS below.
+        self.shared.cancel_requested.store(true, Ordering::Release);
         match self.shared.claim(ticket_state::CANCELLED) {
             Ok(()) => true,
             Err(won) => won == ticket_state::CANCELLED,
@@ -394,7 +404,9 @@ impl Ticket {
 
     /// Whether an executor has started executing this query.
     pub fn started(&self) -> bool {
-        self.shared.state.load(Ordering::SeqCst) == ticket_state::STARTED
+        // Pure single-variable predicate: no data is read on the strength
+        // of the answer, so the CAS's own coherence order is enough.
+        self.shared.state.load(Ordering::Relaxed) == ticket_state::STARTED
     }
 
     /// Sets (or tightens — a later, looser deadline never relaxes an
@@ -403,11 +415,7 @@ impl Ticket {
     /// resolves to [`ServiceError::Deadline`] without running.
     pub fn deadline(self, after: Duration) -> Self {
         if let Some(at) = self.shared.submitted.checked_add(after) {
-            let mut slot = self
-                .shared
-                .deadline
-                .lock()
-                .expect("ticket deadline poisoned");
+            let mut slot = self.shared.deadline.lock_recover();
             *slot = Some(match *slot {
                 Some(cur) => cur.min(at),
                 None => at,
@@ -421,7 +429,9 @@ impl Ticket {
     /// even if the pool collapsed around it; anything else is the pool's
     /// fault.
     fn disconnected(&self) -> ServiceError {
-        if self.shared.state.load(Ordering::SeqCst) == ticket_state::CANCELLED {
+        // Single-variable predicate on the state machine; the error value
+        // it picks carries no data from the writer.
+        if self.shared.state.load(Ordering::Relaxed) == ticket_state::CANCELLED {
             ServiceError::Cancelled
         } else {
             runtime_unavailable()
@@ -496,7 +506,9 @@ enum Task {
 struct Shared {
     /// `None` after shutdown; handles then resolve submissions to
     /// [`ServiceError::RuntimeUnavailable`].
+    // dlra-lock-order: service.queue
     queue: RwLock<Option<Sender<Task>>>,
+    // dlra-lock-order: service.datasets
     datasets: RwLock<HashMap<String, Arc<Dataset>>>,
     next_dataset_id: AtomicU64,
     plan_cache: usize,
@@ -556,16 +568,22 @@ impl Service {
             dlra_linalg::set_pool_profiling(true);
         }
         let (queue, tasks) = mpsc::channel::<Task>();
-        *shared.queue.write().expect("service queue poisoned") = Some(queue);
+        *shared.queue.write_recover() = Some(queue);
         let tasks = Arc::new(Mutex::new(tasks));
         let total = config.executors.max(1);
         let executors = (0..total)
             .map(|i| {
                 let tasks = Arc::clone(&tasks);
                 let substrate = config.substrate;
+                // dlra-allow(thread-discipline): the service executor pool
+                // is itself a sanctioned long-lived pool — workers are
+                // created once per Service and joined in shutdown().
                 std::thread::Builder::new()
                     .name(format!("dlra-executor-{i}"))
                     .spawn(move || executor_loop(&tasks, substrate, total))
+                    // dlra-allow(panic-policy): spawn fails only on OS
+                    // thread exhaustion at Service construction, before any
+                    // query exists to resolve to a typed error.
                     .expect("spawn service executor thread")
             })
             .collect();
@@ -584,12 +602,14 @@ impl Service {
     /// (use [`Service::reload`] to swap data under a live name).
     pub fn load(&self, name: &str, locals: Vec<Matrix>) -> Result<DatasetHandle, ServiceError> {
         let shape = validate_locals(&locals)?;
-        let mut datasets = self.shared.datasets.write().expect("dataset map poisoned");
+        let mut datasets = self.shared.datasets.write_recover();
         if datasets.contains_key(name) {
             return Err(ServiceError::DatasetExists(name.to_string()));
         }
         let dataset = Arc::new(Dataset {
-            id: self.shared.next_dataset_id.fetch_add(1, Ordering::SeqCst),
+            // Id mint: uniqueness is all that matters, and RMW atomicity
+            // alone provides it.
+            id: self.shared.next_dataset_id.fetch_add(1, Ordering::Relaxed),
             name: name.to_string(),
             resident: RwLock::new(Resident {
                 locals: Arc::new(locals),
@@ -619,13 +639,12 @@ impl Service {
         let dataset = self
             .shared
             .datasets
-            .read()
-            .expect("dataset map poisoned")
+            .read_recover()
             .get(name)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))?;
         let epoch = {
-            let mut resident = dataset.resident.write().expect("resident state poisoned");
+            let mut resident = dataset.resident.write_recover();
             resident.locals = Arc::new(locals);
             resident.epoch += 1;
             resident.shape = shape;
@@ -647,11 +666,12 @@ impl Service {
         let dataset = self
             .shared
             .datasets
-            .write()
-            .expect("dataset map poisoned")
+            .write_recover()
             .remove(name)
             .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))?;
-        dataset.evicted.store(true, Ordering::SeqCst);
+        // Release pairs with the Acquire loads in dispatch/execute: a
+        // thread that sees the flag also sees the map removal above.
+        dataset.evicted.store(true, Ordering::Release);
         if let Some(planner) = &dataset.planner {
             // No key can ever carry this epoch (epochs count up from 0), so
             // this drops every settled plan of the evicted dataset.
@@ -664,8 +684,7 @@ impl Service {
     pub fn dataset(&self, name: &str) -> Option<DatasetHandle> {
         self.shared
             .datasets
-            .read()
-            .expect("dataset map poisoned")
+            .read_recover()
             .get(name)
             .map(|dataset| DatasetHandle {
                 shared: Arc::clone(&self.shared),
@@ -677,8 +696,7 @@ impl Service {
     pub fn dataset_names(&self) -> Vec<String> {
         self.shared
             .datasets
-            .read()
-            .expect("dataset map poisoned")
+            .read_recover()
             .keys()
             .cloned()
             .collect()
@@ -710,8 +728,7 @@ impl Service {
         let mut residents: Vec<Arc<Dataset>> = self
             .shared
             .datasets
-            .read()
-            .expect("dataset map poisoned")
+            .read_recover()
             .values()
             .cloned()
             .collect();
@@ -758,11 +775,7 @@ impl Service {
     /// [`ServiceError::RuntimeUnavailable`]. Idempotent; `Drop` runs the
     /// same path.
     pub fn shutdown(&mut self) {
-        self.shared
-            .queue
-            .write()
-            .expect("service queue poisoned")
-            .take();
+        self.shared.queue.write_recover().take();
         for handle in self.executors.drain(..) {
             let _ = handle.join();
         }
@@ -776,13 +789,7 @@ impl Service {
     #[cfg(test)]
     pub(crate) fn poison_executors(&mut self) {
         let n = self.executors.len();
-        if let Some(queue) = self
-            .shared
-            .queue
-            .read()
-            .expect("service queue poisoned")
-            .as_ref()
-        {
+        if let Some(queue) = self.shared.queue.read_recover().as_ref() {
             for _ in 0..n {
                 queue.send(Task::Poison).expect("pool already dead");
             }
@@ -818,13 +825,7 @@ impl DatasetHandle {
     /// count, dead pool) come back through the ticket, typed.
     pub fn submit(&self, query: &Query) -> Ticket {
         let shared = Arc::new(TicketShared::new(query.deadline));
-        let d = self
-            .dataset
-            .resident
-            .read()
-            .expect("resident state poisoned")
-            .shape
-            .1;
+        let d = self.dataset.resident.read_recover().shape.1;
         let k = query.request.cfg.k;
         if k > d {
             self.reject(&shared);
@@ -858,7 +859,8 @@ impl DatasetHandle {
     }
 
     fn dispatch(&self, request: QueryRequest, shared: Arc<TicketShared>) -> Ticket {
-        if self.dataset.evicted.load(Ordering::SeqCst) {
+        // Acquire pairs with the Release store in `Service::evict`.
+        if self.dataset.evicted.load(Ordering::Acquire) {
             self.reject(&shared);
             return Ticket::resolved(
                 shared,
@@ -872,13 +874,7 @@ impl DatasetHandle {
             rx,
             shared: Arc::clone(&shared),
         };
-        match self
-            .shared
-            .queue
-            .read()
-            .expect("service queue poisoned")
-            .as_ref()
-        {
+        match self.shared.queue.read_recover().as_ref() {
             Some(queue) => {
                 let task = Task::Query {
                     dataset: Arc::clone(&self.dataset),
@@ -937,48 +933,29 @@ impl DatasetHandle {
 
     /// Global data shape `(n, d)`.
     pub fn shape(&self) -> (usize, usize) {
-        self.dataset
-            .resident
-            .read()
-            .expect("resident state poisoned")
-            .shape
+        self.dataset.resident.read_recover().shape
     }
 
     /// Number of servers holding this dataset.
     pub fn num_servers(&self) -> usize {
-        self.dataset
-            .resident
-            .read()
-            .expect("resident state poisoned")
-            .locals
-            .len()
+        self.dataset.resident.read_recover().locals.len()
     }
 
     /// The dataset's residency epoch (0 at load, +1 per reload).
     pub fn epoch(&self) -> u64 {
-        self.dataset
-            .resident
-            .read()
-            .expect("resident state poisoned")
-            .epoch
+        self.dataset.resident.read_recover().epoch
     }
 
     /// Whether the dataset has been evicted.
     pub fn is_evicted(&self) -> bool {
-        self.dataset.evicted.load(Ordering::SeqCst)
+        // Acquire pairs with the Release store in `Service::evict`.
+        self.dataset.evicted.load(Ordering::Acquire)
     }
 
     /// The resident per-server matrices (evaluation and testing; queries
     /// run against shared clones of these, never against copies).
     pub fn resident(&self) -> Arc<Vec<Matrix>> {
-        Arc::clone(
-            &self
-                .dataset
-                .resident
-                .read()
-                .expect("resident state poisoned")
-                .locals,
-        )
+        Arc::clone(&self.dataset.resident.read_recover().locals)
     }
 
     /// This dataset's plan-cache counters, or `None` when planning is
@@ -1017,7 +994,7 @@ fn validate_locals(locals: &[Matrix]) -> Result<(usize, usize), ServiceError> {
 fn executor_loop(tasks: &Mutex<Receiver<Task>>, substrate: Substrate, executors: usize) {
     loop {
         // Hold the queue lock only for the pop, not the run.
-        let popped = tasks.lock().expect("task queue poisoned").recv();
+        let popped = tasks.lock_recover().recv();
         match popped {
             Ok(Task::Query {
                 dataset,
@@ -1127,7 +1104,8 @@ fn run_query_inner(
             Err(_) => Err(ServiceError::Cancelled),
         };
     }
-    if dataset.evicted.load(Ordering::SeqCst) {
+    // Acquire pairs with the Release store in `Service::evict`.
+    if dataset.evicted.load(Ordering::Acquire) {
         return match ticket.claim(ticket_state::RESOLVED) {
             Ok(()) => Err(ServiceError::DatasetEvicted {
                 dataset: dataset.name.clone(),
@@ -1162,7 +1140,7 @@ fn execute(
     // refcount, no entry data moves. The model's query-local scratch
     // (injected coordinates, residual views) is freshly allocated per query.
     let (parts, epoch, d) = {
-        let resident = dataset.resident.read().expect("resident state poisoned");
+        let resident = dataset.resident.read_recover();
         let parts: Vec<Matrix> = resident.locals.iter().cloned().collect();
         (parts, resident.epoch, resident.shape.1)
     };
@@ -1184,14 +1162,11 @@ fn execute(
     // dispatched with); this only stops a dead-epoch plan from squatting in
     // an LRU slot until capacity pressure evicts it.
     if let Some(cache) = dataset.planner.as_deref() {
-        if dataset.evicted.load(Ordering::SeqCst) {
+        // Acquire pairs with the Release store in `Service::evict`.
+        if dataset.evicted.load(Ordering::Acquire) {
             cache.retain_epoch(u64::MAX);
         } else {
-            let now = dataset
-                .resident
-                .read()
-                .expect("resident state poisoned")
-                .epoch;
+            let now = dataset.resident.read_recover().epoch;
             if now != epoch {
                 cache.retain_epoch(now);
             }
@@ -1220,12 +1195,9 @@ fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
                 .get_or_prepare(&key, || prepare_z_plan(model, params, request.cfg.seed))
                 .map_err(map_execution)?;
             drop(lookup_span.arg("hit", cache_hit as u64));
-            if let Some(m) = metrics {
+            if let (Some(m), Some(start)) = (metrics, prep_start) {
                 m.plan_outcome(cache_hit);
-                let micros = prep_start
-                    .expect("paired with metrics")
-                    .elapsed()
-                    .as_micros() as u64;
+                let micros = start.elapsed().as_micros() as u64;
                 // Only a physically-paid preparation charges its ledger
                 // delta to `prepare_comm`; a hit's share is already there.
                 m.record_prepare(micros, (!cache_hit).then_some(&plan.prepare_comm));
@@ -1233,7 +1205,8 @@ fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
             // The drop-before-execute checkpoint: the (possibly shared)
             // preparation stays cached for other queries either way, but a
             // cancelled or expired query pays no draw/fetch phase.
-            if ticket.cancel_requested.load(Ordering::SeqCst) {
+            // Acquire pairs with the Release store in `Ticket::cancel`.
+            if ticket.cancel_requested.load(Ordering::Acquire) {
                 return Err(ServiceError::Cancelled);
             }
             if ticket.deadline_expired() {
@@ -1244,11 +1217,8 @@ fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
             let mut output =
                 run_algorithm1_with_plan(model, &request.cfg, &plan).map_err(map_execution)?;
             drop(exec_span);
-            if let Some(m) = metrics {
-                let micros = exec_start
-                    .expect("paired with metrics")
-                    .elapsed()
-                    .as_micros() as u64;
+            if let (Some(m), Some(start)) = (metrics, exec_start) {
+                let micros = start.elapsed().as_micros() as u64;
                 // Pre-fold delta: the draw/fetch phase only.
                 m.record_execute(micros, &output.comm);
             }
@@ -1272,11 +1242,8 @@ fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
         .map(|output| QueryOutcome { output, plan: None })
         .map_err(map_execution);
     drop(exec_span);
-    if let (Some(m), Ok(outcome)) = (metrics, &result) {
-        let micros = exec_start
-            .expect("paired with metrics")
-            .elapsed()
-            .as_micros() as u64;
+    if let (Some(m), Some(start), Ok(outcome)) = (metrics, exec_start, &result) {
+        let micros = start.elapsed().as_micros() as u64;
         m.record_execute(micros, &outcome.output.comm);
     }
     result

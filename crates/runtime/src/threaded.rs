@@ -33,6 +33,7 @@
 use dlra_comm::ledger::Direction;
 use dlra_comm::{Collectives, Ledger, Payload};
 use dlra_obs::trace;
+use dlra_util::sync::MutexExt;
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -53,6 +54,7 @@ struct Worker<L> {
     inbox: Sender<WorkerMsg<L>>,
     /// The server-local state. The worker thread locks it per job; the
     /// coordinator locks it only in `with_local{,_mut}`.
+    // dlra-lock-order: server.state
     state: Arc<Mutex<L>>,
     handle: Option<JoinHandle<()>>,
 }
@@ -113,8 +115,7 @@ impl<L: Send + 'static> ThreadedCluster<L> {
                                     // thread counts.
                                     let share = (dlra_linalg::threads() / num_servers).max(1);
                                     dlra_linalg::with_threads(share, || {
-                                        let mut guard =
-                                            worker_state.lock().expect("server state poisoned");
+                                        let mut guard = worker_state.lock_recover();
                                         job(t, &mut guard);
                                     });
                                 }
@@ -122,6 +123,9 @@ impl<L: Send + 'static> ThreadedCluster<L> {
                             }
                         }
                     })
+                    // dlra-allow(panic-policy): spawn fails only on OS
+                    // thread exhaustion while constructing the cluster,
+                    // before any query exists to resolve to a typed error.
                     .expect("spawn server worker thread");
                 Worker {
                     inbox,
@@ -138,6 +142,10 @@ impl<L: Send + 'static> ThreadedCluster<L> {
         self.workers[t]
             .inbox
             .send(WorkerMsg::Job(job))
+            // dlra-allow(panic-policy): a dead worker mid-protocol is
+            // unrecoverable for this query; the executor thread unwinds and
+            // the ticket resolves to RuntimeUnavailable via its dead reply
+            // channel.
             .expect("worker thread exited before the cluster was dropped");
     }
 
@@ -157,11 +165,16 @@ impl<L: Send + 'static> ThreadedCluster<L> {
         for _ in 0..self.workers.len() {
             let (t, reply) = reply_rx
                 .recv()
+                // dlra-allow(panic-policy): a server dying mid-collective
+                // leaves partial replies; unwind the executor and let the
+                // ticket resolve to RuntimeUnavailable.
                 .expect("a server worker panicked during a collective");
             slots[t] = Some(reply);
         }
         slots
             .into_iter()
+            // dlra-allow(panic-policy): the loop above received exactly
+            // one reply per server, so every slot is filled.
             .map(|r| r.expect("every server replied"))
             .collect()
     }
@@ -194,12 +207,12 @@ impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
     }
 
     fn with_local<R>(&self, t: usize, f: impl FnOnce(&L) -> R) -> R {
-        let guard = self.workers[t].state.lock().expect("server state poisoned");
+        let guard = self.workers[t].state.lock_recover();
         f(&guard)
     }
 
     fn with_local_mut<R>(&mut self, t: usize, f: impl FnOnce(&mut L) -> R) -> R {
-        let mut guard = self.workers[t].state.lock().expect("server state poisoned");
+        let mut guard = self.workers[t].state.lock_recover();
         f(&mut guard)
     }
 
@@ -234,6 +247,9 @@ impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
         for _ in 0..self.workers.len() {
             ack_rx
                 .recv()
+                // dlra-allow(panic-policy): a server dying mid-broadcast
+                // cannot be papered over; unwind the executor and let the
+                // ticket resolve to RuntimeUnavailable.
                 .expect("a server worker panicked during a broadcast");
         }
     }
@@ -276,6 +292,9 @@ impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
         );
         let reply = reply_rx
             .recv()
+            // dlra-allow(panic-policy): a server dying mid-query loses the
+            // reply; unwind the executor and let the ticket resolve to
+            // RuntimeUnavailable.
             .expect("a server worker panicked during a query");
         if t != 0 {
             self.ledger

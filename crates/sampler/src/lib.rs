@@ -40,6 +40,7 @@
 //!    uniform draw). This is what makes `r = Θ(k²/ε²)` samples affordable,
 //!    mirroring the batching the paper's experiments must also do.
 
+#![forbid(unsafe_code)]
 pub mod baseline;
 pub mod bundle;
 pub mod estimator;

@@ -15,6 +15,7 @@
 //! * [`heavy_hitters`] — recovery of all coordinates with
 //!   `v_j² ≥ ‖v‖²/B` from a CountSketch.
 
+#![forbid(unsafe_code)]
 pub mod ams;
 pub mod countmin;
 pub mod countsketch;

@@ -7,11 +7,15 @@
 //! SplitMix64) instead of thread-local OS entropy, plus a Box–Muller Gaussian
 //! sampler and a handful of numeric helpers used by tests and benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod rng;
 pub mod stats;
+pub mod sync;
 
 pub use rng::Rng;
 pub use stats::{approx_eq, harmonic_mean, mean, stddev, variance};
+pub use sync::{MutexExt, RwLockExt};
 
 /// Machine-epsilon-scale tolerance used throughout numeric tests.
 pub const EPS: f64 = 1e-10;

@@ -1,0 +1,83 @@
+//! Poison-recovering lock helpers.
+//!
+//! The serving path must not panic (see the repo's `panic-policy` lint),
+//! and `Mutex`/`RwLock` poisoning is the one place std forces a
+//! panic-or-propagate choice on every acquisition. Poisoning only means
+//! *some* thread panicked while holding the guard; for the state these
+//! locks protect (queues, residency tables, plan caches, transcripts)
+//! the data is either still consistent or re-validated by the reader, so
+//! the right policy is to take the guard and keep serving rather than
+//! cascade the panic into every thread that touches the lock afterwards.
+//!
+//! These extension traits centralize that policy so call sites read as
+//! intent (`.lock_recover()`) instead of repeating the
+//! `unwrap_or_else(PoisonError::into_inner)` incantation.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-recovering acquisition for [`Mutex`].
+pub trait MutexExt<T> {
+    /// Acquires the mutex, recovering the guard if a previous holder
+    /// panicked.
+    fn lock_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> MutexExt<T> for Mutex<T> {
+    fn lock_recover(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Poison-recovering acquisition for [`RwLock`].
+pub trait RwLockExt<T> {
+    /// Acquires a read guard, recovering from poisoning.
+    fn read_recover(&self) -> RwLockReadGuard<'_, T>;
+    /// Acquires a write guard, recovering from poisoning.
+    fn write_recover(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> RwLockExt<T> for RwLock<T> {
+    fn read_recover(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_recover(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn lock_recover_survives_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*m.lock_recover(), 7);
+        *m.lock_recover() = 8;
+        assert_eq!(*m.lock_recover(), 8);
+    }
+
+    #[test]
+    fn rwlock_recover_survives_poisoning() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(l.is_poisoned());
+        assert_eq!(l.read_recover().len(), 3);
+        l.write_recover().push(4);
+        assert_eq!(l.read_recover().len(), 4);
+    }
+}

@@ -37,6 +37,7 @@
 //! println!("words used: {}", out.comm.total_words());
 //! ```
 
+#![forbid(unsafe_code)]
 pub use dlra_comm as comm;
 pub use dlra_core as core;
 pub use dlra_data as data;
