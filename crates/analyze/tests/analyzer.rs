@@ -225,6 +225,33 @@ fn lock_order_consistent_order_is_clean() {
     assert_eq!(r.errors(), 0, "{}", r.render());
 }
 
+// ------------------------------------------------------------------- topology
+
+#[test]
+fn topology_bad_fixture_breaks_the_comm_contract_three_ways() {
+    // Tree-routing code lives in `crates/comm`, so it is simultaneously
+    // in the determinism, env-determinism, and panic-policy scopes: a
+    // plan with unordered hops, an ambient fanout override, and a
+    // panicking accessor trips all three.
+    let r = run(
+        "crates/comm/src/fixture.rs",
+        include_str!("fixtures/topology/bad.rs"),
+    );
+    assert!(errors_of(&r, "determinism") >= 2, "{}", r.render());
+    assert!(errors_of(&r, "env-determinism") >= 1, "{}", r.render());
+    assert!(errors_of(&r, "panic-policy") >= 1, "{}", r.render());
+}
+
+#[test]
+fn topology_good_fixture_is_clean() {
+    let r = run(
+        "crates/comm/src/fixture.rs",
+        include_str!("fixtures/topology/good.rs"),
+    );
+    assert_eq!(r.errors(), 0, "{}", r.render());
+    assert_eq!(r.warnings(), 0, "{}", r.render());
+}
+
 // --------------------------------------------------------- suppression-hygiene
 
 #[test]

@@ -1,0 +1,27 @@
+// Fixture: a combining-tree routing plan that breaks the comm-layer
+// contract three ways — unordered hop storage (determinism), an ambient
+// fanout override (env-determinism), and a panicking accessor
+// (panic-policy). Every marked line must be flagged.
+use std::collections::HashMap;
+
+pub struct Plan {
+    hops: HashMap<usize, usize>,
+}
+
+impl Plan {
+    pub fn new(servers: usize) -> Self {
+        let fanout: usize = std::env::var("DLRA_TOPOLOGY_FANOUT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2);
+        let mut hops = HashMap::new();
+        for sender in 1..servers {
+            hops.insert(sender, sender / fanout * fanout);
+        }
+        Plan { hops }
+    }
+
+    pub fn receiver(&self, sender: usize) -> usize {
+        *self.hops.get(&sender).unwrap()
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: the contract-clean combining-tree plan — ordered hop
+// storage, fanout passed as typed configuration, a total accessor.
+// Must produce zero findings and zero warnings.
+use std::collections::BTreeMap;
+
+pub struct Plan {
+    hops: BTreeMap<usize, usize>,
+}
+
+impl Plan {
+    pub fn new(servers: usize, fanout: usize) -> Self {
+        let fanout = fanout.max(2);
+        let mut hops = BTreeMap::new();
+        for sender in 1..servers {
+            hops.insert(sender, sender / fanout * fanout);
+        }
+        Plan { hops }
+    }
+
+    pub fn receiver(&self, sender: usize) -> Option<usize> {
+        self.hops.get(&sender).copied()
+    }
+}

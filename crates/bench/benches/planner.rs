@@ -50,6 +50,7 @@ fn bench_batch_submit(c: &mut Criterion) {
                         substrate: Substrate::Threaded,
                         plan_cache: 16,
                         metrics: true,
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -70,6 +71,7 @@ fn bench_batch_submit(c: &mut Criterion) {
                         substrate: Substrate::Threaded,
                         plan_cache: 0,
                         metrics: true,
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -100,6 +102,7 @@ fn bench_warm_cache_submit(c: &mut Criterion) {
             substrate: Substrate::Threaded,
             plan_cache: 16,
             metrics: true,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -7,6 +7,7 @@ pub mod kernels;
 pub mod obs;
 pub mod planner;
 pub mod repro;
+pub mod topology;
 
 pub use repro::{
     isolet_panel, pooling_panel, rff_panel, PanelResult, PanelRow, PanelSpec, PoolingSource,

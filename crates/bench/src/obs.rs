@@ -104,6 +104,7 @@ fn run_mode(
         substrate: Substrate::Threaded,
         plan_cache: 16,
         metrics,
+        ..Default::default()
     });
     let handles: Vec<_> = (0..spec.datasets)
         .map(|i| {

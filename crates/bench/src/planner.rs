@@ -137,6 +137,7 @@ fn runtime_config(spec: &PlannerBenchSpec, plan_cache: usize) -> RuntimeConfig {
         substrate: Substrate::Threaded,
         plan_cache,
         metrics: true,
+        ..Default::default()
     }
 }
 

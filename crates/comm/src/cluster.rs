@@ -4,6 +4,7 @@
 
 use crate::ledger::{Direction, Ledger, LedgerSnapshot};
 use crate::payload::Payload;
+use crate::topology::Topology;
 
 /// A simulated cluster of `s` servers in the paper's generalized partition
 /// model. `L` is the per-server local state (typically a local matrix plus
@@ -23,21 +24,36 @@ use crate::payload::Payload;
 pub struct Cluster<L> {
     locals: Vec<L>,
     ledger: Ledger,
+    topology: Topology,
 }
 
 impl<L> Cluster<L> {
     /// Builds a cluster from per-server local states (one entry per server).
+    /// Reductions route over the default [`Topology::Star`].
     pub fn new(locals: Vec<L>) -> Self {
+        Cluster::with_topology(locals, Topology::Star)
+    }
+
+    /// Builds a cluster whose reduction collectives route over `topology`.
+    /// The topology never changes results — the merge order is fixed by the
+    /// server count alone — only which edges carry blocks.
+    pub fn with_topology(locals: Vec<L>, topology: Topology) -> Self {
         assert!(!locals.is_empty(), "cluster needs at least one server");
         Cluster {
             locals,
             ledger: Ledger::new(),
+            topology,
         }
     }
 
     /// Number of servers `s` (including the coordinator).
     pub fn num_servers(&self) -> usize {
         self.locals.len()
+    }
+
+    /// The routing topology for reduction collectives.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// The shared communication ledger.

@@ -29,6 +29,9 @@ pub enum Direction {
 pub struct CommEvent {
     /// Which non-coordinator server was involved (1-based; coordinator is 0).
     pub server: usize,
+    /// The server the message landed at (0 for star-upstream and root hops;
+    /// an interior combining-tree node for non-root hops).
+    pub receiver: usize,
     /// Direction of travel.
     pub direction: Direction,
     /// Payload size in words (excluding the frame word).
@@ -84,6 +87,8 @@ struct LedgerInner {
     downstream_words: AtomicU64,
     messages: AtomicU64,
     rounds: AtomicU64,
+    root_inbox_words: AtomicU64,
+    root_inbox_messages: AtomicU64,
     record_events: AtomicBool,
     // dlra-lock-order: ledger.events
     events: Mutex<Vec<CommEvent>>,
@@ -108,6 +113,13 @@ pub struct LedgerSnapshot {
     pub messages: u64,
     /// Number of communication rounds.
     pub rounds: u64,
+    /// Words (incl. frames) that landed in the coordinator's inbox — the
+    /// fan-in a combining tree exists to shrink. A subset of
+    /// `upstream_words`: interior tree hops count upstream but not here.
+    pub root_inbox_words: u64,
+    /// Messages that landed in the coordinator's inbox (`s − 1` per star
+    /// reduction, one per tree round reaching the root).
+    pub root_inbox_messages: u64,
 }
 
 impl LedgerSnapshot {
@@ -123,6 +135,8 @@ impl LedgerSnapshot {
             downstream_words: self.downstream_words - earlier.downstream_words,
             messages: self.messages - earlier.messages,
             rounds: self.rounds - earlier.rounds,
+            root_inbox_words: self.root_inbox_words - earlier.root_inbox_words,
+            root_inbox_messages: self.root_inbox_messages - earlier.root_inbox_messages,
         }
     }
 }
@@ -140,6 +154,8 @@ impl std::ops::Add for LedgerSnapshot {
             downstream_words: self.downstream_words + rhs.downstream_words,
             messages: self.messages + rhs.messages,
             rounds: self.rounds + rhs.rounds,
+            root_inbox_words: self.root_inbox_words + rhs.root_inbox_words,
+            root_inbox_messages: self.root_inbox_messages + rhs.root_inbox_messages,
         }
     }
 }
@@ -152,6 +168,8 @@ impl std::ops::AddAssign for LedgerSnapshot {
         self.downstream_words += rhs.downstream_words;
         self.messages += rhs.messages;
         self.rounds += rhs.rounds;
+        self.root_inbox_words += rhs.root_inbox_words;
+        self.root_inbox_messages += rhs.root_inbox_messages;
     }
 }
 
@@ -183,10 +201,32 @@ impl Ledger {
         self.inner.record_events.store(on, Ordering::Release);
     }
 
-    /// Charges one message and returns its total cost in words.
+    /// Charges one message on a star edge and returns its total cost in
+    /// words. Upstream messages implicitly land at the coordinator
+    /// (receiver 0); downstream messages land at `server`.
     pub fn charge(
         &self,
         server: usize,
+        direction: Direction,
+        payload_words: u64,
+        label: &'static str,
+    ) -> u64 {
+        let receiver = match direction {
+            Direction::Upstream => 0,
+            Direction::Downstream => server,
+        };
+        self.charge_hop(server, receiver, direction, payload_words, label)
+    }
+
+    /// Charges one message on an explicit `sender → receiver` edge — the
+    /// per-hop form used by combining-tree collectives, so words are
+    /// attributed to the edge that actually carried them. Upstream hops
+    /// whose receiver is the coordinator additionally count toward the
+    /// root-inbox totals.
+    pub fn charge_hop(
+        &self,
+        sender: usize,
+        receiver: usize,
         direction: Direction,
         payload_words: u64,
         label: &'static str,
@@ -200,10 +240,19 @@ impl Ledger {
                 .fetch_add(cost, Ordering::Relaxed),
         };
         self.inner.messages.fetch_add(1, Ordering::Relaxed);
+        if matches!(direction, Direction::Upstream) && receiver == 0 && sender != 0 {
+            self.inner
+                .root_inbox_words
+                .fetch_add(cost, Ordering::Relaxed);
+            self.inner
+                .root_inbox_messages
+                .fetch_add(1, Ordering::Relaxed);
+        }
         if self.inner.record_events.load(Ordering::Acquire) {
             let round = self.inner.rounds.load(Ordering::Relaxed);
             self.inner.events.lock_recover().push(CommEvent {
-                server,
+                server: sender,
+                receiver,
                 direction,
                 payload_words,
                 label,
@@ -227,6 +276,8 @@ impl Ledger {
             downstream_words: self.inner.downstream_words.load(Ordering::Relaxed),
             messages: self.inner.messages.load(Ordering::Relaxed),
             rounds: self.inner.rounds.load(Ordering::Relaxed),
+            root_inbox_words: self.inner.root_inbox_words.load(Ordering::Relaxed),
+            root_inbox_messages: self.inner.root_inbox_messages.load(Ordering::Relaxed),
         }
     }
 
@@ -262,6 +313,8 @@ impl Ledger {
         self.inner.downstream_words.store(0, Ordering::Relaxed);
         self.inner.messages.store(0, Ordering::Relaxed);
         self.inner.rounds.store(0, Ordering::Relaxed);
+        self.inner.root_inbox_words.store(0, Ordering::Relaxed);
+        self.inner.root_inbox_messages.store(0, Ordering::Relaxed);
         self.inner.events.lock_recover().clear();
     }
 }
@@ -376,12 +429,16 @@ mod tests {
             downstream_words: 2,
             messages: 3,
             rounds: 1,
+            root_inbox_words: 6,
+            root_inbox_messages: 2,
         };
         let b = LedgerSnapshot {
             upstream_words: 7,
             downstream_words: 5,
             messages: 2,
             rounds: 2,
+            root_inbox_words: 4,
+            root_inbox_messages: 1,
         };
         let mut acc = a;
         acc += b;
@@ -395,6 +452,7 @@ mod tests {
             downstream_words: 2,
             messages: 3,
             rounds: 1,
+            ..LedgerSnapshot::default()
         };
         assert_eq!(
             format!("{s}"),
@@ -409,6 +467,7 @@ mod tests {
             downstream_words: 250,
             messages: 10,
             rounds: 4,
+            ..LedgerSnapshot::default()
         };
         let m = CostModel {
             latency_per_round: 0.01,
@@ -422,6 +481,37 @@ mod tests {
             CostModel::wide_area().estimate_seconds(&snap)
                 > CostModel::datacenter().estimate_seconds(&snap)
         );
+    }
+
+    #[test]
+    fn root_inbox_tracks_only_hops_into_the_coordinator() {
+        let l = Ledger::new();
+        // Star upstream: implicit receiver 0 → counted.
+        l.charge(3, Direction::Upstream, 9, "star");
+        // Interior tree hop: upstream but lands at server 2 → not counted.
+        l.charge_hop(3, 2, Direction::Upstream, 9, "tree");
+        // Root hop of a tree: counted.
+        l.charge_hop(2, 0, Direction::Upstream, 20, "tree");
+        // Downstream never counts, whatever the receiver.
+        l.charge(1, Direction::Downstream, 50, "bcast");
+        let s = l.snapshot();
+        assert_eq!(s.root_inbox_messages, 2);
+        assert_eq!(s.root_inbox_words, 9 + FRAME_WORDS + 20 + FRAME_WORDS);
+        assert_eq!(s.upstream_words, 9 + 9 + 20 + 3 * FRAME_WORDS);
+        assert_eq!(s.messages, 4);
+    }
+
+    #[test]
+    fn charge_hop_records_the_receiver() {
+        let l = Ledger::new();
+        l.set_record_events(true);
+        l.charge_hop(5, 4, Direction::Upstream, 2, "hop");
+        l.charge(1, Direction::Downstream, 2, "down");
+        let ev = l.events();
+        assert_eq!(ev[0].server, 5);
+        assert_eq!(ev[0].receiver, 4);
+        assert_eq!(ev[1].server, 1);
+        assert_eq!(ev[1].receiver, 1);
     }
 
     #[test]

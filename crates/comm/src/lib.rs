@@ -16,17 +16,24 @@
 //!   a sequential executor and a scoped-thread `par_gather`;
 //! * [`collectives`] — the [`Collectives`] trait that makes protocol code
 //!   generic over the execution substrate (this crate's sequential
-//!   [`Cluster`] or `dlra-runtime`'s threaded message-passing cluster).
+//!   [`Cluster`] or `dlra-runtime`'s threaded message-passing cluster);
+//! * [`topology`] — combining-tree routing plans for the reduction
+//!   collectives: a typed [`Topology`] (star, or a tree of configurable
+//!   fanout) and the deterministic per-round hop/merge schedule derived
+//!   solely from the server count, so every topology produces bit-identical
+//!   results.
 
 #![forbid(unsafe_code)]
 pub mod cluster;
 pub mod collectives;
 pub mod ledger;
 pub mod payload;
+pub mod topology;
 pub mod two_party;
 
 pub use cluster::Cluster;
 pub use collectives::Collectives;
 pub use ledger::{CommEvent, CostModel, Direction, Ledger, LedgerSnapshot};
 pub use payload::Payload;
+pub use topology::{Topology, TopologyPlan};
 pub use two_party::{Party, TwoPartyChannel};

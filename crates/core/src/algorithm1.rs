@@ -15,7 +15,7 @@
 use crate::fkv::{build_b_matrix, fkv_projection, SampledRow};
 use crate::functions::EntryFunction;
 use crate::model::{MatrixServer, PartitionModel};
-use crate::{CoreError, Result};
+use crate::{CoreError, InterruptReason, Result};
 use dlra_comm::{Collectives, LedgerSnapshot};
 use dlra_linalg::Projector;
 use dlra_sampler::{PreparedSampler, UniformSampler, ZFn, ZSampler, ZSamplerParams};
@@ -109,18 +109,31 @@ fn validate_config(cfg: &Algorithm1Config, d: usize) -> Result<()> {
 /// The boosting loop shared by the planned and unplanned entry points:
 /// `sample` produces the rep's rows (lines 4–7), the body builds `B`, takes
 /// the top-k right singular space, and keeps the best `‖BP‖²_F`.
+///
+/// `check` is consulted at the start of every repetition and again between
+/// the draw/fetch phase and the local SVD, so a caller-imposed deadline or
+/// cancellation interrupts the protocol promptly instead of only at
+/// whole-run boundaries. A run that is never interrupted is bit- and
+/// ledger-identical to one given the never-stop check.
 fn run_boosted<C: Collectives<MatrixServer>>(
     model: &mut PartitionModel<C>,
     cfg: &Algorithm1Config,
+    check: &dyn Fn() -> Option<InterruptReason>,
     mut sample: impl FnMut(&mut PartitionModel<C>, u64) -> Result<Vec<SampledRow>>,
 ) -> Result<Algorithm1Output> {
     let before = model.cluster().comm();
     let mut best: Option<(Projector, f64, Vec<usize>)> = None;
     for rep in 0..cfg.boost {
+        if let Some(reason) = check() {
+            return Err(CoreError::Interrupted(reason));
+        }
         let rep_seed = cfg
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rep as u64));
         let sampled = sample(model, rep_seed)?;
+        if let Some(reason) = check() {
+            return Err(CoreError::Interrupted(reason));
+        }
         let indices: Vec<usize> = sampled.iter().map(|s| s.index).collect();
         let b = build_b_matrix(&sampled)?;
         let (p, captured) = fkv_projection(&b, cfg.k)?;
@@ -152,8 +165,23 @@ pub fn run_algorithm1<C: Collectives<MatrixServer>>(
     model: &mut PartitionModel<C>,
     cfg: &Algorithm1Config,
 ) -> Result<Algorithm1Output> {
+    run_algorithm1_interruptible(model, cfg, &|| None)
+}
+
+/// [`run_algorithm1`] with a caller-supplied stop signal: `check` is polled
+/// between protocol phases (each boosting repetition's start, and between
+/// its draw/fetch and local SVD), and a `Some(reason)` abandons the run
+/// with [`CoreError::Interrupted`]. This is how the serving runtime
+/// enforces query deadlines and cancellation *inside* long-running
+/// executions rather than only before they start; `check` returning `None`
+/// forever reproduces [`run_algorithm1`] bit- and ledger-identically.
+pub fn run_algorithm1_interruptible<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    cfg: &Algorithm1Config,
+    check: &dyn Fn() -> Option<InterruptReason>,
+) -> Result<Algorithm1Output> {
     validate_config(cfg, model.shape().1)?;
-    run_boosted(model, cfg, |model, rep_seed| {
+    run_boosted(model, cfg, check, |model, rep_seed| {
         sample_rows(model, cfg, rep_seed)
     })
 }
@@ -242,6 +270,17 @@ pub fn run_algorithm1_with_plan<C: Collectives<MatrixServer>>(
     cfg: &Algorithm1Config,
     plan: &PreparedZPlan,
 ) -> Result<Algorithm1Output> {
+    run_algorithm1_with_plan_interruptible(model, cfg, plan, &|| None)
+}
+
+/// [`run_algorithm1_with_plan`] with a caller-supplied stop signal; see
+/// [`run_algorithm1_interruptible`] for the polling contract.
+pub fn run_algorithm1_with_plan_interruptible<C: Collectives<MatrixServer>>(
+    model: &mut PartitionModel<C>,
+    cfg: &Algorithm1Config,
+    plan: &PreparedZPlan,
+    check: &dyn Fn() -> Option<InterruptReason>,
+) -> Result<Algorithm1Output> {
     validate_config(cfg, model.shape().1)?;
     let SamplerKind::Z(params) = &cfg.sampler else {
         return Err(CoreError::InvalidConfig(
@@ -260,7 +299,7 @@ pub fn run_algorithm1_with_plan<C: Collectives<MatrixServer>>(
             model.entry_function().name()
         )));
     }
-    run_boosted(model, cfg, |model, rep_seed| {
+    run_boosted(model, cfg, check, |model, rep_seed| {
         z_rows_from_plan(model, cfg.r, rep_seed, plan)
     })
 }
@@ -388,7 +427,10 @@ fn fetch_rows<C: Collectives<MatrixServer>>(
     distinct.sort_unstable();
     distinct.dedup();
     let request: Vec<u64> = distinct.iter().map(|&i| i as u64).collect();
-    let replies = model.cluster_mut().query_all(
+    // Per-server row fragments sum entrywise up the configured topology:
+    // under a tree, servers combine partial row sums pairwise and only the
+    // aggregate reaches the coordinator.
+    let summed = model.cluster_mut().query_aggregate(
         &request,
         "alg1.fetch_rows",
         move |_t, local, req: &Vec<u64>| {
@@ -398,16 +440,13 @@ fn fetch_rows<C: Collectives<MatrixServer>>(
             }
             out
         },
-    );
-    // Sum per-server row fragments.
-    let mut raw_rows = vec![vec![0.0f64; d]; distinct.len()];
-    for reply in replies {
-        for (ri, chunk) in reply.chunks_exact(d).enumerate() {
-            for (acc, &v) in raw_rows[ri].iter_mut().zip(chunk) {
-                *acc += v;
+        |acc, reply| {
+            for (a, v) in acc.iter_mut().zip(reply) {
+                *a += v;
             }
-        }
-    }
+        },
+    );
+    let raw_rows: Vec<Vec<f64>> = summed.chunks_exact(d).map(<[f64]>::to_vec).collect();
     let pos_of = |i: usize| distinct.binary_search(&i).expect("sampled row present");
     Ok(pairs
         .iter()

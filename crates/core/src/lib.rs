@@ -48,7 +48,8 @@ pub mod theory;
 
 pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveOutput};
 pub use algorithm1::{
-    fetch_global_rows, prepare_z_plan, run_algorithm1, run_algorithm1_with_plan, Algorithm1Config,
+    fetch_global_rows, prepare_z_plan, run_algorithm1, run_algorithm1_interruptible,
+    run_algorithm1_with_plan, run_algorithm1_with_plan_interruptible, Algorithm1Config,
     Algorithm1Output, GlobalRow, PreparedZPlan, SamplerKind,
 };
 pub use baselines::{row_partition_pca, RowPartitionOutput};
@@ -69,6 +70,16 @@ pub mod prelude {
     pub use dlra_linalg::Projector;
 }
 
+/// Why an interruptible run was asked to stop mid-protocol; carried by
+/// [`CoreError::Interrupted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// The caller's deadline expired while the protocol was still running.
+    Deadline,
+    /// The caller cancelled the run.
+    Cancelled,
+}
+
 /// Errors surfaced by the protocol layer.
 #[derive(Debug)]
 pub enum CoreError {
@@ -84,6 +95,10 @@ pub enum CoreError {
     /// down). Distinct from [`CoreError::InvalidConfig`]: the query itself
     /// may be fine and can be retried against a live runtime.
     RuntimeUnavailable(String),
+    /// An interruptible run observed its caller's stop signal mid-protocol
+    /// (between sampling rounds) and abandoned the computation; see
+    /// [`algorithm1::run_algorithm1_interruptible`].
+    Interrupted(InterruptReason),
 }
 
 impl std::fmt::Display for CoreError {
@@ -94,6 +109,12 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
             CoreError::SamplerExhausted => write!(f, "sampler produced no rows"),
             CoreError::RuntimeUnavailable(m) => write!(f, "runtime unavailable: {m}"),
+            CoreError::Interrupted(InterruptReason::Deadline) => {
+                write!(f, "interrupted: deadline expired")
+            }
+            CoreError::Interrupted(InterruptReason::Cancelled) => {
+                write!(f, "interrupted: cancelled")
+            }
         }
     }
 }

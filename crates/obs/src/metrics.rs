@@ -177,6 +177,8 @@ pub struct CommCounters {
     downstream_words: AtomicU64,
     messages: AtomicU64,
     rounds: AtomicU64,
+    root_inbox_words: AtomicU64,
+    root_inbox_messages: AtomicU64,
 }
 
 impl CommCounters {
@@ -188,6 +190,10 @@ impl CommCounters {
             .fetch_add(delta.downstream_words, Ordering::Relaxed);
         self.messages.fetch_add(delta.messages, Ordering::Relaxed);
         self.rounds.fetch_add(delta.rounds, Ordering::Relaxed);
+        self.root_inbox_words
+            .fetch_add(delta.root_inbox_words, Ordering::Relaxed);
+        self.root_inbox_messages
+            .fetch_add(delta.root_inbox_messages, Ordering::Relaxed);
     }
 
     /// Accumulated totals.
@@ -197,6 +203,8 @@ impl CommCounters {
             downstream_words: self.downstream_words.load(Ordering::Relaxed),
             messages: self.messages.load(Ordering::Relaxed),
             rounds: self.rounds.load(Ordering::Relaxed),
+            root_inbox_words: self.root_inbox_words.load(Ordering::Relaxed),
+            root_inbox_messages: self.root_inbox_messages.load(Ordering::Relaxed),
         }
     }
 }
@@ -529,8 +537,13 @@ fn json_hist(out: &mut String, key: &str, h: &HistogramSnapshot) {
 
 fn json_comm(out: &mut String, key: &str, s: &LedgerSnapshot) {
     out.push_str(&format!(
-        "\"{key}\":{{\"upstream_words\":{},\"downstream_words\":{},\"messages\":{},\"rounds\":{}}}",
-        s.upstream_words, s.downstream_words, s.messages, s.rounds
+        "\"{key}\":{{\"upstream_words\":{},\"downstream_words\":{},\"messages\":{},\"rounds\":{},\"coordinator_inbox_words\":{},\"gather_messages\":{}}}",
+        s.upstream_words,
+        s.downstream_words,
+        s.messages,
+        s.rounds,
+        s.root_inbox_words,
+        s.root_inbox_messages
     ));
 }
 
@@ -619,7 +632,7 @@ impl MetricsSnapshot {
             &'static str,
             fn(&DatasetMetricsSnapshot) -> u64,
         );
-        let counters: [Row; 10] = [
+        let counters: [Row; 12] = [
             (
                 "dlra_queries_submitted_total",
                 "Queries accepted into the executor queue.",
@@ -669,6 +682,16 @@ impl MetricsSnapshot {
                 "dlra_comm_rounds_total",
                 "Communication rounds charged to completed queries.",
                 |d| d.comm.rounds,
+            ),
+            (
+                "dlra_coordinator_inbox_words_total",
+                "Words that landed in the coordinator's inbox (root fan-in).",
+                |d| d.comm.root_inbox_words,
+            ),
+            (
+                "dlra_gather_messages_total",
+                "Messages that landed in the coordinator's inbox.",
+                |d| d.comm.root_inbox_messages,
             ),
         ];
         for (name, help, get) in counters {
@@ -816,6 +839,8 @@ mod tests {
             downstream_words: 3,
             messages: 2,
             rounds: 1,
+            root_inbox_words: 8,
+            root_inbox_messages: 2,
         };
         c.add(&a);
         c.add(&a);
@@ -824,6 +849,8 @@ mod tests {
         assert_eq!(total.downstream_words, 6);
         assert_eq!(total.messages, 4);
         assert_eq!(total.rounds, 2);
+        assert_eq!(total.root_inbox_words, 16);
+        assert_eq!(total.root_inbox_messages, 4);
     }
 
     #[test]
@@ -843,6 +870,7 @@ mod tests {
                 downstream_words: 1,
                 messages: 1,
                 rounds: 1,
+                ..LedgerSnapshot::default()
             },
         );
         m.query_dequeued();
@@ -871,6 +899,8 @@ mod tests {
                 downstream_words: 2,
                 messages: 3,
                 rounds: 2,
+                root_inbox_words: 40,
+                root_inbox_messages: 3,
             },
         );
         let mut d = m.snapshot();
@@ -908,6 +938,8 @@ mod tests {
             "\"qps\":0.5000",
             "\"latency\"",
             "\"comm\"",
+            "\"coordinator_inbox_words\":40",
+            "\"gather_messages\":3",
             "\"plan_cache\"",
             "\"hit_ratio\":0.7500",
             "\"latency_bucket_bounds_micros\"",
@@ -925,6 +957,8 @@ mod tests {
             "dlra_queries_submitted_total{dataset=\"tenant-a\"} 1",
             "dlra_queries_completed_total{dataset=\"tenant-a\"} 1",
             "dlra_comm_words_total{dataset=\"tenant-a\"} 42",
+            "dlra_coordinator_inbox_words_total{dataset=\"tenant-a\"} 40",
+            "dlra_gather_messages_total{dataset=\"tenant-a\"} 3",
             "# TYPE dlra_query_latency_micros histogram",
             "dlra_query_latency_micros_bucket{dataset=\"tenant-a\",le=\"+Inf\"} 1",
             "dlra_query_latency_micros_count{dataset=\"tenant-a\"} 1",

@@ -71,6 +71,7 @@ use dlra_core::model::{MatrixServer, PartitionModel};
 use dlra_core::Result;
 use dlra_linalg::Matrix;
 
+pub use dlra_comm::Topology;
 pub use planner::{PlanCache, PlanCacheStats, PlanKey};
 pub use query::{Query, QueryBuilder, QueryError, QueryRequest};
 pub use runtime::{QueryHandle, Runtime, RuntimeConfig};

@@ -58,6 +58,7 @@
 use crate::planner::PlanCacheStats;
 use crate::query::{QueryError, QueryRequest};
 use crate::service::{DatasetHandle, Service, ServiceConfig, ServiceError, Substrate, Ticket};
+use dlra_comm::Topology;
 use dlra_core::algorithm1::Algorithm1Output;
 use dlra_core::{CoreError, Result};
 use dlra_linalg::Matrix;
@@ -87,6 +88,11 @@ pub struct RuntimeConfig {
     /// Whether the metrics registry is maintained (default `true`); see
     /// [`ServiceConfig::metrics`]. Never affects results either way.
     pub metrics: bool,
+    /// Collective routing topology every query's cluster is built with;
+    /// see [`ServiceConfig::topology`]. Results are bit-identical under
+    /// every topology — only the message routing (and therefore the
+    /// coordinator's inbox pressure) changes.
+    pub topology: Topology,
 }
 
 impl Default for RuntimeConfig {
@@ -96,12 +102,14 @@ impl Default for RuntimeConfig {
             substrate,
             plan_cache,
             metrics,
+            topology,
         } = ServiceConfig::default();
         RuntimeConfig {
             executors,
             substrate,
             plan_cache,
             metrics,
+            topology,
         }
     }
 }
@@ -113,6 +121,7 @@ impl From<RuntimeConfig> for ServiceConfig {
             substrate: config.substrate,
             plan_cache: config.plan_cache,
             metrics: config.metrics,
+            topology: config.topology,
         }
     }
 }
@@ -333,6 +342,7 @@ mod tests {
             substrate,
             plan_cache,
             metrics: true,
+            topology: Topology::Star,
         }
     }
 

@@ -52,12 +52,13 @@
 use crate::planner::{PlanCache, PlanCacheStats, PlanKey};
 use crate::query::{Query, QueryError, QueryRequest};
 use crate::threaded::ThreadedCluster;
-use dlra_comm::LedgerSnapshot;
+use dlra_comm::{LedgerSnapshot, Topology};
 use dlra_core::algorithm1::{
-    prepare_z_plan, run_algorithm1, run_algorithm1_with_plan, Algorithm1Output, SamplerKind,
+    prepare_z_plan, run_algorithm1_interruptible, run_algorithm1_with_plan_interruptible,
+    Algorithm1Output, SamplerKind,
 };
 use dlra_core::model::PartitionModel;
-use dlra_core::CoreError;
+use dlra_core::{CoreError, InterruptReason};
 use dlra_linalg::Matrix;
 use dlra_obs::metrics::{DatasetMetrics, KernelPoolSnapshot, MetricsSnapshot, PlanCacheSnapshot};
 use dlra_obs::trace;
@@ -93,6 +94,24 @@ pub(crate) fn default_plan_cache() -> usize {
         .unwrap_or(16)
 }
 
+/// Parses `DLRA_TOPOLOGY` (`star`, `tree`, or `tree:<fanout>`) into the
+/// default collective routing topology. The env read happens here, in the
+/// runtime configuration layer — never inside `dlra-comm`, which stays
+/// deterministic in its inputs — and is how CI proves the star and tree
+/// routings stay bit- and ledger-identical.
+pub(crate) fn default_topology() -> Topology {
+    match std::env::var("DLRA_TOPOLOGY").ok().as_deref() {
+        Some("tree") => Topology::Tree { fanout: 2 },
+        Some(spec) if spec.starts_with("tree:") => spec["tree:".len()..]
+            .parse::<usize>()
+            .map(|fanout| Topology::Tree {
+                fanout: fanout.max(2),
+            })
+            .unwrap_or_default(),
+        _ => Topology::Star,
+    }
+}
+
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -111,6 +130,13 @@ pub struct ServiceConfig {
     /// When `false`, [`Service::metrics`] returns `None` and the query
     /// path records nothing. Never affects results either way.
     pub metrics: bool,
+    /// How reduction collectives route partial results to the coordinator
+    /// (star, or a combining tree that shrinks the coordinator's inbox to
+    /// one message per tree level). Never affects results: the combining
+    /// order is fixed by the server count alone. Defaults to the
+    /// `DLRA_TOPOLOGY` environment variable (`star` | `tree` |
+    /// `tree:<fanout>`), falling back to [`Topology::Star`].
+    pub topology: Topology,
 }
 
 impl Default for ServiceConfig {
@@ -120,6 +146,7 @@ impl Default for ServiceConfig {
             substrate: Substrate::default(),
             plan_cache: default_plan_cache(),
             metrics: true,
+            topology: default_topology(),
         }
     }
 }
@@ -253,6 +280,8 @@ fn map_execution(err: CoreError) -> ServiceError {
     match err {
         CoreError::InvalidConfig(m) => ServiceError::InvalidQuery(QueryError::Rejected(m)),
         CoreError::RuntimeUnavailable(m) => ServiceError::RuntimeUnavailable(m),
+        CoreError::Interrupted(InterruptReason::Deadline) => ServiceError::Deadline,
+        CoreError::Interrupted(InterruptReason::Cancelled) => ServiceError::Cancelled,
         other => ServiceError::Execution(other),
     }
 }
@@ -545,6 +574,7 @@ struct Shared {
 pub struct Service {
     shared: Arc<Shared>,
     substrate: Substrate,
+    topology: Topology,
     executors: Vec<JoinHandle<()>>,
     started: Instant,
 }
@@ -575,12 +605,13 @@ impl Service {
             .map(|i| {
                 let tasks = Arc::clone(&tasks);
                 let substrate = config.substrate;
+                let topology = config.topology;
                 // dlra-allow(thread-discipline): the service executor pool
                 // is itself a sanctioned long-lived pool — workers are
                 // created once per Service and joined in shutdown().
                 std::thread::Builder::new()
                     .name(format!("dlra-executor-{i}"))
-                    .spawn(move || executor_loop(&tasks, substrate, total))
+                    .spawn(move || executor_loop(&tasks, substrate, topology, total))
                     // dlra-allow(panic-policy): spawn fails only on OS
                     // thread exhaustion at Service construction, before any
                     // query exists to resolve to a typed error.
@@ -590,6 +621,7 @@ impl Service {
         Service {
             shared,
             substrate: config.substrate,
+            topology: config.topology,
             executors,
             started: Instant::now(),
         }
@@ -705,6 +737,11 @@ impl Service {
     /// The substrate queries run on.
     pub fn substrate(&self) -> Substrate {
         self.substrate
+    }
+
+    /// The collective routing topology queries run with.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// Number of executor threads.
@@ -991,7 +1028,12 @@ fn validate_locals(locals: &[Matrix]) -> Result<(usize, usize), ServiceError> {
     Ok((n, d))
 }
 
-fn executor_loop(tasks: &Mutex<Receiver<Task>>, substrate: Substrate, executors: usize) {
+fn executor_loop(
+    tasks: &Mutex<Receiver<Task>>,
+    substrate: Substrate,
+    topology: Topology,
+    executors: usize,
+) {
     loop {
         // Hold the queue lock only for the pop, not the run.
         let popped = tasks.lock_recover().recv();
@@ -1002,7 +1044,7 @@ fn executor_loop(tasks: &Mutex<Receiver<Task>>, substrate: Substrate, executors:
                 ticket,
                 reply,
             }) => {
-                let result = run_query(&dataset, substrate, executors, &request, &ticket);
+                let result = run_query(&dataset, substrate, topology, executors, &request, &ticket);
                 // The caller may have dropped its ticket; that's fine, the
                 // result is discarded.
                 let _ = reply.send(result);
@@ -1021,6 +1063,7 @@ fn executor_loop(tasks: &Mutex<Receiver<Task>>, substrate: Substrate, executors:
 fn run_query(
     dataset: &Arc<Dataset>,
     substrate: Substrate,
+    topology: Topology,
     executors: usize,
     request: &QueryRequest,
     ticket: &TicketShared,
@@ -1042,7 +1085,7 @@ fn run_query(
         if let Some(m) = metrics {
             m.query_started();
         }
-        let result = run_query_inner(dataset, substrate, executors, request, ticket);
+        let result = run_query_inner(dataset, substrate, topology, executors, request, ticket);
         if let Some(m) = metrics {
             m.query_finished();
         }
@@ -1089,6 +1132,7 @@ fn run_query(
 fn run_query_inner(
     dataset: &Arc<Dataset>,
     substrate: Substrate,
+    topology: Topology,
     executors: usize,
     request: &QueryRequest,
     ticket: &TicketShared,
@@ -1125,7 +1169,9 @@ fn run_query_inner(
     // budget is read outside the override so `set_threads` changes are
     // picked up per query.
     let budget = (dlra_linalg::threads() / executors).max(1);
-    dlra_linalg::with_threads(budget, || execute(dataset, substrate, request, ticket))
+    dlra_linalg::with_threads(budget, || {
+        execute(dataset, substrate, topology, request, ticket)
+    })
 }
 
 /// Runs one query on its private model instance, consulting the dataset's
@@ -1133,6 +1179,7 @@ fn run_query_inner(
 fn execute(
     dataset: &Arc<Dataset>,
     substrate: Substrate,
+    topology: Topology,
     request: &QueryRequest,
     ticket: &TicketShared,
 ) -> Result<QueryOutcome, ServiceError> {
@@ -1146,12 +1193,17 @@ fn execute(
     };
     let result = match substrate {
         Substrate::Sequential => {
-            let mut model = PartitionModel::new(parts, request.f).map_err(map_execution)?;
+            let mut model = PartitionModel::with_substrate(parts, request.f, move |locals| {
+                dlra_comm::Cluster::with_topology(locals, topology)
+            })
+            .map_err(map_execution)?;
             execute_on(&mut model, dataset, request, epoch, d, ticket)
         }
         Substrate::Threaded => {
-            let mut model = PartitionModel::with_substrate(parts, request.f, ThreadedCluster::new)
-                .map_err(map_execution)?;
+            let mut model = PartitionModel::with_substrate(parts, request.f, move |locals| {
+                ThreadedCluster::with_topology(locals, topology)
+            })
+            .map_err(map_execution)?;
             execute_on(&mut model, dataset, request, epoch, d, ticket)
         }
     };
@@ -1173,6 +1225,20 @@ fn execute(
         }
     }
     result
+}
+
+/// The stop signal an executing query polls between protocol phases:
+/// cancellation wins over an expired deadline (matching the checkpoint
+/// order below), and `None` means "keep going". Acquire pairs with the
+/// Release store in [`Ticket::cancel`].
+fn interrupt_reason(ticket: &TicketShared) -> Option<InterruptReason> {
+    if ticket.cancel_requested.load(Ordering::Acquire) {
+        Some(InterruptReason::Cancelled)
+    } else if ticket.deadline_expired() {
+        Some(InterruptReason::Deadline)
+    } else {
+        None
+    }
 }
 
 fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
@@ -1215,7 +1281,10 @@ fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
             let exec_start = metrics.map(|_| Instant::now());
             let exec_span = trace::span("query", "query.execute").arg("qid", ticket.query_id);
             let mut output =
-                run_algorithm1_with_plan(model, &request.cfg, &plan).map_err(map_execution)?;
+                run_algorithm1_with_plan_interruptible(model, &request.cfg, &plan, &|| {
+                    interrupt_reason(ticket)
+                })
+                .map_err(map_execution)?;
             drop(exec_span);
             if let (Some(m), Some(start)) = (metrics, exec_start) {
                 let micros = start.elapsed().as_micros() as u64;
@@ -1238,7 +1307,7 @@ fn execute_on<C: dlra_comm::Collectives<dlra_core::model::MatrixServer>>(
     let metrics = dataset.metrics.as_deref();
     let exec_start = metrics.map(|_| Instant::now());
     let exec_span = trace::span("query", "query.execute").arg("qid", ticket.query_id);
-    let result = run_algorithm1(model, &request.cfg)
+    let result = run_algorithm1_interruptible(model, &request.cfg, &|| interrupt_reason(ticket))
         .map(|output| QueryOutcome { output, plan: None })
         .map_err(map_execution);
     drop(exec_span);
@@ -1266,6 +1335,7 @@ mod tests {
             substrate: Substrate::Sequential,
             plan_cache,
             metrics: true,
+            topology: Topology::Star,
         }
     }
 

@@ -31,9 +31,10 @@
 //! executes a job — there is no unsynchronized sharing anywhere.
 
 use dlra_comm::ledger::Direction;
-use dlra_comm::{Collectives, Ledger, Payload};
+use dlra_comm::{Collectives, Ledger, Payload, Topology, TopologyPlan};
 use dlra_obs::trace;
 use dlra_util::sync::MutexExt;
+use std::collections::BTreeMap;
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -74,13 +75,35 @@ struct Worker<L> {
 pub struct ThreadedCluster<L> {
     workers: Vec<Worker<L>>,
     ledger: Ledger,
+    topology: Topology,
+}
+
+/// Accounting for one combining-tree hop, carried up the tree alongside the
+/// block it describes so the driver can charge every edge in canonical
+/// order after the fan-in (sender-side block size at send time).
+struct HopRecord {
+    round: usize,
+    sender: usize,
+    words: u64,
 }
 
 impl<L: Send + 'static> ThreadedCluster<L> {
     /// Spawns one worker thread per local state (server `0` doubles as the
-    /// coordinator's own state, as in the paper's star model).
+    /// coordinator's own state, as in the paper's star model). Reductions
+    /// route over the default [`Topology::Star`].
     pub fn new(locals: Vec<L>) -> Self {
         Self::with_ledger(locals, Ledger::new())
+    }
+
+    /// Like [`ThreadedCluster::new`] but routing reduction collectives over
+    /// `topology`: under a tree, server workers combine partial results
+    /// pairwise and forward them to their tree parent, so the coordinator's
+    /// inbox shrinks from `s − 1` messages to one per tree level. Results
+    /// stay bit-identical — the merge order is fixed by the server count.
+    pub fn with_topology(locals: Vec<L>, topology: Topology) -> Self {
+        let mut cluster = Self::with_ledger(locals, Ledger::new());
+        cluster.topology = topology;
+        cluster
     }
 
     /// Like [`ThreadedCluster::new`] but charging an existing ledger
@@ -134,7 +157,11 @@ impl<L: Send + 'static> ThreadedCluster<L> {
                 }
             })
             .collect();
-        ThreadedCluster { workers, ledger }
+        ThreadedCluster {
+            workers,
+            ledger,
+            topology: Topology::Star,
+        }
     }
 
     /// Sends one job to server `t`'s worker.
@@ -195,6 +222,148 @@ impl<L: Send + 'static> ThreadedCluster<L> {
             })
         })
     }
+
+    /// Runs one topology-routed reduction over the worker threads.
+    ///
+    /// The driver pre-builds one mpsc channel per plan hop and hands each
+    /// worker its endpoints, so blocks flow worker → worker along tree
+    /// edges without touching the coordinator until the root hop. Every
+    /// worker replays the canonical merge steps of its receiving rounds,
+    /// restricted to the blocks it holds — merges of disjoint block pairs
+    /// commute, so the result is bit-identical to the sequential global
+    /// replay. Each sender attaches a [`HopRecord`] with its block size at
+    /// send time; the accumulated log reaches the root with the final
+    /// block, and the driver charges every edge in canonical plan order —
+    /// the exact transcript of the sequential reference implementation.
+    fn tree_reduce<T, M>(
+        &self,
+        plan: TopologyPlan,
+        label: &'static str,
+        mut make_compute: impl FnMut() -> Box<dyn FnOnce(usize, &mut L) -> T + Send>,
+        merge: Arc<M>,
+        first_round_started: bool,
+    ) -> T
+    where
+        T: Payload + Send + 'static,
+        M: Fn(&mut T, T) + Send + Sync + 'static,
+    {
+        type Parcel<T> = (T, Vec<HopRecord>);
+        let s = self.workers.len();
+        let plan = Arc::new(plan);
+        let mut inboxes: Vec<BTreeMap<usize, Vec<mpsc::Receiver<Parcel<T>>>>> =
+            (0..s).map(|_| BTreeMap::new()).collect();
+        let mut outboxes: Vec<Option<(usize, mpsc::Sender<Parcel<T>>)>> =
+            (0..s).map(|_| None).collect();
+        for (h, round) in plan.rounds().iter().enumerate() {
+            for hop in &round.hops {
+                let (tx, rx) = mpsc::channel::<Parcel<T>>();
+                inboxes[hop.receiver].entry(h).or_default().push(rx);
+                outboxes[hop.sender] = Some((h, tx));
+            }
+        }
+        let (root_tx, root_rx) = mpsc::channel::<Parcel<T>>();
+        for t in 0..s {
+            let compute = make_compute();
+            let plan = Arc::clone(&plan);
+            let merge = Arc::clone(&merge);
+            let mut inbox = std::mem::take(&mut inboxes[t]);
+            let mut outbox = outboxes[t].take();
+            let root_tx = (t == 0).then(|| root_tx.clone());
+            self.dispatch(
+                t,
+                Box::new(move |t, local| {
+                    let mut block = compute(t, local);
+                    let mut log: Vec<HopRecord> = Vec::new();
+                    for (h, round) in plan.rounds().iter().enumerate() {
+                        if let Some(rxs) = inbox.remove(&h) {
+                            // Receiving round: absorb each child's block,
+                            // keyed by sender index, then replay the round's
+                            // canonical merges restricted to held blocks.
+                            let mut held: BTreeMap<usize, T> = BTreeMap::new();
+                            held.insert(t, block);
+                            let senders = round
+                                .hops
+                                .iter()
+                                .filter(|hop| hop.receiver == t)
+                                .map(|hop| hop.sender);
+                            for (q, rx) in senders.zip(rxs) {
+                                let (child_block, child_log) = rx
+                                    .recv()
+                                    // dlra-allow(panic-policy): a child server
+                                    // dying mid-reduction loses its block;
+                                    // unwind and let the driver's root recv
+                                    // resolve the query to RuntimeUnavailable.
+                                    .expect("a child server panicked during a reduction");
+                                held.insert(q, child_block);
+                                log.extend(child_log);
+                            }
+                            for step in &round.merges {
+                                if held.contains_key(&step.dst) && held.contains_key(&step.src) {
+                                    // dlra-allow(panic-policy): both keys were
+                                    // just checked present.
+                                    let src = held.remove(&step.src).expect("src block held");
+                                    // dlra-allow(panic-policy): checked above.
+                                    let dst = held.get_mut(&step.dst).expect("dst block held");
+                                    merge(dst, src);
+                                }
+                            }
+                            // dlra-allow(panic-policy): a receiver's own block
+                            // is never a merge source in its receiving rounds,
+                            // so it always survives the replay.
+                            block = held.remove(&t).expect("receiver keeps its block");
+                        }
+                        if outbox.as_ref().map(|&(send_round, _)| send_round) == Some(h) {
+                            // Sending round: forward the accumulated block
+                            // (and hop log) to the tree parent; this worker's
+                            // part in the reduction is done.
+                            let Some((_, tx)) = outbox.take() else { return };
+                            log.push(HopRecord {
+                                round: h,
+                                sender: t,
+                                words: block.words(),
+                            });
+                            let _ = tx.send((block, log));
+                            return;
+                        }
+                    }
+                    // Only the coordinator's worker reaches the end of the
+                    // plan; it hands the fully merged block and the complete
+                    // hop log back to the driver.
+                    if let Some(tx) = root_tx {
+                        let _ = tx.send((block, log));
+                    }
+                }),
+            );
+        }
+        drop(root_tx);
+        let (result, log) = root_rx
+            .recv()
+            // dlra-allow(panic-policy): a server dying mid-reduction loses
+            // the root block; unwind the executor and let the ticket resolve
+            // to RuntimeUnavailable.
+            .expect("a server worker panicked during a reduction");
+        let mut hop_words: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for rec in log {
+            hop_words.insert((rec.round, rec.sender), rec.words);
+        }
+        for (h, round) in plan.rounds().iter().enumerate() {
+            if h > 0 || !first_round_started {
+                self.ledger.next_round();
+            }
+            for hop in &round.hops {
+                let words = *hop_words
+                    .get(&(h, hop.sender))
+                    // dlra-allow(panic-policy): every sender logs exactly one
+                    // record per plan edge before sending; a missing record
+                    // means a worker died and the root recv above would have
+                    // panicked first.
+                    .expect("hop record for every plan edge");
+                self.ledger
+                    .charge_hop(hop.sender, hop.receiver, Direction::Upstream, words, label);
+            }
+        }
+        result
+    }
 }
 
 impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
@@ -204,6 +373,72 @@ impl<L: Send + 'static> Collectives<L> for ThreadedCluster<L> {
 
     fn ledger(&self) -> &Ledger {
         &self.ledger
+    }
+
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn aggregate_topo<T, F, M>(&mut self, label: &'static str, compute: F, merge: M) -> T
+    where
+        T: Payload + Send + 'static,
+        F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
+        M: Fn(&mut T, T) + Send + Sync + 'static,
+    {
+        let _span =
+            trace::span("comm.aggregate_topo", label).arg("servers", self.workers.len() as u64);
+        let plan = TopologyPlan::new(self.topology, self.workers.len());
+        let compute = Arc::new(compute);
+        let merge = Arc::new(merge);
+        self.tree_reduce(
+            plan,
+            label,
+            || {
+                let compute = Arc::clone(&compute);
+                Box::new(move |t, local| compute(t, local))
+            },
+            merge,
+            false,
+        )
+    }
+
+    fn query_aggregate<Q, T, F, M>(
+        &mut self,
+        request: &Q,
+        label: &'static str,
+        compute: F,
+        merge: M,
+    ) -> T
+    where
+        Q: Payload + Clone + Send + 'static,
+        T: Payload + Send + 'static,
+        F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static,
+        M: Fn(&mut T, T) + Send + Sync + 'static,
+    {
+        let _span =
+            trace::span("comm.query_aggregate", label).arg("servers", self.workers.len() as u64);
+        self.ledger.next_round();
+        let request_words = request.words();
+        for t in 1..self.workers.len() {
+            self.ledger
+                .charge(t, Direction::Downstream, request_words, label);
+        }
+        let plan = TopologyPlan::new(self.topology, self.workers.len());
+        let compute = Arc::new(compute);
+        let merge = Arc::new(merge);
+        self.tree_reduce(
+            plan,
+            label,
+            || {
+                // Each worker receives its own copy of the request, exactly
+                // as it would over a wire.
+                let request = request.clone();
+                let compute = Arc::clone(&compute);
+                Box::new(move |t, local| compute(t, local, &request))
+            },
+            merge,
+            true,
+        )
     }
 
     fn with_local<R>(&self, t: usize, f: impl FnOnce(&L) -> R) -> R {
@@ -381,6 +616,17 @@ mod tests {
         out.extend(picked);
         let target = 1 % c.num_servers();
         out.push(c.query_server(target, &0usize, "p.qs", |local, &j| local[j]));
+        out.push(c.aggregate_topo(
+            "p.at",
+            |t, local| local[0] * (t as f64 + 0.25),
+            |acc, r| *acc += r,
+        ));
+        out.push(c.query_aggregate(
+            &1usize,
+            "p.qat",
+            |t, local, &j| local[j] + (t as f64).sqrt(),
+            |acc, r| *acc += r,
+        ));
         out
     }
 
@@ -396,6 +642,45 @@ mod tests {
                 Collectives::comm(&seq),
                 Collectives::comm(&par),
                 "ledgers diverge at s = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_routing_matches_sequential_tree_bit_for_bit() {
+        for s in [1usize, 2, 4, 8, 9, 13] {
+            let topology = Topology::Tree { fanout: 2 };
+            let mut seq = Cluster::with_topology(locals(s, 4), topology);
+            let mut par = ThreadedCluster::with_topology(locals(s, 4), topology);
+            let a = protocol(&mut seq);
+            let b = protocol(&mut par);
+            assert_eq!(a, b, "results diverge at s = {s}");
+            assert_eq!(
+                Collectives::comm(&seq),
+                Collectives::comm(&par),
+                "ledgers diverge at s = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_reduction_matches_star_values_with_smaller_root_inbox() {
+        for s in [4usize, 8, 9] {
+            let mut star = ThreadedCluster::new(locals(s, 2));
+            let mut tree =
+                ThreadedCluster::with_topology(locals(s, 2), Topology::Tree { fanout: 2 });
+            let a = star.aggregate_topo("t", |t, l| l[0] + t as f64, |acc, r| *acc += r);
+            let b = tree.aggregate_topo("t", |t, l| l[0] + t as f64, |acc, r| *acc += r);
+            assert_eq!(a.to_bits(), b.to_bits(), "s = {s}");
+            let sc = star.comm();
+            let tc = tree.comm();
+            assert_eq!(sc.total_words(), tc.total_words(), "s = {s}");
+            assert_eq!(sc.messages, tc.messages, "s = {s}");
+            assert!(
+                tc.root_inbox_messages < sc.root_inbox_messages,
+                "s = {s}: tree inbox {} vs star {}",
+                tc.root_inbox_messages,
+                sc.root_inbox_messages
             );
         }
     }

@@ -90,11 +90,13 @@ where
     // Round 1a: broadcast the seed (the whole hash structure in one word).
     cluster.broadcast(&seed, "zest.seed", |_, _, _| {});
 
-    // Round 1b: every server sketches its local vector; coordinator merges.
+    // Round 1b: every server sketches its local vector; the bundles combine
+    // up the configured topology (sketches are linear, and the combining
+    // order is fixed by the server count, so any routing is bit-identical).
     // The sketch parameters travel by value into the per-server closure so
     // it can run on worker threads.
     let worker_params = params.clone();
-    let merged = cluster.aggregate(
+    let merged = cluster.aggregate_topo(
         "zest.sketch",
         move |_t, local| {
             let mut b = SketchBundle::new(&worker_params, seed, dim);
@@ -178,23 +180,25 @@ where
 }
 
 /// Coordinator asks every server for its local contribution to each listed
-/// coordinate and sums the replies (Algorithm 3 lines 6 and 11).
+/// coordinate and sums the replies (Algorithm 3 lines 6 and 11). The
+/// per-server contribution vectors combine entrywise up the configured
+/// topology, so under a tree only partial sums travel toward the root.
 pub fn lookup_exact<L, C>(cluster: &mut C, coords: &[u64]) -> Vec<f64>
 where
     L: SampleVector,
     C: Collectives<L>,
 {
     let request: Vec<u64> = coords.to_vec();
-    let replies = cluster.query_all(&request, "zest.lookup", |_t, local, req: &Vec<u64>| {
-        req.iter().map(|&j| local.value(j)).collect::<Vec<f64>>()
-    });
-    let mut out = vec![0.0; coords.len()];
-    for reply in replies {
-        for (acc, v) in out.iter_mut().zip(reply) {
-            *acc += v;
-        }
-    }
-    out
+    cluster.query_aggregate(
+        &request,
+        "zest.lookup",
+        |_t, local, req: &Vec<u64>| req.iter().map(|&j| local.value(j)).collect::<Vec<f64>>(),
+        |acc, reply| {
+            for (a, v) in acc.iter_mut().zip(reply) {
+                *a += v;
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ fn config(plan_cache: usize, metrics: bool) -> ServiceConfig {
         substrate: Substrate::Threaded,
         plan_cache,
         metrics,
+        ..Default::default()
     }
 }
 

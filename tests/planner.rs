@@ -25,6 +25,7 @@ fn config(executors: usize, plan_cache: usize) -> RuntimeConfig {
         substrate: Substrate::Threaded,
         plan_cache,
         metrics: true,
+        ..Default::default()
     }
 }
 
@@ -72,8 +73,13 @@ fn submit_batch_prepares_once_with_bit_identical_outputs() {
     }
 
     // Reference: a sequential run that prepares once and reuses the same
-    // PreparedSampler for every query of the batch.
-    let mut model = PartitionModel::new(parts, EntryFunction::Identity).unwrap();
+    // PreparedSampler for every query of the batch — built under the
+    // runtime's (possibly env-driven) topology so ledger shapes match.
+    let topology = RuntimeConfig::default().topology;
+    let mut model = PartitionModel::with_substrate(parts, EntryFunction::Identity, |l| {
+        dlra::comm::Cluster::with_topology(l, topology)
+    })
+    .unwrap();
     let plan = prepare_z_plan(&mut model, &ZSamplerParams::default(), batch_seed).unwrap();
     assert_eq!(plan.prepare_comm, prepare_comm, "prepare ledger diverged");
     for (request, outcome) in requests.iter().zip(&outcomes) {
@@ -181,7 +187,11 @@ fn residency_reload_invalidates_cached_plans() {
         before.projection.basis().as_slice(),
         "query after reload must see the new data"
     );
-    let mut direct = PartitionModel::new(new, EntryFunction::Identity).unwrap();
+    let topology = RuntimeConfig::default().topology;
+    let mut direct = PartitionModel::with_substrate(new, EntryFunction::Identity, |l| {
+        dlra::comm::Cluster::with_topology(l, topology)
+    })
+    .unwrap();
     let want = run_algorithm1(&mut direct, &z_request(2, 20, 9).cfg).unwrap();
     assert_eq!(
         after.projection.basis().as_slice(),

@@ -7,9 +7,10 @@
 //! This is the contract that lets every experiment and test in the
 //! workspace interchange substrates freely.
 
-use dlra::comm::Collectives;
+use dlra::comm::{Cluster, Collectives, Topology};
 use dlra::core::adaptive::{run_adaptive, AdaptiveConfig};
 use dlra::prelude::*;
+use dlra::runtime::ThreadedCluster;
 use dlra::runtime::{threaded_model, QueryRequest, Runtime, RuntimeConfig, Substrate};
 use dlra::util::Rng;
 
@@ -136,7 +137,14 @@ fn runtime_submit_matches_both_substrates() {
         ..Default::default()
     };
 
-    let mut direct = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+    // The reference runs under the runtime's (possibly env-driven)
+    // topology so the ledger comparison holds when CI plumbs
+    // `DLRA_TOPOLOGY`.
+    let topology = RuntimeConfig::default().topology;
+    let mut direct = PartitionModel::with_substrate(parts.clone(), EntryFunction::Identity, |l| {
+        Cluster::with_topology(l, topology)
+    })
+    .unwrap();
     let want = run_algorithm1(&mut direct, &cfg).unwrap();
 
     for substrate in [Substrate::Sequential, Substrate::Threaded] {
@@ -177,7 +185,11 @@ fn plan_cache_on_and_off_stay_ledger_and_bit_identical() {
         seed: 3,
         ..Default::default()
     };
-    let mut direct = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
+    let topology = RuntimeConfig::default().topology;
+    let mut direct = PartitionModel::with_substrate(parts.clone(), EntryFunction::Identity, |l| {
+        Cluster::with_topology(l, topology)
+    })
+    .unwrap();
     let want = run_algorithm1(&mut direct, &cfg).unwrap();
 
     for substrate in [Substrate::Sequential, Substrate::Threaded] {
@@ -189,6 +201,7 @@ fn plan_cache_on_and_off_stay_ledger_and_bit_identical() {
                     substrate,
                     plan_cache,
                     metrics: true,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -206,6 +219,95 @@ fn plan_cache_on_and_off_stay_ledger_and_bit_identical() {
                 got.comm, want.comm,
                 "ledger diverges ({substrate:?}, plan_cache = {plan_cache})"
             );
+        }
+    }
+}
+
+/// The topology column of the equivalence matrix: the same query routed
+/// sequential-star, sequential-tree, and threaded-tree delivers
+/// bit-identical outputs at every tested seed and cluster size (including
+/// non-power-of-two `s`), the two tree substrates charge **exactly** the
+/// same ledger, the tree moves the same total words as the star, and its
+/// coordinator inbox strictly shrinks once `s > 2` — routing is a cost
+/// knob, never a semantic.
+#[test]
+fn topology_matrix_bit_identical_with_smaller_tree_root_inbox() {
+    for &s in &[2usize, 4, 8, 9] {
+        for &seed in &SEEDS {
+            let cfg = Algorithm1Config {
+                k: 3,
+                r: 24,
+                sampler: SamplerKind::Z(ZSamplerParams::default()),
+                seed,
+                ..Default::default()
+            };
+            let parts = shares(s, 72, 10, 3, seed);
+            let tree = Topology::Tree { fanout: 2 };
+            let mut seq_star =
+                PartitionModel::with_substrate(parts.clone(), EntryFunction::Identity, |l| {
+                    Cluster::with_topology(l, Topology::Star)
+                })
+                .unwrap();
+            let mut seq_tree =
+                PartitionModel::with_substrate(parts.clone(), EntryFunction::Identity, |l| {
+                    Cluster::with_topology(l, tree)
+                })
+                .unwrap();
+            let mut thr_tree =
+                PartitionModel::with_substrate(parts, EntryFunction::Identity, |l| {
+                    ThreadedCluster::with_topology(l, tree)
+                })
+                .unwrap();
+
+            let star = run_algorithm1(&mut seq_star, &cfg).unwrap();
+            let a = run_algorithm1(&mut seq_tree, &cfg).unwrap();
+            let b = run_algorithm1(&mut thr_tree, &cfg).unwrap();
+
+            // Bit-identical outputs across topologies and substrates.
+            assert_eq!(
+                star.projection.basis().as_slice(),
+                a.projection.basis().as_slice(),
+                "star vs tree projection diverges at s = {s}, seed = {seed}"
+            );
+            assert_eq!(
+                a.projection.basis().as_slice(),
+                b.projection.basis().as_slice(),
+                "tree substrates' projections diverge at s = {s}, seed = {seed}"
+            );
+            assert_eq!(star.rows, a.rows, "s = {s}, seed = {seed}");
+            assert_eq!(a.rows, b.rows, "s = {s}, seed = {seed}");
+            assert_eq!(star.captured.to_bits(), a.captured.to_bits());
+            assert_eq!(a.captured.to_bits(), b.captured.to_bits());
+
+            // Exact ledger parity between the tree substrates — per-run
+            // delta and whole-ledger alike.
+            assert_eq!(
+                a.comm, b.comm,
+                "tree run ledgers diverge at s = {s}, seed = {seed}"
+            );
+            assert_eq!(
+                seq_tree.cluster().comm(),
+                thr_tree.cluster().comm(),
+                "tree total ledgers diverge at s = {s}, seed = {seed}"
+            );
+
+            // The tree never moves more data than the star; it only
+            // spreads the fan-in, so the coordinator's inbox shrinks.
+            let star_comm = seq_star.cluster().comm();
+            let tree_comm = seq_tree.cluster().comm();
+            assert_eq!(
+                star_comm.total_words(),
+                tree_comm.total_words(),
+                "tree must move exactly the star's words at s = {s}, seed = {seed}"
+            );
+            if s > 2 {
+                assert!(
+                    tree_comm.root_inbox_messages < star_comm.root_inbox_messages,
+                    "tree root inbox ({}) must shrink below star's ({}) at s = {s}",
+                    tree_comm.root_inbox_messages,
+                    star_comm.root_inbox_messages
+                );
+            }
         }
     }
 }

@@ -100,6 +100,7 @@ fn two_datasets_interleaved_match_single_runtime_runs_bit_for_bit() {
         substrate: config.substrate,
         plan_cache: config.plan_cache,
         metrics: config.metrics,
+        topology: config.topology,
     };
     let runtime_a = Runtime::new(parts_a, runtime_config(4)).unwrap();
     let runtime_b = Runtime::new(parts_b, runtime_config(4)).unwrap();
@@ -209,9 +210,16 @@ fn reload_and_evict_of_one_dataset_leave_the_other_live() {
         );
     }
 
-    // A answers from the new data (and re-prepares if planning).
+    // A answers from the new data (and re-prepares if planning). The
+    // reference model is built under the service's (possibly env-driven)
+    // topology so the ledger comparison holds when CI plumbs
+    // `DLRA_TOPOLOGY`.
     let reloaded_a = a.submit(&qa).wait().unwrap();
-    let mut direct = PartitionModel::new(parts_a2, EntryFunction::Identity).unwrap();
+    let topology = ServiceConfig::default().topology;
+    let mut direct = PartitionModel::with_substrate(parts_a2, EntryFunction::Identity, |l| {
+        dlra::comm::Cluster::with_topology(l, topology)
+    })
+    .unwrap();
     let want = run_algorithm1(&mut direct, &qa.request().cfg).unwrap();
     assert_eq!(
         reloaded_a.output.projection.basis().as_slice(),
@@ -338,6 +346,66 @@ fn deadline_expiry_resolves_without_running() {
         .submit(&uniform_query(2, 25, 557))
         .deadline(Duration::from_secs(120));
     assert!(alive.wait().is_ok());
+}
+
+/// A cancellation issued *after* execution has started interrupts the
+/// protocol between boosting repetitions — before this release the run
+/// always completed and the cancellation was reported as "too late".
+#[test]
+fn cancellation_interrupts_a_running_query() {
+    let service = Service::new(service_config(1));
+    let handle = service.load("d", shares(2, 512, 16, 4, 121)).unwrap();
+
+    // Heavily boosted uniform query: long-running, planner-bypassing, so
+    // the only place the stop signal can be observed is inside the
+    // boosting loop itself.
+    let long = Query::rank(3)
+        .samples(60)
+        .sampler(SamplerKind::Uniform)
+        .boosted(50_000)
+        .seed(9)
+        .build()
+        .unwrap();
+    let ticket = handle.submit(&long);
+    while !ticket.started() {
+        std::thread::yield_now();
+    }
+    ticket.cancel();
+    assert!(
+        matches!(ticket.wait(), Err(ServiceError::Cancelled)),
+        "a cancel observed mid-run must abandon the protocol"
+    );
+}
+
+/// A deadline that expires *while the protocol is running* interrupts it
+/// promptly with the typed error — enforcement is no longer confined to
+/// the pre-dispatch and prepare→execute checkpoints.
+#[test]
+fn deadline_interrupts_a_running_query() {
+    let service = Service::new(service_config(1));
+    let handle = service.load("d", shares(2, 512, 16, 4, 131)).unwrap();
+
+    let ticket = handle
+        .submit(
+            &Query::rank(3)
+                .samples(60)
+                .sampler(SamplerKind::Uniform)
+                .boosted(50_000)
+                .seed(10)
+                .build()
+                .unwrap(),
+        )
+        .deadline(Duration::from_millis(25));
+    // The executor pool is idle, so the query starts well before the
+    // deadline: passing the pre-dispatch checkpoint proves the expiry
+    // below was caught inside the run.
+    while !ticket.started() {
+        std::thread::yield_now();
+    }
+    assert!(
+        matches!(ticket.wait(), Err(ServiceError::Deadline)),
+        "a deadline expiring mid-run must abandon the protocol"
+    );
 }
 
 #[test]

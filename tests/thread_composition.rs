@@ -94,6 +94,7 @@ fn kernel_threads_never_exceed_the_configured_budget() {
         substrate: Substrate::Threaded,
         plan_cache: 0,
         metrics: true,
+        ..Default::default()
     });
     let dataset = service.load("budget", locals).unwrap();
     reset_parallelism_watermark();
