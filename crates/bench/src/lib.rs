@@ -6,6 +6,7 @@ pub mod cli;
 pub mod kernels;
 pub mod obs;
 pub mod planner;
+pub mod pressure;
 pub mod repro;
 pub mod topology;
 

@@ -260,8 +260,10 @@ pub struct DatasetMetrics {
     cancelled: AtomicU64,
     expired: AtomicU64,
     rejected: AtomicU64,
+    rejected_overload: AtomicU64,
     queue_depth: AtomicU64,
     in_flight: AtomicU64,
+    resident_bytes: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     latency: Histogram,
@@ -293,6 +295,20 @@ impl DatasetMetrics {
     /// eviction, shutdown).
     pub fn query_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query was shed by admission control (queue at capacity). Counts
+    /// in both `rejected` (the umbrella for every pre-run rejection) and
+    /// the dedicated `rejected_overload` counter.
+    pub fn query_rejected_overload(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the resident-payload gauge to the dataset's current byte size
+    /// (recomputed by the service at load/reload; 0 after eviction).
+    pub fn set_resident_bytes(&self, bytes: u64) {
+        self.resident_bytes.store(bytes, Ordering::Relaxed);
     }
 
     /// An executor started running a query.
@@ -365,8 +381,10 @@ impl DatasetMetrics {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
@@ -397,10 +415,15 @@ pub struct DatasetMetricsSnapshot {
     pub expired: u64,
     /// Queries rejected before running (validation / eviction / shutdown).
     pub rejected: u64,
+    /// Queries shed by admission control (queue at capacity); a subset of
+    /// `rejected`.
+    pub rejected_overload: u64,
     /// Queries currently waiting in the executor queue.
     pub queue_depth: u64,
     /// Queries currently executing.
     pub in_flight: u64,
+    /// Bytes of resident payload this dataset holds (0 after eviction).
+    pub resident_bytes: u64,
     /// Planned queries served from a cached preparation.
     pub plan_hits: u64,
     /// Planned queries that prepared (or waited on a preparation).
@@ -438,7 +461,7 @@ impl fmt::Display for DatasetMetricsSnapshot {
         write!(
             f,
             "{}: submitted={} completed={} failed={} cancelled={} expired={} rejected={} \
-             queue={} in_flight={} latency[{}] comm[{}]",
+             shed={} queue={} in_flight={} resident_bytes={} latency[{}] comm[{}]",
             self.name,
             self.submitted,
             self.completed,
@@ -446,8 +469,10 @@ impl fmt::Display for DatasetMetricsSnapshot {
             self.cancelled,
             self.expired,
             self.rejected,
+            self.rejected_overload,
             self.queue_depth,
             self.in_flight,
+            self.resident_bytes,
             self.latency,
             self.comm,
         )?;
@@ -502,6 +527,151 @@ impl fmt::Display for KernelPoolSnapshot {
     }
 }
 
+/// Live service-wide pressure state: the admission gauge that bounded
+/// admission decides on, byte accounting for resident datasets, and the
+/// overload/pressure-eviction counters. One per service, maintained even
+/// when the per-dataset registry is disabled (admission and quota
+/// decisions key off it), and deterministic in the sequence of operations
+/// applied to it — no clock is ever consulted.
+#[derive(Debug, Default)]
+pub struct ServicePressure {
+    admitted: AtomicU64,
+    rejected_overload: AtomicU64,
+    evicted_under_pressure: AtomicU64,
+    resident_bytes: AtomicU64,
+}
+
+impl ServicePressure {
+    /// A fresh pressure registry.
+    pub fn new() -> Self {
+        ServicePressure::default()
+    }
+
+    /// Admission check-and-increment: admits the query (incrementing the
+    /// admitted-in-system gauge) unless `limit` is set and the gauge is
+    /// already at it, in which case the shed is counted and the observed
+    /// depth returned as the error. The bound check and the increment are
+    /// one atomic RMW, so concurrent submitters can never overshoot the
+    /// limit.
+    pub fn try_admit(&self, limit: Option<u64>) -> Result<(), u64> {
+        match limit {
+            None => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Some(limit) => {
+                // Relaxed: the gauge is the only variable involved in the
+                // decision; no other memory is published on its strength.
+                let raced =
+                    self.admitted
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                            if depth < limit {
+                                Some(depth + 1)
+                            } else {
+                                None
+                            }
+                        });
+                match raced {
+                    Ok(_) => Ok(()),
+                    Err(depth) => {
+                        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                        Err(depth)
+                    }
+                }
+            }
+        }
+    }
+
+    /// An admitted query reached its terminal resolution (delivered,
+    /// cancelled, expired, or dropped with the queue): release its
+    /// admission slot.
+    pub fn release(&self) {
+        self.admitted.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Queries currently admitted and not yet resolved (queued + running).
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// A dataset became resident (or grew on reload) by `bytes`.
+    pub fn add_resident_bytes(&self, bytes: u64) {
+        self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A dataset left residency (or shrank on reload) by `bytes`.
+    pub fn sub_resident_bytes(&self, bytes: u64) {
+        self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Total bytes of resident dataset payload across every tenant.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// A dataset was evicted by the memory quota (not by an explicit
+    /// `evict` call).
+    pub fn record_pressure_eviction(&self) {
+        self.evicted_under_pressure.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy, with the service's configured limits attached
+    /// (the registry itself does not own them).
+    pub fn snapshot(
+        &self,
+        max_queue_depth: Option<u64>,
+        memory_budget: Option<u64>,
+    ) -> PressureSnapshot {
+        PressureSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            max_queue_depth,
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            memory_budget,
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            evicted_under_pressure: self.evicted_under_pressure.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`ServicePressure`], plus the configured limits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PressureSnapshot {
+    /// Queries admitted and not yet resolved (queued + running).
+    pub admitted: u64,
+    /// The admission bound `admitted` is held under, or `None` for the
+    /// legacy unbounded queue.
+    pub max_queue_depth: Option<u64>,
+    /// Total bytes of resident dataset payload across every tenant.
+    pub resident_bytes: u64,
+    /// The service-wide memory budget, or `None` when quotas are off.
+    pub memory_budget: Option<u64>,
+    /// Queries shed by admission control since the service started.
+    pub rejected_overload: u64,
+    /// Datasets evicted by the memory quota since the service started.
+    pub evicted_under_pressure: u64,
+}
+
+impl fmt::Display for PressureSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "admitted={}{} resident_bytes={}{} shed={} pressure_evictions={}",
+            self.admitted,
+            match self.max_queue_depth {
+                Some(limit) => format!("/{limit}"),
+                None => String::new(),
+            },
+            self.resident_bytes,
+            match self.memory_budget {
+                Some(budget) => format!("/{budget}"),
+                None => String::new(),
+            },
+            self.rejected_overload,
+            self.evicted_under_pressure
+        )
+    }
+}
+
 /// A service-wide metrics snapshot: per-dataset registries plus process
 /// facts, exportable as JSON ([`MetricsSnapshot::to_json`]), Prometheus
 /// text ([`MetricsSnapshot::to_prometheus`]), or a human summary
@@ -514,6 +684,8 @@ pub struct MetricsSnapshot {
     pub executors: usize,
     /// Kernel-pool facts at snapshot time.
     pub kernel: KernelPoolSnapshot,
+    /// Service-wide admission/quota pressure state.
+    pub pressure: PressureSnapshot,
     /// One entry per resident dataset, in residency order.
     pub datasets: Vec<DatasetMetricsSnapshot>,
 }
@@ -552,8 +724,12 @@ impl MetricsSnapshot {
     /// rolled — the workspace has no serde).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
+        let json_opt = |v: Option<u64>| match v {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
-            "{{\n  \"uptime_secs\": {:.6},\n  \"executors\": {},\n  \"kernel\": {{\"threads\": {}, \"watermark\": {}, \"parallel_sections\": {}, \"inline_sections\": {}, \"busy_nanos\": {}, \"wall_nanos\": {}, \"effective_parallelism\": {:.4}}},\n  \"latency_bucket_bounds_micros\": {:?},\n  \"datasets\": [",
+            "{{\n  \"uptime_secs\": {:.6},\n  \"executors\": {},\n  \"kernel\": {{\"threads\": {}, \"watermark\": {}, \"parallel_sections\": {}, \"inline_sections\": {}, \"busy_nanos\": {}, \"wall_nanos\": {}, \"effective_parallelism\": {:.4}}},\n  \"pressure\": {{\"admitted\": {}, \"max_queue_depth\": {}, \"resident_bytes\": {}, \"memory_budget\": {}, \"rejected_overload\": {}, \"evicted_under_pressure\": {}}},\n  \"latency_bucket_bounds_micros\": {:?},\n  \"datasets\": [",
             self.uptime_secs,
             self.executors,
             self.kernel.threads,
@@ -563,6 +739,12 @@ impl MetricsSnapshot {
             self.kernel.busy_nanos,
             self.kernel.wall_nanos,
             self.kernel.effective_parallelism(),
+            self.pressure.admitted,
+            json_opt(self.pressure.max_queue_depth),
+            self.pressure.resident_bytes,
+            json_opt(self.pressure.memory_budget),
+            self.pressure.rejected_overload,
+            self.pressure.evicted_under_pressure,
             LATENCY_BUCKET_BOUNDS_MICROS,
         ));
         for (i, d) in self.datasets.iter().enumerate() {
@@ -571,7 +753,7 @@ impl MetricsSnapshot {
             }
             out.push_str("\n    {");
             out.push_str(&format!(
-                "\"name\":\"{}\",\"qps\":{:.4},\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\"expired\":{},\"rejected\":{},\"queue_depth\":{},\"in_flight\":{},\"plan_hits\":{},\"plan_misses\":{},",
+                "\"name\":\"{}\",\"qps\":{:.4},\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\"expired\":{},\"rejected\":{},\"rejected_overload\":{},\"queue_depth\":{},\"in_flight\":{},\"resident_bytes\":{},\"plan_hits\":{},\"plan_misses\":{},",
                 d.name,
                 d.qps(self.uptime_secs),
                 d.submitted,
@@ -580,8 +762,10 @@ impl MetricsSnapshot {
                 d.cancelled,
                 d.expired,
                 d.rejected,
+                d.rejected_overload,
                 d.queue_depth,
                 d.in_flight,
+                d.resident_bytes,
                 d.plan_hits,
                 d.plan_misses,
             ));
@@ -626,13 +810,41 @@ impl MetricsSnapshot {
             "dlra_kernel_effective_parallelism {:.4}\n",
             self.kernel.effective_parallelism()
         ));
+        out.push_str("# HELP dlra_service_admitted Queries admitted and not yet resolved (queued + running).\n# TYPE dlra_service_admitted gauge\n");
+        out.push_str(&format!(
+            "dlra_service_admitted {}\n",
+            self.pressure.admitted
+        ));
+        out.push_str("# HELP dlra_service_resident_bytes Bytes of resident dataset payload across every tenant.\n# TYPE dlra_service_resident_bytes gauge\n");
+        out.push_str(&format!(
+            "dlra_service_resident_bytes {}\n",
+            self.pressure.resident_bytes
+        ));
+        out.push_str("# HELP dlra_service_rejected_overload_total Queries shed by admission control.\n# TYPE dlra_service_rejected_overload_total counter\n");
+        out.push_str(&format!(
+            "dlra_service_rejected_overload_total {}\n",
+            self.pressure.rejected_overload
+        ));
+        out.push_str("# HELP dlra_service_evicted_under_pressure_total Datasets evicted by the memory quota.\n# TYPE dlra_service_evicted_under_pressure_total counter\n");
+        out.push_str(&format!(
+            "dlra_service_evicted_under_pressure_total {}\n",
+            self.pressure.evicted_under_pressure
+        ));
+        if let Some(limit) = self.pressure.max_queue_depth {
+            out.push_str("# HELP dlra_service_max_queue_depth Configured admission bound.\n# TYPE dlra_service_max_queue_depth gauge\n");
+            out.push_str(&format!("dlra_service_max_queue_depth {limit}\n"));
+        }
+        if let Some(budget) = self.pressure.memory_budget {
+            out.push_str("# HELP dlra_service_memory_budget_bytes Configured service-wide resident-byte budget.\n# TYPE dlra_service_memory_budget_bytes gauge\n");
+            out.push_str(&format!("dlra_service_memory_budget_bytes {budget}\n"));
+        }
 
         type Row = (
             &'static str,
             &'static str,
             fn(&DatasetMetricsSnapshot) -> u64,
         );
-        let counters: [Row; 12] = [
+        let counters: [Row; 13] = [
             (
                 "dlra_queries_submitted_total",
                 "Queries accepted into the executor queue.",
@@ -662,6 +874,11 @@ impl MetricsSnapshot {
                 "dlra_queries_rejected_total",
                 "Queries rejected before running.",
                 |d| d.rejected,
+            ),
+            (
+                "dlra_queries_rejected_overload_total",
+                "Queries shed by admission control (subset of rejected).",
+                |d| d.rejected_overload,
             ),
             (
                 "dlra_plan_hits_total",
@@ -700,7 +917,7 @@ impl MetricsSnapshot {
                 out.push_str(&format!("{name}{{dataset=\"{}\"}} {}\n", d.name, get(d)));
             }
         }
-        let gauges: [Row; 2] = [
+        let gauges: [Row; 3] = [
             (
                 "dlra_queue_depth",
                 "Queries waiting in the executor queue.",
@@ -709,6 +926,11 @@ impl MetricsSnapshot {
             ("dlra_in_flight", "Queries currently executing.", |d| {
                 d.in_flight
             }),
+            (
+                "dlra_resident_bytes",
+                "Bytes of resident payload the dataset holds.",
+                |d| d.resident_bytes,
+            ),
         ];
         for (name, help, get) in gauges {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
@@ -772,8 +994,8 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "service: uptime={:.2}s executors={} kernel[{}]",
-            self.uptime_secs, self.executors, self.kernel
+            "service: uptime={:.2}s executors={} kernel[{}] pressure[{}]",
+            self.uptime_secs, self.executors, self.kernel, self.pressure
         )?;
         for d in &self.datasets {
             writeln!(f, "  {d} qps={:.2}", d.qps(self.uptime_secs))?;
@@ -888,6 +1110,46 @@ mod tests {
         assert_eq!(s.latency.count, 1);
     }
 
+    #[test]
+    fn pressure_admission_is_bounded_and_exact() {
+        let p = ServicePressure::new();
+        // Unbounded: every admit succeeds and the gauge tracks.
+        assert!(p.try_admit(None).is_ok());
+        assert_eq!(p.admitted(), 1);
+        p.release();
+        assert_eq!(p.admitted(), 0);
+
+        // Bounded: the limit is a hard ceiling, and the observed depth
+        // comes back with the rejection.
+        assert!(p.try_admit(Some(2)).is_ok());
+        assert!(p.try_admit(Some(2)).is_ok());
+        assert_eq!(p.try_admit(Some(2)), Err(2));
+        assert_eq!(p.try_admit(Some(2)), Err(2));
+        let snap = p.snapshot(Some(2), None);
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.rejected_overload, 2);
+        // Releasing a slot re-opens admission.
+        p.release();
+        assert!(p.try_admit(Some(2)).is_ok());
+
+        // Byte accounting round-trips to zero.
+        p.add_resident_bytes(100);
+        p.add_resident_bytes(50);
+        p.sub_resident_bytes(150);
+        assert_eq!(p.resident_bytes(), 0);
+        assert!(format!("{}", p.snapshot(Some(2), Some(10))).contains("admitted=2/2"));
+    }
+
+    #[test]
+    fn overload_rejections_count_in_both_counters() {
+        let m = DatasetMetrics::new();
+        m.query_rejected();
+        m.query_rejected_overload();
+        let s = m.snapshot();
+        assert_eq!(s.rejected, 2, "overload shed is a rejection too");
+        assert_eq!(s.rejected_overload, 1);
+    }
+
     fn sample_snapshot() -> MetricsSnapshot {
         let m = DatasetMetrics::new();
         m.query_submitted();
@@ -903,6 +1165,8 @@ mod tests {
                 root_inbox_messages: 3,
             },
         );
+        m.query_rejected_overload();
+        m.set_resident_bytes(4096);
         let mut d = m.snapshot();
         d.name = "tenant-a".into();
         d.plan_cache = Some(PlanCacheSnapshot {
@@ -911,6 +1175,10 @@ mod tests {
             evictions: 0,
             invalidations: 0,
         });
+        let pressure = ServicePressure::new();
+        pressure.try_admit(Some(4)).unwrap();
+        pressure.add_resident_bytes(4096);
+        pressure.record_pressure_eviction();
         MetricsSnapshot {
             uptime_secs: 2.0,
             executors: 2,
@@ -922,6 +1190,7 @@ mod tests {
                 busy_nanos: 900,
                 wall_nanos: 300,
             },
+            pressure: pressure.snapshot(Some(4), Some(1 << 20)),
             datasets: vec![d],
         }
     }
@@ -943,6 +1212,9 @@ mod tests {
             "\"plan_cache\"",
             "\"hit_ratio\":0.7500",
             "\"latency_bucket_bounds_micros\"",
+            "\"rejected_overload\":1",
+            "\"resident_bytes\":4096",
+            "\"pressure\": {\"admitted\": 1, \"max_queue_depth\": 4, \"resident_bytes\": 4096, \"memory_budget\": 1048576, \"rejected_overload\": 0, \"evicted_under_pressure\": 1}",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -964,6 +1236,14 @@ mod tests {
             "dlra_query_latency_micros_count{dataset=\"tenant-a\"} 1",
             "dlra_plan_cache_hit_ratio{dataset=\"tenant-a\"} 0.7500",
             "dlra_kernel_parallelism_watermark 4",
+            "dlra_queries_rejected_overload_total{dataset=\"tenant-a\"} 1",
+            "dlra_resident_bytes{dataset=\"tenant-a\"} 4096",
+            "dlra_service_admitted 1",
+            "dlra_service_resident_bytes 4096",
+            "dlra_service_rejected_overload_total 0",
+            "dlra_service_evicted_under_pressure_total 1",
+            "dlra_service_max_queue_depth 4",
+            "dlra_service_memory_budget_bytes 1048576",
         ] {
             assert!(prom.contains(needle), "missing {needle} in {prom}");
         }

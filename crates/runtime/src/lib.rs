@@ -21,7 +21,14 @@
 //!   [`Ticket::cancel`] (drop-before-execute), [`Ticket::deadline`]
 //!   (expired queries resolve to [`ServiceError::Deadline`] without
 //!   running), and [`Ticket::wait_timeout`]. Failures are unified in the
-//!   [`ServiceError`] taxonomy. Executors budget kernel threads at
+//!   [`ServiceError`] taxonomy ([`ServiceError::is_retryable`] /
+//!   [`ServiceError::is_caller_error`] classify it for backoff loops).
+//!   The service self-regulates under pressure: a configurable admission
+//!   bound sheds over-limit submissions with a typed
+//!   [`ServiceError::Overloaded`] in O(µs), and a resident-byte budget
+//!   LRU-evicts idle tenants (never one with queries in flight) — see
+//!   [`ServiceConfig::max_queue_depth`], [`ServiceConfig::memory_budget`],
+//!   and [`Service::pressure`]. Executors budget kernel threads at
 //!   `max(1, total/executors)` so coordinator-side SVDs never
 //!   oversubscribe at high executor counts.
 //! * [`Runtime`] — the single-dataset API, now a thin shim over a

@@ -93,6 +93,17 @@ pub struct RuntimeConfig {
     /// every topology — only the message routing (and therefore the
     /// coordinator's inbox pressure) changes.
     pub topology: Topology,
+    /// Admission bound on in-system queries; see
+    /// [`ServiceConfig::max_queue_depth`]. `None` (the default, unless
+    /// `DLRA_MAX_QUEUE` is set) keeps the legacy unbounded queue; a shed
+    /// submission resolves to [`CoreError::RuntimeUnavailable`] through the
+    /// runtime's error surface.
+    pub max_queue_depth: Option<usize>,
+    /// Resident-byte budget; see [`ServiceConfig::memory_budget`]. Mostly
+    /// moot for a single-dataset runtime (the lone dataset is protected at
+    /// load and pinned by traffic), but kept so `Runtime` and `Service`
+    /// accept the same configuration.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for RuntimeConfig {
@@ -103,6 +114,8 @@ impl Default for RuntimeConfig {
             plan_cache,
             metrics,
             topology,
+            max_queue_depth,
+            memory_budget,
         } = ServiceConfig::default();
         RuntimeConfig {
             executors,
@@ -110,6 +123,8 @@ impl Default for RuntimeConfig {
             plan_cache,
             metrics,
             topology,
+            max_queue_depth,
+            memory_budget,
         }
     }
 }
@@ -122,6 +137,8 @@ impl From<RuntimeConfig> for ServiceConfig {
             plan_cache: config.plan_cache,
             metrics: config.metrics,
             topology: config.topology,
+            max_queue_depth: config.max_queue_depth,
+            memory_budget: config.memory_budget,
         }
     }
 }
@@ -343,6 +360,8 @@ mod tests {
             plan_cache,
             metrics: true,
             topology: Topology::Star,
+            max_queue_depth: None,
+            memory_budget: None,
         }
     }
 

@@ -28,8 +28,34 @@
 //! Failures are unified into the [`ServiceError`] taxonomy: an invalid
 //! query ([`ServiceError::InvalidQuery`]) is distinct from an evicted
 //! dataset ([`ServiceError::DatasetEvicted`]), an expired deadline
-//! ([`ServiceError::Deadline`]), and a dead executor pool
-//! ([`ServiceError::RuntimeUnavailable`]).
+//! ([`ServiceError::Deadline`]), a shed submission
+//! ([`ServiceError::Overloaded`]), and a dead executor pool
+//! ([`ServiceError::RuntimeUnavailable`]). [`ServiceError::is_retryable`]
+//! and [`ServiceError::is_caller_error`] classify the variants for
+//! retry/backoff loops.
+//!
+//! ## Self-regulation under pressure
+//!
+//! The service protects itself from overload with two mechanisms, both
+//! off by default (the legacy unbounded behavior):
+//!
+//! * **Bounded admission** — [`ServiceConfig::max_queue_depth`] caps the
+//!   number of admitted-but-unresolved queries (queued + executing) across
+//!   all tenants. A submission over the cap resolves immediately to
+//!   [`ServiceError::Overloaded`] in O(µs), without touching an executor;
+//!   [`Ticket::shed`] reports it without consuming the result.
+//! * **Memory quotas** — [`ServiceConfig::memory_budget`] bounds the total
+//!   bytes of resident payload. `load`/`reload` that push the total over
+//!   the budget evict the least-recently-dispatched *unpinned* dataset
+//!   (LRU over a logical tick, never a clock) until the budget holds;
+//!   datasets with queries admitted or executing are pinned and never
+//!   evicted mid-query. Quota-evicted handles resolve to
+//!   [`ServiceError::DatasetEvicted`], exactly like an explicit evict.
+//!
+//! Both decisions are deterministic given the operation interleaving:
+//! admission reads one atomic gauge, the LRU victim is the minimum of a
+//! strictly monotonic logical tick. [`Service::pressure`] exposes the
+//! live state (always, even with metrics off).
 //!
 //! ## Executor-layer kernel budgeting
 //!
@@ -60,7 +86,10 @@ use dlra_core::algorithm1::{
 use dlra_core::model::PartitionModel;
 use dlra_core::{CoreError, InterruptReason};
 use dlra_linalg::Matrix;
-use dlra_obs::metrics::{DatasetMetrics, KernelPoolSnapshot, MetricsSnapshot, PlanCacheSnapshot};
+use dlra_obs::metrics::{
+    DatasetMetrics, KernelPoolSnapshot, MetricsSnapshot, PlanCacheSnapshot, PressureSnapshot,
+    ServicePressure,
+};
 use dlra_obs::trace;
 use dlra_util::sync::{MutexExt, RwLockExt};
 use std::collections::HashMap;
@@ -112,6 +141,26 @@ pub(crate) fn default_topology() -> Topology {
     }
 }
 
+/// Parses `DLRA_MAX_QUEUE` (a positive integer) into the default admission
+/// bound. Like every other knob, the env read happens here in the runtime
+/// configuration layer only — which is how CI forces shedding onto the
+/// whole service suite without touching any test.
+pub(crate) fn default_max_queue() -> Option<usize> {
+    std::env::var("DLRA_MAX_QUEUE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Parses `DLRA_MEMORY_BUDGET` (bytes, a positive integer) into the
+/// default service-wide resident-byte budget.
+pub(crate) fn default_memory_budget() -> Option<u64> {
+    std::env::var("DLRA_MEMORY_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+}
+
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -137,6 +186,24 @@ pub struct ServiceConfig {
     /// `DLRA_TOPOLOGY` environment variable (`star` | `tree` |
     /// `tree:<fanout>`), falling back to [`Topology::Star`].
     pub topology: Topology,
+    /// Admission bound: the maximum number of queries admitted and not yet
+    /// resolved (queued + executing) across every dataset. A submission
+    /// over the bound is shed — its ticket resolves immediately to
+    /// [`ServiceError::Overloaded`] without reaching an executor. `None`
+    /// (the default) keeps the legacy unbounded queue. Defaults to the
+    /// `DLRA_MAX_QUEUE` environment variable, which is how CI forces
+    /// shedding onto the service suites.
+    pub max_queue_depth: Option<usize>,
+    /// Service-wide budget (bytes) for resident dataset payloads. When a
+    /// `load`/`reload` pushes the total over the budget, the
+    /// least-recently-dispatched dataset with no admitted queries is
+    /// quota-evicted (its stale handles resolve to
+    /// [`ServiceError::DatasetEvicted`]) until the budget holds — or until
+    /// only pinned datasets remain, in which case the service stays over
+    /// budget rather than evict under a live query. `None` (the default)
+    /// disables quotas. Defaults to the `DLRA_MEMORY_BUDGET` environment
+    /// variable.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -147,6 +214,8 @@ impl Default for ServiceConfig {
             plan_cache: default_plan_cache(),
             metrics: true,
             topology: default_topology(),
+            max_queue_depth: default_max_queue(),
+            memory_budget: default_memory_budget(),
         }
     }
 }
@@ -237,12 +306,59 @@ pub enum ServiceError {
     Deadline,
     /// The ticket was cancelled before the query executed.
     Cancelled,
+    /// Admission control shed the query: the service already has
+    /// `queue_depth` queries admitted against a bound of `limit`. The shed
+    /// is decided at submission in O(µs) — the query never touches an
+    /// executor — so retrying after a backoff is cheap and safe.
+    Overloaded {
+        /// Admitted-but-unresolved queries observed at the shed decision.
+        queue_depth: u64,
+        /// The configured admission bound ([`ServiceConfig::max_queue_depth`]).
+        limit: u64,
+    },
     /// The executor pool is gone (shut down or every executor died). The
     /// query itself may be fine and can be retried against a live service.
     RuntimeUnavailable(String),
     /// The protocol failed mid-execution (sampler exhausted, numerical
     /// failure).
     Execution(CoreError),
+}
+
+impl ServiceError {
+    /// Whether resubmitting the same query, unchanged, can reasonably
+    /// succeed later: the service was too busy ([`ServiceError::Overloaded`]
+    /// — back off and retry), the pool is gone
+    /// ([`ServiceError::RuntimeUnavailable`] — retry against a live
+    /// service), or time ran out ([`ServiceError::Deadline`] — retry with a
+    /// looser deadline). Disjoint from [`ServiceError::is_caller_error`];
+    /// [`ServiceError::Execution`] is neither (a mid-protocol failure may
+    /// or may not be data-dependent — callers must look at the inner
+    /// error).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Overloaded { .. }
+                | ServiceError::RuntimeUnavailable(_)
+                | ServiceError::Deadline
+        )
+    }
+
+    /// Whether the failure is the caller's to fix — a malformed query, a
+    /// wrong dataset name, a handle outliving its data, or the caller's
+    /// own cancellation. Retrying without changing the request (or the
+    /// addressed dataset) cannot succeed. Disjoint from
+    /// [`ServiceError::is_retryable`].
+    pub fn is_caller_error(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::InvalidQuery(_)
+                | ServiceError::DatasetEvicted { .. }
+                | ServiceError::UnknownDataset(_)
+                | ServiceError::DatasetExists(_)
+                | ServiceError::InvalidDataset(_)
+                | ServiceError::Cancelled
+        )
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -261,6 +377,10 @@ impl std::fmt::Display for ServiceError {
             ServiceError::InvalidDataset(m) => write!(f, "invalid dataset: {m}"),
             ServiceError::Deadline => write!(f, "deadline expired before the query executed"),
             ServiceError::Cancelled => write!(f, "query cancelled before execution"),
+            ServiceError::Overloaded { queue_depth, limit } => write!(
+                f,
+                "service overloaded: {queue_depth} queries admitted against a bound of {limit}"
+            ),
             ServiceError::RuntimeUnavailable(m) => write!(f, "runtime unavailable: {m}"),
             ServiceError::Execution(e) => write!(f, "execution failed: {e}"),
         }
@@ -321,6 +441,18 @@ struct Dataset {
     /// (`ServiceConfig::metrics`). Private per dataset, like the planner.
     metrics: Option<Arc<DatasetMetrics>>,
     evicted: AtomicBool,
+    /// Bytes of resident payload (Σ rows·cols·8 over servers); updated
+    /// under the resident write lock at load/reload, read by the quota
+    /// sweep.
+    bytes: AtomicU64,
+    /// Logical LRU tick of the last admission (or load/reload) touching
+    /// this dataset — from the service's monotonic mint, never a clock, so
+    /// quota-eviction victims are deterministic given the interleaving.
+    last_used: AtomicU64,
+    /// Queries admitted against this dataset and not yet resolved. A
+    /// dataset with `pending > 0` is pinned: the quota sweep never evicts
+    /// it, so plans being prepared and payloads being queried stay live.
+    pending: AtomicU64,
 }
 
 /// Lifecycle of a submitted query, kept in **one** atomic word so that
@@ -353,6 +485,9 @@ struct TicketShared {
     /// prepare→execute checkpoint honors it best-effort after execution
     /// has started.
     cancel_requested: AtomicBool,
+    /// Set (before resolution) when admission control shed this query, so
+    /// callers can detect shedding without consuming the one-shot result.
+    shed: AtomicBool,
     submitted: Instant,
     // dlra-lock-order: ticket.deadline
     deadline: Mutex<Option<Instant>>,
@@ -366,6 +501,7 @@ impl TicketShared {
         TicketShared {
             state: AtomicU8::new(ticket_state::PENDING),
             cancel_requested: AtomicBool::new(false),
+            shed: AtomicBool::new(false),
             submitted,
             deadline: Mutex::new(deadline.and_then(|d| submitted.checked_add(d))),
             query_id: NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed),
@@ -388,12 +524,6 @@ impl TicketShared {
                 Ordering::Acquire,
             )
             .map(|_| ())
-    }
-
-    /// Marks a ticket resolved at submission time (no executor will claim
-    /// it), so a later `cancel` truthfully reports it was too late.
-    fn resolve_eagerly(&self) {
-        let _ = self.claim(ticket_state::RESOLVED);
     }
 
     fn deadline_expired(&self) -> bool {
@@ -436,6 +566,18 @@ impl Ticket {
         // Pure single-variable predicate: no data is read on the strength
         // of the answer, so the CAS's own coherence order is enough.
         self.shared.state.load(Ordering::Relaxed) == ticket_state::STARTED
+    }
+
+    /// Whether admission control shed this query — `true` exactly when the
+    /// ticket resolved to [`ServiceError::Overloaded`] at submission. Does
+    /// not consume the result (unlike [`Ticket::try_wait`]), so retry
+    /// loops can test it, back off, and resubmit without touching the
+    /// channel.
+    pub fn shed(&self) -> bool {
+        // The flag is written before the ticket is handed back from
+        // submit, on the same thread; Relaxed is enough for every later
+        // read.
+        self.shared.shed.load(Ordering::Relaxed)
     }
 
     /// Sets (or tightens — a later, looser deadline never relaxes an
@@ -508,26 +650,77 @@ impl Ticket {
 
     /// A ticket already resolved to `result` (submission-time failures).
     /// The state moves to `RESOLVED`, so a later `cancel` truthfully
-    /// reports it was too late to change the outcome.
+    /// reports it was too late to change the outcome. If a cancel already
+    /// claimed the ticket, the cancel's drop-before-execute guarantee wins
+    /// and the ticket resolves to [`ServiceError::Cancelled`] instead —
+    /// `cancel() == true` always implies exactly that one terminal state.
     fn resolved(shared: Arc<TicketShared>, result: Result<QueryOutcome, ServiceError>) -> Ticket {
-        shared.resolve_eagerly();
+        let result = match shared.claim(ticket_state::RESOLVED) {
+            Ok(()) => result,
+            Err(won) if won == ticket_state::CANCELLED => Err(ServiceError::Cancelled),
+            Err(_) => result,
+        };
         let (reply, rx) = mpsc::channel();
         let _ = reply.send(result);
         Ticket { rx, shared }
     }
 }
 
+/// Resolves a ticket from outside the executor path (queue send failure,
+/// post-shutdown submission), honoring a cancel that already claimed it:
+/// `cancel() == true` must imply the ticket resolves to
+/// [`ServiceError::Cancelled`] — a caller that timed out in
+/// [`Ticket::wait_timeout`] and then cancelled must observe exactly one
+/// terminal state, even when it races a collapsing pool.
+fn deliver_terminal(
+    ticket: &TicketShared,
+    reply: &Sender<Result<QueryOutcome, ServiceError>>,
+    err: ServiceError,
+) {
+    let result = match ticket.claim(ticket_state::RESOLVED) {
+        Ok(()) => Err(err),
+        Err(won) if won == ticket_state::CANCELLED => Err(ServiceError::Cancelled),
+        Err(_) => Err(err),
+    };
+    let _ = reply.send(result);
+}
+
 enum Task {
     Query {
         dataset: Arc<Dataset>,
-        request: QueryRequest,
+        /// Boxed so a queued task stays small next to the dataless
+        /// test-only `Poison` variant.
+        request: Box<QueryRequest>,
         ticket: Arc<TicketShared>,
         reply: Sender<Result<QueryOutcome, ServiceError>>,
+        /// Held while the query is in the system (queued or executing);
+        /// dropping it releases the admission gauge and unpins the dataset.
+        admission: AdmissionGuard,
     },
     /// Test-only: makes the executor that pops it panic, so tests can kill
     /// the pool and exercise the dead-runtime failure paths.
     #[cfg(test)]
     Poison,
+}
+
+/// RAII token of one admitted query: constructed at admission (after
+/// `ServicePressure::try_admit` succeeded and the dataset's `pending` pin
+/// was taken), dropped at terminal resolution. Because it rides inside
+/// [`Task::Query`], a task dropped without executing — a collapsing pool
+/// tearing down its queue — still balances the gauge and the pin.
+struct AdmissionGuard {
+    shared: Arc<Shared>,
+    dataset: Arc<Dataset>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        // Both are freestanding counters consumed by single-variable
+        // predicates (the quota sweep's pin check, the admission bound);
+        // RMW atomicity alone keeps them exact, so Relaxed suffices.
+        self.dataset.pending.fetch_sub(1, Ordering::Relaxed);
+        self.shared.pressure.release();
+    }
 }
 
 /// State shared between the [`Service`], its executors, and every
@@ -543,6 +736,21 @@ struct Shared {
     plan_cache: usize,
     /// Whether per-dataset metrics registries are maintained.
     metrics: bool,
+    /// Live pressure state: the admission gauge, resident-byte total, and
+    /// shed/quota-eviction counters. Always maintained (even with the
+    /// metrics registry off) — admission control and the quota sweep read
+    /// it to make decisions, not just to report.
+    pressure: ServicePressure,
+    /// Monotonic logical LRU clock: bumped at every admission and
+    /// load/reload, never read from wall time, so ticks are unique and the
+    /// quota sweep's minimum is a deterministic victim for a given
+    /// operation interleaving.
+    lru_tick: AtomicU64,
+    /// Admission bound ([`ServiceConfig::max_queue_depth`]), widened for
+    /// the gauge.
+    max_queue_depth: Option<u64>,
+    /// Resident-byte budget ([`ServiceConfig::memory_budget`]).
+    memory_budget: Option<u64>,
 }
 
 /// A multi-dataset serving front door: named copy-on-write resident
@@ -589,6 +797,10 @@ impl Service {
             next_dataset_id: AtomicU64::new(0),
             plan_cache: config.plan_cache,
             metrics: config.metrics,
+            pressure: ServicePressure::new(),
+            lru_tick: AtomicU64::new(0),
+            max_queue_depth: config.max_queue_depth.map(|n| n as u64),
+            memory_budget: config.memory_budget,
         });
         if config.metrics {
             // Process-global (the kernel pool is process-global too): a
@@ -634,10 +846,15 @@ impl Service {
     /// (use [`Service::reload`] to swap data under a live name).
     pub fn load(&self, name: &str, locals: Vec<Matrix>) -> Result<DatasetHandle, ServiceError> {
         let shape = validate_locals(&locals)?;
+        let bytes = locals_bytes(&locals);
         let mut datasets = self.shared.datasets.write_recover();
         if datasets.contains_key(name) {
             return Err(ServiceError::DatasetExists(name.to_string()));
         }
+        // Fresh tick: a just-loaded dataset is the most recently used, so a
+        // budget sweep triggered by this very load prefers older tenants.
+        // Tick mint: uniqueness + monotonicity come from RMW atomicity.
+        let tick = self.shared.lru_tick.fetch_add(1, Ordering::Relaxed) + 1;
         let dataset = Arc::new(Dataset {
             // Id mint: uniqueness is all that matters, and RMW atomicity
             // alone provides it.
@@ -652,8 +869,19 @@ impl Service {
                 .then(|| Arc::new(PlanCache::new(self.shared.plan_cache))),
             metrics: self.shared.metrics.then(|| Arc::new(DatasetMetrics::new())),
             evicted: AtomicBool::new(false),
+            bytes: AtomicU64::new(bytes),
+            last_used: AtomicU64::new(tick),
+            pending: AtomicU64::new(0),
         });
+        if let Some(m) = dataset.metrics.as_deref() {
+            m.set_resident_bytes(bytes);
+        }
+        self.shared.pressure.add_resident_bytes(bytes);
         datasets.insert(name.to_string(), Arc::clone(&dataset));
+        // The newcomer is protected: a load larger than the whole budget
+        // keeps the requested data resident (over budget) rather than
+        // evict what the caller just asked for.
+        enforce_budget(&self.shared, &mut datasets, Some(dataset.id));
         Ok(DatasetHandle {
             shared: Arc::clone(&self.shared),
             dataset,
@@ -668,10 +896,13 @@ impl Service {
     /// dataset's plans stay live.
     pub fn reload(&self, name: &str, locals: Vec<Matrix>) -> Result<(), ServiceError> {
         let shape = validate_locals(&locals)?;
-        let dataset = self
-            .shared
-            .datasets
-            .read_recover()
+        let new_bytes = locals_bytes(&locals);
+        // Write lock (was read): the byte-accounting swap and the budget
+        // sweep below must be atomic with respect to concurrent
+        // load/reload/evict, or two reloads could both pick the same
+        // victim's bytes to reclaim.
+        let mut datasets = self.shared.datasets.write_recover();
+        let dataset = datasets
             .get(name)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))?;
@@ -685,6 +916,18 @@ impl Service {
         if let Some(planner) = &dataset.planner {
             planner.retain_epoch(epoch);
         }
+        // Byte accounting: `swap` claims the old payload's bytes exactly
+        // once, so a racing evict can never double-subtract.
+        let old_bytes = dataset.bytes.swap(new_bytes, Ordering::Relaxed);
+        if let Some(m) = dataset.metrics.as_deref() {
+            m.set_resident_bytes(new_bytes);
+        }
+        self.shared.pressure.sub_resident_bytes(old_bytes);
+        self.shared.pressure.add_resident_bytes(new_bytes);
+        // Tick mint: uniqueness + monotonicity come from RMW atomicity.
+        let tick = self.shared.lru_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        dataset.last_used.store(tick, Ordering::Relaxed);
+        enforce_budget(&self.shared, &mut datasets, Some(dataset.id));
         Ok(())
     }
 
@@ -708,6 +951,13 @@ impl Service {
             // No key can ever carry this epoch (epochs count up from 0), so
             // this drops every settled plan of the evicted dataset.
             planner.retain_epoch(u64::MAX);
+        }
+        // `swap` claims the payload's bytes exactly once (a racing reload
+        // claimed them first if it got there before us).
+        let bytes = dataset.bytes.swap(0, Ordering::Relaxed);
+        self.shared.pressure.sub_resident_bytes(bytes);
+        if let Some(m) = dataset.metrics.as_deref() {
+            m.set_resident_bytes(0);
         }
         Ok(())
     }
@@ -747,6 +997,16 @@ impl Service {
     /// Number of executor threads.
     pub fn executors(&self) -> usize {
         self.executors.len()
+    }
+
+    /// Live pressure state: admitted-but-unresolved queries, resident
+    /// payload bytes, shed and quota-eviction totals, plus the configured
+    /// bounds. Always available — even with the metrics registry disabled,
+    /// admission control and quota accounting run unconditionally.
+    pub fn pressure(&self) -> PressureSnapshot {
+        self.shared
+            .pressure
+            .snapshot(self.shared.max_queue_depth, self.shared.memory_budget)
     }
 
     /// A point-in-time metrics snapshot — one entry per resident dataset
@@ -802,6 +1062,7 @@ impl Service {
                 busy_nanos: profile.busy_nanos,
                 wall_nanos: profile.wall_nanos,
             },
+            pressure: self.pressure(),
             datasets,
         })
     }
@@ -906,6 +1167,37 @@ impl DatasetHandle {
                 }),
             );
         }
+        // Admission decision: one atomic bound-check-and-increment, no
+        // locks, no clocks — a shed submission resolves here in O(µs)
+        // without reaching the queue.
+        if let Err(queue_depth) = self.shared.pressure.try_admit(self.shared.max_queue_depth) {
+            // Written before the ticket is handed back, on this thread;
+            // Relaxed is enough for every later `Ticket::shed` read.
+            shared.shed.store(true, Ordering::Relaxed);
+            if let Some(m) = self.dataset.metrics.as_deref() {
+                m.query_rejected_overload();
+            }
+            trace::instant(
+                "query",
+                "query.shed",
+                &[("qid", shared.query_id), ("dataset", self.dataset.id)],
+            );
+            // `try_admit` only fails when a bound is configured.
+            let limit = self.shared.max_queue_depth.unwrap_or(0);
+            return Ticket::resolved(shared, Err(ServiceError::Overloaded { queue_depth, limit }));
+        }
+        // Admitted: pin the dataset against quota eviction and mark it
+        // most-recently-used before the guard exists, so the guard's drop
+        // is the sole release path from here on.
+        // Pin + tick are freestanding counters read by single-variable
+        // predicates; Relaxed suffices.
+        self.dataset.pending.fetch_add(1, Ordering::Relaxed);
+        let tick = self.shared.lru_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        self.dataset.last_used.store(tick, Ordering::Relaxed);
+        let admission = AdmissionGuard {
+            shared: Arc::clone(&self.shared),
+            dataset: Arc::clone(&self.dataset),
+        };
         let (reply, rx) = mpsc::channel();
         let ticket = Ticket {
             rx,
@@ -915,9 +1207,10 @@ impl DatasetHandle {
             Some(queue) => {
                 let task = Task::Query {
                     dataset: Arc::clone(&self.dataset),
-                    request,
+                    request: Box::new(request),
                     ticket: shared,
                     reply,
+                    admission,
                 };
                 match queue.send(task) {
                     Ok(()) => {
@@ -940,12 +1233,19 @@ impl DatasetHandle {
                     Err(mpsc::SendError(task)) => {
                         // Every executor has exited (the pop side of the
                         // queue is gone): deliver the failure through the
-                        // ticket.
+                        // ticket, honoring a cancel that already claimed
+                        // it, and release the admission the query never
+                        // got to use.
                         match task {
-                            Task::Query { reply, ticket, .. } => {
+                            Task::Query {
+                                reply,
+                                ticket,
+                                admission,
+                                ..
+                            } => {
                                 self.reject(&ticket);
-                                ticket.resolve_eagerly();
-                                let _ = reply.send(Err(runtime_unavailable()));
+                                deliver_terminal(&ticket, &reply, runtime_unavailable());
+                                drop(admission);
                             }
                             #[cfg(test)]
                             Task::Poison => unreachable!("dispatch only sends queries"),
@@ -953,11 +1253,12 @@ impl DatasetHandle {
                     }
                 }
             }
-            // Shut down: the ticket must still resolve.
+            // Shut down: the ticket must still resolve, and the admission
+            // must be released (the query never entered the system).
             None => {
                 self.reject(&ticket.shared);
-                ticket.shared.resolve_eagerly();
-                let _ = reply.send(Err(runtime_unavailable()));
+                deliver_terminal(&ticket.shared, &reply, runtime_unavailable());
+                drop(admission);
             }
         }
         ticket
@@ -1009,6 +1310,77 @@ impl DatasetHandle {
     }
 }
 
+/// Bytes of payload a `locals` vector keeps resident: Σ rows·cols·8 over
+/// servers. Matrices are Arc-backed `f64` storage, so this is the cost of
+/// what the service keeps alive — copy-on-write query dispatch never
+/// multiplies it.
+fn locals_bytes(locals: &[Matrix]) -> u64 {
+    locals
+        .iter()
+        .map(|m| {
+            let (n, d) = m.shape();
+            (n as u64) * (d as u64) * 8
+        })
+        .sum()
+}
+
+/// The quota sweep: while the resident total exceeds the budget, evict the
+/// least-recently-dispatched dataset that is neither pinned (admitted
+/// queries in flight — their plans and payloads must stay live) nor
+/// `protect` (the dataset whose load/reload triggered the sweep). Runs
+/// under the `datasets` write lock, so sweeps serialize and the victim —
+/// the minimum over unique monotonic ticks — is deterministic for a given
+/// operation interleaving. Best-effort: when every candidate is pinned or
+/// protected the service stays over budget rather than evict under a live
+/// query.
+fn enforce_budget(
+    shared: &Shared,
+    datasets: &mut HashMap<String, Arc<Dataset>>,
+    protect: Option<u64>,
+) {
+    let Some(budget) = shared.memory_budget else {
+        return;
+    };
+    while shared.pressure.resident_bytes() > budget {
+        let victim = datasets
+            .values()
+            .filter(|d| Some(d.id) != protect)
+            // Pin check: `pending` is incremented at admission, before the
+            // task enters the queue, and held until terminal resolution.
+            // Single-variable predicate; Relaxed suffices.
+            .filter(|d| d.pending.load(Ordering::Relaxed) == 0)
+            // Ticks are unique (one mint), so min_by_key has no ties and
+            // the choice never depends on HashMap iteration order.
+            .min_by_key(|d| d.last_used.load(Ordering::Relaxed))
+            .map(|d| d.name.clone());
+        let Some(name) = victim else {
+            break;
+        };
+        let Some(dataset) = datasets.remove(&name) else {
+            break;
+        };
+        // Release pairs with the Acquire loads in dispatch/execute — the
+        // same contract as `Service::evict`.
+        dataset.evicted.store(true, Ordering::Release);
+        if let Some(planner) = &dataset.planner {
+            // No key can ever carry this epoch, so every settled plan of
+            // the victim drops; a preparation still in flight delivers to
+            // its waiters but is never re-cached (the executor's
+            // post-execution sweep re-runs retain against the evicted
+            // flag).
+            planner.retain_epoch(u64::MAX);
+        }
+        // `swap` claims the bytes exactly once against racing evictors.
+        let bytes = dataset.bytes.swap(0, Ordering::Relaxed);
+        shared.pressure.sub_resident_bytes(bytes);
+        shared.pressure.record_pressure_eviction();
+        if let Some(m) = dataset.metrics.as_deref() {
+            m.set_resident_bytes(0);
+        }
+        trace::instant("service", "dataset.quota_evict", &[("dataset", dataset.id)]);
+    }
+}
+
 fn validate_locals(locals: &[Matrix]) -> Result<(usize, usize), ServiceError> {
     if locals.is_empty() {
         return Err(ServiceError::InvalidDataset("no servers".into()));
@@ -1043,8 +1415,14 @@ fn executor_loop(
                 request,
                 ticket,
                 reply,
+                admission,
             }) => {
                 let result = run_query(&dataset, substrate, topology, executors, &request, &ticket);
+                // Execution is over: release the admission (and the pin)
+                // *before* delivering, so a caller returning from `wait`
+                // observes the gauge already decremented — the channel's
+                // own synchronization orders the release before the recv.
+                drop(admission);
                 // The caller may have dropped its ticket; that's fine, the
                 // result is discarded.
                 let _ = reply.send(result);
@@ -1336,6 +1714,8 @@ mod tests {
             plan_cache,
             metrics: true,
             topology: Topology::Star,
+            max_queue_depth: None,
+            memory_budget: None,
         }
     }
 
@@ -1418,6 +1798,69 @@ mod tests {
             Some(Err(ServiceError::RuntimeUnavailable(_)))
         ));
         service.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn error_classification_covers_every_variant() {
+        use dlra_core::CoreError;
+        // (variant, is_retryable, is_caller_error) — all ten variants, so a
+        // new one must be classified here before it compiles into clients.
+        let cases: Vec<(ServiceError, bool, bool)> = vec![
+            (
+                ServiceError::InvalidQuery(QueryError::Rejected("bad".into())),
+                false,
+                true,
+            ),
+            (
+                ServiceError::DatasetEvicted {
+                    dataset: "a".into(),
+                },
+                false,
+                true,
+            ),
+            (ServiceError::UnknownDataset("a".into()), false, true),
+            (ServiceError::DatasetExists("a".into()), false, true),
+            (ServiceError::InvalidDataset("empty".into()), false, true),
+            (ServiceError::Deadline, true, false),
+            (ServiceError::Cancelled, false, true),
+            (
+                ServiceError::Overloaded {
+                    queue_depth: 9,
+                    limit: 8,
+                },
+                true,
+                false,
+            ),
+            (
+                ServiceError::RuntimeUnavailable("pool gone".into()),
+                true,
+                false,
+            ),
+            (
+                ServiceError::Execution(CoreError::InvalidConfig("mid-run".into())),
+                false,
+                false,
+            ),
+        ];
+        for (err, retryable, caller) in &cases {
+            assert_eq!(err.is_retryable(), *retryable, "{err}");
+            assert_eq!(err.is_caller_error(), *caller, "{err}");
+            // The sets are documented disjoint.
+            assert!(
+                !(err.is_retryable() && err.is_caller_error()),
+                "classifications overlap for {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn overloaded_display_names_depth_and_limit() {
+        let err = ServiceError::Overloaded {
+            queue_depth: 9,
+            limit: 8,
+        };
+        let text = err.to_string();
+        assert!(text.contains('9') && text.contains('8'), "{text}");
     }
 
     #[test]

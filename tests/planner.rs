@@ -8,6 +8,9 @@
 //! * Hits share the same `Arc`; misses occur on differing
 //!   `ZSamplerParams`, seed, or `f`; reloading the resident dataset bumps
 //!   the epoch and invalidates every cached plan.
+//! * The stale-plan invariant under eviction: a plan prepared while its
+//!   dataset is being evicted (explicitly or under memory-quota pressure)
+//!   delivers to its waiters but is never left cached.
 
 use dlra::prelude::*;
 use dlra::runtime::{QueryRequest, Runtime, RuntimeConfig, Substrate};
@@ -198,4 +201,131 @@ fn residency_reload_invalidates_cached_plans() {
         want.projection.basis().as_slice()
     );
     assert_eq!(after.comm, want.comm);
+}
+
+fn service_config(executors: usize) -> ServiceConfig {
+    ServiceConfig {
+        executors,
+        substrate: Substrate::Threaded,
+        plan_cache: 16,
+        metrics: true,
+        max_queue_depth: None,
+        memory_budget: None,
+        ..Default::default()
+    }
+}
+
+fn z_query(k: usize, r: usize, seed: u64) -> Query {
+    Query::rank(k)
+        .samples(r)
+        .sampler(SamplerKind::Z(ZSamplerParams::default()))
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// Extends the stale-plan invariant to eviction: a preparation in flight
+/// when its dataset is evicted still delivers to its waiters, but the plan
+/// is never left cached — and no other tenant's partition moves. The
+/// guarantee is structural, not timing-dependent: whichever of the
+/// executor's post-run sweep and the evict's purge runs last drops it.
+#[test]
+fn evict_while_preparing_delivers_to_waiters_but_never_caches() {
+    let service = Service::new(service_config(1));
+    let victim = service.load("victim", shares(2, 512, 16, 4, 61)).unwrap();
+    let other = service.load("other", shares(2, 80, 8, 2, 62)).unwrap();
+    other.submit(&z_query(2, 20, 5)).wait().unwrap();
+    assert_eq!(other.plan_cache_len(), 1);
+
+    // A heavy Z query: the preparation is in flight when the evict lands.
+    let preparing = victim.submit(&z_query(4, 120, 9));
+    while !preparing.started() {
+        std::thread::yield_now();
+    }
+    service.evict("victim").unwrap();
+
+    // Started before the evict, so it runs to completion against the
+    // payload it holds and delivers its outcome (plan provenance intact).
+    let outcome = preparing.wait().expect("in-flight query must deliver");
+    assert!(
+        outcome.plan.is_some(),
+        "a plannable Z query reports its plan"
+    );
+    assert_eq!(
+        victim.plan_cache_len(),
+        0,
+        "a plan prepared during eviction must never stay cached"
+    );
+    // Late queries on the stale handle are typed.
+    assert!(matches!(
+        victim.submit(&z_query(2, 20, 9)).wait(),
+        Err(ServiceError::DatasetEvicted { dataset }) if dataset == "victim"
+    ));
+    // Cross-tenant isolation: the other dataset's partition never moved.
+    assert_eq!(other.plan_cache_len(), 1);
+    assert_eq!(other.plan_stats().unwrap().invalidations, 0);
+}
+
+/// The quota-pressure variant: an idle tenant evicted by the budget sweep
+/// has its settled plans purged, while a tenant with a preparation in
+/// flight is pinned — the sweep skips it (staying over budget if nothing
+/// else is evictable) and its plan lands in the cache as usual.
+#[test]
+fn quota_eviction_purges_plans_and_spares_preparing_tenants() {
+    // shares(2, 64, 8, ..) = 2 × 64×8 × 8 = 8192 bytes per tenant.
+    let small = |seed| shares(2, 64, 8, 2, seed);
+    let service = Service::new(ServiceConfig {
+        memory_budget: Some(20_000),
+        ..service_config(1)
+    });
+
+    // Warm tenant a's cache, then push it out with quota pressure.
+    let a = service.load("a", small(71)).unwrap();
+    a.submit(&z_query(2, 20, 3)).wait().unwrap();
+    assert_eq!(a.plan_cache_len(), 1);
+    let b = service.load("b", small(72)).unwrap();
+    let _c = service.load("c", small(73)).unwrap();
+    assert!(a.is_evicted(), "idle LRU tenant must be quota-evicted");
+    assert_eq!(
+        a.plan_cache_len(),
+        0,
+        "quota eviction must purge the victim's settled plans"
+    );
+    assert!(matches!(
+        a.submit(&z_query(2, 20, 3)).wait(),
+        Err(ServiceError::DatasetEvicted { dataset }) if dataset == "a"
+    ));
+
+    // Park the executor behind a long query on c, then queue a Z
+    // preparation on b: both datasets now hold admission pins, so the
+    // sweep triggered by loading d finds no victim and the service stays
+    // over budget rather than evict under a live query.
+    let blocker = _c.submit(
+        &Query::rank(2)
+            .samples(20)
+            .sampler(SamplerKind::Uniform)
+            .boosted(50_000)
+            .seed(8)
+            .build()
+            .unwrap(),
+    );
+    while !blocker.started() {
+        std::thread::yield_now();
+    }
+    let preparing = b.submit(&z_query(2, 20, 4));
+    let _d = service.load("d", small(74)).unwrap();
+    assert!(!b.is_evicted(), "a pinned tenant must never be evicted");
+    assert!(!_c.is_evicted(), "a pinned tenant must never be evicted");
+    assert_eq!(
+        service.pressure().resident_bytes,
+        3 * 8_192,
+        "with every candidate pinned the service stays over budget"
+    );
+    assert_eq!(service.pressure().evicted_under_pressure, 1);
+
+    // The pinned preparation completes and (its dataset survived) its
+    // plan is cached normally.
+    assert!(blocker.wait().is_ok());
+    assert!(preparing.wait().is_ok());
+    assert_eq!(b.plan_cache_len(), 1);
 }

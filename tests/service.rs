@@ -27,13 +27,39 @@ fn shares(s: usize, n: usize, d: usize, k: usize, seed: u64) -> Vec<dlra::linalg
 }
 
 /// Executor/substrate pinned; plan-cache capacity from the environment
-/// (`DLRA_PLAN_CACHE`), exactly like the equivalence suite, so CI proves
-/// the façade planner-on and planner-off.
+/// (`DLRA_PLAN_CACHE`) and admission bound from `DLRA_MAX_QUEUE`, exactly
+/// like the equivalence suite, so CI proves the façade planner-on and
+/// planner-off — and with shedding forced on and off.
 fn service_config(executors: usize) -> ServiceConfig {
     ServiceConfig {
         executors,
         substrate: Substrate::Threaded,
         ..Default::default()
+    }
+}
+
+/// Explicitly unbounded: structural tests that park real queries behind
+/// blockers opt out of the env-driven admission bound CI applies to the
+/// rest of the suite (a shed blocker would never block anything).
+fn unbounded_config(executors: usize) -> ServiceConfig {
+    ServiceConfig {
+        max_queue_depth: None,
+        memory_budget: None,
+        ..service_config(executors)
+    }
+}
+
+/// Submits until admitted: under a forced admission bound
+/// (`DLRA_MAX_QUEUE`), a shed ticket is dropped and the submission retried
+/// once the pool drains. Shed queries never touch the planner, so the
+/// suite's plan-stats assertions hold unchanged.
+fn submit_admitted(handle: &DatasetHandle, query: &Query) -> Ticket {
+    loop {
+        let ticket = handle.submit(query);
+        if !ticket.shed() {
+            return ticket;
+        }
+        std::thread::yield_now();
     }
 }
 
@@ -86,10 +112,10 @@ fn two_datasets_interleaved_match_single_runtime_runs_bit_for_bit() {
     let mut tickets: Vec<(usize, bool, Ticket)> = Vec::new();
     for i in 0..queries_a.len().max(queries_b.len()) {
         if let Some(q) = queries_a.get(i) {
-            tickets.push((i, true, a.submit(q)));
+            tickets.push((i, true, submit_admitted(&a, q)));
         }
         if let Some(q) = queries_b.get(i) {
-            tickets.push((i, false, b.submit(q)));
+            tickets.push((i, false, submit_admitted(&b, q)));
         }
     }
 
@@ -101,6 +127,10 @@ fn two_datasets_interleaved_match_single_runtime_runs_bit_for_bit() {
         plan_cache: config.plan_cache,
         metrics: config.metrics,
         topology: config.topology,
+        // The references answer every query; only the service under test
+        // runs with the (possibly env-forced) admission bound.
+        max_queue_depth: None,
+        memory_budget: None,
     };
     let runtime_a = Runtime::new(parts_a, runtime_config(4)).unwrap();
     let runtime_b = Runtime::new(parts_b, runtime_config(4)).unwrap();
@@ -270,7 +300,7 @@ fn submit_blockers(handle: &DatasetHandle, count: usize) -> Vec<Ticket> {
 
 #[test]
 fn cancellation_before_and_after_execution_start() {
-    let service = Service::new(service_config(1));
+    let service = Service::new(unbounded_config(1));
     let handle = service.load("d", shares(2, 512, 16, 4, 77)).unwrap();
     let blockers = submit_blockers(&handle, 3);
 
@@ -305,7 +335,7 @@ fn cancellation_before_and_after_execution_start() {
 
 #[test]
 fn deadline_expiry_resolves_without_running() {
-    let service = Service::new(service_config(1));
+    let service = Service::new(unbounded_config(1));
     let handle = service.load("d", shares(2, 512, 16, 4, 88)).unwrap();
 
     // A deadline carried by the builder is seeded into the ticket before
@@ -410,7 +440,7 @@ fn deadline_interrupts_a_running_query() {
 
 #[test]
 fn wait_timeout_returns_the_ticket_on_timeout() {
-    let service = Service::new(service_config(1));
+    let service = Service::new(unbounded_config(1));
     let handle = service.load("d", shares(2, 512, 16, 4, 99)).unwrap();
     let _blockers = submit_blockers(&handle, 3);
 
@@ -483,6 +513,168 @@ fn typed_builder_and_shape_validation() {
     let out = handle.submit(&fancy).wait().unwrap();
     assert_eq!(out.output.projection.dim(), 6);
     assert!(out.plan.is_none(), "boosted queries bypass the planner");
+}
+
+/// Bounded admission: with the pool saturated up to the configured bound,
+/// the next submission sheds — a typed, retryable `Overloaded` resolved at
+/// submission, visible in the pressure snapshot and both metric exports —
+/// and admission reopens as soon as the pool drains.
+#[test]
+fn overload_sheds_with_typed_error_and_reopens_after_drain() {
+    let service = Service::new(ServiceConfig {
+        max_queue_depth: Some(2),
+        memory_budget: None,
+        ..service_config(1)
+    });
+    let handle = service.load("d", shares(2, 512, 16, 4, 155)).unwrap();
+    // Fill the bound exactly: one executing, one queued.
+    let blockers = submit_blockers(&handle, 2);
+
+    let shed = handle.submit(&uniform_query(2, 20, 1));
+    assert!(shed.shed(), "the submission over the bound must shed");
+    match shed.wait() {
+        Err(err @ ServiceError::Overloaded { .. }) => {
+            assert!(err.is_retryable());
+            assert!(!err.is_caller_error());
+            if let ServiceError::Overloaded { queue_depth, limit } = err {
+                assert_eq!((queue_depth, limit), (2, 2));
+            }
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let snap = service.pressure();
+    assert_eq!(snap.max_queue_depth, Some(2));
+    assert!(snap.rejected_overload >= 1);
+
+    for blocker in blockers {
+        assert!(blocker.wait().is_ok(), "blockers are untouched by the shed");
+    }
+    // The pool drained; admission reopens.
+    let retry = submit_admitted(&handle, &uniform_query(2, 20, 2));
+    assert!(!retry.shed());
+    assert!(retry.wait().is_ok());
+    assert_eq!(
+        service.pressure().admitted,
+        0,
+        "every admission must be released at resolution"
+    );
+
+    // The shed shows up per dataset and in both exports.
+    let metrics = service.metrics().expect("metrics are on");
+    let d = &metrics.datasets[0];
+    assert!(d.rejected_overload >= 1);
+    assert!(d.rejected >= d.rejected_overload, "overload is a subset");
+    assert!(metrics.to_json().contains("\"rejected_overload\""));
+    assert!(metrics
+        .to_prometheus()
+        .contains("dlra_service_rejected_overload_total"));
+}
+
+/// Memory quotas: a load pushing the resident total over the budget evicts
+/// the least-recently-dispatched dataset — unless that dataset is pinned
+/// by an in-flight query, in which case the next-oldest unpinned tenant
+/// goes instead, and the pinned query completes untouched.
+#[test]
+fn memory_quota_evicts_lru_and_respects_pins() {
+    // shares(2, 64, 8, ..) = 2 servers × 64×8 × 8 bytes = 8192 bytes.
+    let small = |seed| shares(2, 64, 8, 2, seed);
+
+    // LRU across tenants: a (oldest) goes when c arrives over budget.
+    let service = Service::new(ServiceConfig {
+        memory_budget: Some(20_000),
+        max_queue_depth: None,
+        ..service_config(1)
+    });
+    let a = service.load("a", small(41)).unwrap();
+    let b = service.load("b", small(42)).unwrap();
+    assert_eq!(service.pressure().resident_bytes, 16_384);
+    let c = service.load("c", small(43)).unwrap();
+    assert!(a.is_evicted(), "the LRU tenant must be quota-evicted");
+    assert!(!b.is_evicted() && !c.is_evicted());
+    assert!(service.dataset("a").is_none());
+    let snap = service.pressure();
+    assert_eq!(snap.resident_bytes, 16_384);
+    assert_eq!(snap.evicted_under_pressure, 1);
+    assert!(matches!(
+        a.submit(&uniform_query(2, 10, 1)).wait(),
+        Err(ServiceError::DatasetEvicted { dataset }) if dataset == "a"
+    ));
+    assert!(b.submit(&uniform_query(2, 10, 2)).wait().is_ok());
+
+    // Pinning: the oldest tenant has a query in flight, so the sweep
+    // skips it and evicts the next-oldest instead.
+    let service = Service::new(ServiceConfig {
+        memory_budget: Some(140_000),
+        max_queue_depth: None,
+        ..service_config(1)
+    });
+    // shares(2, 512, 16, ..) = 2 × 512×16 × 8 = 131072 bytes.
+    let a = service.load("a", shares(2, 512, 16, 4, 51)).unwrap();
+    let b = service.load("b", small(52)).unwrap();
+    // Long query pins `a` (and bumps its tick); reload bumps `b` above it,
+    // so `a` is both LRU *and* pinned when `c` arrives.
+    let pinned = submit_blockers(&a, 1).pop().unwrap();
+    service.reload("b", small(53)).unwrap();
+    let c = service.load("c", small(54)).unwrap();
+    assert!(
+        !a.is_evicted(),
+        "a dataset with a query in flight must never be evicted"
+    );
+    assert!(
+        b.is_evicted(),
+        "the next-oldest unpinned tenant goes instead"
+    );
+    assert!(!c.is_evicted());
+    assert!(
+        pinned.wait().is_ok(),
+        "the pinned query completes against its own payload"
+    );
+    assert_eq!(service.pressure().resident_bytes, 131_072 + 8_192);
+    assert_eq!(service.pressure().evicted_under_pressure, 1);
+
+    // Drain everything: byte accounting returns to zero.
+    service.evict("a").unwrap();
+    service.evict("c").unwrap();
+    let end = service.pressure();
+    assert_eq!(end.resident_bytes, 0);
+    assert_eq!(end.admitted, 0);
+}
+
+/// Regression: a caller that times out in `wait_timeout` and then cancels
+/// races the executor. Whatever the interleaving, `cancel() == true` must
+/// imply the ticket resolves to exactly `Err(Cancelled)` — never a
+/// delivered result and never `RuntimeUnavailable`.
+#[test]
+fn cancel_after_timeout_resolves_to_exactly_one_terminal_state() {
+    let service = Service::new(unbounded_config(1));
+    let handle = service.load("d", shares(2, 512, 16, 4, 144)).unwrap();
+    for round in 0u64..24 {
+        let ticket = handle.submit(&uniform_query(2, 18, 600 + round));
+        // Sweep the timeout across rounds so the cancel lands at varied
+        // points of the query lifecycle.
+        let ticket = match ticket.wait_timeout(Duration::from_micros(50 * round)) {
+            Ok(result) => {
+                assert!(result.is_ok(), "round {round}");
+                continue;
+            }
+            Err(ticket) => ticket,
+        };
+        let claimed = ticket.cancel();
+        let outcome = ticket.wait();
+        if claimed {
+            assert!(
+                matches!(outcome, Err(ServiceError::Cancelled)),
+                "cancel() == true must resolve to Cancelled (round {round})"
+            );
+        } else {
+            // Too late to drop it: the executor delivers its own outcome
+            // (possibly honoring the cancel request mid-run).
+            assert!(
+                matches!(outcome, Ok(_) | Err(ServiceError::Cancelled)),
+                "round {round}"
+            );
+        }
+    }
 }
 
 #[test]
