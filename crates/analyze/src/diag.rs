@@ -42,14 +42,14 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "env-determinism",
         severity: Severity::Error,
-        summary: "no ambient `std::env` reads in ledger-deterministic modules — configuration \
-                  must flow through typed parameters",
+        summary: "no ambient `std::env` reads in ledger-deterministic modules or the transport \
+                  crate — configuration must flow through typed parameters",
     },
     Rule {
         id: "panic-policy",
         severity: Severity::Error,
-        summary: "no unwrap/expect/panic! in non-test crates/runtime, crates/comm, crates/obs \
-                  code — failures resolve to typed errors or recover from poisoning",
+        summary: "no unwrap/expect/panic! in non-test crates/runtime, crates/comm, crates/obs, \
+                  crates/net code — failures resolve to typed errors or recover from poisoning",
     },
     Rule {
         id: "unsafe-hygiene",
@@ -67,7 +67,8 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "thread-discipline",
         severity: Severity::Error,
-        summary: "no std::thread spawns outside the persistent kernel pool and ThreadedCluster",
+        summary: "no std::thread spawns outside the persistent kernel pool, ThreadedCluster, \
+                  and the SocketCluster server nodes",
     },
     Rule {
         id: "lock-order",

@@ -18,11 +18,24 @@ pub fn is_deterministic_module(path: &str) -> bool {
 
 /// Crates under the no-panic serving contract: queries must resolve to
 /// typed errors (`ServiceError::RuntimeUnavailable`, poison recovery), not
-/// unwind the executor.
+/// unwind the executor. The transport crate is in scope: a malformed or
+/// truncated frame must come back as a typed `NetError`, never a panic a
+/// remote peer can trigger.
 pub fn in_panic_scope(path: &str) -> bool {
     path.starts_with("crates/runtime/src/")
         || path.starts_with("crates/comm/src/")
         || path.starts_with("crates/obs/src/")
+        || path.starts_with("crates/net/src/")
+}
+
+/// Modules barred from reading the ambient environment: the
+/// ledger-deterministic core plus the transport crate. `dlra-net` takes
+/// all configuration through typed parameters and the bootstrap roster —
+/// env knobs (`DLRA_SUBSTRATE`, thread counts) are parsed once in the
+/// runtime layer and never inside protocol or transport code, so a
+/// cluster's wire transcript is a pure function of its inputs.
+pub fn in_env_scope(path: &str) -> bool {
+    is_deterministic_module(path) || path.starts_with("crates/net/src/")
 }
 
 /// The only crate allowed to contain `unsafe` code.
@@ -31,11 +44,14 @@ pub fn unsafe_allowed(path: &str) -> bool {
 }
 
 /// The sanctioned long-lived spawn sites: the persistent kernel worker
-/// pool and the per-server workers of `ThreadedCluster`. Everything else
-/// needs a `dlra-allow(thread-discipline)` with a reason (the service
-/// executor pool carries one).
+/// pool, the per-server workers of `ThreadedCluster`, and the per-server
+/// node threads of `SocketCluster` (the loopback counterpart of the same
+/// worker set). Everything else needs a `dlra-allow(thread-discipline)`
+/// with a reason (the service executor pool carries one).
 pub fn spawn_allowed(path: &str) -> bool {
-    path == "crates/linalg/src/threads.rs" || path == "crates/runtime/src/threaded.rs"
+    path == "crates/linalg/src/threads.rs"
+        || path == "crates/runtime/src/threaded.rs"
+        || path == "crates/net/src/cluster.rs"
 }
 
 fn diag(
@@ -131,10 +147,11 @@ pub fn determinism(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
-/// Rule `env-determinism`: deterministic modules take configuration
-/// through typed parameters, never from ambient process state.
+/// Rule `env-determinism`: deterministic modules and the transport crate
+/// take configuration through typed parameters, never from ambient
+/// process state.
 pub fn env_determinism(file: &SourceFile) -> Vec<Diagnostic> {
-    if !is_deterministic_module(&file.path) {
+    if !in_env_scope(&file.path) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -145,7 +162,7 @@ pub fn env_determinism(file: &SourceFile) -> Vec<Diagnostic> {
                 file,
                 line,
                 col,
-                format!("ambient environment read `{pattern}` in ledger-deterministic module"),
+                format!("ambient environment read `{pattern}` in env-isolated module"),
                 "thread configuration through typed parameters so two runs with equal inputs \
                  are bit-identical; or suppress with `// dlra-allow(env-determinism): <reason>`"
                     .into(),
@@ -384,6 +401,21 @@ mod tests { fn t() { z.unwrap(); } }
     }
 
     #[test]
+    fn transport_crate_is_in_panic_and_env_scope() {
+        let panicking = "fn f() { x.unwrap(); }";
+        assert_eq!(
+            panic_policy(&parse("crates/net/src/frame.rs", panicking)).len(),
+            1
+        );
+        let ambient = "fn f() { let _ = std::env::var(\"PORT\"); }";
+        assert!(!env_determinism(&parse("crates/net/src/cluster.rs", ambient)).is_empty());
+        // ...but not in the determinism scope: the transport may keep a
+        // HashMap job table and read the clock for timeouts.
+        let clocked = "fn f() { let _ = Instant::now(); }";
+        assert!(determinism(&parse("crates/net/src/cluster.rs", clocked)).is_empty());
+    }
+
+    #[test]
     fn unsafe_outside_linalg_is_flagged() {
         let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }";
         assert_eq!(
@@ -449,5 +481,10 @@ fn f() {
         );
         assert!(thread_discipline(&parse("crates/linalg/src/threads.rs", src)).is_empty());
         assert!(thread_discipline(&parse("crates/runtime/src/threaded.rs", src)).is_empty());
+        assert!(thread_discipline(&parse("crates/net/src/cluster.rs", src)).is_empty());
+        assert_eq!(
+            thread_discipline(&parse("crates/net/src/node.rs", src)).len(),
+            1
+        );
     }
 }

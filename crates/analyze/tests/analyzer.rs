@@ -252,6 +252,44 @@ fn topology_good_fixture_is_clean() {
     assert_eq!(r.warnings(), 0, "{}", r.render());
 }
 
+// ------------------------------------------------------------- net transport
+
+#[test]
+fn net_bad_fixture_breaks_the_transport_contract_both_ways() {
+    // The transport crate is simultaneously in the panic-policy and
+    // env-determinism scopes: an ambient coordinator address plus three
+    // panicking I/O sites trip both rules.
+    let r = run(
+        "crates/net/src/fixture.rs",
+        include_str!("fixtures/net/bad.rs"),
+    );
+    assert!(errors_of(&r, "env-determinism") >= 1, "{}", r.render());
+    assert_eq!(errors_of(&r, "panic-policy"), 3, "{}", r.render());
+}
+
+#[test]
+fn net_good_fixture_is_clean() {
+    let r = run(
+        "crates/net/src/fixture.rs",
+        include_str!("fixtures/net/good.rs"),
+    );
+    assert_eq!(r.errors(), 0, "{}", r.render());
+    assert_eq!(r.warnings(), 0, "{}", r.render());
+}
+
+#[test]
+fn net_env_scope_does_not_leak_into_other_crates() {
+    // The same ambient read outside the env-isolated scopes is the
+    // runtime layer's prerogative (that is where DLRA_SUBSTRATE lives).
+    let r = run(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/net/bad.rs"),
+    );
+    assert_eq!(errors_of(&r, "env-determinism"), 0, "{}", r.render());
+    // Panic policy still applies there.
+    assert_eq!(errors_of(&r, "panic-policy"), 3, "{}", r.render());
+}
+
 // --------------------------------------------------------- suppression-hygiene
 
 #[test]

@@ -1,0 +1,17 @@
+//! Fixture: a transport module that breaks both halves of the net
+//! governance contract — it pulls its peer address out of the ambient
+//! environment and lets remote-triggerable I/O failures panic instead of
+//! resolving to a typed error.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+/// Dials whatever the environment says, panicking on every failure a
+/// remote peer (or a missing variable) can cause.
+pub fn dial_and_read() -> Vec<u8> {
+    let addr = std::env::var("DLRA_COORDINATOR").unwrap();
+    let mut stream = TcpStream::connect(addr).expect("connect to coordinator");
+    let mut buf = vec![0u8; 24];
+    stream.read_exact(&mut buf).expect("read frame header");
+    buf
+}

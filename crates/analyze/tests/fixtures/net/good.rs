@@ -1,0 +1,15 @@
+//! Fixture: the same dial written under the contract — the peer address
+//! arrives as a typed parameter (in the real crate, via the bootstrap
+//! roster) and every failure a remote peer can cause comes back as a
+//! typed error the caller decides about.
+
+use std::io::{self, Read};
+use std::net::TcpStream;
+
+/// Dials an explicitly configured coordinator and reads one frame header.
+pub fn dial_and_read(addr: &str) -> io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut buf = vec![0u8; 24];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}

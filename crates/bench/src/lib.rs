@@ -4,6 +4,7 @@
 #![forbid(unsafe_code)]
 pub mod cli;
 pub mod kernels;
+pub mod net;
 pub mod obs;
 pub mod planner;
 pub mod pressure;

@@ -10,17 +10,20 @@
 //! is charged with the same word counts, and merges happen in server-index
 //! order so floating-point results are bit-identical.
 //!
-//! The closure bounds are the union of what every substrate needs: a
-//! threaded substrate executes per-server closures on persistent worker
-//! threads, so they are `Fn + Send + Sync + 'static` and capture their
-//! context by value (requests travel as cloned typed messages, exactly as
-//! they would on a wire). The sequential [`Cluster`] additionally keeps its
+//! The closure and payload bounds are the union of what every substrate
+//! needs: a threaded substrate executes per-server closures on persistent
+//! worker threads, so they are `Fn + Send + Sync + 'static` and capture
+//! their context by value (requests travel as cloned typed messages,
+//! exactly as they would on a wire); a socket substrate (`dlra-net`)
+//! additionally serializes every payload, so payload types are [`Wire`]
+//! (word-sized *and* byte-codable). The sequential [`Cluster`] keeps its
 //! historical inherent methods with looser `FnMut` bounds for local tests.
 
 use crate::cluster::Cluster;
 use crate::ledger::{Direction, Ledger, LedgerSnapshot};
 use crate::payload::Payload;
 use crate::topology::{Topology, TopologyPlan};
+use crate::wire::Wire;
 
 /// Star-topology collective operations over per-server local state `L`.
 ///
@@ -67,7 +70,7 @@ pub trait Collectives<L> {
     /// after every server has processed the message.
     fn broadcast<T, F>(&mut self, msg: &T, label: &'static str, on_receive: F)
     where
-        T: Payload + Clone + Send + 'static,
+        T: Wire + Clone + Send + 'static,
         F: Fn(usize, &mut L, &T) + Send + Sync + 'static;
 
     /// All servers → coordinator: each server computes a reply from its
@@ -75,7 +78,7 @@ pub trait Collectives<L> {
     /// Returns the replies indexed by server.
     fn gather<T, F>(&mut self, label: &'static str, compute: F) -> Vec<T>
     where
-        T: Payload + Send + 'static,
+        T: Wire + Send + 'static,
         F: Fn(usize, &mut L) -> T + Send + Sync + 'static;
 
     /// Gather + fold: each server's reply is merged into an accumulator at
@@ -84,7 +87,7 @@ pub trait Collectives<L> {
     /// freely.
     fn aggregate<T, F, M>(&mut self, label: &'static str, compute: F, mut merge: M) -> T
     where
-        T: Payload + Send + 'static,
+        T: Wire + Send + 'static,
         F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
         M: FnMut(&mut T, T),
     {
@@ -116,7 +119,7 @@ pub trait Collectives<L> {
     /// ledger totals and per-edge transcript exactly.
     fn aggregate_topo<T, F, M>(&mut self, label: &'static str, compute: F, merge: M) -> T
     where
-        T: Payload + Send + 'static,
+        T: Wire + Send + 'static,
         F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
         M: Fn(&mut T, T) + Send + Sync + 'static,
     {
@@ -145,8 +148,8 @@ pub trait Collectives<L> {
         merge: M,
     ) -> T
     where
-        Q: Payload + Clone + Send + 'static,
-        T: Payload + Send + 'static,
+        Q: Wire + Clone + Send + 'static,
+        T: Wire + Send + 'static,
         F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static,
         M: Fn(&mut T, T) + Send + Sync + 'static,
     {
@@ -176,16 +179,16 @@ pub trait Collectives<L> {
         compute: F,
     ) -> T
     where
-        Q: Payload + Clone + Send + 'static,
-        T: Payload + Send + 'static,
+        Q: Wire + Clone + Send + 'static,
+        T: Wire + Send + 'static,
         F: FnOnce(&mut L, &Q) -> T + Send + 'static;
 
     /// Coordinator → every server down-query followed by an up-reply in the
     /// same round (e.g. "send me your part of rows i₁..iᵣ").
     fn query_all<Q, T, F>(&mut self, request: &Q, label: &'static str, compute: F) -> Vec<T>
     where
-        Q: Payload + Clone + Send + 'static,
-        T: Payload + Send + 'static,
+        Q: Wire + Clone + Send + 'static,
+        T: Wire + Send + 'static,
         F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static;
 }
 
@@ -249,7 +252,7 @@ impl<L> Collectives<L> for Cluster<L> {
 
     fn broadcast<T, F>(&mut self, msg: &T, label: &'static str, on_receive: F)
     where
-        T: Payload + Clone + Send + 'static,
+        T: Wire + Clone + Send + 'static,
         F: Fn(usize, &mut L, &T) + Send + Sync + 'static,
     {
         Cluster::broadcast(self, msg, label, on_receive);
@@ -257,7 +260,7 @@ impl<L> Collectives<L> for Cluster<L> {
 
     fn gather<T, F>(&mut self, label: &'static str, compute: F) -> Vec<T>
     where
-        T: Payload + Send + 'static,
+        T: Wire + Send + 'static,
         F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
     {
         Cluster::gather(self, label, compute)
@@ -265,8 +268,8 @@ impl<L> Collectives<L> for Cluster<L> {
 
     fn query_server<Q, T, F>(&mut self, t: usize, request: &Q, label: &'static str, compute: F) -> T
     where
-        Q: Payload + Clone + Send + 'static,
-        T: Payload + Send + 'static,
+        Q: Wire + Clone + Send + 'static,
+        T: Wire + Send + 'static,
         F: FnOnce(&mut L, &Q) -> T + Send + 'static,
     {
         Cluster::query_server(self, t, request, label, compute)
@@ -274,8 +277,8 @@ impl<L> Collectives<L> for Cluster<L> {
 
     fn query_all<Q, T, F>(&mut self, request: &Q, label: &'static str, compute: F) -> Vec<T>
     where
-        Q: Payload + Clone + Send + 'static,
-        T: Payload + Send + 'static,
+        Q: Wire + Clone + Send + 'static,
+        T: Wire + Send + 'static,
         F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static,
     {
         Cluster::query_all(self, request, label, compute)

@@ -21,7 +21,10 @@
 //!   collectives: a typed [`Topology`] (star, or a tree of configurable
 //!   fanout) and the deterministic per-round hop/merge schedule derived
 //!   solely from the server count, so every topology produces bit-identical
-//!   results.
+//!   results;
+//! * [`wire`] — byte codecs ([`WireEncode`] / [`WireDecode`]) used when a
+//!   payload crosses a real socket (`dlra-net`), holding the invariant that
+//!   a value's wire body is exactly 8 bytes per [`Payload`] word.
 
 #![forbid(unsafe_code)]
 pub mod cluster;
@@ -30,6 +33,7 @@ pub mod ledger;
 pub mod payload;
 pub mod topology;
 pub mod two_party;
+pub mod wire;
 
 pub use cluster::Cluster;
 pub use collectives::Collectives;
@@ -37,3 +41,4 @@ pub use ledger::{CommEvent, CostModel, Direction, Ledger, LedgerSnapshot};
 pub use payload::Payload;
 pub use topology::{Topology, TopologyPlan};
 pub use two_party::{Party, TwoPartyChannel};
+pub use wire::{decode_value, encode_value, Wire, WireDecode, WireEncode, WireError};

@@ -1,0 +1,788 @@
+//! [`SocketCluster`]: the networked message-passing substrate.
+//!
+//! Each of the `s` servers runs the [`crate::node`] event loop behind a
+//! real TCP socket; the coordinator (this struct, server `0`) drives every
+//! collective by exchanging frames with them. In the default **loopback**
+//! harness the server loops run on threads inside this process and share
+//! the coordinator's [`JobRegistry`], so arbitrary typed closures work
+//! exactly as on `dlra-runtime`'s `ThreadedCluster` — but every payload
+//! crosses a genuine socket as encoded bytes.
+//!
+//! ## Determinism and ledger parity
+//!
+//! The coordinator places replies by server index before using them,
+//! charges the [`Ledger`] in server-index order after each fan-in, and
+//! reductions replay the canonical [`TopologyPlan`] merge schedule — the
+//! same discipline as the threaded substrate, so protocol outputs are
+//! **bit-identical** to the sequential [`dlra_comm::Cluster`] and ledger
+//! transcripts match exactly. The wire codec is bit-exact, so the
+//! decode → compute → encode round trips change nothing.
+//!
+//! ## Byte accounting
+//!
+//! Every frame leaving any socket is recorded in the cluster's shared
+//! [`WireCounters`] at the send side. Data-frame bodies are exactly
+//! 8 bytes per charged payload word, making total wire bytes an affine
+//! function of ledger words — see `tests/wire_audit.rs`.
+
+use crate::counters::{send_frame, WireCounters, WireStats};
+use crate::frame::{
+    decode_error_frame, decode_hop_desc, Frame, MsgType, NetError, Roster, FLAG_HAS_REQUEST,
+};
+use crate::node::{run_node, NodeConfig};
+use crate::registry::{
+    BroadcastJob, Encoded, GatherJob, JobRegistry, JobResolver, NetJob, QueryJob, QueryReduceJob,
+    QueryServerJob, ReduceJob,
+};
+use dlra_comm::ledger::Direction;
+use dlra_comm::wire::{decode_value, encode_value, Wire};
+use dlra_comm::{Collectives, Ledger, Topology, TopologyPlan};
+use dlra_util::sync::MutexExt;
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Per-edge word logs of one reduction, keyed by `(sender, receiver)` —
+/// what [`charge_reduce`] reconciles against the plan's hop set.
+type HopRecords = BTreeMap<(usize, usize), u64>;
+
+/// A cluster of `s` servers reached over TCP, implementing
+/// [`Collectives`]. Server `0` is the coordinator (this process/thread).
+///
+/// ```
+/// use dlra_comm::Collectives;
+/// use dlra_net::SocketCluster;
+/// let mut c = SocketCluster::new(vec![vec![1.0f64, 2.0], vec![3.0, 4.0]]);
+/// let sums = c.gather("demo", |_t, local: &mut Vec<f64>| local.iter().sum::<f64>());
+/// assert_eq!(sums, vec![3.0, 7.0]);
+/// // Same ledger transcript as the sequential and threaded substrates.
+/// assert_eq!(c.comm().upstream_words, 2);
+/// ```
+pub struct SocketCluster<L> {
+    /// Per-server local state; `[0]` is the coordinator's own.
+    states: Vec<Arc<Mutex<L>>>,
+    /// Coordinator ↔ server links, indexed `t - 1`.
+    links: Vec<TcpStream>,
+    registry: Arc<JobRegistry<L>>,
+    counters: Arc<WireCounters>,
+    ledger: Ledger,
+    topology: Topology,
+    handles: Vec<JoinHandle<Result<(), NetError>>>,
+}
+
+impl<L: Send + 'static> SocketCluster<L> {
+    /// Boots a loopback cluster: one server thread per non-coordinator
+    /// local state, each dialing back over `127.0.0.1`. Reductions route
+    /// over the default [`Topology::Star`].
+    pub fn new(locals: Vec<L>) -> Self {
+        Self::with_topology(locals, Topology::Star)
+    }
+
+    /// Like [`SocketCluster::new`] but routing reduction collectives over
+    /// `topology` — tree hops become real server → server socket sends.
+    pub fn with_topology(locals: Vec<L>, topology: Topology) -> Self {
+        Self::with_options(locals, topology, WireCounters::shared())
+    }
+
+    /// Full-control constructor: inject shared [`WireCounters`] so a test
+    /// or bench can observe every byte the cluster puts on the wire.
+    pub fn with_options(locals: Vec<L>, topology: Topology, counters: Arc<WireCounters>) -> Self {
+        // Construction-time contract, identical to the sequential and
+        // threaded substrates (`assert!` is outside the panic-policy
+        // pattern set by design: contract checks are welcome).
+        assert!(!locals.is_empty(), "cluster needs at least one server");
+        let s = locals.len();
+        let states: Vec<Arc<Mutex<L>>> = locals
+            .into_iter()
+            .map(|l| Arc::new(Mutex::new(l)))
+            .collect();
+        let registry = Arc::new(JobRegistry::new());
+        let mut handles = Vec::new();
+        let links = if s > 1 {
+            let listener = TcpListener::bind("127.0.0.1:0")
+                // dlra-allow(panic-policy): binding an ephemeral loopback
+                // port fails only on resource exhaustion at construction,
+                // before any query exists to resolve to a typed error.
+                .expect("bind coordinator listener");
+            let addr = listener
+                .local_addr()
+                // dlra-allow(panic-policy): a bound listener has an address.
+                .expect("coordinator listener address");
+            for (t, state) in states.iter().enumerate().skip(1) {
+                let cfg = NodeConfig {
+                    coordinator: addr.to_string(),
+                    server_id: t,
+                    state: Arc::clone(state),
+                    resolver: Arc::clone(&registry) as Arc<dyn JobResolver<L>>,
+                    counters: Arc::clone(&counters),
+                };
+                let handle = std::thread::Builder::new()
+                    .name(format!("dlra-net-server-{t}"))
+                    .spawn(move || run_node(cfg))
+                    // dlra-allow(panic-policy): spawn fails only on OS
+                    // thread exhaustion during construction.
+                    .expect("spawn server node thread");
+                handles.push(handle);
+            }
+            bootstrap_coordinator(&listener, s, topology, &counters)
+                // dlra-allow(panic-policy): a failed bootstrap leaves no
+                // cluster to return; construction cannot proceed.
+                .expect("bootstrap socket cluster")
+        } else {
+            Vec::new()
+        };
+        SocketCluster {
+            states,
+            links,
+            registry,
+            counters,
+            ledger: Ledger::new(),
+            topology,
+            handles,
+        }
+    }
+
+    /// The shared byte counters (same set every server thread charges).
+    pub fn counters(&self) -> &Arc<WireCounters> {
+        &self.counters
+    }
+
+    /// Snapshot of bytes on the wire so far.
+    pub fn wire_stats(&self) -> WireStats {
+        self.counters.snapshot()
+    }
+
+    /// Kernel-thread share per server (same budget split as the threaded
+    /// substrate; never changes results).
+    fn share(&self) -> usize {
+        (dlra_linalg::threads() / self.states.len()).max(1)
+    }
+
+    /// Runs a job step against the coordinator's own local state through
+    /// the same byte-level path the servers use.
+    fn run_own<R>(&self, f: impl FnOnce(&mut L) -> Result<R, NetError>) -> R {
+        let share = self.share();
+        dlra_linalg::with_threads(share, || {
+            let mut local = self.states[0].lock_recover();
+            f(&mut local)
+        })
+        // dlra-allow(panic-policy): the coordinator's own closures only
+        // fail on codec bugs, which are unrecoverable mid-collective —
+        // matching the threaded substrate's dead-worker semantics.
+        .expect("coordinator-side job step")
+    }
+
+    /// Sends one frame to server `t`.
+    fn send_to(&mut self, t: usize, frame: &Frame) {
+        send_frame(&mut self.links[t - 1], &self.counters, frame)
+            // dlra-allow(panic-policy): a dead server mid-protocol is
+            // unrecoverable for this query; unwind like the threaded
+            // substrate does when a worker thread dies.
+            .expect("server link closed mid-collective");
+    }
+
+    /// Receives one frame from server `t` and validates it.
+    fn recv_from(&mut self, t: usize, expected: MsgType, job_id: u64) -> Frame {
+        let frame = Frame::read_from(&mut self.links[t - 1])
+            // dlra-allow(panic-policy): see `send_to`.
+            .expect("server link closed mid-collective");
+        validate_reply(t, frame, expected, job_id)
+    }
+
+    /// One expected frame from every server `1..s`, returned in
+    /// server-index order. With the `nonblocking` feature the links are
+    /// polled concurrently; the blocking default reads them in index
+    /// order. Either way replies land in index-ordered slots before any
+    /// ledger charge, so the transcript is identical.
+    fn collect_one_per_link(&mut self, expected: MsgType, job_id: u64) -> Vec<Frame> {
+        #[cfg(feature = "nonblocking")]
+        {
+            let frames = crate::nonblocking::poll_one_frame_per_link(&mut self.links)
+                // dlra-allow(panic-policy): see `send_to`.
+                .expect("server link closed mid-collective");
+            frames
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| validate_reply(i + 1, f, expected, job_id))
+                .collect()
+        }
+        #[cfg(not(feature = "nonblocking"))]
+        {
+            (1..self.states.len())
+                .map(|t| self.recv_from(t, expected, job_id))
+                .collect()
+        }
+    }
+
+    /// Drives the root side of a topology-routed reduction and charges the
+    /// canonical transcript.
+    fn reduce_at_root<T: Wire>(
+        &mut self,
+        job: &dyn NetJob<L>,
+        job_id: u64,
+        own: Encoded,
+        plan: &TopologyPlan,
+        label: &'static str,
+        first_round_started: bool,
+    ) -> T {
+        let (block, records) = root_reduce(job, job_id, own, plan, &mut self.links)
+            // dlra-allow(panic-policy): see `send_to`.
+            .expect("reduction failed mid-collective");
+        charge_reduce(&self.ledger, plan, &records, label, first_round_started)
+            // dlra-allow(panic-policy): a missing hop record means a server
+            // died mid-reduction; the root read above would have failed
+            // first unless the plan was violated, which is unrecoverable.
+            .expect("hop record for every plan edge");
+        decode_value(&block.0, &block.1)
+            // dlra-allow(panic-policy): the root block was produced by this
+            // job's own encoder; failure is a codec bug.
+            .expect("decode reduction root block")
+    }
+}
+
+impl<L: Send + 'static> Collectives<L> for SocketCluster<L> {
+    fn num_servers(&self) -> usize {
+        self.states.len()
+    }
+
+    fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn with_local<R>(&self, t: usize, f: impl FnOnce(&L) -> R) -> R {
+        let guard = self.states[t].lock_recover();
+        f(&guard)
+    }
+
+    fn with_local_mut<R>(&mut self, t: usize, f: impl FnOnce(&mut L) -> R) -> R {
+        let mut guard = self.states[t].lock_recover();
+        f(&mut guard)
+    }
+
+    fn broadcast<T, F>(&mut self, msg: &T, label: &'static str, on_receive: F)
+    where
+        T: Wire + Clone + Send + 'static,
+        F: Fn(usize, &mut L, &T) + Send + Sync + 'static,
+    {
+        let s = self.states.len();
+        self.ledger.next_round();
+        let words = msg.words();
+        for t in 1..s {
+            self.ledger.charge(t, Direction::Downstream, words, label);
+        }
+        let job: Arc<dyn NetJob<L>> = Arc::new(BroadcastJob::new(on_receive));
+        let job_id = self.registry.register(Arc::clone(&job));
+        let (desc, body) = encode_value(msg);
+        for t in 1..s {
+            let frame = Frame::data(MsgType::Broadcast, 0, job_id, desc.clone(), body.clone());
+            self.send_to(t, &frame);
+        }
+        // The coordinator's own state observes the message through the
+        // same decode path the servers use — bit-identical by the codec.
+        self.run_own(|local| job.deliver(0, local, &desc, &body));
+        self.collect_one_per_link(MsgType::Ack, job_id);
+        self.registry.remove(job_id);
+    }
+
+    fn gather<T, F>(&mut self, label: &'static str, compute: F) -> Vec<T>
+    where
+        T: Wire + Send + 'static,
+        F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
+    {
+        let s = self.states.len();
+        self.ledger.next_round();
+        let job: Arc<dyn NetJob<L>> = Arc::new(GatherJob::new(compute));
+        let job_id = self.registry.register(Arc::clone(&job));
+        for t in 1..s {
+            self.send_to(t, &Frame::control(MsgType::RunGather, 0, job_id));
+        }
+        let own = self.run_own(|local| job.make_block(0, local, None));
+        let frames = self.collect_one_per_link(MsgType::Reply, job_id);
+        self.registry.remove(job_id);
+        let mut out: Vec<T> = Vec::with_capacity(s);
+        out.push(decode_own(&own));
+        for (t, f) in frames.iter().enumerate() {
+            out.push(
+                decode_value(&f.desc, &f.body)
+                    // dlra-allow(panic-policy): a malformed reply means the
+                    // server and coordinator disagree on the codec, which
+                    // is unrecoverable mid-collective.
+                    .unwrap_or_else(|e| panic!("decode reply from server {}: {e}", t + 1)),
+            );
+        }
+        for (t, reply) in out.iter().enumerate().skip(1) {
+            self.ledger
+                .charge(t, Direction::Upstream, reply.words(), label);
+        }
+        out
+    }
+
+    fn query_all<Q, T, F>(&mut self, request: &Q, label: &'static str, compute: F) -> Vec<T>
+    where
+        Q: Wire + Clone + Send + 'static,
+        T: Wire + Send + 'static,
+        F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static,
+    {
+        let s = self.states.len();
+        self.ledger.next_round();
+        let request_words = request.words();
+        for t in 1..s {
+            self.ledger
+                .charge(t, Direction::Downstream, request_words, label);
+        }
+        let job: Arc<dyn NetJob<L>> = Arc::new(QueryJob::new(compute));
+        let job_id = self.registry.register(Arc::clone(&job));
+        let (desc, body) = encode_value(request);
+        for t in 1..s {
+            let frame = Frame::data(MsgType::Query, 0, job_id, desc.clone(), body.clone());
+            self.send_to(t, &frame);
+        }
+        let own = self.run_own(|local| job.make_block(0, local, Some((&desc, &body))));
+        let frames = self.collect_one_per_link(MsgType::Reply, job_id);
+        self.registry.remove(job_id);
+        let mut out: Vec<T> = Vec::with_capacity(s);
+        out.push(decode_own(&own));
+        for (t, f) in frames.iter().enumerate() {
+            out.push(
+                decode_value(&f.desc, &f.body)
+                    // dlra-allow(panic-policy): codec disagreement is
+                    // unrecoverable mid-collective.
+                    .unwrap_or_else(|e| panic!("decode reply from server {}: {e}", t + 1)),
+            );
+        }
+        for (t, reply) in out.iter().enumerate().skip(1) {
+            self.ledger
+                .charge(t, Direction::Upstream, reply.words(), label);
+        }
+        out
+    }
+
+    fn query_server<Q, T, F>(&mut self, t: usize, request: &Q, label: &'static str, compute: F) -> T
+    where
+        Q: Wire + Clone + Send + 'static,
+        T: Wire + Send + 'static,
+        F: FnOnce(&mut L, &Q) -> T + Send + 'static,
+    {
+        let job = QueryServerJob::new(compute);
+        let (desc, body) = encode_value(request);
+        if t == 0 {
+            // Coordinator ↔ its own state: free, but still through the
+            // byte path so results can't depend on the substrate.
+            let own =
+                self.run_own(|local| NetJob::<L>::make_block(&job, 0, local, Some((&desc, &body))));
+            return decode_own(&own);
+        }
+        self.ledger
+            .charge(t, Direction::Downstream, request.words(), label);
+        let job: Arc<dyn NetJob<L>> = Arc::new(job);
+        let job_id = self.registry.register(Arc::clone(&job));
+        self.send_to(t, &Frame::data(MsgType::QueryServer, 0, job_id, desc, body));
+        let frame = self.recv_from(t, MsgType::Reply, job_id);
+        self.registry.remove(job_id);
+        let reply: T = decode_value(&frame.desc, &frame.body)
+            // dlra-allow(panic-policy): codec disagreement is
+            // unrecoverable mid-collective.
+            .unwrap_or_else(|e| panic!("decode reply from server {t}: {e}"));
+        self.ledger
+            .charge(t, Direction::Upstream, reply.words(), label);
+        reply
+    }
+
+    fn aggregate_topo<T, F, M>(&mut self, label: &'static str, compute: F, merge: M) -> T
+    where
+        T: Wire + Send + 'static,
+        F: Fn(usize, &mut L) -> T + Send + Sync + 'static,
+        M: Fn(&mut T, T) + Send + Sync + 'static,
+    {
+        let s = self.states.len();
+        let plan = TopologyPlan::new(self.topology, s);
+        let job: Arc<dyn NetJob<L>> = Arc::new(ReduceJob::new(compute, merge));
+        let job_id = self.registry.register(Arc::clone(&job));
+        for t in 1..s {
+            // Bare trigger: free, like shipping a closure to a worker.
+            self.send_to(t, &Frame::control(MsgType::RunReduce, 0, job_id));
+        }
+        let own = self.run_own(|local| job.make_block(0, local, None));
+        let result = self.reduce_at_root(job.as_ref(), job_id, own, &plan, label, false);
+        self.registry.remove(job_id);
+        result
+    }
+
+    fn query_aggregate<Q, T, F, M>(
+        &mut self,
+        request: &Q,
+        label: &'static str,
+        compute: F,
+        merge: M,
+    ) -> T
+    where
+        Q: Wire + Clone + Send + 'static,
+        T: Wire + Send + 'static,
+        F: Fn(usize, &mut L, &Q) -> T + Send + Sync + 'static,
+        M: Fn(&mut T, T) + Send + Sync + 'static,
+    {
+        let s = self.states.len();
+        let plan = TopologyPlan::new(self.topology, s);
+        self.ledger.next_round();
+        let request_words = request.words();
+        for t in 1..s {
+            self.ledger
+                .charge(t, Direction::Downstream, request_words, label);
+        }
+        let job: Arc<dyn NetJob<L>> = Arc::new(QueryReduceJob::new(compute, merge));
+        let job_id = self.registry.register(Arc::clone(&job));
+        let (desc, body) = encode_value(request);
+        for t in 1..s {
+            // The down-sweep request rides the reduce trigger: one charged
+            // data frame, exactly the message the ledger just recorded.
+            let mut frame = Frame::data(MsgType::RunReduce, 0, job_id, desc.clone(), body.clone());
+            frame.flags |= FLAG_HAS_REQUEST;
+            self.send_to(t, &frame);
+        }
+        let own = self.run_own(|local| job.make_block(0, local, Some((&desc, &body))));
+        let result = self.reduce_at_root(job.as_ref(), job_id, own, &plan, label, true);
+        self.registry.remove(job_id);
+        result
+    }
+}
+
+impl<L> Drop for SocketCluster<L> {
+    fn drop(&mut self) {
+        for link in &mut self.links {
+            // The server may already be gone; shutdown is best-effort and
+            // Drop must not panic.
+            let _ = Frame::control(MsgType::Shutdown, 0, 0).write_to(link);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Decodes a coordinator-side block produced by `run_own`.
+fn decode_own<T: Wire>(own: &Encoded) -> T {
+    decode_value(&own.0, &own.1)
+        // dlra-allow(panic-policy): the block was produced by this job's
+        // own encoder in this process; failure is a codec bug.
+        .expect("decode coordinator-side block")
+}
+
+/// Validates a reply frame from server `t`, panicking with the server's
+/// own diagnostics when it reported a typed error.
+fn validate_reply(t: usize, frame: Frame, expected: MsgType, job_id: u64) -> Frame {
+    if frame.msg_type == MsgType::Error {
+        // dlra-allow(panic-policy): the server reported an unrecoverable
+        // failure; unwind like the threaded substrate's dead worker.
+        panic!("server {t} failed: {}", decode_error_frame(&frame));
+    }
+    // A mis-sequenced frame is a protocol bug, unrecoverable
+    // mid-collective.
+    assert!(
+        frame.msg_type == expected && frame.job_id == job_id,
+        "server {t} sent {:?} job {} (wanted {expected:?} job {job_id})",
+        frame.msg_type,
+        frame.job_id
+    );
+    frame
+}
+
+/// Accepts `s − 1` server dial-ins, assembles the roster **ordered by each
+/// server's advertised id** (deterministic regardless of connection
+/// order), distributes it, and waits for every server's Ready. Returns
+/// the coordinator ↔ server links indexed `t − 1`.
+pub(crate) fn bootstrap_coordinator(
+    listener: &TcpListener,
+    s: usize,
+    topology: Topology,
+    counters: &WireCounters,
+) -> Result<Vec<TcpStream>, NetError> {
+    let mut slots: Vec<Option<(TcpStream, u16)>> = (0..s).map(|_| None).collect();
+    for _ in 1..s {
+        let (mut stream, _) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        let hello = Frame::read_from(&mut stream)?;
+        if hello.msg_type != MsgType::Hello {
+            return Err(NetError::Protocol {
+                what: "expected hello",
+                detail: format!("got {:?}", hello.msg_type),
+            });
+        }
+        let id = hello.seq as usize;
+        if id == 0 || id >= s {
+            return Err(NetError::Protocol {
+                what: "server id out of range",
+                detail: format!("id {id}, s {s}"),
+            });
+        }
+        if slots[id].is_some() {
+            return Err(NetError::Protocol {
+                what: "duplicate server id",
+                detail: format!("id {id}"),
+            });
+        }
+        if hello.desc.len() != 2 {
+            return Err(NetError::Truncated {
+                what: "hello peer port",
+                needed: 2,
+                have: hello.desc.len(),
+            });
+        }
+        let port = u16::from_le_bytes([hello.desc[0], hello.desc[1]]);
+        slots[id] = Some((stream, port));
+    }
+    let mut links = Vec::with_capacity(s - 1);
+    let mut peer_ports = vec![0u16; s];
+    for (id, slot) in slots.into_iter().enumerate().skip(1) {
+        let (stream, port) = slot.ok_or(NetError::Protocol {
+            what: "missing server",
+            detail: format!("id {id} never dialed in"),
+        })?;
+        peer_ports[id] = port;
+        links.push(stream);
+    }
+    let roster = Roster {
+        servers: s as u32,
+        topology,
+        peer_ports,
+    }
+    .to_frame();
+    for link in &mut links {
+        send_frame(link, counters, &roster)?;
+    }
+    for (i, link) in links.iter_mut().enumerate() {
+        let ready = Frame::read_from(link)?;
+        if ready.msg_type == MsgType::Error {
+            return Err(decode_error_frame(&ready));
+        }
+        if ready.msg_type != MsgType::Ready {
+            return Err(NetError::Protocol {
+                what: "expected ready",
+                detail: format!("server {}: got {:?}", i + 1, ready.msg_type),
+            });
+        }
+    }
+    Ok(links)
+}
+
+/// The root's side of a topology-routed reduction, byte-level: absorb
+/// [`MsgType::HopBlock`] frames round by round from the links of senders
+/// whose receiver is `0`, replay the canonical merges restricted to held
+/// blocks, and collect one hop record per plan edge (carried subtree logs
+/// plus the root's own derivations from `body_len / 8`).
+pub(crate) fn root_reduce<L>(
+    job: &dyn NetJob<L>,
+    job_id: u64,
+    own: Encoded,
+    plan: &TopologyPlan,
+    links: &mut [TcpStream],
+) -> Result<(Encoded, HopRecords), NetError> {
+    let mut records = HopRecords::new();
+    let mut block = own;
+    for (h, round) in plan.rounds().iter().enumerate() {
+        let senders: Vec<usize> = round
+            .hops
+            .iter()
+            .filter(|hop| hop.receiver == 0)
+            .map(|hop| hop.sender)
+            .collect();
+        if senders.is_empty() {
+            continue;
+        }
+        let mut held: BTreeMap<usize, Encoded> = BTreeMap::new();
+        held.insert(0, block);
+        for q in senders {
+            let frame = Frame::read_from(&mut links[q - 1])?;
+            if frame.msg_type == MsgType::Error {
+                return Err(decode_error_frame(&frame));
+            }
+            if frame.msg_type != MsgType::HopBlock
+                || frame.seq as usize != h
+                || frame.job_id != job_id
+            {
+                return Err(NetError::Protocol {
+                    what: "unexpected frame on root link",
+                    detail: format!(
+                        "server {q}: {:?} seq {} job {} (wanted hop round {h} job {job_id})",
+                        frame.msg_type, frame.seq, frame.job_id
+                    ),
+                });
+            }
+            let (child_log, payload_desc) = decode_hop_desc(&frame.desc)?;
+            for rec in child_log {
+                records.insert((rec.round as usize, rec.sender as usize), rec.words);
+            }
+            records.insert((h, q), (frame.body.len() / 8) as u64);
+            held.insert(q, (payload_desc.to_vec(), frame.body));
+        }
+        for step in &round.merges {
+            if held.contains_key(&step.dst) && held.contains_key(&step.src) {
+                let src = held.remove(&step.src).ok_or(NetError::Protocol {
+                    what: "merge source vanished",
+                    detail: format!("src {}", step.src),
+                })?;
+                let dst = held.remove(&step.dst).ok_or(NetError::Protocol {
+                    what: "merge destination vanished",
+                    detail: format!("dst {}", step.dst),
+                })?;
+                held.insert(step.dst, job.merge_blocks(dst, (&src.0, &src.1))?);
+            }
+        }
+        block = held.remove(&0).ok_or(NetError::Protocol {
+            what: "root lost its block in merge replay",
+            detail: format!("round {h}"),
+        })?;
+    }
+    Ok((block, records))
+}
+
+/// Replays the reference charging loop over a completed reduction's hop
+/// records: per round, `next_round` (unless the collective already opened
+/// round 0), then every hop in canonical plan order — the exact transcript
+/// of `dlra-comm`'s sequential `reduce_blocks`.
+pub(crate) fn charge_reduce(
+    ledger: &Ledger,
+    plan: &TopologyPlan,
+    records: &HopRecords,
+    label: &'static str,
+    first_round_started: bool,
+) -> Result<(), NetError> {
+    for (h, round) in plan.rounds().iter().enumerate() {
+        if h > 0 || !first_round_started {
+            ledger.next_round();
+        }
+        for hop in &round.hops {
+            let words = *records.get(&(h, hop.sender)).ok_or(NetError::Protocol {
+                what: "missing hop record",
+                detail: format!("round {h}, sender {}", hop.sender),
+            })?;
+            ledger.charge_hop(hop.sender, hop.receiver, Direction::Upstream, words, label);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlra_comm::ledger::FRAME_WORDS;
+    use dlra_comm::Cluster;
+
+    fn locals(s: usize, len: usize) -> Vec<Vec<f64>> {
+        (0..s).map(|t| vec![t as f64; len]).collect()
+    }
+
+    /// A protocol exercising every collective, written once against the
+    /// trait and run on every substrate.
+    fn protocol<C: Collectives<Vec<f64>>>(c: &mut C) -> Vec<f64> {
+        c.broadcast(&1.5f64, "p.bcast", |_t, local, &m| {
+            for x in local.iter_mut() {
+                *x += m;
+            }
+        });
+        let mut out = c.gather("p.gather", |t, local| local[0] * (t + 1) as f64);
+        let total = c.aggregate(
+            "p.agg",
+            |_t, local| local.iter().sum::<f64>(),
+            |acc, r| *acc += r,
+        );
+        out.push(total);
+        let picked = c.query_all(&2usize, "p.qa", |t, local, &j| local[j] + t as f64);
+        out.extend(picked);
+        let target = 1 % c.num_servers();
+        out.push(c.query_server(target, &0usize, "p.qs", |local, &j| local[j]));
+        out.push(c.aggregate_topo(
+            "p.at",
+            |t, local| local[0] * (t as f64 + 0.25),
+            |acc, r| *acc += r,
+        ));
+        out.push(c.query_aggregate(
+            &1usize,
+            "p.qat",
+            |t, local, &j| local[j] + (t as f64).sqrt(),
+            |acc, r| *acc += r,
+        ));
+        out
+    }
+
+    #[test]
+    fn matches_sequential_cluster_bit_for_bit() {
+        for s in [1usize, 2, 4, 8] {
+            let mut seq = Cluster::new(locals(s, 4));
+            let mut net = SocketCluster::new(locals(s, 4));
+            let a = protocol(&mut seq);
+            let b = protocol(&mut net);
+            assert_eq!(a, b, "results diverge at s = {s}");
+            assert_eq!(
+                Collectives::comm(&seq),
+                Collectives::comm(&net),
+                "ledgers diverge at s = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_routing_matches_sequential_tree_bit_for_bit() {
+        for s in [1usize, 2, 4, 8, 9, 13] {
+            let topology = Topology::Tree { fanout: 2 };
+            let mut seq = Cluster::with_topology(locals(s, 4), topology);
+            let mut net = SocketCluster::with_topology(locals(s, 4), topology);
+            let a = protocol(&mut seq);
+            let b = protocol(&mut net);
+            assert_eq!(a, b, "results diverge at s = {s}");
+            assert_eq!(
+                Collectives::comm(&seq),
+                Collectives::comm(&net),
+                "ledgers diverge at s = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_charges_like_reference() {
+        let mut c = SocketCluster::new(locals(3, 1));
+        let replies = c.gather("g", |t, local: &mut Vec<f64>| local[0] + t as f64);
+        assert_eq!(replies, vec![0.0, 2.0, 4.0]);
+        assert_eq!(c.comm().upstream_words, 2 * (1 + FRAME_WORDS));
+        assert_eq!(c.comm().messages, 2);
+        assert_eq!(c.comm().rounds, 1);
+    }
+
+    #[test]
+    fn every_data_frame_is_a_ledger_message() {
+        let mut c = SocketCluster::new(locals(4, 4));
+        protocol(&mut c);
+        let stats = c.wire_stats();
+        let comm = c.comm();
+        assert_eq!(stats.data_frames, comm.messages, "frames vs messages");
+        assert_eq!(
+            stats.data_body_words() + FRAME_WORDS * stats.data_frames,
+            comm.total_words(),
+            "body words vs ledger words"
+        );
+    }
+
+    #[test]
+    fn with_local_mut_is_free() {
+        let mut c = SocketCluster::new(locals(2, 1));
+        c.with_local_mut(1, |l| l[0] = 42.0);
+        assert_eq!(c.with_local(1, |l| l[0]), 42.0);
+        assert_eq!(c.comm().total_words(), 0);
+    }
+
+    #[test]
+    fn drop_shuts_servers_down_cleanly() {
+        let c = SocketCluster::new(locals(4, 1));
+        drop(c); // must not hang or panic
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_cluster_rejected() {
+        let _ = SocketCluster::<Vec<f64>>::new(vec![]);
+    }
+}

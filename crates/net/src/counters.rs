@@ -1,0 +1,176 @@
+//! Byte accounting for the wire audit.
+//!
+//! Every frame leaving a socket is counted **once, at the send side**,
+//! split by the same data/control classification the ledger uses. The
+//! integration tests reconcile these counters against the whole-cluster
+//! ledger: for a run with `W` total charged words and `F` data frames,
+//!
+//! ```text
+//! data_body_bytes   == 8 * (W - FRAME_WORDS * F)   (payload words)
+//! data_frames       == F                            (one frame per charge)
+//! total wire bytes  == data_header + data_desc + data_body
+//!                      + control_frames * 24 + control_desc
+//! ```
+//!
+//! with zero unexplained bytes. (`FRAME_WORDS` is `dlra-comm`'s per-message
+//! envelope constant; the wire identifies it with part of the frame header.)
+
+use crate::frame::{Frame, NetError, HEADER_BYTES};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared atomic counters, one set per cluster (all links, both roles).
+#[derive(Debug, Default)]
+pub struct WireCounters {
+    /// Ledger-charged frames sent.
+    pub data_frames: AtomicU64,
+    /// Header bytes of data frames.
+    pub data_header_bytes: AtomicU64,
+    /// Descriptor bytes of data frames.
+    pub data_desc_bytes: AtomicU64,
+    /// Body bytes of data frames (exactly 8 × payload words).
+    pub data_body_bytes: AtomicU64,
+    /// Control frames sent (bootstrap, triggers, acks, shutdown).
+    pub control_frames: AtomicU64,
+    /// Total bytes of control frames, headers included.
+    pub control_bytes: AtomicU64,
+}
+
+impl WireCounters {
+    /// Fresh zeroed counters behind an [`Arc`] for sharing across links.
+    pub fn shared() -> Arc<WireCounters> {
+        Arc::new(WireCounters::default())
+    }
+
+    /// Records one sent frame.
+    pub fn record(&self, frame: &Frame) {
+        if frame.is_data() {
+            self.data_frames.fetch_add(1, Ordering::Relaxed);
+            self.data_header_bytes
+                .fetch_add(HEADER_BYTES, Ordering::Relaxed);
+            self.data_desc_bytes
+                .fetch_add(frame.desc.len() as u64, Ordering::Relaxed);
+            self.data_body_bytes
+                .fetch_add(frame.body.len() as u64, Ordering::Relaxed);
+        } else {
+            self.control_frames.fetch_add(1, Ordering::Relaxed);
+            self.control_bytes
+                .fetch_add(frame.wire_bytes(), Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time snapshot for reporting and assertions.
+    pub fn snapshot(&self) -> WireStats {
+        WireStats {
+            data_frames: self.data_frames.load(Ordering::Relaxed),
+            data_header_bytes: self.data_header_bytes.load(Ordering::Relaxed),
+            data_desc_bytes: self.data_desc_bytes.load(Ordering::Relaxed),
+            data_body_bytes: self.data_body_bytes.load(Ordering::Relaxed),
+            control_frames: self.control_frames.load(Ordering::Relaxed),
+            control_bytes: self.control_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of [`WireCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Ledger-charged frames sent.
+    pub data_frames: u64,
+    /// Header bytes of data frames.
+    pub data_header_bytes: u64,
+    /// Descriptor bytes of data frames.
+    pub data_desc_bytes: u64,
+    /// Body bytes of data frames.
+    pub data_body_bytes: u64,
+    /// Control frames sent.
+    pub control_frames: u64,
+    /// Total control-frame bytes.
+    pub control_bytes: u64,
+}
+
+impl WireStats {
+    /// Every byte that crossed a socket.
+    pub fn total_bytes(&self) -> u64 {
+        self.data_header_bytes + self.data_desc_bytes + self.data_body_bytes + self.control_bytes
+    }
+
+    /// Body words of data frames (`data_body_bytes / 8`; bodies are always
+    /// whole words by the codec invariant).
+    pub fn data_body_words(&self) -> u64 {
+        self.data_body_bytes / 8
+    }
+
+    /// Counter deltas between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &WireStats) -> WireStats {
+        WireStats {
+            data_frames: self.data_frames - earlier.data_frames,
+            data_header_bytes: self.data_header_bytes - earlier.data_header_bytes,
+            data_desc_bytes: self.data_desc_bytes - earlier.data_desc_bytes,
+            data_body_bytes: self.data_body_bytes - earlier.data_body_bytes,
+            control_frames: self.control_frames - earlier.control_frames,
+            control_bytes: self.control_bytes - earlier.control_bytes,
+        }
+    }
+}
+
+/// Writes a frame to a stream and charges it to the counters. Every send
+/// in the crate goes through here so each byte is counted exactly once.
+/// The frame is recorded **before** the write: a receiver can then never
+/// observe bytes whose counting is still pending on the sender's thread,
+/// so a counter snapshot taken after a reply arrives is always complete.
+/// (A failed write leaves the frame counted, but a failed write also kills
+/// the whole protocol run — the audit never reads those counters.)
+pub fn send_frame(
+    w: &mut impl Write,
+    counters: &WireCounters,
+    frame: &Frame,
+) -> Result<(), NetError> {
+    counters.record(frame);
+    frame.write_to(w)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::MsgType;
+
+    #[test]
+    fn counters_split_by_classification() {
+        let c = WireCounters::default();
+        let mut sink = Vec::new();
+        let data = Frame::data(MsgType::Reply, 0, 1, vec![1, 2, 3, 4], vec![0; 24]);
+        let ctrl = Frame::control(MsgType::Ack, 0, 1);
+        send_frame(&mut sink, &c, &data).unwrap();
+        send_frame(&mut sink, &c, &ctrl).unwrap();
+        let s = c.snapshot();
+        assert_eq!(s.data_frames, 1);
+        assert_eq!(s.data_header_bytes, 24);
+        assert_eq!(s.data_desc_bytes, 4);
+        assert_eq!(s.data_body_bytes, 24);
+        assert_eq!(s.data_body_words(), 3);
+        assert_eq!(s.control_frames, 1);
+        assert_eq!(s.control_bytes, 24);
+        assert_eq!(s.total_bytes(), sink.len() as u64);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let c = WireCounters::default();
+        let mut sink = Vec::new();
+        send_frame(&mut sink, &c, &Frame::control(MsgType::Ready, 1, 0)).unwrap();
+        let before = c.snapshot();
+        send_frame(
+            &mut sink,
+            &c,
+            &Frame::data(MsgType::Broadcast, 0, 2, vec![], vec![0; 8]),
+        )
+        .unwrap();
+        let delta = c.snapshot().since(&before);
+        assert_eq!(delta.control_frames, 0);
+        assert_eq!(delta.data_frames, 1);
+        assert_eq!(delta.data_body_words(), 1);
+    }
+}

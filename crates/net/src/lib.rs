@@ -1,0 +1,51 @@
+//! `dlra-net`: the networked collectives substrate — the paper's `s`
+//! servers as real participants over TCP.
+//!
+//! The sequential [`dlra_comm::Cluster`] simulates the distributed model
+//! in one thread; `dlra-runtime`'s `ThreadedCluster` runs it on worker
+//! threads with typed channels. This crate completes the progression:
+//! servers behind genuine sockets, every payload serialized through the
+//! bit-exact `dlra-comm` wire codec, and combining-tree hops as real
+//! server → server connections. Layers:
+//!
+//! * [`frame`] — the length-prefixed wire protocol: a 24-byte header,
+//!   a descriptor (shape metadata, never ledger-charged), and a body of
+//!   exactly 8 bytes per charged payload word. Malformed input yields
+//!   typed [`frame::NetError`]s, never panics.
+//! * [`counters`] — send-side byte accounting, split data vs control, so
+//!   tests reconcile bytes-on-the-wire against the [`dlra_comm::Ledger`]
+//!   with zero unexplained bytes.
+//! * [`registry`] — type-erased collective jobs: decode → typed closure →
+//!   re-encode, bit-identical by codec exactness.
+//! * [`node`] — the server event loop (bootstrap handshake, collective
+//!   frames, tree-hop exchanges), shared by loopback threads and the
+//!   `dlra-net-server` binary.
+//! * [`cluster`] — [`SocketCluster`], the coordinator: implements
+//!   [`dlra_comm::Collectives`] with bit-identical results and exact
+//!   ledger parity against the sequential and threaded substrates.
+//! * [`remote`] — the static op table and coordinator for servers in
+//!   separate processes, where closures cannot travel.
+//! * [`nonblocking`] (feature `nonblocking`) — a poll-based reply fan-in
+//!   that multiplexes all server links without external event libraries.
+//!
+//! This crate reads **no environment variables**: substrate selection
+//! (`DLRA_SUBSTRATE`) lives in the runtime layer per the determinism
+//! contract, and the server binary is configured by argv alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod counters;
+pub mod frame;
+pub mod node;
+#[cfg(feature = "nonblocking")]
+pub mod nonblocking;
+pub mod registry;
+pub mod remote;
+
+pub use cluster::SocketCluster;
+pub use counters::{WireCounters, WireStats};
+pub use frame::{Frame, MsgType, NetError, OverloadedFrame};
+pub use node::{run_node, NodeConfig};
+pub use registry::{JobRegistry, JobResolver, NetJob};

@@ -1,0 +1,357 @@
+//! The server-side event loop: one of the paper's `s` servers as a real
+//! network participant.
+//!
+//! A node dials the coordinator, completes the bootstrap handshake
+//! (Hello → Roster → peer links → Ready), then serves collective frames
+//! until shutdown. During a topology-routed reduction it exchanges
+//! [`MsgType::HopBlock`] frames directly with its tree peers — server →
+//! server traffic that never touches the coordinator, mirroring the plan's
+//! edges one TCP hop per charged hop.
+//!
+//! The same loop backs both deployment shapes: the loopback harness spawns
+//! `run_node` on threads inside the coordinator process (sharing its
+//! [`JobRegistry`](crate::registry::JobRegistry)), and the
+//! `dlra-net-server` binary runs it in a separate process with the static
+//! remote op table. Configuration arrives exclusively through
+//! [`NodeConfig`] (the binary builds one from argv) — this crate reads no
+//! environment variables, keeping the determinism contract's env reads in
+//! the runtime layer.
+
+use crate::counters::{send_frame, WireCounters};
+use crate::frame::{
+    decode_hop_desc, encode_hop_desc, error_frame, Frame, HopRecord, MsgType, NetError, Roster,
+    FLAG_HAS_REQUEST,
+};
+use crate::registry::{Encoded, JobResolver, NetJob};
+use dlra_comm::TopologyPlan;
+use dlra_util::sync::MutexExt;
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// Everything a node needs to join a cluster. No defaults are read from
+/// the environment; callers (the loopback harness, the server binary's
+/// argv parser, tests) fill every field explicitly.
+pub struct NodeConfig<L> {
+    /// Coordinator address to dial, e.g. `127.0.0.1:4400`.
+    pub coordinator: String,
+    /// This server's id `t ∈ 1..s` (id 0 is the coordinator itself).
+    pub server_id: usize,
+    /// The server's local state (shared with the coordinator in loopback
+    /// mode so `with_local` works; exclusively ours in remote mode).
+    pub state: Arc<Mutex<L>>,
+    /// Maps incoming frames to collective jobs.
+    pub resolver: Arc<dyn JobResolver<L>>,
+    /// Byte accounting for every frame this node sends.
+    pub counters: Arc<WireCounters>,
+}
+
+/// This node's fixed role in the reduction plan.
+struct ReduceRole {
+    /// `(parent id, round of our single send)`.
+    parent: (usize, usize),
+    /// Child senders in `(round, plan-hop-order)` — the order we must
+    /// receive their blocks in.
+    children: Vec<(usize, usize)>,
+}
+
+/// Dials the coordinator, bootstraps, and serves collectives until a
+/// shutdown frame (clean exit) or a failure (the error is also reported to
+/// the coordinator over the still-open link when possible).
+pub fn run_node<L>(cfg: NodeConfig<L>) -> Result<(), NetError> {
+    let mut coord = TcpStream::connect(&cfg.coordinator)?;
+    coord.set_nodelay(true)?;
+    match serve(&cfg, &mut coord) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let report = error_frame(1, &format!("server {}: {e}", cfg.server_id));
+            let _ = send_frame(&mut coord, &cfg.counters, &report);
+            Err(e)
+        }
+    }
+}
+
+/// The bootstrap handshake plus the main frame loop.
+fn serve<L>(cfg: &NodeConfig<L>, coord: &mut TcpStream) -> Result<(), NetError> {
+    let id = cfg.server_id;
+
+    // Bootstrap: bind our peer listener first so its port rides the Hello
+    // and child dials can queue in the backlog before we ever accept.
+    let peer_listener = TcpListener::bind("127.0.0.1:0")?;
+    let peer_port = peer_listener.local_addr()?.port();
+    let mut hello = Frame::control(MsgType::Hello, id as u32, 0);
+    hello.desc = peer_port.to_le_bytes().to_vec();
+    send_frame(coord, &cfg.counters, &hello)?;
+
+    let roster_frame = Frame::read_from(coord)?;
+    if roster_frame.msg_type != MsgType::Roster {
+        return Err(NetError::Protocol {
+            what: "expected roster",
+            detail: format!("got {:?}", roster_frame.msg_type),
+        });
+    }
+    let roster = Roster::from_frame(&roster_frame)?;
+    let s = roster.servers as usize;
+    if id == 0 || id >= s {
+        return Err(NetError::Protocol {
+            what: "server id out of roster range",
+            detail: format!("id {id}, s {s}"),
+        });
+    }
+    let plan = TopologyPlan::new(roster.topology, s);
+    let role = reduce_role(&plan, id)?;
+
+    // Dial our tree parent (unless it is the coordinator, which we already
+    // hold a link to) before accepting children: every dial targets an
+    // already-bound listener, so the graph wires up without deadlock.
+    let (parent_id, _) = role.parent;
+    let mut parent_link = if parent_id != 0 {
+        let port = *roster.peer_ports.get(parent_id).ok_or(NetError::Protocol {
+            what: "parent missing from roster",
+            detail: format!("parent {parent_id}"),
+        })?;
+        let mut link = TcpStream::connect(("127.0.0.1", port))?;
+        link.set_nodelay(true)?;
+        send_frame(
+            &mut link,
+            &cfg.counters,
+            &Frame::control(MsgType::PeerHello, id as u32, 0),
+        )?;
+        Some(link)
+    } else {
+        None
+    };
+
+    let mut child_links: BTreeMap<usize, TcpStream> = BTreeMap::new();
+    for _ in 0..role.children.len() {
+        let (mut link, _) = peer_listener.accept()?;
+        link.set_nodelay(true)?;
+        let hello = Frame::read_from(&mut link)?;
+        if hello.msg_type != MsgType::PeerHello {
+            return Err(NetError::Protocol {
+                what: "expected peer hello",
+                detail: format!("got {:?}", hello.msg_type),
+            });
+        }
+        child_links.insert(hello.seq as usize, link);
+    }
+    for &(_, sender) in &role.children {
+        if !child_links.contains_key(&sender) {
+            return Err(NetError::Protocol {
+                what: "tree child never dialed in",
+                detail: format!("server {id} expected child {sender}"),
+            });
+        }
+    }
+
+    send_frame(
+        coord,
+        &cfg.counters,
+        &Frame::control(MsgType::Ready, id as u32, 0),
+    )?;
+
+    // Server processes are themselves a parallelism layer: divide the
+    // kernel thread budget across the s servers (floor, at least 1) so the
+    // layers compose additively instead of multiplying. Never changes
+    // results: kernels are bit-identical across thread counts.
+    let share = (dlra_linalg::threads() / s).max(1);
+
+    loop {
+        let frame = Frame::read_from(coord)?;
+        let resolve = |frame: &Frame| {
+            cfg.resolver
+                .resolve(frame.job_id, frame.seq)
+                .ok_or(NetError::Protocol {
+                    what: "no job for frame",
+                    detail: format!("job {} op {}", frame.job_id, frame.seq),
+                })
+        };
+        match frame.msg_type {
+            MsgType::Shutdown => return Ok(()),
+            MsgType::Broadcast => {
+                let job = resolve(&frame)?;
+                dlra_linalg::with_threads(share, || {
+                    let mut local = cfg.state.lock_recover();
+                    job.deliver(id, &mut local, &frame.desc, &frame.body)
+                })?;
+                send_frame(
+                    coord,
+                    &cfg.counters,
+                    &Frame::control(MsgType::Ack, id as u32, frame.job_id),
+                )?;
+            }
+            MsgType::RunGather | MsgType::Query | MsgType::QueryServer => {
+                let job = resolve(&frame)?;
+                let request = (frame.msg_type != MsgType::RunGather)
+                    .then_some((frame.desc.as_slice(), frame.body.as_slice()));
+                let (desc, body) = dlra_linalg::with_threads(share, || {
+                    let mut local = cfg.state.lock_recover();
+                    job.make_block(id, &mut local, request)
+                })?;
+                send_frame(
+                    coord,
+                    &cfg.counters,
+                    &Frame::data(MsgType::Reply, id as u32, frame.job_id, desc, body),
+                )?;
+            }
+            MsgType::RunReduce => {
+                let job = resolve(&frame)?;
+                let request = (frame.flags & FLAG_HAS_REQUEST != 0)
+                    .then_some((frame.desc.as_slice(), frame.body.as_slice()));
+                drive_reduce(
+                    cfg,
+                    job.as_ref(),
+                    frame.job_id,
+                    request,
+                    &plan,
+                    &role,
+                    share,
+                    &mut child_links,
+                    parent_link.as_mut(),
+                    coord,
+                )?;
+            }
+            other => {
+                return Err(NetError::Protocol {
+                    what: "unexpected frame at server",
+                    detail: format!("{other:?}"),
+                })
+            }
+        }
+    }
+}
+
+/// Extracts this node's parent hop and ordered child hops from the plan.
+/// Every non-coordinator server sends exactly once, so a missing parent is
+/// a protocol violation.
+fn reduce_role(plan: &TopologyPlan, id: usize) -> Result<ReduceRole, NetError> {
+    let mut parent = None;
+    let mut children = Vec::new();
+    for (h, round) in plan.rounds().iter().enumerate() {
+        for hop in &round.hops {
+            if hop.sender == id {
+                parent = Some((hop.receiver, h));
+            }
+            if hop.receiver == id {
+                children.push((h, hop.sender));
+            }
+        }
+    }
+    let parent = parent.ok_or(NetError::Protocol {
+        what: "server has no send hop in plan",
+        detail: format!("server {id}"),
+    })?;
+    Ok(ReduceRole { parent, children })
+}
+
+/// One reduction from this node's perspective: compute the leaf block,
+/// absorb child blocks round by round (replaying the canonical merge
+/// schedule restricted to held blocks, so association order — and thus
+/// floating point — matches the sequential reference bit for bit), then
+/// forward the accumulated block and hop log to the parent in our single
+/// send round.
+///
+/// The descriptor of an outgoing hop frame carries only the *subtree's*
+/// hop records; the frame's own hop is derived by the receiver from the
+/// link identity, the round in `seq`, and `body_len / 8` — so the root
+/// collects exactly one record per plan edge.
+#[allow(clippy::too_many_arguments)]
+fn drive_reduce<L>(
+    cfg: &NodeConfig<L>,
+    job: &dyn NetJob<L>,
+    job_id: u64,
+    request: Option<(&[u8], &[u8])>,
+    plan: &TopologyPlan,
+    role: &ReduceRole,
+    share: usize,
+    child_links: &mut BTreeMap<usize, TcpStream>,
+    parent_link: Option<&mut TcpStream>,
+    coord: &mut TcpStream,
+) -> Result<(), NetError> {
+    let id = cfg.server_id;
+    let mut block: Encoded = dlra_linalg::with_threads(share, || {
+        let mut local = cfg.state.lock_recover();
+        job.make_block(id, &mut local, request)
+    })?;
+    let mut log: Vec<HopRecord> = Vec::new();
+    let (_, send_round) = role.parent;
+    for (h, round) in plan.rounds().iter().enumerate() {
+        let senders: Vec<usize> = round
+            .hops
+            .iter()
+            .filter(|hop| hop.receiver == id)
+            .map(|hop| hop.sender)
+            .collect();
+        if !senders.is_empty() {
+            let mut held: BTreeMap<usize, Encoded> = BTreeMap::new();
+            held.insert(id, block);
+            for q in senders {
+                let link = child_links.get_mut(&q).ok_or(NetError::Protocol {
+                    what: "no link to plan child",
+                    detail: format!("server {id}, child {q}"),
+                })?;
+                let hop = Frame::read_from(link)?;
+                if hop.msg_type != MsgType::HopBlock
+                    || hop.seq as usize != h
+                    || hop.job_id != job_id
+                {
+                    return Err(NetError::Protocol {
+                        what: "unexpected frame on tree link",
+                        detail: format!(
+                            "{:?} seq {} job {} (wanted hop round {h} job {job_id})",
+                            hop.msg_type, hop.seq, hop.job_id
+                        ),
+                    });
+                }
+                let (child_log, payload_desc) = decode_hop_desc(&hop.desc)?;
+                log.extend(child_log);
+                log.push(HopRecord {
+                    round: h as u32,
+                    sender: q as u32,
+                    words: (hop.body.len() / 8) as u64,
+                });
+                held.insert(q, (payload_desc.to_vec(), hop.body));
+            }
+            for step in &round.merges {
+                if held.contains_key(&step.dst) && held.contains_key(&step.src) {
+                    let src = held.remove(&step.src).ok_or(NetError::Protocol {
+                        what: "merge source vanished",
+                        detail: format!("src {}", step.src),
+                    })?;
+                    let dst = held.remove(&step.dst).ok_or(NetError::Protocol {
+                        what: "merge destination vanished",
+                        detail: format!("dst {}", step.dst),
+                    })?;
+                    let merged = dlra_linalg::with_threads(share, || {
+                        job.merge_blocks(dst, (&src.0, &src.1))
+                    })?;
+                    held.insert(step.dst, merged);
+                }
+            }
+            block = held.remove(&id).ok_or(NetError::Protocol {
+                what: "receiver lost its block in merge replay",
+                detail: format!("server {id}, round {h}"),
+            })?;
+        }
+        if send_round == h {
+            let (payload_desc, body) = block;
+            let frame = Frame::data(
+                MsgType::HopBlock,
+                h as u32,
+                job_id,
+                encode_hop_desc(&log, &payload_desc),
+                body,
+            );
+            let out = match parent_link {
+                Some(link) => link,
+                None => coord,
+            };
+            send_frame(out, &cfg.counters, &frame)?;
+            return Ok(());
+        }
+    }
+    Err(NetError::Protocol {
+        what: "reduction ended without a send",
+        detail: format!("server {id}"),
+    })
+}

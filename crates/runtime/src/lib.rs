@@ -67,6 +67,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+pub mod netgate;
 pub mod planner;
 pub mod query;
 pub mod runtime;
@@ -103,4 +104,14 @@ pub fn threaded_gm_pooling(
     p: f64,
 ) -> Result<PartitionModel<ThreadedCluster<MatrixServer>>> {
     PartitionModel::gm_pooling_with(raw, p, ThreadedCluster::new)
+}
+
+/// A partition model on the networked substrate: the servers behind real
+/// loopback TCP sockets (`dlra-net::SocketCluster`), bit- and
+/// ledger-identical to [`threaded_model`] and `PartitionModel::new`.
+pub fn socket_model(
+    locals: Vec<Matrix>,
+    f: EntryFunction,
+) -> Result<PartitionModel<dlra_net::SocketCluster<MatrixServer>>> {
+    PartitionModel::with_substrate(locals, f, dlra_net::SocketCluster::new)
 }

@@ -1,0 +1,214 @@
+//! The network gate: carrying service-level backpressure **over the
+//! wire**.
+//!
+//! A service fronted by sockets must tell remote clients more than "no":
+//! a shed query should come back, but not immediately. This module maps
+//! [`ServiceError::Overloaded`] onto `dlra-net`'s `Overloaded` control
+//! frame and back, attaching a **retry-after hint derived from the
+//! service's observed drain rate** — mean time between admitted-query
+//! resolutions since the service started, scaled by how far over the
+//! admission bound the shed decision found the queue. A freshly started
+//! service has no drain evidence and pessimistically quotes its uptime;
+//! a warm service converges on its true per-query latency.
+//!
+//! The hint is advisory (clients may retry sooner; the service re-decides
+//! admission on every submission) and clamped to a sane range so a clock
+//! hiccup can never quote hours.
+
+use crate::service::{Service, ServiceError};
+use dlra_net::{Frame, MsgType, NetError, OverloadedFrame};
+
+/// Hints below this are meaningless scheduling noise.
+const MIN_RETRY_MICROS: u64 = 100;
+/// Hints above this would outlive any client's patience; cap at 5 s.
+const MAX_RETRY_MICROS: u64 = 5_000_000;
+
+/// The retry-after hint for a shed observed at `queue_depth` against
+/// `limit`: one drain interval per query that must resolve before a slot
+/// frees (at the bound exactly, that is one), clamped to
+/// [`MIN_RETRY_MICROS`, `MAX_RETRY_MICROS`].
+pub fn retry_after_micros(service: &Service, queue_depth: u64, limit: u64) -> u64 {
+    let backlog = queue_depth.saturating_sub(limit) + 1;
+    service
+        .mean_drain_micros()
+        .saturating_mul(backlog)
+        .clamp(MIN_RETRY_MICROS, MAX_RETRY_MICROS)
+}
+
+/// Maps a service error onto its wire frame, if it has one: only
+/// [`ServiceError::Overloaded`] travels as a dedicated control frame (the
+/// shed happens before any executor, so the whole exchange is
+/// control-plane). Everything else returns `None` and is the caller's
+/// problem to report (e.g. as a `dlra-net` error frame).
+pub fn overloaded_to_frame(service: &Service, err: &ServiceError) -> Option<Frame> {
+    match err {
+        ServiceError::Overloaded { queue_depth, limit } => Some(
+            OverloadedFrame {
+                queue_depth: *queue_depth,
+                limit: *limit,
+                retry_after_micros: retry_after_micros(service, *queue_depth, *limit),
+            }
+            .to_frame(),
+        ),
+        _ => None,
+    }
+}
+
+/// Decodes an `Overloaded` control frame back into the service error a
+/// remote client should observe, preserving the shed's queue depth and
+/// bound. Returns `None` for any other frame type; a malformed
+/// `Overloaded` descriptor is a typed [`NetError`].
+pub fn overloaded_from_frame(frame: &Frame) -> Result<Option<ServiceError>, NetError> {
+    if frame.msg_type != MsgType::Overloaded {
+        return Ok(None);
+    }
+    let decoded = OverloadedFrame::from_frame(frame)?;
+    Ok(Some(ServiceError::Overloaded {
+        queue_depth: decoded.queue_depth,
+        limit: decoded.limit,
+    }))
+}
+
+/// The client-side view of a decoded overload: the typed transport error
+/// with the hint attached, for callers that work in `NetError` terms
+/// (e.g. a remote submission loop deciding how long to back off).
+pub fn overload_as_net_error(frame: &Frame) -> Result<Option<NetError>, NetError> {
+    if frame.msg_type != MsgType::Overloaded {
+        return Ok(None);
+    }
+    let decoded = OverloadedFrame::from_frame(frame)?;
+    Ok(Some(NetError::Overloaded {
+        queue_depth: decoded.queue_depth,
+        limit: decoded.limit,
+        retry_after_micros: decoded.retry_after_micros,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use dlra_core::algorithm1::{Algorithm1Config, SamplerKind};
+    use dlra_linalg::Matrix;
+    use dlra_util::Rng;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    fn small_service(max_queue_depth: Option<usize>) -> Service {
+        Service::new(ServiceConfig {
+            executors: 1,
+            max_queue_depth,
+            metrics: false,
+            ..ServiceConfig::default()
+        })
+    }
+
+    fn tiny_query() -> crate::query::QueryRequest {
+        crate::query::QueryRequest::identity(Algorithm1Config {
+            k: 2,
+            r: 10,
+            sampler: SamplerKind::Uniform,
+            seed: 1,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn shed_error_roundtrips_through_a_real_socket() {
+        // Drive a real shed: bound 1, submit two queries back-to-back; with
+        // one executor the second can be shed while the first holds the
+        // admission slot. Retry until the race lands (the shed path is
+        // deterministic once the gauge is full).
+        let service = small_service(Some(1));
+        let mut rng = Rng::new(5);
+        let locals: Vec<Matrix> = (0..2).map(|_| Matrix::gaussian(40, 6, &mut rng)).collect();
+        let handle = service.load("tenant", locals).unwrap();
+        let shed = loop {
+            let a = handle.submit_request(tiny_query());
+            let b = handle.submit_request(tiny_query());
+            let ra = a.wait();
+            let rb = b.wait();
+            let hit = [ra, rb]
+                .into_iter()
+                .find(|r| matches!(r, Err(ServiceError::Overloaded { .. })));
+            if let Some(Err(err)) = hit {
+                break err;
+            }
+        };
+
+        // Encode at the service, carry over a real loopback socket, decode
+        // at the "client".
+        let frame = overloaded_to_frame(&service, &shed).expect("overload maps to a frame");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&frame.to_bytes()).unwrap();
+        });
+        let (mut client, _) = listener.accept().unwrap();
+        let received = Frame::read_from(&mut client).unwrap();
+        sender.join().unwrap();
+
+        let back = overloaded_from_frame(&received)
+            .expect("well-formed frame")
+            .expect("overloaded frame decodes to the service error");
+        match (&shed, &back) {
+            (
+                ServiceError::Overloaded { queue_depth, limit },
+                ServiceError::Overloaded {
+                    queue_depth: qd,
+                    limit: l,
+                },
+            ) => {
+                assert_eq!(qd, queue_depth);
+                assert_eq!(l, limit);
+                assert_eq!(*l, 1);
+            }
+            other => panic!("expected Overloaded on both ends, got {other:?}"),
+        }
+
+        // The client-side transport view carries the hint.
+        match overload_as_net_error(&received).unwrap() {
+            Some(NetError::Overloaded {
+                retry_after_micros, ..
+            }) => {
+                assert!((MIN_RETRY_MICROS..=MAX_RETRY_MICROS).contains(&retry_after_micros));
+            }
+            other => panic!("expected NetError::Overloaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_hint_tracks_the_drain_rate() {
+        let service = small_service(None);
+        let mut rng = Rng::new(6);
+        let locals: Vec<Matrix> = (0..2).map(|_| Matrix::gaussian(40, 6, &mut rng)).collect();
+        let handle = service.load("tenant", locals).unwrap();
+
+        // No drains yet: the hint is the (clamped) uptime — pessimistic but
+        // bounded.
+        let cold = retry_after_micros(&service, 1, 1);
+        assert!((MIN_RETRY_MICROS..=MAX_RETRY_MICROS).contains(&cold));
+
+        // Resolve a few queries; the mean drain interval now reflects real
+        // work, and deeper overshoot quotes proportionally longer (until
+        // the cap).
+        for _ in 0..3 {
+            handle.submit_request(tiny_query()).wait().unwrap();
+        }
+        let base = retry_after_micros(&service, 1, 1);
+        let deep = retry_after_micros(&service, 4, 1);
+        assert!((MIN_RETRY_MICROS..=MAX_RETRY_MICROS).contains(&base));
+        assert!(deep >= base, "deeper overshoot must not quote shorter");
+
+        // Non-overload errors have no frame.
+        assert!(
+            overloaded_to_frame(&service, &ServiceError::RuntimeUnavailable("gone".into()))
+                .is_none()
+        );
+        // Non-overload frames decode to None.
+        let unrelated = Frame::control(MsgType::Ack, 0, 0);
+        assert!(overloaded_from_frame(&unrelated).unwrap().is_none());
+        assert!(overload_as_net_error(&unrelated).unwrap().is_none());
+    }
+}

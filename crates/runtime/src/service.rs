@@ -107,6 +107,26 @@ pub enum Substrate {
     /// The threaded message-passing cluster ([`ThreadedCluster`]).
     #[default]
     Threaded,
+    /// The networked cluster (`dlra-net::SocketCluster`): servers behind
+    /// real loopback TCP sockets, every payload crossing the bit-exact
+    /// wire codec. Bit- and ledger-identical to the other substrates.
+    Socket,
+}
+
+/// Parses `DLRA_SUBSTRATE` (`sequential`, `threaded`, or `socket`) into
+/// the default execution substrate. Unset or unrecognized keeps the
+/// built-in default ([`Substrate::Threaded`]), so existing deployments are
+/// byte-for-byte unaffected. Like every knob, the env read happens here in
+/// the runtime configuration layer only — `dlra-net` itself reads no
+/// environment — and is how CI runs the whole equivalence and service
+/// suites over real sockets without touching any test.
+pub(crate) fn default_substrate() -> Substrate {
+    match std::env::var("DLRA_SUBSTRATE").ok().as_deref() {
+        Some("sequential") => Substrate::Sequential,
+        Some("threaded") => Substrate::Threaded,
+        Some("socket") => Substrate::Socket,
+        _ => Substrate::default(),
+    }
 }
 
 pub(crate) fn default_executors() -> usize {
@@ -210,7 +230,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             executors: default_executors(),
-            substrate: Substrate::default(),
+            substrate: default_substrate(),
             plan_cache: default_plan_cache(),
             metrics: true,
             topology: default_topology(),
@@ -720,6 +740,7 @@ impl Drop for AdmissionGuard {
         // RMW atomicity alone keeps them exact, so Relaxed suffices.
         self.dataset.pending.fetch_sub(1, Ordering::Relaxed);
         self.shared.pressure.release();
+        self.shared.drained.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -751,6 +772,25 @@ struct Shared {
     max_queue_depth: Option<u64>,
     /// Resident-byte budget ([`ServiceConfig::memory_budget`]).
     memory_budget: Option<u64>,
+    /// Admitted queries that reached a terminal resolution — the drain
+    /// side of the admission gauge. Together with [`Shared::started`] it
+    /// yields the service's observed drain rate, from which the network
+    /// gate derives the retry-after hint it attaches to shed queries (see
+    /// [`crate::netgate`]).
+    drained: AtomicU64,
+    /// When the service started; denominator of the drain rate.
+    started: Instant,
+}
+
+impl Shared {
+    /// Mean time between admitted-query resolutions so far, in
+    /// microseconds. Before anything has drained there is no evidence, so
+    /// the uptime itself is the (pessimistic) estimate.
+    pub(crate) fn mean_drain_micros(&self) -> u64 {
+        let elapsed = self.started.elapsed().as_micros() as u64;
+        let drained = self.drained.load(Ordering::Relaxed);
+        elapsed / drained.max(1)
+    }
 }
 
 /// A multi-dataset serving front door: named copy-on-write resident
@@ -801,6 +841,8 @@ impl Service {
             lru_tick: AtomicU64::new(0),
             max_queue_depth: config.max_queue_depth.map(|n| n as u64),
             memory_budget: config.memory_budget,
+            drained: AtomicU64::new(0),
+            started: Instant::now(),
         });
         if config.metrics {
             // Process-global (the kernel pool is process-global too): a
@@ -987,6 +1029,13 @@ impl Service {
     /// The substrate queries run on.
     pub fn substrate(&self) -> Substrate {
         self.substrate
+    }
+
+    /// Mean time between admitted-query resolutions so far (µs): the
+    /// observed drain rate of the admission gauge, used by
+    /// [`crate::netgate`] to derive retry-after hints for shed queries.
+    pub(crate) fn mean_drain_micros(&self) -> u64 {
+        self.shared.mean_drain_micros()
     }
 
     /// The collective routing topology queries run with.
@@ -1580,6 +1629,13 @@ fn execute(
         Substrate::Threaded => {
             let mut model = PartitionModel::with_substrate(parts, request.f, move |locals| {
                 ThreadedCluster::with_topology(locals, topology)
+            })
+            .map_err(map_execution)?;
+            execute_on(&mut model, dataset, request, epoch, d, ticket)
+        }
+        Substrate::Socket => {
+            let mut model = PartitionModel::with_substrate(parts, request.f, move |locals| {
+                dlra_net::SocketCluster::with_topology(locals, topology)
             })
             .map_err(map_execution)?;
             execute_on(&mut model, dataset, request, epoch, d, ticket)

@@ -17,6 +17,7 @@
 
 use crate::params::ZSamplerParams;
 use crate::vector::SampleVector;
+use dlra_comm::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
 use dlra_comm::Payload;
 use dlra_sketch::{HeavyHittersSketch, KWiseHash};
 
@@ -43,29 +44,15 @@ impl SketchBundle {
     pub fn new(params: &ZSamplerParams, seed: u64, dim: u64) -> Self {
         let num_levels = params.effective_levels(dim);
         let sub_hash = KWiseHash::from_seed(params.g_independence.max(2), seed ^ 0x5EED_5EED);
-        let levels = (0..=num_levels)
-            .map(|level| {
-                (0..params.reps)
-                    .map(|rep| {
-                        let tag = (level as u64) << 32 | rep as u64;
-                        let group_hash =
-                            KWiseHash::from_seed(2, seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                        let groups = (0..params.groups)
-                            .map(|g| {
-                                HeavyHittersSketch::with_dims(
-                                    params.b_threshold,
-                                    params.hh_depth,
-                                    params.hh_width,
-                                    seed ^ (tag << 8 | g as u64)
-                                        .wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
-                                )
-                            })
-                            .collect();
-                        GroupedHh { group_hash, groups }
-                    })
-                    .collect()
-            })
-            .collect();
+        let levels = build_levels(
+            seed,
+            num_levels,
+            params.reps,
+            params.groups,
+            params.b_threshold,
+            params.hh_depth,
+            params.hh_width,
+        );
         SketchBundle {
             seed,
             levels,
@@ -202,6 +189,194 @@ impl Payload for SketchBundle {
     }
 }
 
+/// The deterministic hash-function scaffolding shared by [`SketchBundle::new`]
+/// and the wire decoder. Both must derive group-hash and heavy-hitter seeds
+/// by exactly this formula — a decoded bundle that drifted here would merge
+/// with mismatched hashes and silently corrupt recovery.
+fn build_levels(
+    seed: u64,
+    num_levels: usize,
+    reps: usize,
+    groups: usize,
+    b_threshold: f64,
+    hh_depth: usize,
+    hh_width: usize,
+) -> Vec<Vec<GroupedHh>> {
+    (0..=num_levels)
+        .map(|level| {
+            (0..reps)
+                .map(|rep| {
+                    let tag = (level as u64) << 32 | rep as u64;
+                    let group_hash =
+                        KWiseHash::from_seed(2, seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let groups = (0..groups)
+                        .map(|g| {
+                            HeavyHittersSketch::with_dims(
+                                b_threshold,
+                                hh_depth,
+                                hh_width,
+                                seed ^ (tag << 8 | g as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+                            )
+                        })
+                        .collect();
+                    GroupedHh { group_hash, groups }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Caps on decoded bundle shape parameters: generous for any real
+/// configuration, small enough that a corrupt descriptor cannot demand a
+/// pathological allocation.
+const MAX_BUNDLE_LEVELS: u64 = 64;
+const MAX_BUNDLE_REPS: u64 = 1 << 12;
+const MAX_BUNDLE_GROUPS: u64 = 1 << 12;
+const MAX_BUNDLE_DIM: u64 = 1 << 20;
+const MAX_BUNDLE_INDEP: u64 = 1 << 12;
+const MAX_BUNDLE_CANDIDATES: u64 = 1 << 24;
+
+/// Descriptor: construction seed + shape parameters (hash functions are
+/// re-derived locally from the seed, as the paper's model reconstructs
+/// sketch hashes from a broadcast seed). Body: every heavy-hitter counter
+/// table in level/rep/group order — exactly [`SketchBundle::size_words`]
+/// words, keeping wire bytes proportional to ledger words.
+impl WireEncode for SketchBundle {
+    fn encode(&self, w: &mut WireWriter) {
+        w.desc_u64(self.seed);
+        w.desc_u32(self.num_levels as u32);
+        let reps = self.levels.first().map_or(0, Vec::len);
+        let (b, depth, width) = self
+            .levels
+            .first()
+            .and_then(|l| l.first())
+            .and_then(|r| r.groups.first())
+            .map_or((1.0, 1, 1), |hh| {
+                (hh.b(), hh.countsketch().depth(), hh.countsketch().width())
+            });
+        let groups = self
+            .levels
+            .first()
+            .and_then(|l| l.first())
+            .map_or(0, |r| r.groups.len());
+        w.desc_u32(reps as u32);
+        w.desc_u32(groups as u32);
+        w.desc_u32(depth as u32);
+        w.desc_u32(width as u32);
+        w.desc_f64(b);
+        w.desc_u32(self.sub_hash.independence() as u32);
+        w.desc_u32(self.max_candidates_per_level as u32);
+        for level in &self.levels {
+            for rep in level {
+                for hh in &rep.groups {
+                    w.words_f64(hh.countsketch().table());
+                }
+            }
+        }
+    }
+}
+
+impl WireDecode for SketchBundle {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let seed = r.desc_u64("bundle seed")?;
+        let num_levels = u64::from(r.desc_u32("bundle levels")?);
+        let reps = u64::from(r.desc_u32("bundle reps")?);
+        let groups = u64::from(r.desc_u32("bundle groups")?);
+        let depth = u64::from(r.desc_u32("bundle hh depth")?);
+        let width = u64::from(r.desc_u32("bundle hh width")?);
+        let b = r.desc_f64("bundle threshold")?;
+        let indep = u64::from(r.desc_u32("bundle g independence")?);
+        let max_candidates = u64::from(r.desc_u32("bundle candidate cap")?);
+        if num_levels > MAX_BUNDLE_LEVELS {
+            return Err(WireError::Oversized {
+                what: "bundle levels",
+                len: num_levels,
+                max: MAX_BUNDLE_LEVELS,
+            });
+        }
+        if reps == 0 || reps > MAX_BUNDLE_REPS {
+            return Err(WireError::Oversized {
+                what: "bundle reps",
+                len: reps,
+                max: MAX_BUNDLE_REPS,
+            });
+        }
+        if groups == 0 || groups > MAX_BUNDLE_GROUPS {
+            return Err(WireError::Oversized {
+                what: "bundle groups",
+                len: groups,
+                max: MAX_BUNDLE_GROUPS,
+            });
+        }
+        if depth == 0 || width == 0 || depth > MAX_BUNDLE_DIM || width > MAX_BUNDLE_DIM {
+            return Err(WireError::Oversized {
+                what: "bundle hh dims",
+                len: depth.max(width),
+                max: MAX_BUNDLE_DIM,
+            });
+        }
+        if !(2..=MAX_BUNDLE_INDEP).contains(&indep) {
+            return Err(WireError::Oversized {
+                what: "bundle g independence",
+                len: indep,
+                max: MAX_BUNDLE_INDEP,
+            });
+        }
+        if max_candidates > MAX_BUNDLE_CANDIDATES {
+            return Err(WireError::Oversized {
+                what: "bundle candidate cap",
+                len: max_candidates,
+                max: MAX_BUNDLE_CANDIDATES,
+            });
+        }
+        if !b.is_finite() || b < 1.0 {
+            return Err(WireError::BadTag {
+                what: "bundle threshold",
+                value: b.to_bits(),
+            });
+        }
+        let table_words = depth * width;
+        let total_words = (num_levels + 1) * reps * groups * table_words;
+        if total_words > r.remaining_body_words() {
+            return Err(WireError::Truncated {
+                what: "bundle tables",
+                needed: (total_words * 8) as usize,
+                have: (r.remaining_body_words() * 8) as usize,
+            });
+        }
+        let mut levels = build_levels(
+            seed,
+            num_levels as usize,
+            reps as usize,
+            groups as usize,
+            b,
+            depth as usize,
+            width as usize,
+        );
+        for level in levels.iter_mut() {
+            for rep in level.iter_mut() {
+                for hh in rep.groups.iter_mut() {
+                    let table = r.words_f64(table_words, "bundle table")?;
+                    if !hh.load_countsketch_table(&table) {
+                        return Err(WireError::BadTag {
+                            what: "bundle table",
+                            value: table.len() as u64,
+                        });
+                    }
+                }
+            }
+        }
+        let sub_hash = KWiseHash::from_seed(indep as usize, seed ^ 0x5EED_5EED);
+        Ok(SketchBundle {
+            seed,
+            levels,
+            sub_hash,
+            num_levels: num_levels as usize,
+            max_candidates_per_level: max_candidates as usize,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +490,37 @@ mod tests {
             .map(|lvl| rec[lvl].iter().filter(|&&j| v[j as usize] == 1.0).count())
             .sum();
         assert!(deep_hits > 0, "no class member recovered at deep levels");
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_recovery_and_merge() {
+        use dlra_comm::wire::{decode_value, encode_value};
+        let p = small_params();
+        let dim = 800u64;
+        let mut rng = Rng::new(17);
+        let mut v: Vec<f64> = (0..dim).map(|_| rng.gaussian() * 0.05).collect();
+        v[77] = 15.0;
+        let mut b = SketchBundle::new(&p, 29, dim);
+        b.absorb(&DenseServerVec::new(v));
+        let (desc, body) = encode_value(&b);
+        assert_eq!(body.len() as u64, 8 * Payload::words(&b));
+        let back: SketchBundle = decode_value(&desc, &body).expect("decode");
+        assert_eq!(back.recover(dim), b.recover(dim));
+        // A decoded bundle merges with a locally built one — hash
+        // derivations must agree exactly.
+        let mut merged = SketchBundle::new(&p, 29, dim);
+        merged.merge(&back);
+        assert_eq!(merged.recover(dim), b.recover(dim));
+    }
+
+    #[test]
+    fn wire_decode_rejects_truncated_tables() {
+        use dlra_comm::wire::{decode_value, encode_value, WireError};
+        let p = small_params();
+        let b = SketchBundle::new(&p, 3, 64);
+        let (desc, body) = encode_value(&b);
+        let err = decode_value::<SketchBundle>(&desc, &body[..body.len() - 8]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }), "{err:?}");
     }
 
     #[test]

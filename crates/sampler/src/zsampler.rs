@@ -255,6 +255,36 @@ impl Payload for InjectPlan {
     }
 }
 
+impl dlra_comm::WireEncode for InjectPlan {
+    fn encode(&self, w: &mut dlra_comm::wire::WireWriter) {
+        w.desc_u32(self.0.len() as u32);
+        for &(value, count) in &self.0 {
+            w.word_f64(value);
+            w.word_u64(count);
+        }
+    }
+}
+
+impl dlra_comm::WireDecode for InjectPlan {
+    fn decode(r: &mut dlra_comm::wire::WireReader<'_>) -> Result<Self, dlra_comm::WireError> {
+        let n = u64::from(r.desc_u32("inject plan length")?);
+        if n > dlra_comm::wire::MAX_SEQ_LEN {
+            return Err(dlra_comm::WireError::Oversized {
+                what: "inject plan length",
+                len: n,
+                max: dlra_comm::wire::MAX_SEQ_LEN,
+            });
+        }
+        let mut plan = Vec::with_capacity((n as usize).min(4096));
+        for _ in 0..n {
+            let value = r.word_f64("inject plan value")?;
+            let count = r.word_u64("inject plan count")?;
+            plan.push((value, count));
+        }
+        Ok(InjectPlan(plan))
+    }
+}
+
 /// Diagnostics of a prepared sampler (for reports and tests).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SamplerStats {

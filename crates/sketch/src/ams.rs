@@ -41,6 +41,36 @@ impl AmsF2 {
         (self.depth * self.width) as u64
     }
 
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Cells per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The row-major cell array (the sketch's wire words).
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+
+    /// Replaces the cells from decoded wire words. Returns `false` (leaving
+    /// the sketch untouched) if the length does not match.
+    pub fn load_cells(&mut self, cells: &[f64]) -> bool {
+        if cells.len() != self.cells.len() {
+            return false;
+        }
+        self.cells.copy_from_slice(cells);
+        true
+    }
+
     /// Adds `delta` at coordinate `j`.
     pub fn update(&mut self, j: u64, delta: f64) {
         if delta == 0.0 {

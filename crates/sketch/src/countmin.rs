@@ -44,9 +44,34 @@ impl CountMin {
         (self.depth * self.width) as u64
     }
 
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Buckets per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
     /// The construction seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The row-major counter table (the sketch's wire words).
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Replaces the counter table from decoded wire words. Returns `false`
+    /// (leaving the sketch untouched) if the length does not match.
+    pub fn load_table(&mut self, table: &[f64]) -> bool {
+        if table.len() != self.table.len() {
+            return false;
+        }
+        self.table.copy_from_slice(table);
+        true
     }
 
     /// Adds `delta ≥ 0` at coordinate `j`. Panics on negative updates — the

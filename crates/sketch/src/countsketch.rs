@@ -137,6 +137,22 @@ impl CountSketch {
     pub fn clear(&mut self) {
         self.table.iter_mut().for_each(|x| *x = 0.0);
     }
+
+    /// The row-major `depth × width` counter table — the words a server
+    /// ships when the sketch crosses a wire.
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Replaces the counter table from decoded wire words. Returns `false`
+    /// (leaving the sketch untouched) if the length does not match.
+    pub fn load_table(&mut self, table: &[f64]) -> bool {
+        if table.len() != self.table.len() {
+            return false;
+        }
+        self.table.copy_from_slice(table);
+        true
+    }
 }
 
 /// Median of a scratch vector (averaging the middle pair for even length).

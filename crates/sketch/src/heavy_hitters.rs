@@ -58,6 +58,23 @@ impl HeavyHittersSketch {
         self.b
     }
 
+    /// The underlying CountSketch (read access for wire encoding).
+    pub fn countsketch(&self) -> &CountSketch {
+        &self.cs
+    }
+
+    /// Reassembles a sketch from its threshold and decoded CountSketch
+    /// (the wire-decode path; `b` must already be validated `>= 1`).
+    pub fn from_parts(b: f64, cs: CountSketch) -> Self {
+        HeavyHittersSketch { cs, b }
+    }
+
+    /// Replaces the underlying counter table from decoded wire words.
+    /// Returns `false` (leaving the sketch untouched) on length mismatch.
+    pub fn load_countsketch_table(&mut self, table: &[f64]) -> bool {
+        self.cs.load_table(table)
+    }
+
     /// Sketch size in words (the per-server upstream cost).
     pub fn size_words(&self) -> u64 {
         self.cs.size_words()

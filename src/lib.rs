@@ -8,7 +8,8 @@
 //! | [`core`] (`dlra-core`) | the generalized partition model, Algorithm 1, applications (RFF / GM pooling / robust PCA) |
 //! | [`sampler`] (`dlra-sampler`) | the generalized Z-sampler (Algorithms 2–4), baselines |
 //! | [`sketch`] (`dlra-sketch`) | CountSketch, AMS F₂, heavy hitters, k-wise hashing |
-//! | [`comm`] (`dlra-comm`) | star-topology simulation with word-exact accounting, the substrate-generic `Collectives` trait |
+//! | [`comm`] (`dlra-comm`) | star-topology simulation with word-exact accounting, the substrate-generic `Collectives` trait, the bit-exact wire codec |
+//! | [`net`] (`dlra-net`) | networked substrate: the servers behind real TCP sockets, with bytes-on-the-wire auditing against the ledger |
 //! | [`runtime`] (`dlra-runtime`) | threaded message-passing substrate + the multi-dataset `Service` façade (typed query builder, tickets with cancellation/deadlines) |
 //! | [`obs`] (`dlra-obs`) | structured tracing (chrome://tracing export via `DLRA_TRACE`) and the per-dataset metrics registry |
 //! | [`linalg`] (`dlra-linalg`) | matrices, QR, symmetric eigen, Jacobi SVD, rank-k tools |
@@ -43,6 +44,7 @@ pub use dlra_core as core;
 pub use dlra_data as data;
 pub use dlra_linalg as linalg;
 pub use dlra_lowerbounds as lowerbounds;
+pub use dlra_net as net;
 pub use dlra_obs as obs;
 pub use dlra_runtime as runtime;
 pub use dlra_sampler as sampler;

@@ -1,17 +1,21 @@
 //! Substrate-equivalence guarantee: Algorithm 1 on the threaded
-//! message-passing runtime is **bit-identical** to the sequential
-//! simulator — same projection matrix, same sampled row indices, same
-//! boosting score — and consumes **exactly** the same ledger word totals,
-//! for every tested seed and cluster size.
+//! message-passing runtime **and on the networked socket runtime** is
+//! **bit-identical** to the sequential simulator — same projection matrix,
+//! same sampled row indices, same boosting score — and consumes
+//! **exactly** the same ledger word totals, for every tested seed and
+//! cluster size.
 //!
 //! This is the contract that lets every experiment and test in the
 //! workspace interchange substrates freely.
 
 use dlra::comm::{Cluster, Collectives, Topology};
 use dlra::core::adaptive::{run_adaptive, AdaptiveConfig};
+use dlra::net::SocketCluster;
 use dlra::prelude::*;
 use dlra::runtime::ThreadedCluster;
-use dlra::runtime::{threaded_model, QueryRequest, Runtime, RuntimeConfig, Substrate};
+use dlra::runtime::{
+    socket_model, threaded_model, QueryRequest, Runtime, RuntimeConfig, Substrate,
+};
 use dlra::util::Rng;
 
 const SEEDS: [u64; 3] = [1, 7, 42];
@@ -23,40 +27,51 @@ fn shares(s: usize, n: usize, d: usize, k: usize, seed: u64) -> Vec<dlra::linalg
     dlra::data::split_with_noise_shares(&global, s, 0.3, &mut rng)
 }
 
-/// Runs one config on both substrates and asserts exact agreement.
+/// Runs one config on all three substrates — sequential simulator,
+/// threaded message-passing, real sockets — and asserts exact agreement:
+/// bit-identical outputs and identical ledger totals, pairwise.
 fn assert_equivalent(s: usize, seed: u64, cfg: &Algorithm1Config) {
     let parts = shares(s, 72, 10, 3, seed);
     let mut sequential = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
-    let mut threaded = threaded_model(parts, EntryFunction::Identity).unwrap();
+    let mut threaded = threaded_model(parts.clone(), EntryFunction::Identity).unwrap();
+    let mut socket = socket_model(parts, EntryFunction::Identity).unwrap();
 
     let a = run_algorithm1(&mut sequential, cfg).unwrap();
     let b = run_algorithm1(&mut threaded, cfg).unwrap();
+    let c = run_algorithm1(&mut socket, cfg).unwrap();
 
-    // Bit-identical outputs.
-    assert_eq!(
-        a.projection.basis().as_slice(),
-        b.projection.basis().as_slice(),
-        "projection diverges at s = {s}, seed = {seed}"
-    );
-    assert_eq!(
-        a.rows, b.rows,
-        "sampled rows diverge at s = {s}, seed = {seed}"
-    );
-    assert_eq!(
-        a.captured.to_bits(),
-        b.captured.to_bits(),
-        "boosting score diverges at s = {s}, seed = {seed}"
-    );
-
-    // Identical ledger totals, both for the run delta and the whole ledger.
-    assert_eq!(
-        a.comm, b.comm,
-        "run ledgers diverge at s = {s}, seed = {seed}"
-    );
+    for (name, other) in [("threaded", &b), ("socket", &c)] {
+        // Bit-identical outputs.
+        assert_eq!(
+            a.projection.basis().as_slice(),
+            other.projection.basis().as_slice(),
+            "{name} projection diverges at s = {s}, seed = {seed}"
+        );
+        assert_eq!(
+            a.rows, other.rows,
+            "{name} sampled rows diverge at s = {s}, seed = {seed}"
+        );
+        assert_eq!(
+            a.captured.to_bits(),
+            other.captured.to_bits(),
+            "{name} boosting score diverges at s = {s}, seed = {seed}"
+        );
+        // Identical per-run ledger totals.
+        assert_eq!(
+            a.comm, other.comm,
+            "{name} run ledger diverges at s = {s}, seed = {seed}"
+        );
+    }
+    // And whole-cluster ledgers agree across all three substrates.
     assert_eq!(
         sequential.cluster().comm(),
         threaded.cluster().comm(),
-        "total ledgers diverge at s = {s}, seed = {seed}"
+        "threaded total ledger diverges at s = {s}, seed = {seed}"
+    );
+    assert_eq!(
+        sequential.cluster().comm(),
+        socket.cluster().comm(),
+        "socket total ledger diverges at s = {s}, seed = {seed}"
     );
 }
 
@@ -108,7 +123,8 @@ fn boosted_runs_bit_identical_across_substrates() {
 fn adaptive_protocol_bit_identical_across_substrates() {
     let parts = shares(4, 96, 12, 3, 42);
     let mut sequential = PartitionModel::new(parts.clone(), EntryFunction::Identity).unwrap();
-    let mut threaded = threaded_model(parts, EntryFunction::Identity).unwrap();
+    let mut threaded = threaded_model(parts.clone(), EntryFunction::Identity).unwrap();
+    let mut socket = socket_model(parts, EntryFunction::Identity).unwrap();
     let cfg = AdaptiveConfig {
         k: 3,
         rounds: 2,
@@ -117,13 +133,18 @@ fn adaptive_protocol_bit_identical_across_substrates() {
         seed: 42,
     };
     let a = run_adaptive(&mut sequential, &cfg).unwrap();
-    let b = run_adaptive(&mut threaded, &cfg).unwrap();
-    assert_eq!(
-        a.projection.basis().as_slice(),
-        b.projection.basis().as_slice()
-    );
-    assert_eq!(a.rows_per_round, b.rows_per_round);
-    assert_eq!(a.comm, b.comm);
+    for (name, other) in [
+        ("threaded", run_adaptive(&mut threaded, &cfg).unwrap()),
+        ("socket", run_adaptive(&mut socket, &cfg).unwrap()),
+    ] {
+        assert_eq!(
+            a.projection.basis().as_slice(),
+            other.projection.basis().as_slice(),
+            "{name}"
+        );
+        assert_eq!(a.rows_per_round, other.rows_per_round, "{name}");
+        assert_eq!(a.comm, other.comm, "{name}");
+    }
 }
 
 #[test]
@@ -147,7 +168,11 @@ fn runtime_submit_matches_both_substrates() {
     .unwrap();
     let want = run_algorithm1(&mut direct, &cfg).unwrap();
 
-    for substrate in [Substrate::Sequential, Substrate::Threaded] {
+    for substrate in [
+        Substrate::Sequential,
+        Substrate::Threaded,
+        Substrate::Socket,
+    ] {
         let runtime = Runtime::new(
             parts.clone(),
             RuntimeConfig {
@@ -163,10 +188,11 @@ fn runtime_submit_matches_both_substrates() {
             .unwrap();
         assert_eq!(
             got.projection.basis().as_slice(),
-            want.projection.basis().as_slice()
+            want.projection.basis().as_slice(),
+            "{substrate:?}"
         );
-        assert_eq!(got.rows, want.rows);
-        assert_eq!(got.comm, want.comm);
+        assert_eq!(got.rows, want.rows, "{substrate:?}");
+        assert_eq!(got.comm, want.comm, "{substrate:?}");
     }
 }
 
@@ -192,7 +218,11 @@ fn plan_cache_on_and_off_stay_ledger_and_bit_identical() {
     .unwrap();
     let want = run_algorithm1(&mut direct, &cfg).unwrap();
 
-    for substrate in [Substrate::Sequential, Substrate::Threaded] {
+    for substrate in [
+        Substrate::Sequential,
+        Substrate::Threaded,
+        Substrate::Socket,
+    ] {
         for plan_cache in [0usize, 8] {
             let runtime = Runtime::new(
                 parts.clone(),
@@ -254,14 +284,20 @@ fn topology_matrix_bit_identical_with_smaller_tree_root_inbox() {
                 })
                 .unwrap();
             let mut thr_tree =
-                PartitionModel::with_substrate(parts, EntryFunction::Identity, |l| {
+                PartitionModel::with_substrate(parts.clone(), EntryFunction::Identity, |l| {
                     ThreadedCluster::with_topology(l, tree)
+                })
+                .unwrap();
+            let mut skt_tree =
+                PartitionModel::with_substrate(parts, EntryFunction::Identity, |l| {
+                    SocketCluster::with_topology(l, tree)
                 })
                 .unwrap();
 
             let star = run_algorithm1(&mut seq_star, &cfg).unwrap();
             let a = run_algorithm1(&mut seq_tree, &cfg).unwrap();
             let b = run_algorithm1(&mut thr_tree, &cfg).unwrap();
+            let c = run_algorithm1(&mut skt_tree, &cfg).unwrap();
 
             // Bit-identical outputs across topologies and substrates.
             assert_eq!(
@@ -269,26 +305,33 @@ fn topology_matrix_bit_identical_with_smaller_tree_root_inbox() {
                 a.projection.basis().as_slice(),
                 "star vs tree projection diverges at s = {s}, seed = {seed}"
             );
-            assert_eq!(
-                a.projection.basis().as_slice(),
-                b.projection.basis().as_slice(),
-                "tree substrates' projections diverge at s = {s}, seed = {seed}"
-            );
+            for (name, other) in [("threaded", &b), ("socket", &c)] {
+                assert_eq!(
+                    a.projection.basis().as_slice(),
+                    other.projection.basis().as_slice(),
+                    "{name} tree projection diverges at s = {s}, seed = {seed}"
+                );
+                assert_eq!(a.rows, other.rows, "{name}, s = {s}, seed = {seed}");
+                assert_eq!(a.captured.to_bits(), other.captured.to_bits(), "{name}");
+                // Exact per-run ledger parity between the tree substrates.
+                assert_eq!(
+                    a.comm, other.comm,
+                    "{name} tree run ledger diverges at s = {s}, seed = {seed}"
+                );
+            }
             assert_eq!(star.rows, a.rows, "s = {s}, seed = {seed}");
-            assert_eq!(a.rows, b.rows, "s = {s}, seed = {seed}");
             assert_eq!(star.captured.to_bits(), a.captured.to_bits());
-            assert_eq!(a.captured.to_bits(), b.captured.to_bits());
 
-            // Exact ledger parity between the tree substrates — per-run
-            // delta and whole-ledger alike.
-            assert_eq!(
-                a.comm, b.comm,
-                "tree run ledgers diverge at s = {s}, seed = {seed}"
-            );
+            // Whole-cluster ledger parity across all tree substrates.
             assert_eq!(
                 seq_tree.cluster().comm(),
                 thr_tree.cluster().comm(),
                 "tree total ledgers diverge at s = {s}, seed = {seed}"
+            );
+            assert_eq!(
+                seq_tree.cluster().comm(),
+                skt_tree.cluster().comm(),
+                "socket tree total ledger diverges at s = {s}, seed = {seed}"
             );
 
             // The tree never moves more data than the star; it only
